@@ -1,0 +1,1 @@
+bench/ablation.ml: Bench_util Cloudless_deploy Cloudless_plan Cloudless_sim Cloudless_state List Printf Workload

@@ -1,0 +1,1 @@
+bench/e10_rate_limit.ml: Bench_util Cloudless_deploy Cloudless_plan Cloudless_sim List Printf

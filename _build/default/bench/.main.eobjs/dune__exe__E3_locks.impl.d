@@ -1,0 +1,1 @@
+bench/e3_locks.ml: Bench_util Cloudless_hcl Cloudless_lock Cloudless_sim Cloudless_state List Printf

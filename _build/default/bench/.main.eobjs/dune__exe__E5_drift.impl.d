@@ -1,0 +1,1 @@
+bench/e5_drift.ml: Bench_util Cloudless_deploy Cloudless_drift Cloudless_hcl Cloudless_sim Cloudless_state Float List Option Printf

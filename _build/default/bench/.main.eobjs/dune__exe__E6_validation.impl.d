@@ -1,0 +1,1 @@
+bench/e6_validation.ml: Array Bench_util Cloudless_validate List Printf Workload

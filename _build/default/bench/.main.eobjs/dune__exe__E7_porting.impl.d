@@ -1,0 +1,1 @@
+bench/e7_porting.ml: Bench_util Cloudless_deploy Cloudless_synth List Printf

@@ -1,0 +1,1 @@
+bench/e8_policy.ml: Bench_util Cloudless Cloudless_hcl Cloudless_state Float List Printf

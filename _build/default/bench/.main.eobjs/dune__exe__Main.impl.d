@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array E10_rate_limit E1_deploy_scaling E2_incremental E3_locks E4_rollback E5_drift E6_validation E7_porting E8_policy E9_synthesis List Micro Sys

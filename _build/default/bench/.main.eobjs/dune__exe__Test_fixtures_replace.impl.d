@@ -1,0 +1,1 @@
+bench/test_fixtures_replace.ml: Buffer String

@@ -1,0 +1,100 @@
+(* Ablation: which cloudless engine design choice buys what (§3.3).
+
+   The cloudless engine differs from the baseline along three axes:
+   unbounded width (vs -parallelism=10), critical-path priority (vs
+   FIFO), and client-side rate pacing (vs burst+retry).  Each variant
+   toggles one axis to attribute the end-to-end win.
+
+   Priority matters only when width is capped (with unbounded width
+   nothing ever queues), so the cap10+CP variant is the interesting
+   pairing; pacing matters only near the API budget, so the sweep
+   includes a tight-budget workload. *)
+
+open Bench_util
+module Executor = Cloudless_deploy.Executor
+module Plan = Cloudless_plan.Plan
+module State = Cloudless_state.State
+module Cloud = Cloudless_sim.Cloud
+module Rate_limiter = Cloudless_sim.Rate_limiter
+
+let variants =
+  [
+    ("cap10+fifo (baseline)", Executor.baseline_config);
+    ( "cap10+priority",
+      { Executor.baseline_config with Executor.name = "prio"; policy = Executor.Critical_path } );
+    ( "unbounded+fifo",
+      {
+        Executor.baseline_config with
+        Executor.name = "wide";
+        parallelism = None;
+      } );
+    ( "unbounded+prio+pace (full)",
+      { Executor.cloudless_config with Executor.refresh = Executor.Refresh_full } );
+  ]
+
+let mean_makespan ?(tight = false) ~engine src =
+  let seeds = [ 42; 43; 44 ] in
+  let total =
+    List.fold_left
+      (fun acc seed ->
+        let cloud =
+          if tight then
+            (* no cross-resource checks: the workload references an
+               external vpc id; this isolates rate-limit behaviour *)
+            Cloud.create
+              ~write_limiter:(Rate_limiter.azure_write ())
+              ~read_limiter:(Rate_limiter.azure_read ())
+              ~seed ()
+          else fresh_cloud ~seed ()
+        in
+        let engine =
+          if tight then { engine with Executor.pacing_budget = (40., 1200. /. 3600.) }
+          else engine
+        in
+        let instances = expand_src src in
+        let plan = Plan.make ~state:State.empty instances in
+        let report =
+          Executor.apply cloud ~config:engine ~state:State.empty ~plan ()
+        in
+        assert (Executor.succeeded report);
+        acc +. report.Executor.makespan)
+      0. seeds
+  in
+  total /. float_of_int (List.length seeds)
+
+let run () =
+  section "ABLATION: contribution of each cloudless engine design choice";
+  let workloads =
+    [
+      ("microservices x12", Workload.microservices ~services:12 (), false);
+      ("web-tier 32 vms", Workload.web_tier ~web_count:32 (), false);
+      ( "60 sg burst (tight API budget)",
+        Printf.sprintf
+          {|
+resource "aws_security_group" "sg" {
+  count  = 60
+  name   = "sg-${count.index}"
+  vpc_id = "vpc-external"
+  region = "us-east-1"
+}
+|},
+        true );
+    ]
+  in
+  row [ 30; 16; 16; 16 ]
+    [ "variant"; "microsvc x12"; "web 32vms"; "60sg tight" ];
+  hline [ 30; 16; 16; 16 ];
+  List.iter
+    (fun (vname, engine) ->
+      let cells =
+        List.map
+          (fun (_, src, tight) -> fmt_s (mean_makespan ~tight ~engine src))
+          workloads
+      in
+      row [ 30; 16; 16; 16 ] (vname :: cells))
+    variants;
+  Printf.printf
+    "\n  reading: width removes the parallelism-cap penalty on wide graphs;\n\
+    \  priority helps under a cap (better packing of long tasks) and is\n\
+    \  neutral unbounded; pacing only matters against tight API budgets,\n\
+    \  where it converts retry storms into schedule-time waits.\n"

@@ -1,0 +1,76 @@
+(* Shared experiment harness utilities: table rendering, standard
+   cloud/engine setup, common workload deployment. *)
+
+module Hcl = Cloudless_hcl
+module Value = Hcl.Value
+module Smap = Value.Smap
+module Cloud = Cloudless_sim.Cloud
+module State = Cloudless_state.State
+module Plan = Cloudless_plan.Plan
+module Executor = Cloudless_deploy.Executor
+module Workload = Cloudless_workload.Workload
+
+let section title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n"
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+(* simple fixed-width table *)
+let row widths cells =
+  let cells =
+    List.map2
+      (fun w c -> if String.length c >= w then c else c ^ String.make (w - String.length c) ' ')
+      widths cells
+  in
+  print_endline ("  " ^ String.concat "  " cells)
+
+let hline widths =
+  print_endline
+    ("  " ^ String.concat "  " (List.map (fun w -> String.make w '-') widths))
+
+let fresh_cloud ?(seed = 42) ?quotas ?failure ?(write_rate = None) () =
+  let base = Cloud.default_config in
+  let base =
+    match quotas with Some q -> { base with Cloud.quotas = q } | None -> base
+  in
+  let base =
+    match failure with Some f -> { base with Cloud.failure = f } | None -> base
+  in
+  let config = Cloudless_schema.Cloud_rules.config_with_checks ~base () in
+  let cloud = Cloud.create ~config ~seed () in
+  ignore write_rate;
+  cloud
+
+let data_resolver ~rtype ~name:_ ~args:_ =
+  match rtype with
+  | "aws_region" -> Some (Smap.singleton "name" (Value.Vstring "us-east-1"))
+  | _ -> None
+
+let env_for state =
+  {
+    Hcl.Eval.default_env with
+    Hcl.Eval.data_resolver;
+    state_lookup = (fun addr -> State.lookup state addr);
+  }
+
+let expand_src ?(state = State.empty) src =
+  let cfg = Hcl.Config.parse ~file:"bench.tf" src in
+  (Hcl.Eval.expand ~env:(env_for state) cfg).Hcl.Eval.instances
+
+(* Deploy [src] from empty state on a fresh cloud; returns (cloud,
+   report). *)
+let deploy ?(seed = 42) ?(engine = Executor.cloudless_config) src =
+  let cloud = fresh_cloud ~seed () in
+  let instances = expand_src src in
+  let plan = Plan.make ~state:State.empty instances in
+  let report =
+    Executor.apply cloud ~config:engine ~state:State.empty ~plan ()
+  in
+  (cloud, report)
+
+let pct a b = if b = 0. then 0. else 100. *. (1. -. (a /. b))
+
+let fmt_s v = Printf.sprintf "%.0fs" v
+let fmt_x v = Printf.sprintf "%.1fx" v

@@ -1,0 +1,146 @@
+(* E4 (§3.4, rollbacks during updates).
+
+   Claim: reversibility-aware rollback (a) repairs out-of-band
+   modifications naive config-replay misses, and (b) redeploys only the
+   resources whose diverged attributes force recreation.
+
+   Scenario sweep: number of drifted resources x kind of change
+   (reversible attr / force-new attr / out-of-band).  Columns: resources
+   redeployed, updated in place, and residual divergence after rollback,
+   for each strategy. *)
+
+open Bench_util
+module Executor = Cloudless_deploy.Executor
+module State = Cloudless_state.State
+module Plan = Cloudless_plan.Plan
+module Rollback = Cloudless_rollback.Rollback
+module Cloud = Cloudless_sim.Cloud
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Smap = Value.Smap
+
+type change_kind = Reversible | Force_new | Out_of_band
+
+let kind_label = function
+  | Reversible -> "reversible"
+  | Force_new -> "force-new"
+  | Out_of_band -> "oob"
+
+let live_of cloud state addr =
+  match State.find_opt state addr with
+  | Some (r : State.resource_state) ->
+      Option.map
+        (fun (res : Cloud.resource) -> res.Cloud.attrs)
+        (Cloud.lookup cloud r.State.cloud_id)
+  | None -> None
+
+(* deploy a fleet, checkpoint, then mutate k instances the given way *)
+let scenario ~k ~kind =
+  let src =
+    {|
+resource "aws_instance" "w" {
+  count         = 8
+  ami           = "ami-base"
+  instance_type = "t3.small"
+  region        = "us-east-1"
+}
+|}
+  in
+  let cloud, report = deploy ~seed:31 ~engine:Executor.cloudless_config src in
+  let target = report.Executor.state in
+  let current = ref target in
+  for i = 0 to k - 1 do
+    let addr = Addr.make ~rtype:"aws_instance" ~rname:"w" ~key:(Addr.Kint i) () in
+    let r = Option.get (State.find_opt target addr) in
+    match kind with
+    | Reversible ->
+        ignore
+          (Cloud.run_sync cloud
+             ~actor:(Cloudless_sim.Activity_log.Iac_engine "update")
+             (Cloud.Update
+                {
+                  cloud_id = r.State.cloud_id;
+                  attrs = Smap.singleton "instance_type" (Value.Vstring "t3.xlarge");
+                }));
+        current :=
+          State.update_attrs !current addr
+            (Smap.add "instance_type" (Value.Vstring "t3.xlarge") r.State.attrs)
+    | Force_new ->
+        ignore
+          (Cloud.run_sync cloud
+             ~actor:(Cloudless_sim.Activity_log.Iac_engine "update")
+             (Cloud.Update
+                {
+                  cloud_id = r.State.cloud_id;
+                  attrs = Smap.singleton "ami" (Value.Vstring "ami-new");
+                }));
+        current :=
+          State.update_attrs !current addr
+            (Smap.add "ami" (Value.Vstring "ami-new") r.State.attrs)
+    | Out_of_band ->
+        (* invisible to the state file *)
+        ignore
+          (Cloud.mutate_oob cloud ~script:"legacy.sh" ~cloud_id:r.State.cloud_id
+             ~attr:"instance_type" ~value:(Value.Vstring "t3.metal"))
+  done;
+  (cloud, target, !current)
+
+let run_case ~k ~kind =
+  let run strategy =
+    let cloud, target, current = scenario ~k ~kind in
+    let rb =
+      Rollback.plan_rollback ~strategy ~target ~current
+        ~live:(fun a -> live_of cloud current a)
+        ()
+    in
+    let report =
+      Executor.apply cloud ~config:Executor.cloudless_config ~state:current
+        ~plan:rb.Rollback.plan ()
+    in
+    let residual =
+      Rollback.residual_divergence ~target
+        ~live:(fun a -> live_of cloud report.Executor.state a)
+    in
+    (rb, List.length residual)
+  in
+  let naive, naive_residual = run Rollback.Naive_reapply in
+  let aware, aware_residual = run Rollback.Reversibility_aware in
+  row
+    [ 4; 12; 14; 14; 14; 14 ]
+    [
+      string_of_int k;
+      kind_label kind;
+      Printf.sprintf "%d rdep/%d upd"
+        (List.length naive.Rollback.redeployed)
+        (List.length naive.Rollback.updated);
+      string_of_int naive_residual;
+      Printf.sprintf "%d rdep/%d upd"
+        (List.length aware.Rollback.redeployed)
+        (List.length aware.Rollback.updated);
+      string_of_int aware_residual;
+    ];
+  (naive_residual, aware_residual, List.length aware.Rollback.redeployed)
+
+let run () =
+  section "E4: rollback fidelity — naive config replay vs reversibility-aware";
+  row [ 4; 12; 14; 14; 14; 14 ]
+    [ "k"; "change"; "naive-plan"; "naive-resid"; "aware-plan"; "aware-resid" ];
+  hline [ 4; 12; 14; 14; 14; 14 ];
+  let cases =
+    List.map
+      (fun (k, kind) -> run_case ~k ~kind)
+      [
+        (1, Reversible); (4, Reversible);
+        (1, Force_new); (4, Force_new);
+        (1, Out_of_band); (4, Out_of_band);
+      ]
+  in
+  let aware_all_clean = List.for_all (fun (_, r, _) -> r = 0) cases in
+  let naive_misses_oob =
+    List.exists (fun (r, _, _) -> r > 0) cases
+  in
+  Printf.printf
+    "\n  shape check: aware rollback always converges (residual 0: %b);\n\
+    \  naive replay leaves residual divergence on oob changes (%b); aware\n\
+    \  redeploys only force-new changes, updating the rest in place.\n"
+    aware_all_clean naive_misses_oob

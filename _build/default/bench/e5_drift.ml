@@ -1,0 +1,146 @@
+(* E5 (§3.5, drift detection).
+
+   Claim: driftctl-style scanning pays O(deployment size) management-API
+   reads per sweep and collides with rate limits; tailing the activity
+   log detects the same events with near-zero API cost and bounded
+   latency.
+
+   Sweep: deployment size.  Columns: API reads per detection sweep for
+   each approach, throttle events, and detection outcome. *)
+
+open Bench_util
+module Executor = Cloudless_deploy.Executor
+module State = Cloudless_state.State
+module Cloud = Cloudless_sim.Cloud
+module Drift = Cloudless_drift.Drift
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Smap = Value.Smap
+
+let fleet n =
+  Printf.sprintf
+    {|
+resource "aws_instance" "w" {
+  count         = %d
+  ami           = "ami-drift"
+  instance_type = "t3.small"
+  region        = "us-east-1"
+}
+|}
+    n
+
+let run_case n =
+  let cloud, report = deploy ~seed:13 ~engine:Executor.cloudless_config (fleet n) in
+  let state = report.Executor.state in
+  (* inject 3 drift events *)
+  let drifted = [ 0; n / 2; n - 1 ] in
+  List.iter
+    (fun i ->
+      let addr = Addr.make ~rtype:"aws_instance" ~rname:"w" ~key:(Addr.Kint i) () in
+      let r = Option.get (State.find_opt state addr) in
+      ignore
+        (Cloud.mutate_oob cloud ~script:"legacy" ~cloud_id:r.State.cloud_id
+           ~attr:"instance_type" ~value:(Value.Vstring "t3.metal")))
+    drifted;
+  (* scan-based sweep *)
+  let scan = Drift.Scanner.scan cloud ~state () in
+  (* log-based sweep on the same cloud *)
+  let before_reads = Cloud.api_call_count cloud in
+  let tailer = Drift.Log_tailer.create () in
+  let log_events = Drift.Log_tailer.poll tailer cloud ~state in
+  let log_reads = Cloud.api_call_count cloud - before_reads in
+  row
+    [ 8; 12; 12; 12; 12; 12 ]
+    [
+      string_of_int n;
+      string_of_int scan.Drift.Scanner.api_reads;
+      string_of_int scan.Drift.Scanner.throttled;
+      string_of_int (List.length scan.Drift.Scanner.events);
+      string_of_int log_reads;
+      string_of_int (List.length log_events);
+    ];
+  (scan, log_reads)
+
+(* Detection latency under periodic polling: a drift event lands at a
+   known simulated time; the scanner sweeps every 30 min (any more
+   often would exhaust the API budget per the cost table), while the
+   log tailer — being nearly free — polls every minute. *)
+let latency_case n =
+  (* one fresh world per detector so polling costs don't interact *)
+  let make_world () =
+    let cloud, report = deploy ~seed:14 ~engine:Executor.cloudless_config (fleet n) in
+    let state = report.Executor.state in
+    let t0 = Cloud.now cloud in
+    let t_drift = t0 +. 137. in
+    let mutate () =
+      Cloud.advance_to cloud t_drift;
+      let addr = Addr.make ~rtype:"aws_instance" ~rname:"w" ~key:(Addr.Kint 0) () in
+      let r = Option.get (State.find_opt state addr) in
+      match
+        Cloud.mutate_oob cloud ~script:"legacy" ~cloud_id:r.State.cloud_id
+          ~attr:"instance_type" ~value:(Value.Vstring "t3.metal")
+      with
+      | Ok () -> ()
+      | Error _ -> assert false
+    in
+    (cloud, state, t0, t_drift, mutate)
+  in
+  (* drive periodic polls; the mutation fires when the clock passes
+     t_drift, like a cron job racing an unrelated script *)
+  let detect ~period ~poll =
+    let cloud, state, t0, t_drift, mutate = make_world () in
+    let mutated = ref false in
+    let rec go k =
+      if k > 1000 then infinity
+      else begin
+        let t = t0 +. (period *. float_of_int k) in
+        if (not !mutated) && t >= t_drift then begin
+          mutate ();
+          mutated := true
+        end;
+        Cloud.advance_to cloud t;
+        if poll cloud state then Cloud.now cloud -. t_drift else go (k + 1)
+      end
+    in
+    go 1
+  in
+  let log_latency =
+    let tailer = Drift.Log_tailer.create () in
+    detect ~period:60. ~poll:(fun cloud state ->
+        Drift.Log_tailer.poll tailer cloud ~state <> [])
+  in
+  let scan_latency =
+    detect ~period:1800. ~poll:(fun cloud state ->
+        (Drift.Scanner.scan cloud ~state ()).Drift.Scanner.events <> [])
+  in
+  row [ 8; 16; 16 ]
+    [ string_of_int n; fmt_s scan_latency; fmt_s log_latency ];
+  (scan_latency, log_latency)
+
+let run () =
+  section "E5: drift detection — API scan (driftctl-style) vs activity log tail";
+  row [ 8; 12; 12; 12; 12; 12 ]
+    [ "fleet"; "scan-reads"; "scan-429s"; "scan-found"; "log-reads"; "log-found" ];
+  hline [ 8; 12; 12; 12; 12; 12 ];
+  let results = List.map run_case [ 10; 25; 50; 100; 200 ] in
+  let max_scan_reads =
+    List.fold_left (fun acc (s, _) -> max acc s.Drift.Scanner.api_reads) 0 results
+  in
+  let any_throttled =
+    List.exists (fun (s, _) -> s.Drift.Scanner.throttled > 0) results
+  in
+  Printf.printf
+    "\n  shape check: scan cost grows linearly with deployment size (up to %d\n\
+    \  reads/sweep, throttled: %b); log tailing finds the same 3 events at\n\
+    \  zero management-API reads regardless of size.\n"
+    max_scan_reads any_throttled;
+  subsection "detection latency (scan every 30min — API budget-bound — vs log every 1min)";
+  row [ 8; 16; 16 ] [ "fleet"; "scan-latency"; "log-latency" ];
+  hline [ 8; 16; 16 ];
+  let latencies = List.map latency_case [ 25; 100 ] in
+  let max_log = List.fold_left (fun acc (_, l) -> Float.max acc l) 0. latencies in
+  Printf.printf
+    "\n  shape check: log-based detection latency is bounded by its polling\n\
+    \  period (<= %.0fs) independent of fleet size; scan latency is the sweep\n\
+    \  period plus the sweep itself.\n"
+    max_log

@@ -1,0 +1,152 @@
+(* E8 (§3.6, policing IaC).
+
+   Claim: observation/action policies express autoscaling rules
+   provider-native triggers cannot ("scale out the number of VPN
+   gateways and attached tunnels if traffic throughput is close to
+   their capacity"), and the controller keeps the infrastructure inside
+   its SLO under a shifting load trace.
+
+   Simulation: a deterministic diurnal traffic trace drives telemetry
+   ticks.  Policies under test: none, provider-native (CPU-only — blind
+   to VPN throughput, so it never fires), and the cloudless obs/action
+   policy.  Metric: fraction of ticks spent overloaded (util > 0.9) and
+   tunnel-hours provisioned. *)
+
+open Bench_util
+module Lifecycle = Cloudless.Lifecycle
+module State = Cloudless_state.State
+module Value = Cloudless_hcl.Value
+
+let vpn_src count =
+  Printf.sprintf
+    {|
+resource "aws_vpc" "v" {
+  cidr_block = "10.0.0.0/16"
+  region     = "us-east-1"
+}
+resource "aws_vpn_gateway" "gw" {
+  vpc_id        = aws_vpc.v.id
+  region        = "us-east-1"
+  capacity_mbps = 1000
+}
+resource "aws_vpn_connection" "tunnel" {
+  count          = %d
+  vpn_gateway_id = aws_vpn_gateway.gw.id
+  customer_ip    = "203.0.113.9"
+  region         = "us-east-1"
+  bandwidth_mbps = 500
+}
+|}
+    count
+
+let scale_out_and_in_policy =
+  {|
+policy "scale_out_tunnels" {
+  on   = "telemetry"
+  when = obs.vpn_utilization > 0.8
+
+  action "add_tunnel" {
+    kind   = "set_count"
+    target = "aws_vpn_connection.tunnel"
+    value  = obs.tunnel_count + 1
+  }
+}
+
+policy "scale_in_tunnels" {
+  on   = "telemetry"
+  when = obs.vpn_utilization < 0.3 && obs.tunnel_count > 2
+
+  action "remove_tunnel" {
+    kind   = "set_count"
+    target = "aws_vpn_connection.tunnel"
+    value  = obs.tunnel_count - 1
+  }
+}
+|}
+
+(* provider-native autoscaling: only CPU is observable; VPN throughput
+   is not an exposed trigger, so the policy can never fire *)
+let provider_native_policy =
+  {|
+policy "cpu_scaling" {
+  on   = "telemetry"
+  when = obs.cpu_utilization > 0.8
+
+  action "add_tunnel" {
+    kind   = "set_count"
+    target = "aws_vpn_connection.tunnel"
+    value  = obs.tunnel_count + 1
+  }
+}
+|}
+
+(* deterministic diurnal-ish offered load in Mbps, 48 ticks *)
+let trace =
+  List.init 48 (fun i ->
+      let phase = float_of_int i /. 48. *. 2. *. Float.pi in
+      600. +. (500. *. sin phase) +. if i mod 12 = 0 then 250. else 0.)
+
+let tunnels state =
+  List.length
+    (List.filter
+       (fun (r : State.resource_state) -> r.State.rtype = "aws_vpn_connection")
+       (State.resources state))
+
+let run_scenario name policies =
+  let t =
+    match policies with
+    | Some p -> Lifecycle.create ~policies:p ()
+    | None -> Lifecycle.create ()
+  in
+  (match Lifecycle.deploy t (vpn_src 2) with
+  | Ok _ -> ()
+  | Error e -> failwith (Lifecycle.error_to_string e));
+  let overloaded = ref 0 in
+  let tunnel_hours = ref 0. in
+  let reconfigs = ref 0 in
+  List.iter
+    (fun load ->
+      let n = tunnels (Lifecycle.state t) in
+      let capacity = float_of_int n *. 500. in
+      let util = load /. capacity in
+      if util > 0.9 then incr overloaded;
+      tunnel_hours := !tunnel_hours +. float_of_int n;
+      match
+        Lifecycle.police t
+          ~extra:
+            [
+              ("vpn_utilization", Value.Vfloat util);
+              ("tunnel_count", Value.Vint n);
+              (* cpu stays calm: the VPN is the bottleneck *)
+              ("cpu_utilization", Value.Vfloat 0.35);
+            ]
+      with
+      | Ok r -> if r.Lifecycle.reapplied <> None then incr reconfigs
+      | Error e -> failwith (Lifecycle.error_to_string e))
+    trace;
+  row
+    [ 18; 12; 14; 12; 12 ]
+    [
+      name;
+      Printf.sprintf "%d/%d" !overloaded (List.length trace);
+      Printf.sprintf "%.0f" !tunnel_hours;
+      string_of_int !reconfigs;
+      string_of_int (tunnels (Lifecycle.state t));
+    ];
+  (!overloaded, !tunnel_hours)
+
+let run () =
+  section "E8: policy-driven autoscaling — VPN throughput scenario";
+  row [ 18; 12; 14; 12; 12 ]
+    [ "policy"; "overloaded"; "tunnel-hours"; "reconfigs"; "final-n" ];
+  hline [ 18; 12; 14; 12; 12 ];
+  let none_over, none_hours = run_scenario "none (static 2)" None in
+  let native_over, _ = run_scenario "provider-native" (Some provider_native_policy) in
+  let cl_over, cl_hours = run_scenario "cloudless" (Some scale_out_and_in_policy) in
+  Printf.printf
+    "\n  shape check: provider-native autoscaling cannot observe VPN\n\
+    \  throughput, so it behaves like no policy (%d vs %d overloaded ticks);\n\
+    \  the obs/action policy cuts overload to %d while provisioning\n\
+    \  %.0f%% of the static fleet's always-on tunnel-hours.\n"
+    native_over none_over cl_over
+    (100. *. cl_hours /. none_hours)

@@ -1,0 +1,109 @@
+(* E9 (§3.1, automated IaC synthesis).
+
+   Claim: type-guided synthesis over the knowledge base produces
+   reliably valid programs, where LLM-style generation "frequently
+   generates invalid IaC code, even for small-scale templates".
+
+   Trials: 40 seeds per intent.  Columns: validity rate (passes the
+   full validation pipeline) and deployability rate (applies cleanly to
+   the simulated cloud) for each generator, plus the baseline's error
+   breakdown. *)
+
+open Bench_util
+module Synth = Cloudless_synth
+module Validate = Cloudless_validate.Validate
+module Diagnostic = Cloudless_validate.Diagnostic
+module Executor = Cloudless_deploy.Executor
+module Plan = Cloudless_plan.Plan
+module State = Cloudless_state.State
+module Hcl = Cloudless_hcl
+
+let intents =
+  [
+    ( "web service",
+      {
+        Synth.Intent.region = "us-east-1";
+        requests =
+          [
+            Synth.Intent.request ~rtype:"aws_instance" ~name:"web" ~count:2 ();
+            Synth.Intent.request ~rtype:"aws_lb" ~name:"front" ();
+          ];
+      } );
+    ( "database stack",
+      {
+        Synth.Intent.region = "us-east-1";
+        requests =
+          [
+            Synth.Intent.request ~rtype:"aws_db_instance" ~name:"db" ();
+            Synth.Intent.request ~rtype:"aws_elasticache_cluster" ~name:"cache" ();
+          ];
+      } );
+    ( "network + nat",
+      {
+        Synth.Intent.region = "us-east-1";
+        requests =
+          [
+            Synth.Intent.request ~rtype:"aws_nat_gateway" ~name:"nat" ();
+            Synth.Intent.request ~rtype:"aws_security_group_rule" ~name:"https" ();
+          ];
+      } );
+  ]
+
+let valid cfg =
+  let report = Validate.validate_config cfg in
+  Diagnostic.count_errors report.Validate.diagnostics = 0
+
+let deployable ~seed cfg =
+  match (Hcl.Eval.expand cfg).Hcl.Eval.instances with
+  | instances ->
+      let cloud = fresh_cloud ~seed () in
+      let plan = Plan.make ~state:State.empty instances in
+      let report =
+        Executor.apply cloud ~config:Executor.cloudless_config ~state:State.empty
+          ~plan ()
+      in
+      Executor.succeeded report
+  | exception Hcl.Eval.Eval_error _ -> false
+
+let trials = 40
+
+let run_case (name, intent) =
+  (* the type-guided generator is deterministic; the baseline varies by
+     seed *)
+  let guided = Synth.Intent.synthesize intent in
+  let guided_valid = valid guided in
+  let guided_deploys = deployable ~seed:1 guided in
+  let halluc_valid = ref 0 and halluc_deploys = ref 0 in
+  for seed = 1 to trials do
+    let cfg = Synth.Hallucinator.generate ~seed intent in
+    if valid cfg then begin
+      incr halluc_valid;
+      if deployable ~seed cfg then incr halluc_deploys
+    end
+  done;
+  row
+    [ 16; 14; 14; 14; 14 ]
+    [
+      name;
+      (if guided_valid then "100%" else "0%");
+      (if guided_deploys then "100%" else "0%");
+      Printf.sprintf "%d%%" (100 * !halluc_valid / trials);
+      Printf.sprintf "%d%%" (100 * !halluc_deploys / trials);
+    ];
+  (guided_valid && guided_deploys, !halluc_valid)
+
+let run () =
+  section "E9: synthesis reliability — type-guided vs hallucinating baseline";
+  row [ 16; 14; 14; 14; 14 ]
+    [ "intent"; "guided-valid"; "guided-deploy"; "llm-valid"; "llm-deploy" ];
+  hline [ 16; 14; 14; 14; 14 ];
+  let results = List.map run_case intents in
+  let guided_perfect = List.for_all fst results in
+  let halluc_total = List.fold_left (fun acc (_, v) -> acc + v) 0 results in
+  Printf.printf
+    "\n  shape check: type-guided synthesis is valid and deployable on every\n\
+    \  intent (%b); the hallucinating baseline passes validation only\n\
+    \  %d%% of the time across %d trials.\n"
+    guided_perfect
+    (100 * halluc_total / (trials * List.length intents))
+    (trials * List.length intents)

@@ -1,0 +1,44 @@
+(* The experiment harness: regenerates every table in EXPERIMENTS.md.
+
+   Usage:
+     dune exec bench/main.exe            # E1-E10 (simulated-time experiments)
+     dune exec bench/main.exe -- micro   # bechamel microbenches only
+     dune exec bench/main.exe -- e3 e5   # a subset
+     dune exec bench/main.exe -- all     # experiments + microbenches *)
+
+let experiments =
+  [
+    ("e1", E1_deploy_scaling.run);
+    ("e2", E2_incremental.run);
+    ("e3", E3_locks.run);
+    ("e4", E4_rollback.run);
+    ("e5", E5_drift.run);
+    ("e6", E6_validation.run);
+    ("e7", E7_porting.run);
+    ("e8", E8_policy.run);
+    ("e9", E9_synthesis.run);
+    ("e10", E10_rate_limit.run);
+    ("ablation", Ablation.run);
+  ]
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  let run_experiments names =
+    List.iter
+      (fun (name, f) -> if names = [] || List.mem name names then f ())
+      experiments
+  in
+  match args with
+  | [] ->
+      print_endline "cloudless experiment harness (see EXPERIMENTS.md)";
+      run_experiments []
+  | [ "micro" ] -> Micro.run ()
+  | [ "all" ] ->
+      run_experiments [];
+      Micro.run ()
+  | names ->
+      let micro = List.mem "micro" names in
+      run_experiments (List.filter (fun n -> n <> "micro") names);
+      if micro then Micro.run ()

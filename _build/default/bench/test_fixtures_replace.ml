@@ -1,0 +1,22 @@
+(* String replacement helper for benchmark workload editing. *)
+
+let replace s ~sub ~by =
+  let slen = String.length sub in
+  if slen = 0 then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let rec go i =
+      if i > String.length s - slen then
+        Buffer.add_string buf (String.sub s i (String.length s - i))
+      else if String.sub s i slen = sub then begin
+        Buffer.add_string buf by;
+        go (i + slen)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+    in
+    go 0;
+    Buffer.contents buf
+  end

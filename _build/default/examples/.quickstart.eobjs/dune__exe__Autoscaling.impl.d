@@ -1,0 +1,1 @@
+examples/autoscaling.ml: Cloudless Cloudless_deploy Cloudless_hcl Cloudless_policy Cloudless_state Float List Printf String

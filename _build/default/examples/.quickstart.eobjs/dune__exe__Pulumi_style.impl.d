@@ -1,0 +1,1 @@
+examples/pulumi_style.ml: Cloudless Cloudless_deploy Cloudless_edsl Cloudless_hcl List Printf

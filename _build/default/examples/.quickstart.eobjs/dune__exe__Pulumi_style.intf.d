@@ -1,0 +1,1 @@
+examples/pulumi_style.mli:

@@ -1,0 +1,128 @@
+(* Policy-driven autoscaling (§3.6).
+
+   The paper's motivating example: "scale out the number of VPN
+   gateways and attached tunnels if traffic throughput is close to
+   their capacity" — a rule provider-native autoscalers cannot express
+   because VPN throughput is not an exposed scaling trigger.
+
+   A deterministic diurnal traffic trace drives telemetry ticks; the
+   obs/action policy grows and shrinks the tunnel fleet, and a budget
+   policy guards every generated plan.
+
+     dune exec examples/autoscaling.exe *)
+
+module Lifecycle = Cloudless.Lifecycle
+module State = Cloudless_state.State
+module Value = Cloudless_hcl.Value
+
+let infrastructure =
+  {|
+resource "aws_vpc" "edge" {
+  cidr_block = "10.0.0.0/16"
+  region     = "us-east-1"
+}
+
+resource "aws_vpn_gateway" "gw" {
+  vpc_id        = aws_vpc.edge.id
+  region        = "us-east-1"
+  capacity_mbps = 1000
+}
+
+resource "aws_vpn_connection" "tunnel" {
+  count          = 2
+  vpn_gateway_id = aws_vpn_gateway.gw.id
+  customer_ip    = "203.0.113.9"
+  region         = "us-east-1"
+  bandwidth_mbps = 500
+}
+|}
+
+let policies =
+  {|
+policy "scale_out_tunnels" {
+  on   = "telemetry"
+  when = obs.vpn_utilization > 0.8
+
+  action "add_tunnel" {
+    kind   = "set_count"
+    target = "aws_vpn_connection.tunnel"
+    value  = obs.tunnel_count + 1
+  }
+}
+
+policy "scale_in_tunnels" {
+  on   = "telemetry"
+  when = obs.vpn_utilization < 0.3 && obs.tunnel_count > 2
+
+  action "drop_tunnel" {
+    kind   = "set_count"
+    target = "aws_vpn_connection.tunnel"
+    value  = obs.tunnel_count - 1
+  }
+}
+
+policy "budget_guard" {
+  on   = "plan"
+  when = obs.projected_cost > 2.0
+
+  action "deny" {
+    kind    = "deny"
+    message = "projected cost ${obs.projected_cost}/hr exceeds the 2.00/hr budget"
+  }
+}
+|}
+
+let tunnels t =
+  List.length
+    (List.filter
+       (fun (r : State.resource_state) -> r.State.rtype = "aws_vpn_connection")
+       (State.resources (Lifecycle.state t)))
+
+(* offered load in Mbps over 24 "hours" *)
+let trace =
+  List.init 24 (fun h ->
+      let phase = float_of_int h /. 24. *. 2. *. Float.pi in
+      650. +. (480. *. sin phase))
+
+let () =
+  print_endline "=== Policy-driven VPN autoscaling (the §3.6 scenario) ===\n";
+  let t = Lifecycle.create ~policies () in
+  (match Lifecycle.deploy t infrastructure with
+  | Ok r ->
+      Printf.printf "deployed edge infrastructure: %d resources, %.0fs\n\n"
+        (List.length r.Cloudless_deploy.Executor.applied)
+        r.Cloudless_deploy.Executor.makespan
+  | Error e -> failwith (Lifecycle.error_to_string e));
+  Printf.printf "%-6s %-12s %-10s %-12s %s\n" "hour" "load(Mbps)" "tunnels"
+    "utilization" "controller decision";
+  print_endline (String.make 66 '-');
+  List.iteri
+    (fun hour load ->
+      let n = tunnels t in
+      let util = load /. (float_of_int n *. 500.) in
+      let result =
+        match
+          Lifecycle.police t
+            ~extra:
+              [
+                ("vpn_utilization", Value.Vfloat util);
+                ("tunnel_count", Value.Vint n);
+              ]
+        with
+        | Ok r -> r
+        | Error e -> failwith (Lifecycle.error_to_string e)
+      in
+      let decision =
+        match result.Lifecycle.decisions with
+        | [] -> ""
+        | ds ->
+            String.concat "; "
+              (List.map Cloudless_policy.Policy.decision_to_string ds)
+      in
+      Printf.printf "%-6d %-12.0f %-10d %-12.2f %s\n" hour load n util decision)
+    trace;
+  Printf.printf
+    "\nfinal fleet: %d tunnels — scaled out under the daily peak and back\n\
+     in overnight, using a trigger (VPN throughput) no provider-native\n\
+     autoscaler exposes.\n"
+    (tunnels t)

@@ -1,0 +1,64 @@
+(* The IaC debugger (§3.5).
+
+   Reproduces the paper's running example end to end: a VM references a
+   NIC in another region; the IaC program is grammatically fine; the
+   cloud fails the deployment with the opaque message "Virtual machine
+   creation failed because specified NIC is not found" — the NIC
+   exists!  The debugger re-derives the real root cause and points at
+   the exact lines of the program.
+
+   (Validation would normally catch this pre-deploy; here we deploy
+   with validation bypassed to show the runtime path.)
+
+     dune exec examples/debugging.exe *)
+
+module Cloud = Cloudless_sim.Cloud
+module State = Cloudless_state.State
+module Plan = Cloudless_plan.Plan
+module Executor = Cloudless_deploy.Executor
+module Debugger = Cloudless_debug.Debugger
+module Hcl = Cloudless_hcl
+
+let program =
+  {|resource "aws_network_interface" "nic" {
+  name   = "frontend-nic"
+  region = "us-west-2"
+}
+
+resource "aws_virtual_machine" "vm" {
+  name    = "frontend"
+  nic_ids = [aws_network_interface.nic.id]
+  region  = "us-east-1"
+}
+|}
+
+let () =
+  print_endline "=== The IaC debugger: from opaque cloud error to root cause ===\n";
+  print_endline program;
+  let cloud =
+    Cloud.create ~config:(Cloudless_schema.Cloud_rules.config_with_checks ())
+      ~seed:5 ()
+  in
+  let cfg = Hcl.Config.parse ~file:"main.tf" program in
+  let instances = (Hcl.Eval.expand cfg).Hcl.Eval.instances in
+  let plan = Plan.make ~state:State.empty instances in
+  let report =
+    Executor.apply cloud ~config:Executor.baseline_config ~state:State.empty
+      ~plan ()
+  in
+  match report.Executor.failed with
+  | [] -> print_endline "unexpectedly succeeded"
+  | f :: _ ->
+      Printf.printf "deployment failed after %.0f simulated seconds.\n\n"
+        report.Executor.makespan;
+      Printf.printf "what the cloud said:\n  %s: %s\n\n"
+        (Hcl.Addr.to_string f.Executor.faddr)
+        f.Executor.reason;
+      print_endline "what the debugger derives from the program:";
+      let d =
+        Debugger.diagnose ~cfg ~instances ~addr:f.Executor.faddr
+          ~error:f.Executor.reason
+      in
+      Fmt.pr "%a@." Debugger.pp_diagnosis d;
+      print_endline "\n(the same misconfiguration is caught pre-deploy by the";
+      print_endline " §3.2 validation pipeline — run examples/lifecycle.exe)"

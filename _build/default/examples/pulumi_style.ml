@@ -1,0 +1,75 @@
+(* The imperative front-end (§2.1's Pulumi model).
+
+   The same infrastructure can be defined by running ordinary OCaml
+   code that registers resources — loops instead of count, if instead
+   of conditional expressions — and everything downstream (validation,
+   planning, policies, deployment) is shared with the declarative
+   path.  The program is also rendered back to declarative HCL.
+
+     dune exec examples/pulumi_style.exe *)
+
+module Edsl = Cloudless_edsl.Edsl
+module Lifecycle = Cloudless.Lifecycle
+module Executor = Cloudless_deploy.Executor
+
+let environments = [ ("staging", 1, false); ("production", 3, true) ]
+
+let stack ctx =
+  List.iter
+    (fun (env, replicas, with_db) ->
+      let vpc =
+        Edsl.resource ctx "aws_vpc" (env ^ "_vpc")
+          [
+            ( "cidr_block",
+              Edsl.str (if env = "production" then "10.1.0.0/16" else "10.2.0.0/16") );
+            ("region", Edsl.str "us-east-1");
+          ]
+      in
+      let subnet =
+        Edsl.resource ctx "aws_subnet" (env ^ "_subnet")
+          [
+            ("vpc_id", Edsl.ref_ vpc "id");
+            ("cidr_block", Edsl.cidrsubnet (Edsl.ref_ vpc "cidr_block") 8 0);
+            ("region", Edsl.str "us-east-1");
+          ]
+      in
+      (* host-language loop replaces count *)
+      for i = 0 to replicas - 1 do
+        ignore
+          (Edsl.resource ctx "aws_instance" (Printf.sprintf "%s_app%d" env i)
+             [
+               ("ami", Edsl.str "ami-2024");
+               ("instance_type", Edsl.str "t3.small");
+               ("subnet_id", Edsl.ref_ subnet "id");
+               ("region", Edsl.str "us-east-1");
+             ])
+      done;
+      (* host-language conditional replaces count = cond ? 1 : 0 *)
+      if with_db then
+        ignore
+          (Edsl.resource ctx "aws_db_instance" (env ^ "_db")
+             [
+               ("identifier", Edsl.str (env ^ "-db"));
+               ("engine", Edsl.str "postgres");
+               ("instance_class", Edsl.str "db.m5.large");
+               ("region", Edsl.str "us-east-1");
+             ]);
+      Edsl.export ctx (env ^ "_vpc_id") (Edsl.ref_ vpc "id"))
+    environments
+
+let () =
+  print_endline "=== Imperative infrastructure definition (Pulumi-style) ===\n";
+  let cfg = Edsl.program stack in
+  Printf.printf "registered %d resources by running OCaml code\n\n"
+    (List.length cfg.Cloudless_hcl.Config.resources);
+  print_endline "--- rendered as declarative HCL ---";
+  print_string (Cloudless_hcl.Config.to_string cfg);
+  let t = Lifecycle.create () in
+  match Lifecycle.deploy t (Cloudless_hcl.Config.to_string cfg) with
+  | Ok report ->
+      Printf.printf
+        "\ndeployed via the shared pipeline: %d resources in %.0f simulated \
+         seconds\n"
+        (List.length report.Executor.applied)
+        report.Executor.makespan
+  | Error e -> print_endline (Lifecycle.error_to_string e)

@@ -1,0 +1,462 @@
+(** The cloudless lifecycle facade — Figure 1(b) as an API.
+
+    One value of type {!t} owns a simulated cloud, the deployment
+    state, the version history and (optionally) a policy controller,
+    and exposes the lifecycle verbs the paper's stack diagram names:
+
+    {v
+    develop -> validate -> plan -> apply
+         update (incremental)    rollback
+         observe (drift)         police (obs/action policies)
+    v}
+
+    Examples and benchmarks compose these; nothing here is
+    experiment-specific. *)
+
+module Hcl = Cloudless_hcl
+module Value = Hcl.Value
+module Addr = Hcl.Addr
+module Smap = Value.Smap
+module Cloud = Cloudless_sim.Cloud
+module State = Cloudless_state.State
+module Version_store = Cloudless_state.Version_store
+module Validate = Cloudless_validate.Validate
+module Diagnostic = Cloudless_validate.Diagnostic
+module Plan = Cloudless_plan.Plan
+module Executor = Cloudless_deploy.Executor
+module Rollback = Cloudless_rollback.Rollback
+module Drift = Cloudless_drift.Drift
+module Debugger = Cloudless_debug.Debugger
+module Policy = Cloudless_policy.Policy
+module Controller = Cloudless_policy.Controller
+module Dag = Cloudless_graph.Dag
+
+type t = {
+  cloud : Cloud.t;
+  engine : Executor.config;
+  default_region : string;
+  versions : Version_store.t;
+  drift_tailer : Drift.Log_tailer.t;
+  controller : Controller.t option;
+  vars : Value.t Smap.t;
+  mutable state : State.t;
+  mutable config : Hcl.Config.t option;
+  mutable config_src : string;
+  mutable module_lib : (string * Hcl.Config.t) list;
+  mutable last_graph : Hcl.Eval.instance Dag.t option;
+}
+
+type error =
+  | Invalid_config of Diagnostic.t list
+  | Policy_denied of string
+  | Deploy_failed of Executor.report
+  | No_config
+  | Other of string
+
+let error_to_string = function
+  | Invalid_config ds ->
+      Printf.sprintf "validation failed:\n%s"
+        (String.concat "\n" (List.map Diagnostic.to_string ds))
+  | Policy_denied msg -> "policy denied the plan: " ^ msg
+  | Deploy_failed r ->
+      Printf.sprintf "deployment failed: %s"
+        (String.concat "; "
+           (List.map
+              (fun (f : Executor.failure) ->
+                Addr.to_string f.Executor.faddr ^ ": " ^ f.Executor.reason)
+              r.Executor.failed))
+  | No_config -> "no configuration loaded (call develop first)"
+  | Other msg -> msg
+
+let create ?(seed = 42) ?(engine = Executor.cloudless_config)
+    ?(default_region = "us-east-1") ?(vars = Smap.empty) ?policies
+    ?(cloud_config = Cloudless_schema.Cloud_rules.config_with_checks ()) () =
+  {
+    cloud = Cloud.create ~config:cloud_config ~seed ();
+    engine;
+    default_region;
+    versions = Version_store.create ();
+    drift_tailer = Drift.Log_tailer.create ();
+    controller =
+      Option.map (fun src -> Controller.of_source ~file:"<policies>" src) policies;
+    vars;
+    state = State.empty;
+    config = None;
+    config_src = "";
+    module_lib = [];
+    last_graph = None;
+  }
+
+let cloud t = t.cloud
+let state t = t.state
+let versions t = t.versions
+let config_source t = t.config_src
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation environment wiring                                       *)
+(* ------------------------------------------------------------------ *)
+
+let data_resolver t ~rtype ~name ~args =
+  match (rtype, name) with
+  | "aws_region", _ | "azurerm_location", _ ->
+      Some (Smap.singleton "name" (Value.Vstring t.default_region))
+  | "aws_ami", _ ->
+      let flavor =
+        match Smap.find_opt "name_filter" args with
+        | Some v -> Value.to_string v
+        | None -> "linux"
+      in
+      Some
+        (Smap.of_seq
+           (List.to_seq
+              [
+                ("id", Value.Vstring (Printf.sprintf "ami-%s-latest" flavor));
+                ("name", Value.Vstring flavor);
+              ]))
+  | "aws_availability_zones", _ ->
+      Some
+        (Smap.singleton "names"
+           (Value.Vlist
+              [
+                Value.Vstring (t.default_region ^ "a");
+                Value.Vstring (t.default_region ^ "b");
+                Value.Vstring (t.default_region ^ "c");
+              ]))
+  | _ -> None
+
+let env t : Hcl.Eval.env =
+  {
+    Hcl.Eval.var_values = t.vars;
+    data_resolver = data_resolver t;
+    state_lookup = (fun addr -> State.lookup t.state addr);
+    module_registry =
+      (fun source -> List.assoc_opt source t.module_lib);
+  }
+
+(** Register module sources (used by imports/refactors/nested module
+    examples). *)
+let register_modules t lib = t.module_lib <- lib @ t.module_lib
+
+(* ------------------------------------------------------------------ *)
+(* Develop & validate                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Load (or replace) the configuration source, running the full §3.2
+    validation pipeline.  On success the configuration becomes current. *)
+let develop t src : (Validate.report, error) result =
+  let report =
+    Validate.validate_source ~env:(env t) ~vars:t.vars ~file:"main.tf" src
+  in
+  if Validate.ok report then begin
+    t.config <- Some (Hcl.Config.parse ~file:"main.tf" src);
+    t.config_src <- src;
+    Ok report
+  end
+  else Error (Invalid_config (Diagnostic.errors report.Validate.diagnostics))
+
+(** Validate without loading. *)
+let validate t src : Validate.report =
+  Validate.validate_source ~env:(env t) ~vars:t.vars ~file:"main.tf" src
+
+(* ------------------------------------------------------------------ *)
+(* Plan & apply                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let expand t : (Hcl.Eval.expansion_result, error) result =
+  match t.config with
+  | None -> Error No_config
+  | Some cfg -> (
+      match Hcl.Eval.expand ~env:(env t) ~vars:t.vars cfg with
+      | result -> Ok result
+      | exception Hcl.Eval.Eval_error (msg, span) ->
+          Error
+            (Invalid_config
+               [
+                 Diagnostic.make ~stage:Diagnostic.References ~code:"eval-error"
+                   ~span msg;
+               ]))
+
+let plan t : (Plan.t * Hcl.Eval.expansion_result, error) result =
+  match expand t with
+  | Error e -> Error e
+  | Ok expansion -> (
+      match
+        Plan.make ~default_region:t.default_region ~state:t.state
+          expansion.Hcl.Eval.instances
+      with
+      | p -> Ok (p, expansion)
+      | exception Plan.Prevented (addr, reason) ->
+          Error
+            (Other
+               (Printf.sprintf "plan blocked: %s: %s" (Addr.to_string addr)
+                  reason)))
+
+(* Policy admission on a plan (On_plan phase). *)
+let admit t plan_ : (unit, error) result =
+  match t.controller with
+  | None -> Ok ()
+  | Some c -> (
+      let obs = Controller.standard_obs ~state:t.state ~plan:plan_ () in
+      let result = Controller.tick c ~phase:Policy.On_plan ~obs () in
+      match result.Controller.denied with
+      | Some msg -> Error (Policy_denied msg)
+      | None -> Ok ())
+
+(** Plan + admit + deploy + checkpoint.  [edited] scopes the refresh
+    for incremental updates (§3.3); by default the engine's own refresh
+    mode applies. *)
+let apply ?edited ?description t : (Executor.report, error) result =
+  match plan t with
+  | Error e -> Error e
+  | Ok (p, expansion) -> (
+      match admit t p with
+      | Error e -> Error e
+      | Ok () ->
+          let graph = Dag.of_instances expansion.Hcl.Eval.instances in
+          t.last_graph <- Some graph;
+          let engine =
+            match edited with
+            | None -> t.engine
+            | Some addrs ->
+                let scope = Plan.impact_scope ~graph ~edited:addrs in
+                { t.engine with Executor.refresh = Executor.Refresh_scoped scope }
+          in
+          let report =
+            Executor.apply t.cloud ~config:engine ~state:t.state ~plan:p ()
+          in
+          t.state <- report.Executor.state;
+          (* recompute outputs now that attributes are known *)
+          (match expand t with
+          | Ok e2 -> t.state <- State.set_outputs t.state e2.Hcl.Eval.outputs
+          | Error _ -> ());
+          if Executor.succeeded report then begin
+            ignore
+              (Version_store.checkpoint t.versions ~time:(Cloud.now t.cloud)
+                 ~description:
+                   (Option.value ~default:"apply" description)
+                 ~config_src:t.config_src ~state:t.state);
+            Ok report
+          end
+          else Error (Deploy_failed report))
+
+(** Develop + apply in one step. *)
+let deploy t src : (Executor.report, error) result =
+  match develop t src with
+  | Error e -> Error e
+  | Ok _ -> apply ~description:"initial deploy" t
+
+(* ------------------------------------------------------------------ *)
+(* Update (incremental)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Which resource blocks changed textually between two configs? *)
+let edited_addrs (old_cfg : Hcl.Config.t) (new_cfg : Hcl.Config.t) : Addr.t list
+    =
+  let render (r : Hcl.Config.resource) =
+    Hcl.Printer.block_to_string
+      {
+        Hcl.Ast.btype = "resource";
+        labels = [ r.Hcl.Config.rtype; r.Hcl.Config.rname ];
+        bbody = r.Hcl.Config.rbody;
+        bspan = Hcl.Loc.dummy;
+      }
+    ^ (match r.Hcl.Config.rcount with
+      | Some e -> Hcl.Printer.expr_to_string e
+      | None -> "")
+    ^
+    match r.Hcl.Config.rfor_each with
+    | Some e -> Hcl.Printer.expr_to_string e
+    | None -> ""
+  in
+  let old_map =
+    List.map (fun r -> ((r.Hcl.Config.rtype, r.Hcl.Config.rname), render r))
+      old_cfg.Hcl.Config.resources
+  in
+  let new_map =
+    List.map (fun r -> ((r.Hcl.Config.rtype, r.Hcl.Config.rname), render r))
+      new_cfg.Hcl.Config.resources
+  in
+  let changed =
+    List.filter_map
+      (fun (key, text) ->
+        match List.assoc_opt key old_map with
+        | Some old_text when old_text = text -> None
+        | _ -> Some key)
+      new_map
+  in
+  let removed =
+    List.filter_map
+      (fun (key, _) ->
+        if List.mem_assoc key new_map then None else Some key)
+      old_map
+  in
+  List.map
+    (fun (rtype, rname) -> Addr.make ~rtype ~rname ())
+    (changed @ removed)
+
+(** Incremental update: detect the edited resources, validate, and
+    apply with the refresh scoped to the impact subgraph (§3.3's
+    "accelerating deployment updates"). *)
+let update t src : (Executor.report, error) result =
+  let old_cfg = t.config in
+  match develop t src with
+  | Error e -> Error e
+  | Ok _ ->
+      let edited =
+        match (old_cfg, t.config) with
+        | Some oldc, Some newc -> edited_addrs oldc newc
+        | _ -> []
+      in
+      apply ~edited ~description:"incremental update" t
+
+(** Destroy everything. *)
+let destroy t : (Executor.report, error) result =
+  let p = Plan.make ~default_region:t.default_region ~state:t.state [] in
+  let report = Executor.apply t.cloud ~config:t.engine ~state:t.state ~plan:p () in
+  t.state <- report.Executor.state;
+  if Executor.succeeded report then begin
+    ignore
+      (Version_store.checkpoint t.versions ~time:(Cloud.now t.cloud)
+         ~description:"destroy" ~config_src:"" ~state:t.state);
+    Ok report
+  end
+  else Error (Deploy_failed report)
+
+(* ------------------------------------------------------------------ *)
+(* Rollback                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let live_attrs t addr =
+  match State.find_opt t.state addr with
+  | Some r ->
+      Option.map
+        (fun (res : Cloud.resource) -> res.Cloud.attrs)
+        (Cloud.lookup t.cloud r.State.cloud_id)
+  | None -> None
+
+(** Roll back to a recorded version using the reversibility-aware
+    planner (§3.4). *)
+let rollback_to ?(strategy = Rollback.Reversibility_aware) t ~version_id :
+    (Executor.report, error) result =
+  match Version_store.find t.versions version_id with
+  | None -> Error (Other (Printf.sprintf "unknown version %d" version_id))
+  | Some v ->
+      let rb =
+        Rollback.plan_rollback ~strategy ~target:v.Version_store.state
+          ~current:t.state
+          ~live:(fun addr -> live_attrs t addr)
+          ()
+      in
+      let report =
+        Executor.apply t.cloud ~config:t.engine ~state:t.state
+          ~plan:rb.Rollback.plan ()
+      in
+      t.state <- report.Executor.state;
+      t.config_src <- v.Version_store.config_src;
+      (t.config <-
+         (if v.Version_store.config_src = "" then None
+          else Some (Hcl.Config.parse ~file:"main.tf" v.Version_store.config_src)));
+      ignore
+        (Version_store.checkpoint t.versions ~time:(Cloud.now t.cloud)
+           ~description:(Printf.sprintf "rollback to v%d" version_id)
+           ~config_src:t.config_src ~state:t.state);
+      if Executor.succeeded report then Ok report else Error (Deploy_failed report)
+
+(* ------------------------------------------------------------------ *)
+(* Observe: drift                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Poll the activity log for drift (cheap, log-based, §3.5). *)
+let check_drift t : Drift.event list =
+  Drift.Log_tailer.poll t.drift_tailer t.cloud ~state:t.state
+
+(** Reconcile drift events with the default policy. *)
+let reconcile_drift t (events : Drift.event list) : unit =
+  List.iter
+    (fun e ->
+      t.state <- Drift.reconcile t.cloud ~state:t.state e (Drift.default_policy e))
+    events
+
+(* ------------------------------------------------------------------ *)
+(* Diagnose                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Translate a deployment failure into an IaC-level diagnosis
+    (§3.5). *)
+let diagnose t (failure : Executor.failure) : Debugger.diagnosis option =
+  match (t.config, expand t) with
+  | Some cfg, Ok expansion ->
+      Some
+        (Debugger.diagnose ~cfg ~instances:expansion.Hcl.Eval.instances
+           ~addr:failure.Executor.faddr ~error:failure.Executor.reason)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Police: telemetry-driven policies                                   *)
+(* ------------------------------------------------------------------ *)
+
+type police_result = {
+  decisions : Policy.decision list;
+  reapplied : Executor.report option;
+}
+
+(** Run telemetry-phase policies with scenario metrics in [extra]; if a
+    policy's action rewrote the configuration, redeploy it. *)
+let police t ~(extra : (string * Value.t) list) :
+    (police_result, error) result =
+  match (t.controller, t.config) with
+  | None, _ -> Ok { decisions = []; reapplied = None }
+  | Some _, None -> Error No_config
+  | Some c, Some cfg -> (
+      let obs = Controller.standard_obs ~state:t.state ~extra () in
+      match
+        Controller.tick c ~phase:Policy.On_telemetry ~obs ~config:cfg ()
+      with
+      | exception Policy.Policy_error (msg, _) -> Error (Other msg)
+      | result -> (
+          match result.Controller.new_config with
+          | None ->
+              Ok { decisions = result.Controller.decisions; reapplied = None }
+          | Some cfg' -> (
+              t.config <- Some cfg';
+              t.config_src <- Hcl.Config.to_string cfg';
+              match apply ~description:"policy action" t with
+              | Ok report ->
+                  Ok
+                    {
+                      decisions = result.Controller.decisions;
+                      reapplied = Some report;
+                    }
+              | Error e -> Error e)))
+
+(** Observe + police in one step: poll the activity log for drift, run
+    drift-phase policies over the findings (with [drift_events] /
+    [drift_deletions] observations), reconcile what the default policy
+    accepts, and return the events plus any policy decisions.  This is
+    the §3.5→§3.6 coupling the paper sketches: "a policy that governs
+    failure handling could take resource drifts as observations". *)
+let observe_and_police t : Drift.event list * Policy.decision list =
+  let events = check_drift t in
+  let decisions =
+    match t.controller with
+    | None -> []
+    | Some c ->
+        let deletions =
+          List.length
+            (List.filter
+               (fun (e : Drift.event) -> e.Drift.kind = Drift.Deleted_oob)
+               events)
+        in
+        let obs =
+          Controller.standard_obs ~state:t.state
+            ~extra:
+              [
+                ("drift_events", Value.Vint (List.length events));
+                ("drift_deletions", Value.Vint deletions);
+              ]
+            ()
+        in
+        (Controller.tick c ~phase:Policy.On_drift ~obs ()).Controller.decisions
+  in
+  reconcile_drift t events;
+  (events, decisions)

@@ -1,0 +1,1 @@
+lib/debug/debugger.ml: Cloudless_hcl Fmt List Printf String

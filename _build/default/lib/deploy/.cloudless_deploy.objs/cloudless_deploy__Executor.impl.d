@@ -1,0 +1,1 @@
+lib/deploy/executor.ml: Cloudless_graph Cloudless_hcl Cloudless_plan Cloudless_sim Cloudless_state Float Hashtbl List Option String

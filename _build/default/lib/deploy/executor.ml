@@ -1,0 +1,547 @@
+(** Deployment execution engines (§3.3).
+
+    One event-driven executor parameterized by policy knobs; two
+    canonical configurations:
+
+    - {!baseline_config}: reproduces stock Terraform behaviour — full
+      state refresh before applying, a fixed parallelism cap of 10, a
+      FIFO walk of the ready set, naive fixed backoff on throttling.
+    - {!cloudless_config}: the paper's proposal — scoped refresh,
+      critical-path-first scheduling (remaining-longest-path priority),
+      client-side rate pacing that avoids 429s entirely, exponential
+      backoff with deterministic jitter.
+
+    The executor drives the discrete-event {!Cloudless_sim.Cloud} via
+    callbacks; all timing comes from the simulated clock. *)
+
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Smap = Value.Smap
+module Cloud = Cloudless_sim.Cloud
+module Rate_limiter = Cloudless_sim.Rate_limiter
+module Service_model = Cloudless_sim.Service_model
+module Prng = Cloudless_sim.Prng
+module State = Cloudless_state.State
+module Dag = Cloudless_graph.Dag
+module Plan = Cloudless_plan.Plan
+
+type schedule_policy = Fifo | Critical_path
+
+type refresh_mode = Refresh_none | Refresh_full | Refresh_scoped of Addr.Set.t
+
+type config = {
+  name : string;
+  parallelism : int option;  (** concurrent in-flight ops; None = unbounded *)
+  policy : schedule_policy;
+  client_pacing : bool;  (** §3.3: admission control against API limits *)
+  max_retries : int;
+  backoff_base : float;
+  backoff_exponential : bool;
+  refresh : refresh_mode;
+  pacing_budget : float * float;
+      (** (burst capacity, refill/s) the pacer assumes the provider
+          grants — the documented API budget *)
+}
+
+(* Terraform defaults: -parallelism=10, full refresh, plain walk.
+   Providers retry throttled calls many times with exponential backoff,
+   so give the baseline the same retry budget — the engines differ in
+   *scheduling and admission*, not persistence. *)
+let baseline_config =
+  {
+    name = "baseline";
+    parallelism = Some 10;
+    policy = Fifo;
+    client_pacing = false;
+    max_retries = 12;
+    backoff_base = 2.;
+    backoff_exponential = true;
+    refresh = Refresh_full;
+    pacing_budget = (50., 2.);
+  }
+
+let cloudless_config =
+  {
+    name = "cloudless";
+    parallelism = None;
+    policy = Critical_path;
+    client_pacing = true;
+    max_retries = 12;
+    backoff_base = 2.;
+    backoff_exponential = true;
+    refresh = Refresh_none;  (* set per run: scoped *)
+    pacing_budget = (50., 2.);
+  }
+
+type failure = { faddr : Addr.t; reason : string }
+
+type report = {
+  engine : string;
+  started_at : float;
+  finished_at : float;
+  makespan : float;
+  refresh_reads : int;
+  refresh_duration : float;
+  api_calls : int;  (** calls issued by this run (including retries) *)
+  throttled : int;  (** 429 responses observed *)
+  retries : int;
+  applied : Addr.t list;
+  failed : failure list;
+  skipped : Addr.t list;  (** skipped because a dependency failed *)
+  state : State.t;  (** state after the run *)
+}
+
+let succeeded r = r.failed = [] && r.skipped = []
+
+(* ------------------------------------------------------------------ *)
+(* Unknown resolution at apply time                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A desired attribute that referenced another resource's computed
+   attribute was planned as [Vunknown "addr.attr"]; once the dependency
+   is applied its real value is in state. *)
+let rec resolve_value state (v : Value.t) : Value.t =
+  match v with
+  | Value.Vunknown p -> (
+      match String.rindex_opt p '.' with
+      | None -> Value.Vnull
+      | Some i -> (
+          let addr_part = String.sub p 0 i in
+          let attr = String.sub p (i + 1) (String.length p - i - 1) in
+          match Addr.of_string addr_part with
+          | Some addr -> (
+              match State.find_opt state addr with
+              | Some rs -> (
+                  match Smap.find_opt attr rs.State.attrs with
+                  | Some v -> v
+                  | None -> Value.Vnull)
+              | None -> Value.Vnull)
+          | None -> Value.Vnull))
+  | Value.Vlist vs -> Value.Vlist (List.map (resolve_value state) vs)
+  | Value.Vmap m -> Value.Vmap (Smap.map (resolve_value state) m)
+  | v -> v
+
+let resolve_attrs state attrs = Smap.map (resolve_value state) attrs
+
+(* ------------------------------------------------------------------ *)
+(* Refresh phase                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type refresh_result = {
+  rstate : State.t;
+  reads : int;
+  missing : Addr.t list;  (** in state but gone from the cloud (drift) *)
+  rduration : float;
+}
+
+(** Re-read cloud attributes for tracked resources.  [addrs] limits the
+    scope (None = all of state, Terraform's default full refresh). *)
+let refresh (cloud : Cloud.t) ~engine ~(state : State.t) ?addrs
+    ?(parallelism = 10) () : refresh_result =
+  let targets =
+    match addrs with
+    | None -> State.resources state
+    | Some set ->
+        List.filter
+          (fun (r : State.resource_state) -> Addr.Set.mem r.State.addr set)
+          (State.resources state)
+  in
+  let started = Cloud.now cloud in
+  let state_ref = ref state in
+  let missing = ref [] in
+  let reads = ref 0 in
+  let queue = ref targets in
+  let in_flight = ref 0 in
+  let actor = Cloudless_sim.Activity_log.Iac_engine engine in
+  let rec pump () =
+    match !queue with
+    | [] -> ()
+    | r :: rest ->
+        if !in_flight >= parallelism then ()
+        else begin
+          queue := rest;
+          incr in_flight;
+          incr reads;
+          Cloud.submit cloud ~actor
+            (Cloud.Read { cloud_id = r.State.cloud_id })
+            (fun result ->
+              decr in_flight;
+              (match result with
+              | Ok attrs ->
+                  state_ref := State.update_attrs !state_ref r.State.addr attrs
+              | Error (Cloud.Not_found _) ->
+                  missing := r.State.addr :: !missing
+              | Error (Cloud.Throttled _) ->
+                  (* re-queue at the back; the limiter will recover *)
+                  queue := !queue @ [ r ]
+              | Error _ -> ());
+              pump ());
+          pump ()
+        end
+  in
+  pump ();
+  Cloud.run_until_idle cloud;
+  {
+    rstate = !state_ref;
+    reads = !reads;
+    missing = List.rev !missing;
+    rduration = Cloud.now cloud -. started;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Apply phase                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type node_status = Pending | Running | Done | Failed of string | Skipped
+
+let change_duration (c : Plan.change) =
+  match c.Plan.action with
+  | Plan.Create -> Service_model.expected c.Plan.rtype Service_model.Op_create
+  | Plan.Update _ -> Service_model.expected c.Plan.rtype Service_model.Op_update
+  | Plan.Replace _ ->
+      Service_model.expected c.Plan.rtype Service_model.Op_delete
+      +. Service_model.expected c.Plan.rtype Service_model.Op_create
+  | Plan.Delete -> Service_model.expected c.Plan.rtype Service_model.Op_delete
+  | Plan.Noop -> 0.
+
+(** Apply a plan.  Returns the report; the returned state reflects all
+    successful operations. *)
+let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
+    ~(plan : Plan.t) ?(seed = 7) () : report =
+  let prng = Prng.create seed in
+  let actor = Cloudless_sim.Activity_log.Iac_engine config.name in
+  let base_api_calls = Cloud.api_call_count cloud in
+  let base_write_throttles = snd (Cloud.write_throttle_stats cloud) in
+  let base_read_throttles = snd (Cloud.read_throttle_stats cloud) in
+
+  (* phase 1: refresh *)
+  let refresh_result =
+    match config.refresh with
+    | Refresh_none ->
+        { rstate = state; reads = 0; missing = []; rduration = 0. }
+    | Refresh_full -> refresh cloud ~engine:config.name ~state ()
+    | Refresh_scoped addrs ->
+        refresh cloud ~engine:config.name ~state ~addrs ()
+  in
+  let state_ref = ref refresh_result.rstate in
+  let started_at = Cloud.now cloud in
+
+  (* phase 2: apply *)
+  let dag = Plan.execution_graph plan in
+  let duration_of addr = change_duration (Dag.payload dag addr) in
+  let priority = Dag.priorities dag ~duration:duration_of in
+  let status : (Addr.t, node_status) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun a -> Hashtbl.replace status a Pending) (Dag.nodes dag);
+  let remaining_deps : (Addr.t, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace remaining_deps a (Addr.Set.cardinal (Dag.deps_of dag a)))
+    (Dag.nodes dag);
+  let ready : Addr.t list ref = ref [] in
+  let in_flight = ref 0 in
+  let retries = ref 0 in
+  let applied = ref [] in
+  let failed = ref [] in
+  (* client-side pacing: mirror the provider's documented write budget *)
+  let client_limiter =
+    let capacity, refill_rate = config.pacing_budget in
+    Rate_limiter.create ~capacity ~refill_rate
+  in
+  let backoff attempt =
+    if config.backoff_exponential then
+      config.backoff_base
+      *. Float.pow 2. (float_of_int attempt)
+      *. Prng.float_range prng 0.8 1.2
+    else config.backoff_base
+  in
+
+  let add_ready addr =
+    ready := addr :: !ready
+
+  and take_ready () =
+    match !ready with
+    | [] -> None
+    | _ ->
+        let pick =
+          match config.policy with
+          | Fifo ->
+              (* FIFO = oldest first; list is newest-first *)
+              List.nth !ready (List.length !ready - 1)
+          | Critical_path ->
+              List.fold_left
+                (fun best a ->
+                  match best with
+                  | None -> Some a
+                  | Some b -> if priority a > priority b then Some a else Some b)
+                None !ready
+              |> Option.get
+        in
+        ready := List.filter (fun a -> not (Addr.equal a pick)) !ready;
+        Some pick
+  in
+
+  let rec mark_skipped addr =
+    match Hashtbl.find_opt status addr with
+    | Some (Pending | Running) ->
+        Hashtbl.replace status addr Skipped;
+        ready := List.filter (fun a -> not (Addr.equal a addr)) !ready;
+        Addr.Set.iter mark_skipped (Dag.rdeps_of dag addr)
+    | _ -> ()
+  in
+
+  (* [complete] and [pump] are mutually recursive across the callback
+     boundary; tie the knot with a forward reference. *)
+  let pump_ref = ref (fun () -> ()) in
+  let complete addr ok =
+    decr in_flight;
+    (match ok with
+    | Ok () ->
+        Hashtbl.replace status addr Done;
+        applied := addr :: !applied;
+        Addr.Set.iter
+          (fun d ->
+            let n = Hashtbl.find remaining_deps d - 1 in
+            Hashtbl.replace remaining_deps d n;
+            if n = 0 && Hashtbl.find_opt status d = Some Pending then
+              add_ready d)
+          (Dag.rdeps_of dag addr)
+    | Error reason ->
+        Hashtbl.replace status addr (Failed reason);
+        failed := { faddr = addr; reason } :: !failed;
+        Addr.Set.iter mark_skipped (Dag.rdeps_of dag addr));
+    !pump_ref ()
+  in
+
+  (* A single change may need several cloud ops (Replace).  [perform]
+     runs the op sequence with retries, then calls [complete]. *)
+  let rec perform addr (c : Plan.change) attempt =
+    let on_error err =
+      match err with
+      | Cloud.Throttled after when attempt < config.max_retries ->
+          incr retries;
+          let delay = Float.max after (backoff attempt) in
+          schedule_retry addr c (attempt + 1) delay
+      | Cloud.Transient _ when attempt < config.max_retries ->
+          incr retries;
+          schedule_retry addr c (attempt + 1) (backoff attempt)
+      | err -> complete addr (Error (Cloud.error_to_string err))
+    in
+    match c.Plan.action with
+    | Plan.Noop -> complete addr (Ok ())
+    | Plan.Create -> (
+        match c.Plan.desired with
+        | None -> complete addr (Error "create without desired attributes")
+        | Some desired ->
+            let attrs = resolve_attrs !state_ref desired in
+            Cloud.submit cloud ~actor
+              (Cloud.Create { rtype = c.Plan.rtype; region = c.Plan.region; attrs })
+              (fun result ->
+                match result with
+                | Ok cloud_attrs ->
+                    let cloud_id =
+                      match Smap.find_opt "id" cloud_attrs with
+                      | Some (Value.Vstring s) -> s
+                      | _ -> "?"
+                    in
+                    state_ref :=
+                      State.add !state_ref
+                        {
+                          State.addr = addr;
+                          cloud_id;
+                          rtype = c.Plan.rtype;
+                          region = c.Plan.region;
+                          attrs = cloud_attrs;
+                          deps = c.Plan.deps;
+                        };
+                    complete addr (Ok ())
+                | Error err -> on_error err))
+    | Plan.Update changes -> (
+        match (c.Plan.prior, c.Plan.desired) with
+        | Some prior, Some _ ->
+            let delta =
+              List.fold_left
+                (fun acc (ch : Plan.attr_change) ->
+                  match ch.Plan.after with
+                  | Some v -> Smap.add ch.Plan.attr (resolve_value !state_ref v) acc
+                  | None -> acc)
+                Smap.empty changes
+            in
+            Cloud.submit cloud ~actor
+              (Cloud.Update { cloud_id = prior.State.cloud_id; attrs = delta })
+              (fun result ->
+                match result with
+                | Ok cloud_attrs ->
+                    state_ref := State.update_attrs !state_ref addr cloud_attrs;
+                    complete addr (Ok ())
+                | Error err -> on_error err)
+        | _ -> complete addr (Error "update without prior state"))
+    | Plan.Delete -> (
+        match c.Plan.prior with
+        | Some prior ->
+            Cloud.submit cloud ~actor
+              (Cloud.Delete { cloud_id = prior.State.cloud_id })
+              (fun result ->
+                match result with
+                | Ok _ | Error (Cloud.Not_found _) ->
+                    (* already gone = success for a delete *)
+                    state_ref := State.remove !state_ref addr;
+                    complete addr (Ok ())
+                | Error err -> on_error err)
+        | None -> complete addr (Error "delete without prior state"))
+    | Plan.Replace _ -> (
+        match (c.Plan.prior, c.Plan.desired) with
+        | Some prior, Some desired ->
+            let record_new cloud_attrs k =
+              let cloud_id =
+                match Smap.find_opt "id" cloud_attrs with
+                | Some (Value.Vstring s) -> s
+                | _ -> "?"
+              in
+              state_ref :=
+                State.add !state_ref
+                  {
+                    State.addr = addr;
+                    cloud_id;
+                    rtype = c.Plan.rtype;
+                    region = c.Plan.region;
+                    attrs = cloud_attrs;
+                    deps = c.Plan.deps;
+                  };
+              k ()
+            in
+            if c.Plan.cbd then
+              (* lifecycle create_before_destroy: the replacement comes
+                 up first, then the old resource is destroyed — no
+                 availability gap *)
+              let attrs = resolve_attrs !state_ref desired in
+              Cloud.submit cloud ~actor
+                (Cloud.Create
+                   { rtype = c.Plan.rtype; region = c.Plan.region; attrs })
+                (fun result ->
+                  match result with
+                  | Ok cloud_attrs ->
+                      record_new cloud_attrs (fun () ->
+                          Cloud.submit cloud ~actor
+                            (Cloud.Delete { cloud_id = prior.State.cloud_id })
+                            (fun result ->
+                              match result with
+                              | Ok _ | Error (Cloud.Not_found _) ->
+                                  complete addr (Ok ())
+                              | Error err -> on_error err))
+                  | Error err -> on_error err)
+            else
+              Cloud.submit cloud ~actor
+                (Cloud.Delete { cloud_id = prior.State.cloud_id })
+                (fun result ->
+                  match result with
+                  | Ok _ | Error (Cloud.Not_found _) ->
+                      state_ref := State.remove !state_ref addr;
+                      let attrs = resolve_attrs !state_ref desired in
+                      Cloud.submit cloud ~actor
+                        (Cloud.Create
+                           { rtype = c.Plan.rtype; region = c.Plan.region; attrs })
+                        (fun result ->
+                          match result with
+                          | Ok cloud_attrs ->
+                              record_new cloud_attrs (fun () ->
+                                  complete addr (Ok ()))
+                          | Error err -> on_error err)
+                  | Error err -> on_error err)
+        | _ -> complete addr (Error "replace without prior state"))
+
+  and schedule_retry addr c attempt delay =
+    (* keep the op slot while backing off (like real engines do) *)
+    Cloud.schedule cloud ~delay (fun () -> perform addr c attempt)
+
+  and pump () =
+    let can_start () =
+      match config.parallelism with
+      | Some cap -> !in_flight < cap
+      | None -> true
+    in
+    if can_start () then
+      match take_ready () with
+      | None -> ()
+      | Some addr ->
+          let c = Dag.payload dag addr in
+          incr in_flight;
+          if config.client_pacing then begin
+            (* §3.3: do not fire writes the provider would throttle.
+               [reserve] books a token slot (possibly in the future), so
+               queued ops space themselves at the provider's refill rate
+               instead of re-bursting together. *)
+            let writes_needed =
+              match c.Plan.action with
+              | Plan.Noop -> 0
+              | Plan.Replace _ -> 2  (* delete + create *)
+              | Plan.Create | Plan.Update _ | Plan.Delete -> 1
+            in
+            let rec book acc k =
+              if k = 0 then acc
+              else
+                book
+                  (Float.max acc
+                     (Rate_limiter.reserve client_limiter ~now:(Cloud.now cloud)))
+                  (k - 1)
+            in
+            let wait = book 0. writes_needed in
+            if wait > 0. then
+              (* small guard so the op lands strictly after the refill
+                 boundary (float-exact arrivals would race the bucket) *)
+              Cloud.schedule cloud ~delay:(wait +. 0.05) (fun () ->
+                  perform addr c 0;
+                  pump ())
+            else begin
+              perform addr c 0;
+              pump ()
+            end
+          end
+          else begin
+            perform addr c 0;
+            pump ()
+          end
+  in
+
+  pump_ref := pump;
+
+  (* seed the ready set *)
+  List.iter
+    (fun a -> if Hashtbl.find remaining_deps a = 0 then add_ready a)
+    (Dag.nodes dag);
+  pump ();
+  (* drive the simulation, pumping after every event *)
+  let rec drive () =
+    if Cloud.step cloud then begin
+      pump ();
+      drive ()
+    end
+  in
+  drive ();
+
+  let finished_at = Cloud.now cloud in
+  let skipped =
+    Hashtbl.fold
+      (fun a s acc -> match s with Skipped -> a :: acc | _ -> acc)
+      status []
+  in
+  let throttled =
+    snd (Cloud.write_throttle_stats cloud)
+    - base_write_throttles
+    + snd (Cloud.read_throttle_stats cloud)
+    - base_read_throttles
+  in
+  {
+    engine = config.name;
+    started_at;
+    finished_at;
+    makespan = finished_at -. started_at;
+    refresh_reads = refresh_result.reads;
+    refresh_duration = refresh_result.rduration;
+    api_calls = Cloud.api_call_count cloud - base_api_calls;
+    throttled;
+    retries = !retries;
+    applied = List.rev !applied;
+    failed = List.rev !failed;
+    skipped;
+    state = !state_ref;
+  }

@@ -1,0 +1,1 @@
+lib/drift/drift.ml: Cloudless_hcl Cloudless_sim Cloudless_state Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/drift/reconciler.ml: Cloudless_hcl Cloudless_schema Cloudless_sim Cloudless_state Drift List Printf String

@@ -1,0 +1,1 @@
+lib/edsl/edsl.ml: Cloudless_hcl Fmt List

@@ -1,0 +1,1 @@
+lib/graph/dag.ml: Buffer Cloudless_hcl Float Fmt Hashtbl List Option Printf

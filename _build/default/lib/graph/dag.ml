@@ -1,0 +1,317 @@
+(** Resource dependency DAG.
+
+    The central data structure of IaC planning (§2.1): nodes are
+    resource instances addressed by {!Cloudless_hcl.Addr.t}, edges point
+    from a resource to the resources it depends on.  Supports the
+    analyses §3.3 calls for: stable topological order, parallel levels,
+    critical-path extraction under a duration model, and impact-scope
+    slicing for incremental updates. *)
+
+module Addr = Cloudless_hcl.Addr
+
+type 'a t = {
+  payloads : 'a Addr.Map.t;
+  deps : Addr.Set.t Addr.Map.t;  (** node -> nodes it depends on *)
+  rdeps : Addr.Set.t Addr.Map.t;  (** node -> nodes depending on it *)
+  order : Addr.t list;  (** insertion order, for stable iteration *)
+}
+
+exception Cycle of Addr.t list
+
+let empty =
+  { payloads = Addr.Map.empty; deps = Addr.Map.empty; rdeps = Addr.Map.empty; order = [] }
+
+let mem t addr = Addr.Map.mem addr t.payloads
+let find_opt t addr = Addr.Map.find_opt addr t.payloads
+let size t = Addr.Map.cardinal t.payloads
+let nodes t = List.rev t.order
+
+let payload t addr =
+  match Addr.Map.find_opt addr t.payloads with
+  | Some p -> p
+  | None -> invalid_arg ("Dag.payload: unknown node " ^ Addr.to_string addr)
+
+let add_node t addr payload =
+  if mem t addr then
+    { t with payloads = Addr.Map.add addr payload t.payloads }
+  else
+    {
+      payloads = Addr.Map.add addr payload t.payloads;
+      deps = Addr.Map.add addr Addr.Set.empty t.deps;
+      rdeps = Addr.Map.add addr Addr.Set.empty t.rdeps;
+      order = addr :: t.order;
+    }
+
+(** Add a dependency edge: [dependent] needs [dependency] first.  Both
+    nodes must already exist. *)
+let add_edge t ~dependent ~dependency =
+  if not (mem t dependent) then
+    invalid_arg ("Dag.add_edge: unknown node " ^ Addr.to_string dependent);
+  if not (mem t dependency) then
+    invalid_arg ("Dag.add_edge: unknown node " ^ Addr.to_string dependency);
+  if Addr.equal dependent dependency then t
+  else
+    {
+      t with
+      deps =
+        Addr.Map.update dependent
+          (fun s -> Some (Addr.Set.add dependency (Option.value ~default:Addr.Set.empty s)))
+          t.deps;
+      rdeps =
+        Addr.Map.update dependency
+          (fun s -> Some (Addr.Set.add dependent (Option.value ~default:Addr.Set.empty s)))
+          t.rdeps;
+    }
+
+let deps_of t addr =
+  Option.value ~default:Addr.Set.empty (Addr.Map.find_opt addr t.deps)
+
+let rdeps_of t addr =
+  Option.value ~default:Addr.Set.empty (Addr.Map.find_opt addr t.rdeps)
+
+let edge_count t =
+  Addr.Map.fold (fun _ s acc -> acc + Addr.Set.cardinal s) t.deps 0
+
+(* ------------------------------------------------------------------ *)
+(* Topological order                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Stable topological sort: among nodes whose dependencies are
+    satisfied, insertion order wins.  Raises {!Cycle} with the offending
+    nodes when the graph has one. *)
+let topo_sort t =
+  let in_degree = Hashtbl.create 64 in
+  List.iter
+    (fun a -> Hashtbl.replace in_degree a (Addr.Set.cardinal (deps_of t a)))
+    (nodes t);
+  let result = ref [] in
+  let remaining = ref (nodes t) in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let ready, blocked =
+      List.partition (fun a -> Hashtbl.find in_degree a = 0) !remaining
+    in
+    if ready <> [] then begin
+      progress := true;
+      List.iter
+        (fun a ->
+          result := a :: !result;
+          Addr.Set.iter
+            (fun d -> Hashtbl.replace in_degree d (Hashtbl.find in_degree d - 1))
+            (rdeps_of t a))
+        ready;
+      remaining := blocked
+    end
+  done;
+  if !remaining <> [] then raise (Cycle !remaining);
+  List.rev !result
+
+let has_cycle t =
+  match topo_sort t with _ -> false | exception Cycle _ -> true
+
+(** Group nodes into parallel levels: level 0 has no dependencies,
+    level k depends only on levels < k.  The number of levels is the
+    graph depth; the widest level bounds achievable parallelism. *)
+let levels t =
+  let level = Hashtbl.create 64 in
+  let order = topo_sort t in
+  List.iter
+    (fun a ->
+      let l =
+        Addr.Set.fold
+          (fun d acc -> max acc (Hashtbl.find level d + 1))
+          (deps_of t a) 0
+      in
+      Hashtbl.replace level a l)
+    order;
+  let max_level = List.fold_left (fun acc a -> max acc (Hashtbl.find level a)) 0 order in
+  List.init (max_level + 1) (fun l ->
+      List.filter (fun a -> Hashtbl.find level a = l) order)
+
+let depth t = List.length (levels t)
+let max_width t = List.fold_left (fun acc l -> max acc (List.length l)) 0 (levels t)
+
+(* ------------------------------------------------------------------ *)
+(* Critical path                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [critical_path t ~duration] computes, under the given per-node
+    duration model, the longest dependency chain — the inherent lower
+    bound on deployment makespan with unlimited parallelism.  Returns
+    the total duration and the path from first to last node.
+
+    Also exposes each node's "earliest finish" and "slack"
+    ({!priorities}), which the cloudless scheduler uses to order work:
+    zero-slack nodes are on the critical path and must never wait. *)
+let critical_path t ~duration =
+  let finish = Hashtbl.create 64 in
+  let order = topo_sort t in
+  List.iter
+    (fun a ->
+      let start =
+        Addr.Set.fold (fun d acc -> Float.max acc (Hashtbl.find finish d)) (deps_of t a) 0.
+      in
+      Hashtbl.replace finish a (start +. duration a))
+    order;
+  match order with
+  | [] -> (0., [])
+  | _ ->
+      let last =
+        List.fold_left
+          (fun acc a ->
+            match acc with
+            | None -> Some a
+            | Some b -> if Hashtbl.find finish a > Hashtbl.find finish b then Some a else Some b)
+          None order
+      in
+      let last = Option.get last in
+      (* Walk backwards along the tight predecessors. *)
+      let rec back a acc =
+        let start = Hashtbl.find finish a -. duration a in
+        let pred =
+          Addr.Set.fold
+            (fun d found ->
+              match found with
+              | Some _ -> found
+              | None ->
+                  if Float.abs (Hashtbl.find finish d -. start) < 1e-9 then Some d
+                  else None)
+            (deps_of t a) None
+        in
+        match pred with None -> a :: acc | Some p -> back p (a :: acc)
+      in
+      (Hashtbl.find finish last, back last [])
+
+(** Remaining-longest-path priority for every node: the length of the
+    longest duration chain from the node (inclusive) to any sink.
+    Higher priority = more critical. *)
+let priorities t ~duration =
+  let prio = Hashtbl.create 64 in
+  let order = List.rev (topo_sort t) in
+  List.iter
+    (fun a ->
+      let tail =
+        Addr.Set.fold (fun d acc -> Float.max acc (Hashtbl.find prio d)) (rdeps_of t a) 0.
+      in
+      Hashtbl.replace prio a (tail +. duration a))
+    order;
+  fun addr ->
+    match Hashtbl.find_opt prio addr with Some p -> p | None -> 0.
+
+(* ------------------------------------------------------------------ *)
+(* Reachability and impact scope                                       *)
+(* ------------------------------------------------------------------ *)
+
+let closure next seeds =
+  let rec go visited frontier =
+    match frontier with
+    | [] -> visited
+    | a :: rest ->
+        if Addr.Set.mem a visited then go visited rest
+        else
+          let visited = Addr.Set.add a visited in
+          go visited (Addr.Set.elements (next a) @ rest)
+  in
+  go Addr.Set.empty (Addr.Set.elements seeds)
+
+(** Transitive dependencies of [seeds], including the seeds. *)
+let ancestors t seeds = closure (deps_of t) seeds
+
+(** Transitive dependents of [seeds], including the seeds. *)
+let descendants t seeds = closure (rdeps_of t) seeds
+
+(** §3.3 impact scope: the nodes whose plan can be affected by a change
+    to [seeds] — the seeds, everything that (transitively) consumes
+    their attributes, plus the direct dependencies of that set (needed
+    to re-evaluate expressions, but not themselves replanned). *)
+let impact_scope t seeds =
+  let dependents = descendants t seeds in
+  let context =
+    Addr.Set.fold
+      (fun a acc -> Addr.Set.union acc (deps_of t a))
+      dependents Addr.Set.empty
+  in
+  Addr.Set.union dependents context
+
+(** Restrict the graph to a node subset (edges within the subset are
+    kept). *)
+let restrict t keep =
+  let keep_list = List.filter (fun a -> Addr.Set.mem a keep) (nodes t) in
+  let base =
+    List.fold_left (fun acc a -> add_node acc a (payload t a)) empty keep_list
+  in
+  List.fold_left
+    (fun acc a ->
+      Addr.Set.fold
+        (fun d acc ->
+          if Addr.Set.mem d keep then add_edge acc ~dependent:a ~dependency:d
+          else acc)
+        (deps_of t a) acc)
+    base keep_list
+
+(* ------------------------------------------------------------------ *)
+(* Construction from expanded instances                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Build the graph from expansion output: one node per instance; edges
+    from each instance to the instances its references and
+    [depends_on] name.  Dependency addresses referring to a resource
+    base (no instance key) connect to every instance of that base. *)
+let of_instances (instances : Cloudless_hcl.Eval.instance list) :
+    Cloudless_hcl.Eval.instance t =
+  let t =
+    List.fold_left
+      (fun acc (i : Cloudless_hcl.Eval.instance) ->
+        add_node acc i.Cloudless_hcl.Eval.addr i)
+      empty instances
+  in
+  let all_addrs = nodes t in
+  let resolve dep =
+    if mem t dep then [ dep ]
+    else List.filter (fun a -> Addr.same_base (Addr.base a) dep || Addr.same_base a dep) all_addrs
+  in
+  List.fold_left
+    (fun acc (i : Cloudless_hcl.Eval.instance) ->
+      let deps =
+        i.Cloudless_hcl.Eval.ref_deps @ i.Cloudless_hcl.Eval.explicit_deps
+      in
+      List.fold_left
+        (fun acc dep ->
+          List.fold_left
+            (fun acc d ->
+              if Addr.equal d i.Cloudless_hcl.Eval.addr then acc
+              else add_edge acc ~dependent:i.Cloudless_hcl.Eval.addr ~dependency:d)
+            acc (resolve dep))
+        acc deps)
+    t instances
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp ppf t =
+  List.iter
+    (fun a ->
+      let ds = Addr.Set.elements (deps_of t a) in
+      if ds = [] then Fmt.pf ppf "%a@." Addr.pp a
+      else
+        Fmt.pf ppf "%a <- %a@." Addr.pp a
+          Fmt.(list ~sep:(any ", ") Addr.pp)
+          ds)
+    (nodes t)
+
+let to_dot ?(name = "deps") t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun a ->
+      Buffer.add_string buf (Printf.sprintf "  %S;\n" (Addr.to_string a));
+      Addr.Set.iter
+        (fun d ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %S -> %S;\n" (Addr.to_string a) (Addr.to_string d)))
+        (deps_of t a))
+    (nodes t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,79 @@
+(** Resource dependency DAG (§2.1, §3.3).
+
+    Nodes are resource instances addressed by {!Cloudless_hcl.Addr.t};
+    edges point from a resource to the resources it depends on.
+    Supports stable topological order, parallel levels, critical-path
+    analysis under a duration model, and impact-scope slicing. *)
+
+module Addr := Cloudless_hcl.Addr
+
+type 'a t
+
+exception Cycle of Addr.t list
+
+val empty : 'a t
+val mem : 'a t -> Addr.t -> bool
+val find_opt : 'a t -> Addr.t -> 'a option
+val size : 'a t -> int
+
+(** Nodes in insertion order. *)
+val nodes : 'a t -> Addr.t list
+
+(** Payload of a known node; raises [Invalid_argument] otherwise. *)
+val payload : 'a t -> Addr.t -> 'a
+
+(** Add (or re-payload) a node. *)
+val add_node : 'a t -> Addr.t -> 'a -> 'a t
+
+(** Add a dependency edge: [dependent] needs [dependency] first.  Both
+    nodes must exist; self-edges are ignored. *)
+val add_edge : 'a t -> dependent:Addr.t -> dependency:Addr.t -> 'a t
+
+val deps_of : 'a t -> Addr.t -> Addr.Set.t
+val rdeps_of : 'a t -> Addr.t -> Addr.Set.t
+val edge_count : 'a t -> int
+
+(** Stable topological order (insertion order among independents);
+    raises {!Cycle}. *)
+val topo_sort : 'a t -> Addr.t list
+
+val has_cycle : 'a t -> bool
+
+(** Parallel levels: level 0 has no dependencies, level k depends only
+    on earlier levels. *)
+val levels : 'a t -> Addr.t list list
+
+val depth : 'a t -> int
+val max_width : 'a t -> int
+
+(** Longest dependency chain under the duration model: the inherent
+    lower bound on deployment makespan.  Returns (total duration,
+    path). *)
+val critical_path : 'a t -> duration:(Addr.t -> float) -> float * Addr.t list
+
+(** Remaining-longest-path priority per node (higher = more critical);
+    what the cloudless scheduler orders the ready set by. *)
+val priorities : 'a t -> duration:(Addr.t -> float) -> Addr.t -> float
+
+(** Transitive dependencies of the seeds, inclusive. *)
+val ancestors : 'a t -> Addr.Set.t -> Addr.Set.t
+
+(** Transitive dependents of the seeds, inclusive. *)
+val descendants : 'a t -> Addr.Set.t -> Addr.Set.t
+
+(** §3.3 impact scope: dependents of the seeds plus the direct
+    dependencies of that set (re-evaluation context). *)
+val impact_scope : 'a t -> Addr.Set.t -> Addr.Set.t
+
+(** Restrict to a node subset, keeping internal edges. *)
+val restrict : 'a t -> Addr.Set.t -> 'a t
+
+(** One node per expanded instance; edges from reference and
+    [depends_on] dependencies (base addresses fan out to every
+    instance). *)
+val of_instances : Cloudless_hcl.Eval.instance list -> Cloudless_hcl.Eval.instance t
+
+val pp : Format.formatter -> 'a t -> unit
+
+(** Graphviz rendering. *)
+val to_dot : ?name:string -> 'a t -> string

@@ -1,0 +1,1 @@
+lib/hcl/addr.ml: Fmt List Map Printf Scanf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/hcl/ast.ml: List Loc

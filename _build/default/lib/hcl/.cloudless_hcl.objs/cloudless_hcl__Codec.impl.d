@@ -1,0 +1,1 @@
+lib/hcl/codec.ml: Ast Eval List Value

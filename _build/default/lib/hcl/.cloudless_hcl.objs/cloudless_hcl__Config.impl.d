@@ -1,0 +1,1 @@
+lib/hcl/config.ml: Ast Fmt List Loc Option Parser Printer Refs

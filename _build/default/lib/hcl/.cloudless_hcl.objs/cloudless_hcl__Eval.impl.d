@@ -1,0 +1,1 @@
+lib/hcl/eval.ml: Addr Ast Buffer Config Float Fmt Fun Funcs Hashtbl List Loc Parser Printf Refs String Value

@@ -1,0 +1,1 @@
+lib/hcl/funcs.ml: Buffer Bytes Char Float Fmt Int64 Ipnet List Printf Smap String Value

@@ -1,0 +1,1 @@
+lib/hcl/ipnet.ml: Fmt Int32 Printf String

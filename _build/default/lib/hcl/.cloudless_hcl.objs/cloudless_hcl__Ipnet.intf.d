@@ -1,0 +1,1 @@
+lib/hcl/ipnet.mli:

@@ -1,0 +1,1 @@
+lib/hcl/lexer.ml: Buffer List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/hcl/loc.ml: Fmt

@@ -1,0 +1,1 @@
+lib/hcl/parser.ml: Ast Lexer List Loc Printf Token

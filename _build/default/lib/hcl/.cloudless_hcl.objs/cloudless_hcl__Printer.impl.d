@@ -1,0 +1,1 @@
+lib/hcl/printer.ml: Ast Buffer List String Value

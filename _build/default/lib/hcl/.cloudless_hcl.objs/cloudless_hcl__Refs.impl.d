@@ -1,0 +1,1 @@
+lib/hcl/refs.ml: Ast List Option

@@ -1,0 +1,1 @@
+lib/hcl/token.ml: Loc Printf

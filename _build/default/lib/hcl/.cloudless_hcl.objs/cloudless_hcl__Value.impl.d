@@ -1,0 +1,1 @@
+lib/hcl/value.ml: Bool Buffer Float Fmt List Map Printf String

@@ -1,0 +1,979 @@
+(** Expression evaluation and configuration expansion.
+
+    Expansion turns a structured {!Config.t} into the flat list of
+    resource *instances* that must exist in the cloud — expanding
+    [count], [for_each] and [module] blocks, resolving variables,
+    locals and data sources, and propagating "(known after apply)"
+    unknowns for attributes that only the cloud can decide (§2.1's
+    dependency-graph construction step).
+
+    References between resources are resolved against (a) instances
+    expanded earlier in this run, then (b) prior deployment state, and
+    otherwise become {!Value.Vunknown} carrying the provenance address,
+    exactly like Terraform's plan-time unknowns. *)
+
+module Smap = Value.Smap
+
+exception Eval_error of string * Loc.span
+
+let errf span fmt = Fmt.kstr (fun s -> raise (Eval_error (s, span))) fmt
+
+(** One concrete resource instance produced by expansion. *)
+type instance = {
+  addr : Addr.t;
+  provider : string;
+  attrs : Value.t Smap.t;
+  explicit_deps : Addr.t list;  (** from [depends_on] *)
+  ref_deps : Addr.t list;  (** from expression references *)
+  lifecycle : Config.lifecycle;
+  ispan : Loc.span;
+}
+
+(** External services the evaluator needs. *)
+type env = {
+  var_values : Value.t Smap.t;  (** caller-supplied variable values *)
+  data_resolver :
+    rtype:string -> name:string -> args:Value.t Smap.t -> Value.t Smap.t option;
+  state_lookup : Addr.t -> Value.t Smap.t option;
+      (** prior deployment state, for resolving computed attributes *)
+  module_registry : string -> Config.t option;
+      (** module source -> configuration *)
+}
+
+let default_env =
+  {
+    var_values = Smap.empty;
+    data_resolver = (fun ~rtype:_ ~name:_ ~args:_ -> Some Smap.empty);
+    state_lookup = (fun _ -> None);
+    module_registry = (fun _ -> None);
+  }
+
+type expansion_result = {
+  instances : instance list;  (** dependency order *)
+  outputs : (string * Value.t) list;
+}
+
+(* Expansion of one resource block: shape depends on its meta-args. *)
+type node_expansion =
+  | Single of instance
+  | Counted of instance list
+  | For_eached of (string * instance) list
+
+(* Module expansion: outputs per instance key. *)
+type module_expansion =
+  | Mod_single of Value.t Smap.t
+  | Mod_counted of Value.t Smap.t list
+  | Mod_for_eached of (string * Value.t Smap.t) list
+
+type scope = {
+  env : env;
+  module_path : string list;
+  vars : Value.t Smap.t;
+  locals_src : (string * Ast.expr) list;
+  locals_cache : (string, Value.t) Hashtbl.t;
+  mutable locals_forcing : string list;  (** cycle detection *)
+  resources : (string * string, node_expansion) Hashtbl.t;
+  data : (string * string, Value.t Smap.t) Hashtbl.t;
+  modules : (string, module_expansion) Hashtbl.t;
+  count_index : int option;
+  each_binding : (Value.t * Value.t) option;  (** (key, value) *)
+  for_bindings : Value.t Smap.t;
+}
+
+let make_scope ?(env = default_env) ?(module_path = []) ?(locals = [])
+    ?(vars = Smap.empty) () =
+  {
+    env;
+    module_path;
+    vars;
+    locals_src = locals;
+    locals_cache = Hashtbl.create 8;
+    locals_forcing = [];
+    resources = Hashtbl.create 16;
+    data = Hashtbl.create 4;
+    modules = Hashtbl.create 4;
+    count_index = None;
+    each_binding = None;
+    for_bindings = Smap.empty;
+  }
+
+(* The sentinel attribute that marks a map as a resource object so that
+   access to a missing (computed) attribute yields an unknown instead of
+   an error. *)
+let addr_key = "__addr__"
+
+let instance_value inst =
+  Smap.add addr_key (Value.Vstring (Addr.to_string inst.addr)) inst.attrs
+
+let strip_addr m = Smap.remove addr_key m
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Functions that behave sensibly even when list/map elements are
+   unknown (they do not inspect element contents). *)
+let unknown_tolerant_fns =
+  [ "length"; "concat"; "tolist"; "keys"; "merge"; "coalesce"; "try"; "can" ]
+
+let rec eval scope (e : Ast.expr) : Value.t =
+  match e.Ast.desc with
+  | Ast.Null -> Value.Vnull
+  | Ast.Bool b -> Value.Vbool b
+  | Ast.Int n -> Value.Vint n
+  | Ast.Float f -> Value.Vfloat f
+  | Ast.Template parts -> eval_template scope e.Ast.espan parts
+  | Ast.Var name -> eval_var scope e.Ast.espan name
+  | Ast.GetAttr (inner, attr) -> eval_getattr scope e.Ast.espan inner attr
+  | Ast.Index (inner, idx) -> eval_index scope e.Ast.espan inner idx
+  | Ast.Splat (inner, attr) -> eval_splat scope e.Ast.espan inner attr
+  | Ast.ListLit es -> Value.Vlist (List.map (eval scope) es)
+  | Ast.ObjectLit kvs ->
+      Value.Vmap
+        (List.fold_left
+           (fun acc (k, v) ->
+             let key =
+               match k with
+               | Ast.Kident s -> s
+               | Ast.Kexpr ke -> value_to_key scope ke
+             in
+             Smap.add key (eval scope v) acc)
+           Smap.empty kvs)
+  | Ast.Call (name, args, expand) -> eval_call scope e.Ast.espan name args expand
+  | Ast.Unop (op, inner) -> eval_unop scope e.Ast.espan op inner
+  | Ast.Binop (op, a, b) -> eval_binop scope e.Ast.espan op a b
+  | Ast.Cond (c, a, b) -> (
+      match eval scope c with
+      | Value.Vunknown p -> Value.Vunknown (p ^ "?")
+      | cv -> if cond_truthy e.Ast.espan cv then eval scope a else eval scope b)
+  | Ast.ForList fc -> eval_for_list scope e.Ast.espan fc
+  | Ast.ForMap (fc, v) -> eval_for_map scope e.Ast.espan fc v
+  | Ast.Paren inner -> eval scope inner
+
+and cond_truthy span v =
+  try Value.truthy v
+  with Value.Type_error msg -> errf span "condition: %s" msg
+
+and value_to_key scope ke =
+  match eval scope ke with
+  | Value.Vstring s -> s
+  | v -> Value.to_string v
+
+and eval_template scope span parts =
+  match parts with
+  | [ Ast.Lit s ] -> Value.Vstring s
+  | [] -> Value.Vstring ""
+  | [ Ast.Interp e ] ->
+      (* A template that is exactly one interpolation preserves the
+         value's type (Terraform 0.12+ behaviour). *)
+      eval scope e
+  | parts ->
+      let buf = Buffer.create 32 in
+      let unknown = ref None in
+      List.iter
+        (function
+          | Ast.Lit s -> Buffer.add_string buf s
+          | Ast.Interp e -> (
+              match eval scope e with
+              | Value.Vunknown p -> if !unknown = None then unknown := Some p
+              | v -> (
+                  try Buffer.add_string buf (Value.to_string v)
+                  with Value.Type_error msg -> errf span "in template: %s" msg)))
+        parts;
+      (match !unknown with
+      | Some p -> Value.Vunknown ("template:" ^ p)
+      | None -> Value.Vstring (Buffer.contents buf))
+
+and eval_var scope span name =
+  match Smap.find_opt name scope.for_bindings with
+  | Some v -> v
+  | None -> (
+      match name with
+      | "var" -> Value.Vmap scope.vars
+      | "local" ->
+          (* Force every local: rarely used bare, but legal. *)
+          Value.Vmap
+            (List.fold_left
+               (fun acc (n, _) -> Smap.add n (force_local scope span n) acc)
+               Smap.empty scope.locals_src)
+      | "path" ->
+          Value.of_assoc
+            [
+              ("module", Value.Vstring (String.concat "/" scope.module_path));
+              ("root", Value.Vstring "");
+            ]
+      | "count" | "each" | "data" | "module" ->
+          errf span "%S cannot be used as a bare value" name
+      | _ -> errf span "reference to undeclared identifier %S" name)
+
+and force_local scope span name =
+  match Hashtbl.find_opt scope.locals_cache name with
+  | Some v -> v
+  | None ->
+      if List.mem name scope.locals_forcing then
+        errf span "dependency cycle through local.%s" name;
+      (match List.assoc_opt name scope.locals_src with
+      | None -> errf span "reference to undeclared local.%s" name
+      | Some e ->
+          scope.locals_forcing <- name :: scope.locals_forcing;
+          let v =
+            Fun.protect
+              ~finally:(fun () ->
+                scope.locals_forcing <- List.tl scope.locals_forcing)
+              (fun () -> eval scope e)
+          in
+          Hashtbl.replace scope.locals_cache name v;
+          v)
+
+and eval_getattr scope span inner attr =
+  match inner.Ast.desc with
+  | Ast.Var root when not (Smap.mem root scope.for_bindings) -> (
+      match root with
+      | "var" -> (
+          match Smap.find_opt attr scope.vars with
+          | Some v -> v
+          | None -> errf span "reference to undeclared variable var.%s" attr)
+      | "local" -> force_local scope span attr
+      | "count" -> (
+          match (attr, scope.count_index) with
+          | "index", Some i -> Value.Vint i
+          | "index", None ->
+              errf span "count.index used outside a counted resource"
+          | _, _ -> errf span "unknown attribute count.%s" attr)
+      | "each" -> (
+          match scope.each_binding with
+          | None -> errf span "each.%s used outside a for_each resource" attr
+          | Some (k, v) -> (
+              match attr with
+              | "key" -> k
+              | "value" -> v
+              | _ -> errf span "unknown attribute each.%s" attr))
+      | "path" -> (
+          match attr with
+          | "module" -> Value.Vstring (String.concat "/" scope.module_path)
+          | "root" -> Value.Vstring ""
+          | _ -> errf span "unknown attribute path.%s" attr)
+      | "module" -> eval_module_ref scope span attr
+      | "data" ->
+          (* needs a second GetAttr level: handled when the chain is
+             data.<type>.<name>; a bare data.<type> is meaningless *)
+          errf span "incomplete data source reference data.%s" attr
+      | _ -> eval_resource_ref scope span root attr)
+  | Ast.GetAttr ({ Ast.desc = Ast.Var "data"; _ }, dtype) ->
+      eval_data_ref scope span dtype attr
+  | _ -> generic_getattr scope span (eval scope inner) attr
+
+and generic_getattr _scope span v attr =
+  match v with
+  | Value.Vmap m -> (
+      match Smap.find_opt attr m with
+      | Some v -> v
+      | None -> (
+          match Smap.find_opt addr_key m with
+          | Some (Value.Vstring owner) ->
+              (* computed attribute of a resource object *)
+              Value.unknown (owner ^ "." ^ attr)
+          | _ -> errf span "object has no attribute %S" attr))
+  | Value.Vunknown p -> Value.unknown (p ^ "." ^ attr)
+  | Value.Vlist _ ->
+      errf span "cannot access attribute %S on a list (index it first)" attr
+  | v -> errf span "cannot access attribute %S on %s" attr (Value.type_name v)
+
+and eval_resource_ref scope span rtype rname =
+  match Hashtbl.find_opt scope.resources (rtype, rname) with
+  | Some (Single inst) -> Value.Vmap (instance_value inst)
+  | Some (Counted insts) ->
+      Value.Vlist (List.map (fun i -> Value.Vmap (instance_value i)) insts)
+  | Some (For_eached kvs) ->
+      Value.Vmap
+        (List.fold_left
+           (fun acc (k, i) -> Smap.add k (Value.Vmap (instance_value i)) acc)
+           Smap.empty kvs)
+  | None ->
+      errf span "reference to undeclared resource %s.%s (or dependency cycle)"
+        rtype rname
+
+and eval_data_ref scope span dtype dname =
+  match Hashtbl.find_opt scope.data (dtype, dname) with
+  | Some attrs ->
+      let addr =
+        Addr.make ~module_path:scope.module_path ~mode:Addr.Data ~rtype:dtype
+          ~rname:dname ()
+      in
+      Value.Vmap
+        (Smap.add addr_key (Value.Vstring (Addr.to_string addr)) attrs)
+  | None ->
+      errf span "reference to undeclared data source data.%s.%s" dtype dname
+
+and eval_module_ref scope span mname =
+  match Hashtbl.find_opt scope.modules mname with
+  | Some (Mod_single outs) -> Value.Vmap outs
+  | Some (Mod_counted outs) ->
+      Value.Vlist (List.map (fun o -> Value.Vmap o) outs)
+  | Some (Mod_for_eached kvs) ->
+      Value.Vmap
+        (List.fold_left
+           (fun acc (k, o) -> Smap.add k (Value.Vmap o) acc)
+           Smap.empty kvs)
+  | None -> errf span "reference to undeclared module.%s" mname
+
+and eval_index scope span inner idx =
+  let v = eval scope inner in
+  let i = eval scope idx in
+  match (v, i) with
+  | Value.Vunknown p, _ -> Value.unknown (p ^ "[...]")
+  | _, Value.Vunknown p -> Value.unknown ("[" ^ p ^ "]")
+  | Value.Vlist vs, _ -> (
+      let n =
+        try Value.to_int i
+        with Value.Type_error msg -> errf span "list index: %s" msg
+      in
+      match List.nth_opt vs n with
+      | Some v -> v
+      | None ->
+          errf span "list index %d out of bounds (length %d)" n
+            (List.length vs))
+  | Value.Vmap m, _ -> (
+      let k = Value.to_string i in
+      match Smap.find_opt k m with
+      | Some v -> v
+      | None -> (
+          match Smap.find_opt addr_key m with
+          | Some (Value.Vstring owner) ->
+              Value.unknown (Printf.sprintf "%s[%s]" owner k)
+          | _ -> errf span "map has no key %S" k))
+  | v, _ -> errf span "cannot index a %s" (Value.type_name v)
+
+and eval_splat scope span inner attr =
+  match eval scope inner with
+  | Value.Vunknown p -> Value.unknown (p ^ "[*]." ^ attr)
+  | Value.Vlist vs ->
+      Value.Vlist (List.map (fun v -> generic_getattr scope span v attr) vs)
+  | Value.Vnull -> Value.Vlist []
+  | v -> Value.Vlist [ generic_getattr scope span v attr ]
+
+and eval_call scope span name args expand =
+  (* try/can are lazy over evaluation errors (Terraform semantics):
+     arguments are attempted in order and failures are swallowed *)
+  match name with
+  | "try" ->
+      let rec attempt = function
+        | [] -> errf span "try: no argument evaluated successfully"
+        | [ last ] -> eval scope last
+        | e :: rest -> (
+            match eval scope e with
+            | Value.Vunknown _ -> attempt rest
+            | v -> v
+            | exception Eval_error _ -> attempt rest)
+      in
+      attempt args
+  | "can" -> (
+      match args with
+      | [ e ] -> (
+          match eval scope e with
+          | Value.Vunknown _ as v -> v
+          | _ -> Value.Vbool true
+          | exception Eval_error _ -> Value.Vbool false)
+      | _ -> errf span "can expects exactly 1 argument")
+  | _ -> eval_call_strict scope span name args expand
+
+and eval_call_strict scope span name args expand =
+  let args = List.map (eval scope) args in
+  let args =
+    if not expand then args
+    else
+      match List.rev args with
+      | last :: rev_rest -> List.rev rev_rest @ Value.to_list last
+      | [] -> args
+  in
+  (
+      let needs_shortcircuit =
+        (not (List.mem name unknown_tolerant_fns))
+        && List.exists Value.has_unknown args
+      in
+      if needs_shortcircuit then Value.unknown ("fn:" ^ name)
+      else
+        try Funcs.call name args with
+        | Funcs.Call_error msg -> errf span "%s" msg
+        | Value.Type_error msg -> errf span "in %s(): %s" name msg)
+
+and eval_unop scope span op inner =
+  let v = eval scope inner in
+  match (op, v) with
+  | _, Value.Vunknown p -> Value.unknown (p ^ ":unop")
+  | Ast.Neg, Value.Vint n -> Value.Vint (-n)
+  | Ast.Neg, Value.Vfloat f -> Value.Vfloat (-.f)
+  | Ast.Neg, v -> errf span "cannot negate a %s" (Value.type_name v)
+  | Ast.Not, Value.Vbool b -> Value.Vbool (not b)
+  | Ast.Not, v -> errf span "cannot apply '!' to a %s" (Value.type_name v)
+
+and eval_binop scope span op a b =
+  match op with
+  | Ast.And -> (
+      match eval scope a with
+      | Value.Vbool false -> Value.Vbool false
+      | Value.Vbool true -> eval_bool scope span b
+      | Value.Vunknown p -> (
+          (* false && unknown is false; need the other side *)
+          match eval scope b with
+          | Value.Vbool false -> Value.Vbool false
+          | _ -> Value.unknown (p ^ "&&"))
+      | v -> errf span "'&&' expects bools, got %s" (Value.type_name v))
+  | Ast.Or -> (
+      match eval scope a with
+      | Value.Vbool true -> Value.Vbool true
+      | Value.Vbool false -> eval_bool scope span b
+      | Value.Vunknown p -> (
+          match eval scope b with
+          | Value.Vbool true -> Value.Vbool true
+          | _ -> Value.unknown (p ^ "||"))
+      | v -> errf span "'||' expects bools, got %s" (Value.type_name v))
+  | _ -> (
+      let va = eval scope a and vb = eval scope b in
+      match (va, vb) with
+      | Value.Vunknown p, _ | _, Value.Vunknown p ->
+          Value.unknown (p ^ ":binop")
+      | _ -> apply_binop span op va vb)
+
+and eval_bool scope span e =
+  match eval scope e with
+  | Value.Vbool _ as v -> v
+  | Value.Vunknown _ as v -> v
+  | v -> errf span "expected bool, got %s" (Value.type_name v)
+
+and apply_binop span op va vb =
+  let arith fi ff =
+    match (va, vb) with
+    | Value.Vint x, Value.Vint y -> Value.Vint (fi x y)
+    | (Value.Vint _ | Value.Vfloat _), (Value.Vint _ | Value.Vfloat _) ->
+        Value.Vfloat (ff (Value.to_float va) (Value.to_float vb))
+    | _ ->
+        errf span "arithmetic on %s and %s" (Value.type_name va)
+          (Value.type_name vb)
+  in
+  let cmp f =
+    match (va, vb) with
+    | (Value.Vint _ | Value.Vfloat _), (Value.Vint _ | Value.Vfloat _) ->
+        Value.Vbool (f (Float.compare (Value.to_float va) (Value.to_float vb)) 0)
+    | Value.Vstring x, Value.Vstring y -> Value.Vbool (f (String.compare x y) 0)
+    | _ ->
+        errf span "cannot compare %s with %s" (Value.type_name va)
+          (Value.type_name vb)
+  in
+  match op with
+  | Ast.Add -> (
+      match (va, vb) with
+      | Value.Vstring x, Value.Vstring y -> Value.Vstring (x ^ y)
+      | _ -> arith ( + ) ( +. ))
+  | Ast.Sub -> arith ( - ) ( -. )
+  | Ast.Mul -> arith ( * ) ( *. )
+  | Ast.Div -> (
+      match (va, vb) with
+      | _, Value.Vint 0 -> errf span "division by zero"
+      | Value.Vint x, Value.Vint y when x mod y = 0 -> Value.Vint (x / y)
+      | _ -> Value.Vfloat (Value.to_float va /. Value.to_float vb))
+  | Ast.Mod -> (
+      match (va, vb) with
+      | _, Value.Vint 0 -> errf span "modulo by zero"
+      | Value.Vint x, Value.Vint y -> Value.Vint (((x mod y) + y) mod y)
+      | _ -> errf span "'%%' expects integers")
+  | Ast.Eq -> Value.Vbool (Value.equal va vb)
+  | Ast.Neq -> Value.Vbool (not (Value.equal va vb))
+  | Ast.Lt -> cmp ( < )
+  | Ast.Gt -> cmp ( > )
+  | Ast.Le -> cmp ( <= )
+  | Ast.Ge -> cmp ( >= )
+  | Ast.And | Ast.Or -> assert false
+
+and for_collection scope span fc =
+  match eval scope fc.Ast.coll with
+  | Value.Vlist vs -> List.mapi (fun i v -> (Value.Vint i, v)) vs
+  | Value.Vmap m ->
+      List.map (fun (k, v) -> (Value.Vstring k, v)) (Smap.bindings m)
+  | Value.Vunknown _ -> errf span "for-expression over an unknown collection"
+  | v -> errf span "for-expression expects list or map, got %s" (Value.type_name v)
+
+and bind_for scope fc k v =
+  let bindings = Smap.add fc.Ast.val_var v scope.for_bindings in
+  let bindings =
+    match fc.Ast.key_var with
+    | Some kv -> Smap.add kv k bindings
+    | None -> bindings
+  in
+  { scope with for_bindings = bindings }
+
+and eval_for_list scope span fc =
+  let items = for_collection scope span fc in
+  let out =
+    List.filter_map
+      (fun (k, v) ->
+        let scope' = bind_for scope fc k v in
+        let keep =
+          match fc.Ast.cond with
+          | None -> true
+          | Some c -> cond_truthy span (eval scope' c)
+        in
+        if keep then Some (eval scope' fc.Ast.body) else None)
+      items
+  in
+  Value.Vlist out
+
+and eval_for_map scope span fc velt =
+  let items = for_collection scope span fc in
+  let out =
+    List.fold_left
+      (fun acc (k, v) ->
+        let scope' = bind_for scope fc k v in
+        let keep =
+          match fc.Ast.cond with
+          | None -> true
+          | Some c -> cond_truthy span (eval scope' c)
+        in
+        if keep then
+          let key = Value.to_string (eval scope' fc.Ast.body) in
+          Smap.add key (eval scope' velt) acc
+        else acc)
+      Smap.empty items
+  in
+  Value.Vmap out
+
+(* ------------------------------------------------------------------ *)
+(* Body evaluation: attributes + nested blocks -> attribute map        *)
+(* ------------------------------------------------------------------ *)
+
+(* Nested blocks of the same type accumulate into a list of objects
+   (Terraform's block-list representation).  [dynamic "ty" { for_each =
+   coll  iterator = it?  content { ... } }] expands to one "ty" block
+   per collection element, with the iterator (default: the block type
+   name) bound to {key, value} inside the content. *)
+let rec eval_body scope (body : Ast.body) : Value.t Smap.t =
+  let attrs =
+    List.fold_left
+      (fun acc (a : Ast.attribute) ->
+        Smap.add a.Ast.aname (eval scope a.Ast.avalue) acc)
+      Smap.empty body.Ast.attrs
+  in
+  let add_block acc btype v =
+    let existing =
+      match Smap.find_opt btype acc with
+      | Some (Value.Vlist vs) -> vs
+      | Some v -> [ v ]
+      | None -> []
+    in
+    Smap.add btype (Value.Vlist (existing @ [ v ])) acc
+  in
+  List.fold_left
+    (fun acc (b : Ast.block) ->
+      match (b.Ast.btype, b.Ast.labels) with
+      | "dynamic", [ gen_type ] ->
+          let coll =
+            match Ast.attr b.Ast.bbody "for_each" with
+            | Some e -> e
+            | None -> errf b.Ast.bspan "dynamic block needs for_each"
+          in
+          let iterator =
+            match Ast.attr b.Ast.bbody "iterator" with
+            | Some { Ast.desc = Ast.Var it; _ } -> it
+            | Some { Ast.desc = Ast.Template [ Ast.Lit it ]; _ } -> it
+            | Some _ -> errf b.Ast.bspan "iterator must be a name"
+            | None -> gen_type
+          in
+          let content =
+            match Ast.blocks_of_type b.Ast.bbody "content" with
+            | [ c ] -> c.Ast.bbody
+            | _ -> errf b.Ast.bspan "dynamic block needs exactly one content block"
+          in
+          let items =
+            match eval scope coll with
+            | Value.Vlist vs -> List.mapi (fun i v -> (Value.Vint i, v)) vs
+            | Value.Vmap m ->
+                List.map (fun (k, v) -> (Value.Vstring k, v)) (Smap.bindings m)
+            | v ->
+                errf b.Ast.bspan "dynamic for_each expects list or map, got %s"
+                  (Value.type_name v)
+          in
+          List.fold_left
+            (fun acc (k, v) ->
+              let binding =
+                Value.of_assoc [ ("key", k); ("value", v) ]
+              in
+              let scope' =
+                { scope with for_bindings = Smap.add iterator binding scope.for_bindings }
+              in
+              add_block acc gen_type (Value.Vmap (eval_body scope' content)))
+            acc items
+      | _ -> add_block acc b.Ast.btype (Value.Vmap (eval_body scope b.Ast.bbody)))
+    attrs body.Ast.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Node ordering                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type node =
+  | Ndata of Config.data_source
+  | Nres of Config.resource
+  | Nmod of Config.module_call
+
+let node_key = function
+  | Ndata d -> "data." ^ d.Config.dtype ^ "." ^ d.Config.dname
+  | Nres r -> r.Config.rtype ^ "." ^ r.Config.rname
+  | Nmod m -> "module." ^ m.Config.mname
+
+let node_span = function
+  | Ndata d -> d.Config.dspan
+  | Nres r -> r.Config.rspan
+  | Nmod m -> m.Config.mspan
+
+(* Static targets of a node, with local references expanded
+   transitively so that ordering respects locals that mention
+   resources. *)
+let node_targets (cfg : Config.t) node : Refs.target list =
+  let direct =
+    match node with
+    | Ndata d -> Refs.of_body d.Config.dbody
+    | Nres r ->
+        Refs.of_body r.Config.rbody
+        @ (match r.Config.rcount with Some e -> Refs.of_expr e | None -> [])
+        @ (match r.Config.rfor_each with Some e -> Refs.of_expr e | None -> [])
+        @ List.map
+            (fun (ty, n) ->
+              if ty = "module" then Refs.Tmodule (n, None)
+              else if String.length ty > 5 && String.sub ty 0 5 = "data." then
+                Refs.Tdata (String.sub ty 5 (String.length ty - 5), n)
+              else Refs.Tresource (ty, n))
+            r.Config.rdepends_on
+    | Nmod m ->
+        List.concat_map (fun (_, e) -> Refs.of_expr e) m.Config.margs
+        @ (match m.Config.mcount with Some e -> Refs.of_expr e | None -> [])
+        @
+        (match m.Config.mfor_each with Some e -> Refs.of_expr e | None -> [])
+  in
+  (* Expand Tlocal transitively. *)
+  let rec expand_locals seen targets =
+    List.concat_map
+      (fun t ->
+        match t with
+        | Refs.Tlocal name when not (List.mem name seen) -> (
+            match List.assoc_opt name cfg.Config.locals with
+            | Some e -> expand_locals (name :: seen) (Refs.of_expr e)
+            | None -> [ t ])
+        | t -> [ t ])
+      targets
+  in
+  expand_locals [] direct
+
+let target_node_key = function
+  | Refs.Tresource (t, n) -> Some (t ^ "." ^ n)
+  | Refs.Tdata (t, n) -> Some ("data." ^ t ^ "." ^ n)
+  | Refs.Tmodule (m, _) -> Some ("module." ^ m)
+  | Refs.Tvar _ | Refs.Tlocal _ | Refs.Tcount | Refs.Teach | Refs.Tpath -> None
+
+(* Stable topological sort of nodes; raises on cycles. *)
+let order_nodes (cfg : Config.t) : node list =
+  let nodes =
+    List.map (fun d -> Ndata d) cfg.Config.data_sources
+    @ List.map (fun r -> Nres r) cfg.Config.resources
+    @ List.map (fun m -> Nmod m) cfg.Config.modules
+  in
+  let by_key = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace by_key (node_key n) n) nodes;
+  let deps n =
+    node_targets cfg n
+    |> List.filter_map target_node_key
+    |> List.filter_map (Hashtbl.find_opt by_key)
+  in
+  let visited = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec visit path n =
+    let key = node_key n in
+    match Hashtbl.find_opt visited key with
+    | Some `Done -> ()
+    | Some `In_progress ->
+        errf (node_span n) "dependency cycle involving %s" key
+    | None ->
+        Hashtbl.replace visited key `In_progress;
+        List.iter (visit (key :: path)) (deps n);
+        Hashtbl.replace visited key `Done;
+        out := n :: !out
+  in
+  List.iter (visit []) nodes;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Expansion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let provider_of_rtype rtype =
+  match String.index_opt rtype '_' with
+  | Some i -> String.sub rtype 0 i
+  | None -> rtype
+
+(* Resolve a node-level dependency target to the base addresses of the
+   instances it denotes in the current scope. *)
+let target_instance_addrs scope (cfg : Config.t) target : Addr.t list =
+  match target with
+  | Refs.Tresource (t, n) -> (
+      match Hashtbl.find_opt scope.resources (t, n) with
+      | Some (Single i) -> [ i.addr ]
+      | Some (Counted is) -> List.map (fun i -> i.addr) is
+      | Some (For_eached kvs) -> List.map (fun (_, i) -> i.addr) kvs
+      | None -> [])
+  | Refs.Tdata (t, n) ->
+      if
+        List.exists
+          (fun d -> d.Config.dtype = t && d.Config.dname = n)
+          cfg.Config.data_sources
+      then
+        [
+          Addr.make ~module_path:scope.module_path ~mode:Addr.Data ~rtype:t
+            ~rname:n ();
+        ]
+      else []
+  | Refs.Tmodule _ | Refs.Tvar _ | Refs.Tlocal _ | Refs.Tcount | Refs.Teach
+  | Refs.Tpath ->
+      []
+
+let rec expand_config (env : env) ~module_path ~vars (cfg : Config.t) :
+    expansion_result * scope =
+  (* Fill in variable defaults; unknown variables are an error, missing
+     required variables too. *)
+  let var_scope = make_scope ~env ~module_path () in
+  let vars =
+    List.fold_left
+      (fun acc (v : Config.variable) ->
+        match Smap.find_opt v.Config.vname vars with
+        | Some value -> Smap.add v.Config.vname value acc
+        | None -> (
+            match v.Config.vdefault with
+            | Some d -> Smap.add v.Config.vname (eval var_scope d) acc
+            | None ->
+                errf v.Config.vspan "no value for required variable %S"
+                  v.Config.vname))
+      Smap.empty cfg.Config.variables
+  in
+  let scope = make_scope ~env ~module_path ~locals:cfg.Config.locals ~vars () in
+  let acc_instances = ref [] in
+  let emit inst = acc_instances := inst :: !acc_instances in
+  let nodes = order_nodes cfg in
+  List.iter
+    (fun node ->
+      match node with
+      | Ndata d -> expand_data scope d
+      | Nres r ->
+          let expansion, instances = expand_resource scope cfg r in
+          Hashtbl.replace scope.resources (r.Config.rtype, r.Config.rname)
+            expansion;
+          List.iter emit instances
+      | Nmod m ->
+          let expansion, instances = expand_module scope env m in
+          Hashtbl.replace scope.modules m.Config.mname expansion;
+          List.iter emit instances)
+    nodes;
+  let outputs =
+    List.map
+      (fun (o : Config.output) -> (o.Config.oname, eval scope o.Config.ovalue))
+      cfg.Config.outputs
+  in
+  ({ instances = List.rev !acc_instances; outputs }, scope)
+
+and expand_data scope (d : Config.data_source) =
+  let args = eval_body scope d.Config.dbody in
+  match
+    scope.env.data_resolver ~rtype:d.Config.dtype ~name:d.Config.dname ~args
+  with
+  | Some attrs ->
+      (* data attributes: resolver results override the arguments *)
+      let merged = Smap.union (fun _ _ r -> Some r) args attrs in
+      Hashtbl.replace scope.data (d.Config.dtype, d.Config.dname) merged
+  | None ->
+      errf d.Config.dspan "data source type %S is not available"
+        d.Config.dtype
+
+and expand_resource scope cfg (r : Config.resource) :
+    node_expansion * instance list =
+  let provider =
+    match r.Config.rprovider with
+    | Some p -> p
+    | None -> provider_of_rtype r.Config.rtype
+  in
+  let targets =
+    node_targets cfg (Nres r)
+  in
+  let ref_deps =
+    List.concat_map (target_instance_addrs scope cfg) targets
+  in
+  let explicit_deps =
+    List.concat_map
+      (fun (ty, n) ->
+        let target =
+          if ty = "module" then Refs.Tmodule (n, None)
+          else if String.length ty > 5 && String.sub ty 0 5 = "data." then
+            Refs.Tdata (String.sub ty 5 (String.length ty - 5), n)
+          else Refs.Tresource (ty, n)
+        in
+        target_instance_addrs scope cfg target)
+      r.Config.rdepends_on
+  in
+  let build key count_index each_binding =
+    let addr =
+      Addr.make ~module_path:scope.module_path ~rtype:r.Config.rtype
+        ~rname:r.Config.rname ~key ()
+    in
+    let inst_scope = { scope with count_index; each_binding } in
+    let attrs = eval_body inst_scope r.Config.rbody in
+    (* Merge prior state: computed attributes (e.g. [id]) become known. *)
+    let attrs =
+      match scope.env.state_lookup addr with
+      | Some sattrs -> Smap.union (fun _ conf _ -> Some conf) attrs sattrs
+      | None -> attrs
+    in
+    {
+      addr;
+      provider;
+      attrs;
+      explicit_deps;
+      ref_deps;
+      lifecycle = r.Config.rlifecycle;
+      ispan = r.Config.rspan;
+    }
+  in
+  match (r.Config.rcount, r.Config.rfor_each) with
+  | Some _, Some _ ->
+      errf r.Config.rspan "resource cannot have both count and for_each"
+  | Some ce, None -> (
+      match eval scope ce with
+      | Value.Vint n when n >= 0 ->
+          let insts =
+            List.init n (fun i -> build (Addr.Kint i) (Some i) None)
+          in
+          (Counted insts, insts)
+      | Value.Vint n -> errf r.Config.rspan "negative count %d" n
+      | Value.Vunknown p ->
+          errf r.Config.rspan "count depends on unknown value (%s)" p
+      | v ->
+          errf r.Config.rspan "count must be an integer, got %s"
+            (Value.type_name v))
+  | None, Some fe -> (
+      match eval scope fe with
+      | Value.Vmap m ->
+          let kvs =
+            List.map
+              (fun (k, v) ->
+                (k, build (Addr.Kstr k) None (Some (Value.Vstring k, v))))
+              (Smap.bindings m)
+          in
+          (For_eached kvs, List.map snd kvs)
+      | Value.Vlist vs ->
+          let kvs =
+            List.map
+              (fun v ->
+                let k = Value.to_string v in
+                (k, build (Addr.Kstr k) None (Some (Value.Vstring k, v))))
+              vs
+          in
+          (For_eached kvs, List.map snd kvs)
+      | Value.Vunknown p ->
+          errf r.Config.rspan "for_each depends on unknown value (%s)" p
+      | v ->
+          errf r.Config.rspan "for_each must be a map or set, got %s"
+            (Value.type_name v))
+  | None, None ->
+      let inst = build Addr.Knone None None in
+      (Single inst, [ inst ])
+
+and expand_module scope env (m : Config.module_call) :
+    module_expansion * instance list =
+  let child_cfg =
+    match env.module_registry m.Config.msource with
+    | Some cfg -> cfg
+    | None ->
+        errf m.Config.mspan "module source %S not found in registry"
+          m.Config.msource
+  in
+  let expand_one path_elem count_index each_binding =
+    let inst_scope = { scope with count_index; each_binding } in
+    let vars =
+      List.fold_left
+        (fun acc (name, e) -> Smap.add name (eval inst_scope e) acc)
+        Smap.empty m.Config.margs
+    in
+    let result, _child_scope =
+      expand_config env
+        ~module_path:(scope.module_path @ [ path_elem ])
+        ~vars child_cfg
+    in
+    let outputs =
+      List.fold_left
+        (fun acc (n, v) -> Smap.add n v acc)
+        Smap.empty result.outputs
+    in
+    (outputs, result.instances)
+  in
+  match (m.Config.mcount, m.Config.mfor_each) with
+  | Some _, Some _ ->
+      errf m.Config.mspan "module cannot have both count and for_each"
+  | Some ce, None -> (
+      match eval scope ce with
+      | Value.Vint n when n >= 0 ->
+          let results =
+            List.init n (fun i ->
+                expand_one
+                  (Printf.sprintf "%s[%d]" m.Config.mname i)
+                  (Some i) None)
+          in
+          ( Mod_counted (List.map fst results),
+            List.concat_map snd results )
+      | v ->
+          errf m.Config.mspan "module count must be an integer, got %s"
+            (Value.type_name v))
+  | None, Some fe -> (
+      match eval scope fe with
+      | Value.Vmap map ->
+          let results =
+            List.map
+              (fun (k, v) ->
+                ( k,
+                  expand_one
+                    (Printf.sprintf "%s[%S]" m.Config.mname k)
+                    None
+                    (Some (Value.Vstring k, v)) ))
+              (Smap.bindings map)
+          in
+          ( Mod_for_eached (List.map (fun (k, (o, _)) -> (k, o)) results),
+            List.concat_map (fun (_, (_, is)) -> is) results )
+      | Value.Vlist vs ->
+          let results =
+            List.map
+              (fun v ->
+                let k = Value.to_string v in
+                ( k,
+                  expand_one
+                    (Printf.sprintf "%s[%S]" m.Config.mname k)
+                    None
+                    (Some (Value.Vstring k, v)) ))
+              vs
+          in
+          ( Mod_for_eached (List.map (fun (k, (o, _)) -> (k, o)) results),
+            List.concat_map (fun (_, (_, is)) -> is) results )
+      | v ->
+          errf m.Config.mspan "module for_each must be a map or set, got %s"
+            (Value.type_name v))
+  | None, None ->
+      let outputs, instances = expand_one m.Config.mname None None in
+      (Mod_single outputs, instances)
+
+(** Expand a configuration to its resource instances and output values. *)
+let expand ?(env = default_env) ?(vars = Smap.empty) (cfg : Config.t) :
+    expansion_result =
+  let env = { env with var_values = vars } in
+  fst (expand_config env ~module_path:[] ~vars cfg)
+
+(** Evaluate a standalone expression with optional variable bindings —
+    convenience for tests and tools. *)
+let eval_expr ?(vars = Smap.empty) ?(locals = []) (e : Ast.expr) : Value.t =
+  let scope = make_scope ~vars ~locals () in
+  eval scope e
+
+(** Parse and evaluate an expression from text. *)
+let eval_string ?(vars = Smap.empty) src : Value.t =
+  eval_expr ~vars (Parser.parse_expr_string src)

@@ -1,0 +1,688 @@
+(** The HCL standard function library.
+
+    A close subset of Terraform's built-in functions: string, numeric,
+    collection, encoding and network (CIDR) functions.  Functions are
+    pure; unknown-value short-circuiting is handled by the evaluator
+    before the call, so implementations here may assume fully-known
+    arguments. *)
+
+open Value
+
+exception Call_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Call_error s)) fmt
+
+let arity name n args =
+  if List.length args <> n then
+    err "%s expects %d argument(s), got %d" name n (List.length args)
+
+let arity_min name n args =
+  if List.length args < n then
+    err "%s expects at least %d argument(s), got %d" name n (List.length args)
+
+let arg1 name = function [ a ] -> a | args -> (arity name 1 args; assert false)
+
+let arg2 name = function
+  | [ a; b ] -> (a, b)
+  | args ->
+      arity name 2 args;
+      assert false
+
+let arg3 name = function
+  | [ a; b; c ] -> (a, b, c)
+  | args ->
+      arity name 3 args;
+      assert false
+
+(* ------------------------------------------------------------------ *)
+(* String functions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fn_upper args = Vstring (String.uppercase_ascii (to_string (arg1 "upper" args)))
+let fn_lower args = Vstring (String.lowercase_ascii (to_string (arg1 "lower" args)))
+let fn_trim_space args = Vstring (String.trim (to_string (arg1 "trimspace" args)))
+
+let fn_strlen args = Vint (String.length (to_string (arg1 "strlen" args)))
+
+let fn_substr args =
+  let s, off, len = arg3 "substr" args in
+  let s = to_string s and off = to_int off and len = to_int len in
+  let n = String.length s in
+  let off = if off < 0 then max 0 (n + off) else min off n in
+  let len = if len < 0 then n - off else min len (n - off) in
+  Vstring (String.sub s off len)
+
+let fn_replace args =
+  let s, old_sub, new_sub =
+    match args with
+    | [ a; b; c ] -> (to_string a, to_string b, to_string c)
+    | _ -> err "replace expects 3 arguments"
+  in
+  if old_sub = "" then Vstring s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let olen = String.length old_sub in
+    let rec go i =
+      if i > String.length s - olen then
+        Buffer.add_string buf (String.sub s i (String.length s - i))
+      else if String.sub s i olen = old_sub then begin
+        Buffer.add_string buf new_sub;
+        go (i + olen)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+    in
+    go 0;
+    Vstring (Buffer.contents buf)
+  end
+
+let fn_split args =
+  let sep, s = arg2 "split" args in
+  let sep = to_string sep and s = to_string s in
+  if sep = "" then err "split: empty separator";
+  let parts = ref [] in
+  let slen = String.length sep in
+  let rec go start i =
+    if i > String.length s - slen then
+      parts := String.sub s start (String.length s - start) :: !parts
+    else if String.sub s i slen = sep then begin
+      parts := String.sub s start (i - start) :: !parts;
+      go (i + slen) (i + slen)
+    end
+    else go start (i + 1)
+  in
+  go 0 0;
+  Vlist (List.rev_map (fun p -> Vstring p) !parts)
+
+let fn_join args =
+  match args with
+  | [ sep; lst ] ->
+      let sep = to_string sep in
+      Vstring (String.concat sep (List.map to_string (to_list lst)))
+  | _ -> err "join expects 2 arguments"
+
+let fn_title args =
+  let s = to_string (arg1 "title" args) in
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  for i = 0 to n - 1 do
+    let at_word_start =
+      i = 0
+      ||
+      match Bytes.get b (i - 1) with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> false
+      | _ -> true
+    in
+    if at_word_start then Bytes.set b i (Char.uppercase_ascii (Bytes.get b i))
+  done;
+  Vstring (Bytes.to_string b)
+
+let fn_trimprefix args =
+  let s, p = arg2 "trimprefix" args in
+  let s = to_string s and p = to_string p in
+  if String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  then Vstring (String.sub s (String.length p) (String.length s - String.length p))
+  else Vstring s
+
+let fn_trimsuffix args =
+  let s, p = arg2 "trimsuffix" args in
+  let s = to_string s and p = to_string p in
+  let sl = String.length s and pl = String.length p in
+  if sl >= pl && String.sub s (sl - pl) pl = p then
+    Vstring (String.sub s 0 (sl - pl))
+  else Vstring s
+
+let fn_startswith args =
+  let s, p = arg2 "startswith" args in
+  let s = to_string s and p = to_string p in
+  Vbool (String.length s >= String.length p && String.sub s 0 (String.length p) = p)
+
+let fn_endswith args =
+  let s, p = arg2 "endswith" args in
+  let s = to_string s and p = to_string p in
+  let sl = String.length s and pl = String.length p in
+  Vbool (sl >= pl && String.sub s (sl - pl) pl = p)
+
+(* Terraform-style format: %s %d %f %% and %v verbs. *)
+let format_value fmt_str args =
+  let buf = Buffer.create (String.length fmt_str + 16) in
+  let args = ref args in
+  let next name =
+    match !args with
+    | [] -> err "format: not enough arguments for %s" name
+    | a :: rest ->
+        args := rest;
+        a
+  in
+  let n = String.length fmt_str in
+  let pad zero width s =
+    if String.length s >= width then s
+    else
+      let fill = String.make (width - String.length s) (if zero then '0' else ' ') in
+      fill ^ s
+  in
+  let rec go i =
+    if i >= n then ()
+    else if fmt_str.[i] = '%' && i + 1 < n then begin
+      (* optional zero flag and width, e.g. %02d *)
+      let j = ref (i + 1) in
+      let zero = !j < n && fmt_str.[!j] = '0' in
+      if zero then incr j;
+      let wstart = !j in
+      while !j < n && fmt_str.[!j] >= '0' && fmt_str.[!j] <= '9' do
+        incr j
+      done;
+      let width =
+        if !j > wstart then int_of_string (String.sub fmt_str wstart (!j - wstart))
+        else 0
+      in
+      if !j >= n then err "format: dangling %%";
+      (match fmt_str.[!j] with
+      | 's' -> Buffer.add_string buf (pad zero width (to_string (next "%s")))
+      | 'd' ->
+          Buffer.add_string buf
+            (pad zero width (string_of_int (to_int (next "%d"))))
+      | 'f' -> Buffer.add_string buf (Printf.sprintf "%f" (to_float (next "%f")))
+      | 'g' -> Buffer.add_string buf (Printf.sprintf "%g" (to_float (next "%g")))
+      | 'v' -> Buffer.add_string buf (to_string (next "%v"))
+      | '%' -> Buffer.add_char buf '%'
+      | c -> err "format: unsupported verb %%%c" c);
+      go (!j + 1)
+    end
+    else begin
+      Buffer.add_char buf fmt_str.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  if !args <> [] then err "format: too many arguments";
+  Buffer.contents buf
+
+let fn_format args =
+  match args with
+  | fmt :: rest -> Vstring (format_value (to_string fmt) rest)
+  | [] -> err "format expects at least 1 argument"
+
+let fn_formatlist args =
+  match args with
+  | fmt :: rest ->
+      let fmt = to_string fmt in
+      let lists = List.map to_list rest in
+      let len =
+        match lists with
+        | [] -> 0
+        | l :: _ -> List.length l
+      in
+      if List.exists (fun l -> List.length l <> len) lists then
+        err "formatlist: argument lists have different lengths";
+      let rows =
+        List.init len (fun i -> List.map (fun l -> List.nth l i) lists)
+      in
+      Vlist (List.map (fun row -> Vstring (format_value fmt row)) rows)
+  | [] -> err "formatlist expects at least 1 argument"
+
+(* ------------------------------------------------------------------ *)
+(* Numeric functions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let numeric1 name f g args =
+  match arg1 name args with
+  | Vint n -> f n
+  | v -> g (to_float v)
+
+let fn_abs = numeric1 "abs" (fun n -> Vint (abs n)) (fun f -> Vfloat (Float.abs f))
+let fn_ceil args = Vint (int_of_float (Float.ceil (to_float (arg1 "ceil" args))))
+let fn_floor args = Vint (int_of_float (Float.floor (to_float (arg1 "floor" args))))
+
+let fn_min args =
+  arity_min "min" 1 args;
+  List.fold_left (fun acc v -> if compare_values v acc < 0 then v else acc)
+    (List.hd args) (List.tl args)
+
+let fn_max args =
+  arity_min "max" 1 args;
+  List.fold_left (fun acc v -> if compare_values v acc > 0 then v else acc)
+    (List.hd args) (List.tl args)
+
+let fn_pow args =
+  let b, e = arg2 "pow" args in
+  Vfloat (Float.pow (to_float b) (to_float e))
+
+let fn_signum args =
+  match arg1 "signum" args with
+  | Vint n -> Vint (compare n 0)
+  | v ->
+      let f = to_float v in
+      Vint (compare f 0.)
+
+let fn_parseint args =
+  let s, base = arg2 "parseint" args in
+  let s = to_string s and base = to_int base in
+  let digit c =
+    if c >= '0' && c <= '9' then Char.code c - Char.code '0'
+    else if c >= 'a' && c <= 'z' then Char.code c - Char.code 'a' + 10
+    else if c >= 'A' && c <= 'Z' then Char.code c - Char.code 'A' + 10
+    else err "parseint: invalid digit %C" c
+  in
+  let neg, s =
+    if String.length s > 0 && s.[0] = '-' then
+      (true, String.sub s 1 (String.length s - 1))
+    else (false, s)
+  in
+  if s = "" then err "parseint: empty string";
+  let v =
+    String.fold_left
+      (fun acc c ->
+        let d = digit c in
+        if d >= base then err "parseint: digit %C out of range for base %d" c base;
+        (acc * base) + d)
+      0 s
+  in
+  Vint (if neg then -v else v)
+
+(* ------------------------------------------------------------------ *)
+(* Collection functions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fn_length args =
+  match arg1 "length" args with
+  | Vlist vs -> Vint (List.length vs)
+  | Vmap m -> Vint (Smap.cardinal m)
+  | Vstring s -> Vint (String.length s)
+  | v -> err "length: expected list, map or string, got %s" (type_name v)
+
+let fn_element args =
+  let lst, idx = arg2 "element" args in
+  let vs = to_list lst and i = to_int idx in
+  let n = List.length vs in
+  if n = 0 then err "element: empty list";
+  List.nth vs (((i mod n) + n) mod n)
+
+let fn_concat args =
+  Vlist (List.concat_map to_list args)
+
+let fn_contains args =
+  let lst, v = arg2 "contains" args in
+  Vbool (List.exists (equal v) (to_list lst))
+
+let fn_index args =
+  let lst, v = arg2 "index" args in
+  let rec go i = function
+    | [] -> err "index: element not found"
+    | x :: _ when equal x v -> Vint i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 (to_list lst)
+
+let fn_keys args = Vlist (List.map (fun (k, _) -> Vstring k) (to_assoc (arg1 "keys" args)))
+let fn_values args = Vlist (List.map snd (to_assoc (arg1 "values" args)))
+
+let fn_lookup args =
+  match args with
+  | [ m; k ] -> (
+      let m = to_map m and k = to_string k in
+      match Smap.find_opt k m with
+      | Some v -> v
+      | None -> err "lookup: key %S not found and no default given" k)
+  | [ m; k; default ] -> (
+      let m = to_map m and k = to_string k in
+      match Smap.find_opt k m with Some v -> v | None -> default)
+  | _ -> err "lookup expects 2 or 3 arguments"
+
+let fn_merge args =
+  let merged =
+    List.fold_left
+      (fun acc m -> Smap.union (fun _ _ v -> Some v) acc (to_map m))
+      Smap.empty args
+  in
+  Vmap merged
+
+let fn_zipmap args =
+  let ks, vs = arg2 "zipmap" args in
+  let ks = List.map to_string (to_list ks) and vs = to_list vs in
+  if List.length ks <> List.length vs then
+    err "zipmap: key and value lists have different lengths";
+  of_assoc (List.combine ks vs)
+
+let fn_flatten args =
+  let rec flat v =
+    match v with Vlist vs -> List.concat_map flat vs | v -> [ v ]
+  in
+  Vlist (flat (Vlist (to_list (arg1 "flatten" args))))
+
+let fn_compact args =
+  Vlist
+    (List.filter
+       (function Vstring "" | Vnull -> false | _ -> true)
+       (to_list (arg1 "compact" args)))
+
+let fn_distinct args =
+  let seen = ref [] in
+  let keep v =
+    if List.exists (equal v) !seen then false
+    else begin
+      seen := v :: !seen;
+      true
+    end
+  in
+  Vlist (List.filter keep (to_list (arg1 "distinct" args)))
+
+let fn_sort args =
+  Vlist (List.sort compare_values (to_list (arg1 "sort" args)))
+
+let fn_reverse args = Vlist (List.rev (to_list (arg1 "reverse" args)))
+
+let fn_slice args =
+  let lst, a, b = arg3 "slice" args in
+  let vs = to_list lst and a = to_int a and b = to_int b in
+  if a < 0 || b > List.length vs || a > b then err "slice: index out of bounds";
+  Vlist (List.filteri (fun i _ -> i >= a && i < b) vs)
+
+let fn_range args =
+  let start, stop, step =
+    match args with
+    | [ stop ] -> (0, to_int stop, 1)
+    | [ start; stop ] -> (to_int start, to_int stop, 1)
+    | [ start; stop; step ] -> (to_int start, to_int stop, to_int step)
+    | _ -> err "range expects 1-3 arguments"
+  in
+  if step = 0 then err "range: zero step";
+  let rec go acc v =
+    if (step > 0 && v >= stop) || (step < 0 && v <= stop) then List.rev acc
+    else go (Vint v :: acc) (v + step)
+  in
+  Vlist (go [] start)
+
+let fn_sum args =
+  let vs = to_list (arg1 "sum" args) in
+  if vs = [] then err "sum: empty list";
+  if List.for_all (function Vint _ -> true | _ -> false) vs then
+    Vint (List.fold_left (fun acc v -> acc + to_int v) 0 vs)
+  else Vfloat (List.fold_left (fun acc v -> acc +. to_float v) 0. vs)
+
+let fn_coalesce args =
+  arity_min "coalesce" 1 args;
+  match
+    List.find_opt (function Vnull | Vstring "" -> false | _ -> true) args
+  with
+  | Some v -> v
+  | None -> err "coalesce: all arguments are null or empty"
+
+let fn_coalescelist args =
+  arity_min "coalescelist" 1 args;
+  match
+    List.find_opt (fun v -> match v with Vlist (_ :: _) -> true | _ -> false) args
+  with
+  | Some v -> v
+  | None -> err "coalescelist: all lists are empty"
+
+let fn_setunion args =
+  let all = List.concat_map to_list args in
+  fn_distinct [ Vlist all ]
+
+let fn_setintersection args =
+  match List.map to_list args with
+  | [] -> err "setintersection expects at least 1 argument"
+  | first :: rest ->
+      let keep v = List.for_all (fun l -> List.exists (equal v) l) rest in
+      fn_distinct [ Vlist (List.filter keep first) ]
+
+let fn_chunklist args =
+  let lst, size = arg2 "chunklist" args in
+  let vs = to_list lst and size = to_int size in
+  if size <= 0 then err "chunklist: chunk size must be positive";
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else Vlist (List.rev cur) :: acc)
+    | v :: rest ->
+        if n = size then go (Vlist (List.rev cur) :: acc) [ v ] 1 rest
+        else go acc (v :: cur) (n + 1) rest
+  in
+  Vlist (go [] [] 0 vs)
+
+let fn_transpose args =
+  (* map of string -> list(string)  =>  inverted map *)
+  let m = to_map (arg1 "transpose" args) in
+  let out = ref Smap.empty in
+  Smap.iter
+    (fun k vs ->
+      List.iter
+        (fun v ->
+          let v = to_string v in
+          let existing =
+            match Smap.find_opt v !out with
+            | Some (Vlist l) -> l
+            | _ -> []
+          in
+          out := Smap.add v (Vlist (existing @ [ Vstring k ])) !out)
+        (to_list vs))
+    m;
+  Vmap !out
+
+let fn_one args =
+  match to_list (arg1 "one" args) with
+  | [] -> Vnull
+  | [ v ] -> v
+  | vs -> err "one: list has %d elements" (List.length vs)
+
+let fn_tolist args = Vlist (to_list (arg1 "tolist" args))
+let fn_toset = fn_distinct
+
+(* ------------------------------------------------------------------ *)
+(* Type conversion                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fn_tostring args = Vstring (to_string (arg1 "tostring" args))
+
+let fn_tonumber args =
+  match arg1 "tonumber" args with
+  | (Vint _ | Vfloat _) as v -> v
+  | Vstring s -> (
+      match int_of_string_opt s with
+      | Some n -> Vint n
+      | None -> (
+          match float_of_string_opt s with
+          | Some f -> Vfloat f
+          | None -> err "tonumber: cannot convert %S" s))
+  | v -> err "tonumber: cannot convert %s" (type_name v)
+
+let fn_tobool args =
+  match arg1 "tobool" args with
+  | Vbool _ as v -> v
+  | Vstring "true" -> Vbool true
+  | Vstring "false" -> Vbool false
+  | v -> err "tobool: cannot convert %s" (type_name v)
+
+let fn_try args =
+  (* try() is special-cased in the evaluator; if we get here all
+     arguments evaluated successfully, so return the first. *)
+  match args with
+  | v :: _ -> v
+  | [] -> err "try expects at least 1 argument"
+
+let fn_can args =
+  ignore (arg1 "can" args);
+  Vbool true
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fn_jsonencode args = Vstring (to_json_string (arg1 "jsonencode" args))
+
+let base64_alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let fn_base64encode args =
+  let s = to_string (arg1 "base64encode" args) in
+  let buf = Buffer.create ((String.length s / 3 * 4) + 4) in
+  let n = String.length s in
+  let get i = if i < n then Char.code s.[i] else 0 in
+  let rec go i =
+    if i >= n then ()
+    else begin
+      let b0 = get i and b1 = get (i + 1) and b2 = get (i + 2) in
+      let triple = (b0 lsl 16) lor (b1 lsl 8) lor b2 in
+      Buffer.add_char buf base64_alphabet.[(triple lsr 18) land 63];
+      Buffer.add_char buf base64_alphabet.[(triple lsr 12) land 63];
+      Buffer.add_char buf
+        (if i + 1 < n then base64_alphabet.[(triple lsr 6) land 63] else '=');
+      Buffer.add_char buf
+        (if i + 2 < n then base64_alphabet.[triple land 63] else '=');
+      go (i + 3)
+    end
+  in
+  go 0;
+  Vstring (Buffer.contents buf)
+
+let fn_base64decode args =
+  let s = to_string (arg1 "base64decode" args) in
+  let value c =
+    match String.index_opt base64_alphabet c with
+    | Some i -> i
+    | None -> err "base64decode: invalid character %C" c
+  in
+  let buf = Buffer.create (String.length s * 3 / 4) in
+  let chars = List.filter (fun c -> c <> '=') (List.init (String.length s) (String.get s)) in
+  let rec go = function
+    | c0 :: c1 :: c2 :: c3 :: rest ->
+        let quad =
+          (value c0 lsl 18) lor (value c1 lsl 12) lor (value c2 lsl 6)
+          lor value c3
+        in
+        Buffer.add_char buf (Char.chr ((quad lsr 16) land 255));
+        Buffer.add_char buf (Char.chr ((quad lsr 8) land 255));
+        Buffer.add_char buf (Char.chr (quad land 255));
+        go rest
+    | [ c0; c1; c2 ] ->
+        let triple = (value c0 lsl 18) lor (value c1 lsl 12) lor (value c2 lsl 6) in
+        Buffer.add_char buf (Char.chr ((triple lsr 16) land 255));
+        Buffer.add_char buf (Char.chr ((triple lsr 8) land 255))
+    | [ c0; c1 ] ->
+        let pair = (value c0 lsl 18) lor (value c1 lsl 12) in
+        Buffer.add_char buf (Char.chr ((pair lsr 16) land 255))
+    | [ _ ] -> err "base64decode: truncated input"
+    | [] -> ()
+  in
+  go chars;
+  Vstring (Buffer.contents buf)
+
+(* FNV-1a, hex-encoded: a deterministic stand-in for md5/sha in resource
+   naming scenarios. *)
+let fn_hash args =
+  let s = to_string (arg1 "hash" args) in
+  let h =
+    String.fold_left
+      (fun acc c ->
+        let acc = Int64.logxor acc (Int64.of_int (Char.code c)) in
+        Int64.mul acc 0x100000001b3L)
+      0xcbf29ce484222325L s
+  in
+  Vstring (Printf.sprintf "%016Lx" h)
+
+(* ------------------------------------------------------------------ *)
+(* Network functions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let wrap_ipnet f =
+  try f () with Ipnet.Invalid msg -> err "%s" msg
+
+let fn_cidrsubnet args =
+  let p, newbits, netnum = arg3 "cidrsubnet" args in
+  wrap_ipnet (fun () ->
+      let prefix = Ipnet.parse_prefix (to_string p) in
+      Vstring
+        (Ipnet.prefix_to_string
+           (Ipnet.subnet prefix ~newbits:(to_int newbits) ~netnum:(to_int netnum))))
+
+let fn_cidrhost args =
+  let p, n = arg2 "cidrhost" args in
+  wrap_ipnet (fun () ->
+      let prefix = Ipnet.parse_prefix (to_string p) in
+      Vstring (Ipnet.addr_to_string (Ipnet.host prefix (to_int n))))
+
+let fn_cidrnetmask args =
+  let p = arg1 "cidrnetmask" args in
+  wrap_ipnet (fun () ->
+      let prefix = Ipnet.parse_prefix (to_string p) in
+      Vstring (Ipnet.addr_to_string (Ipnet.netmask prefix)))
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table : (string * (t list -> t)) list =
+  [
+    ("upper", fn_upper);
+    ("lower", fn_lower);
+    ("trimspace", fn_trim_space);
+    ("strlen", fn_strlen);
+    ("substr", fn_substr);
+    ("replace", fn_replace);
+    ("split", fn_split);
+    ("join", fn_join);
+    ("title", fn_title);
+    ("trimprefix", fn_trimprefix);
+    ("trimsuffix", fn_trimsuffix);
+    ("startswith", fn_startswith);
+    ("endswith", fn_endswith);
+    ("format", fn_format);
+    ("formatlist", fn_formatlist);
+    ("abs", fn_abs);
+    ("ceil", fn_ceil);
+    ("floor", fn_floor);
+    ("min", fn_min);
+    ("max", fn_max);
+    ("pow", fn_pow);
+    ("signum", fn_signum);
+    ("parseint", fn_parseint);
+    ("length", fn_length);
+    ("element", fn_element);
+    ("concat", fn_concat);
+    ("contains", fn_contains);
+    ("index", fn_index);
+    ("keys", fn_keys);
+    ("values", fn_values);
+    ("lookup", fn_lookup);
+    ("merge", fn_merge);
+    ("zipmap", fn_zipmap);
+    ("flatten", fn_flatten);
+    ("compact", fn_compact);
+    ("distinct", fn_distinct);
+    ("sort", fn_sort);
+    ("reverse", fn_reverse);
+    ("slice", fn_slice);
+    ("range", fn_range);
+    ("sum", fn_sum);
+    ("coalesce", fn_coalesce);
+    ("coalescelist", fn_coalescelist);
+    ("setunion", fn_setunion);
+    ("setintersection", fn_setintersection);
+    ("chunklist", fn_chunklist);
+    ("transpose", fn_transpose);
+    ("one", fn_one);
+    ("tolist", fn_tolist);
+    ("toset", fn_toset);
+    ("tostring", fn_tostring);
+    ("tonumber", fn_tonumber);
+    ("tobool", fn_tobool);
+    ("try", fn_try);
+    ("can", fn_can);
+    ("jsonencode", fn_jsonencode);
+    ("base64encode", fn_base64encode);
+    ("base64decode", fn_base64decode);
+    ("hash", fn_hash);
+    ("cidrsubnet", fn_cidrsubnet);
+    ("cidrhost", fn_cidrhost);
+    ("cidrnetmask", fn_cidrnetmask);
+  ]
+
+let find name = List.assoc_opt name table
+
+let names = List.map fst table
+
+let call name args =
+  match find name with
+  | Some f -> f args
+  | None -> err "unknown function %S" name

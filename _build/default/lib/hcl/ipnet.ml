@@ -1,0 +1,101 @@
+(** IPv4 address and CIDR-prefix arithmetic.
+
+    Backs the [cidrsubnet]/[cidrhost]/[cidrnetmask] HCL functions and
+    the cloud-level "virtual networks must not overlap when peered"
+    validation rule of §3.2. *)
+
+type addr = int32
+(** IPv4 address in host byte order. *)
+
+type prefix = { network : addr; bits : int }
+(** [bits] is the prefix length, 0..32. *)
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+(* 0xFFFFFFFF << (32-bits), careful with the 32-shift UB. *)
+let mask bits : int32 =
+  if bits <= 0 then 0l
+  else if bits >= 32 then 0xFFFFFFFFl
+  else Int32.shift_left 0xFFFFFFFFl (32 - bits)
+
+let parse_addr s : addr =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let octet x =
+        match int_of_string_opt x with
+        | Some n when n >= 0 && n <= 255 -> n
+        | _ -> invalid "invalid IPv4 octet %S in %S" x s
+      in
+      let a = octet a and b = octet b and c = octet c and d = octet d in
+      Int32.logor
+        (Int32.shift_left (Int32.of_int a) 24)
+        (Int32.logor
+           (Int32.shift_left (Int32.of_int b) 16)
+           (Int32.logor (Int32.shift_left (Int32.of_int c) 8) (Int32.of_int d)))
+  | _ -> invalid "invalid IPv4 address %S" s
+
+let addr_to_string (a : addr) =
+  let octet shift =
+    Int32.to_int (Int32.logand (Int32.shift_right_logical a shift) 0xFFl)
+  in
+  Printf.sprintf "%d.%d.%d.%d" (octet 24) (octet 16) (octet 8) (octet 0)
+
+let parse_prefix s : prefix =
+  match String.index_opt s '/' with
+  | None -> invalid "missing '/' in CIDR prefix %S" s
+  | Some i ->
+      let addr_part = String.sub s 0 i in
+      let bits_part = String.sub s (i + 1) (String.length s - i - 1) in
+      let bits =
+        match int_of_string_opt bits_part with
+        | Some n when n >= 0 && n <= 32 -> n
+        | _ -> invalid "invalid prefix length %S" bits_part
+      in
+      let a = parse_addr addr_part in
+      { network = Int32.logand a (mask bits); bits }
+
+let prefix_to_string p =
+  Printf.sprintf "%s/%d" (addr_to_string p.network) p.bits
+
+let is_valid_prefix s =
+  match parse_prefix s with _ -> true | exception Invalid _ -> false
+
+(** Number of addresses in the prefix (2^(32-bits)), capped to max_int. *)
+let size p =
+  let host_bits = 32 - p.bits in
+  if host_bits >= 31 then max_int else 1 lsl host_bits
+
+(** [subnet p ~newbits ~netnum] is Terraform's [cidrsubnet]: carve the
+    [netnum]-th sub-prefix of length [p.bits + newbits] out of [p]. *)
+let subnet p ~newbits ~netnum =
+  let bits = p.bits + newbits in
+  if bits > 32 then invalid "cidrsubnet: prefix length %d exceeds 32" bits;
+  if newbits < 0 then invalid "cidrsubnet: negative newbits";
+  let max_netnum = if newbits >= 31 then max_int else (1 lsl newbits) - 1 in
+  if netnum < 0 || netnum > max_netnum then
+    invalid "cidrsubnet: netnum %d out of range for %d new bits" netnum newbits;
+  let shifted = Int32.shift_left (Int32.of_int netnum) (32 - bits) in
+  { network = Int32.logor p.network shifted; bits }
+
+(** [host p n] is Terraform's [cidrhost]: the [n]-th address in [p]. *)
+let host p n =
+  let host_bits = 32 - p.bits in
+  let max_host = if host_bits >= 31 then max_int else (1 lsl host_bits) - 1 in
+  if n < 0 || n > max_host then
+    invalid "cidrhost: host number %d out of range for /%d" n p.bits;
+  Int32.logor p.network (Int32.of_int n)
+
+let netmask p = mask p.bits
+
+(** Do two prefixes share any address? *)
+let overlaps a b =
+  let bits = min a.bits b.bits in
+  let m = mask bits in
+  Int32.logand a.network m = Int32.logand b.network m
+
+(** Is [inner] entirely contained in [outer]? *)
+let contains ~outer ~inner =
+  inner.bits >= outer.bits
+  && Int32.logand inner.network (mask outer.bits) = outer.network

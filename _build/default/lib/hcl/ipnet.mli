@@ -1,0 +1,45 @@
+(** IPv4 address and CIDR-prefix arithmetic.
+
+    Backs the [cidrsubnet]/[cidrhost]/[cidrnetmask] HCL functions and
+    the address-space validation rules of §3.2. *)
+
+type addr = int32
+(** IPv4 address in host byte order. *)
+
+type prefix = { network : addr; bits : int }
+(** A CIDR prefix; [network] is masked to [bits]. *)
+
+exception Invalid of string
+
+(** Mask with the top [bits] bits set. *)
+val mask : int -> int32
+
+(** Parse dotted-quad notation; raises {!Invalid}. *)
+val parse_addr : string -> addr
+
+val addr_to_string : addr -> string
+
+(** Parse ["10.0.0.0/16"] notation; raises {!Invalid}. *)
+val parse_prefix : string -> prefix
+
+val prefix_to_string : prefix -> string
+
+val is_valid_prefix : string -> bool
+
+(** Number of addresses in the prefix (capped at [max_int]). *)
+val size : prefix -> int
+
+(** Terraform's [cidrsubnet]: the [netnum]-th sub-prefix of length
+    [bits + newbits]. *)
+val subnet : prefix -> newbits:int -> netnum:int -> prefix
+
+(** Terraform's [cidrhost]: the [n]-th address in the prefix. *)
+val host : prefix -> int -> addr
+
+val netmask : prefix -> addr
+
+(** Do two prefixes share any address? *)
+val overlaps : prefix -> prefix -> bool
+
+(** Is [inner] entirely contained in [outer]? *)
+val contains : outer:prefix -> inner:prefix -> bool

@@ -1,0 +1,432 @@
+(** Hand-written lexer for the HCL subset.
+
+    Handles [#], [//] and [/* ... */] comments, decimal integers and
+    floats, identifiers, operators, double-quoted string templates with
+    [${...}] interpolation (lexed recursively so nested strings inside
+    interpolations work), and [<<EOF]/[<<-EOF] heredocs.
+
+    Newlines are significant in HCL (they terminate attribute
+    definitions), so the lexer emits [NEWLINE] tokens; the parser decides
+    where they matter. *)
+
+exception Error of string * Loc.span
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make ~file src = { src; file; pos = 0; line = 1; col = 1 }
+
+let cur_pos st : Loc.pos = { line = st.line; col = st.col; offset = st.pos }
+
+let span_from st (start : Loc.pos) =
+  Loc.make ~file:st.file ~start_pos:start ~end_pos:(cur_pos st)
+
+let error st start msg = raise (Error (msg, span_from st start))
+
+let peek st = if st.pos >= String.length st.src then None else Some st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then None else Some st.src.[st.pos + 1]
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c || c = '-'
+
+(* Skip spaces, tabs, carriage returns and comments.  Newlines are NOT
+   skipped: they become tokens. *)
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r') ->
+      advance st;
+      skip_trivia st
+  | Some '#' ->
+      skip_line_comment st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      skip_line_comment st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      skip_block_comment st;
+      skip_trivia st
+  | _ -> ()
+
+and skip_line_comment st =
+  let rec loop () =
+    match peek st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+        advance st;
+        loop ()
+  in
+  loop ()
+
+and skip_block_comment st =
+  let start = cur_pos st in
+  advance st;
+  advance st;
+  let rec loop () =
+    match (peek st, peek2 st) with
+    | Some '*', Some '/' ->
+        advance st;
+        advance st
+    | None, _ -> error st start "unterminated block comment"
+    | Some _, _ ->
+        advance st;
+        loop ()
+  in
+  loop ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st start =
+  let begin_pos = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float = ref false in
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  let text = String.sub st.src begin_pos (st.pos - begin_pos) in
+  if !is_float then Token.FLOAT (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some n -> Token.INT n
+    | None -> error st start (Printf.sprintf "invalid number %S" text)
+
+(* Lex a full token stream (terminated by EOF). *)
+let rec tokens st : Token.spanned list =
+  let acc = ref [] in
+  let rec loop () =
+    skip_trivia st;
+    let start = cur_pos st in
+    match peek st with
+    | None ->
+        acc := { Token.tok = Token.EOF; span = span_from st start } :: !acc
+    | Some c ->
+        let tok = lex_one st start c in
+        acc := { Token.tok; span = span_from st start } :: !acc;
+        loop ()
+  in
+  loop ();
+  List.rev !acc
+
+and lex_one st start c : Token.t =
+  match c with
+  | '\n' ->
+      advance st;
+      Token.NEWLINE
+  | '{' ->
+      advance st;
+      Token.LBRACE
+  | '}' ->
+      advance st;
+      Token.RBRACE
+  | '[' ->
+      advance st;
+      Token.LBRACKET
+  | ']' ->
+      advance st;
+      Token.RBRACKET
+  | '(' ->
+      advance st;
+      Token.LPAREN
+  | ')' ->
+      advance st;
+      Token.RPAREN
+  | ',' ->
+      advance st;
+      Token.COMMA
+  | ':' ->
+      advance st;
+      Token.COLON
+  | '?' ->
+      advance st;
+      Token.QUESTION
+  | '+' ->
+      advance st;
+      Token.PLUS
+  | '-' ->
+      advance st;
+      Token.MINUS
+  | '*' ->
+      advance st;
+      Token.STAR
+  | '%' ->
+      advance st;
+      Token.PERCENT
+  | '/' ->
+      advance st;
+      Token.SLASH
+  | '.' ->
+      if peek2 st = Some '.' then begin
+        advance st;
+        advance st;
+        match peek st with
+        | Some '.' ->
+            advance st;
+            Token.ELLIPSIS
+        | _ -> error st start "expected '...'"
+      end
+      else begin
+        advance st;
+        Token.DOT
+      end
+  | '=' -> (
+      advance st;
+      match peek st with
+      | Some '=' ->
+          advance st;
+          Token.EQ
+      | Some '>' ->
+          advance st;
+          Token.FATARROW
+      | _ -> Token.ASSIGN)
+  | '!' -> (
+      advance st;
+      match peek st with
+      | Some '=' ->
+          advance st;
+          Token.NEQ
+      | _ -> Token.NOT)
+  | '<' -> (
+      advance st;
+      match peek st with
+      | Some '=' ->
+          advance st;
+          Token.LE
+      | Some '<' ->
+          advance st;
+          lex_heredoc st start
+      | _ -> Token.LT)
+  | '>' -> (
+      advance st;
+      match peek st with
+      | Some '=' ->
+          advance st;
+          Token.GE
+      | _ -> Token.GT)
+  | '&' -> (
+      advance st;
+      match peek st with
+      | Some '&' ->
+          advance st;
+          Token.AND
+      | _ -> error st start "expected '&&'")
+  | '|' -> (
+      advance st;
+      match peek st with
+      | Some '|' ->
+          advance st;
+          Token.OR
+      | _ -> error st start "expected '||'")
+  | '"' ->
+      advance st;
+      Token.QUOTED (lex_string_parts st start)
+  | c when is_digit c -> lex_number st start
+  | c when is_ident_start c -> Token.IDENT (lex_ident st)
+  | c -> error st start (Printf.sprintf "unexpected character %C" c)
+
+(* Body of a double-quoted string, cursor just past the opening quote. *)
+and lex_string_parts st start : Token.str_part list =
+  let buf = Buffer.create 16 in
+  let parts = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      parts := Token.Lit (Buffer.contents buf) :: !parts;
+      Buffer.clear buf
+    end
+  in
+  let rec loop () =
+    match peek st with
+    | None -> error st start "unterminated string"
+    | Some '"' ->
+        advance st;
+        flush ()
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '$' -> Buffer.add_char buf '$'
+        | Some c -> error st start (Printf.sprintf "invalid escape '\\%c'" c)
+        | None -> error st start "unterminated string");
+        advance st;
+        loop ()
+    | Some '$' when peek2 st = Some '{' ->
+        flush ();
+        advance st;
+        advance st;
+        parts := Token.Interp (lex_interp st start) :: !parts;
+        loop ()
+    | Some '\n' -> error st start "newline in string literal"
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  List.rev !parts
+
+(* Tokens of a ${...} interpolation, up to the matching '}'.  Braces nest
+   (e.g. object literals inside interpolations). *)
+and lex_interp st start : Token.spanned list =
+  let acc = ref [] in
+  let depth = ref 0 in
+  let rec loop () =
+    skip_trivia st;
+    let tok_start = cur_pos st in
+    match peek st with
+    | None -> error st start "unterminated interpolation"
+    | Some '}' when !depth = 0 ->
+        advance st;
+        acc := { Token.tok = Token.EOF; span = span_from st tok_start } :: !acc
+    | Some c ->
+        let tok = lex_one st tok_start c in
+        (match tok with
+        | Token.LBRACE -> incr depth
+        | Token.RBRACE -> decr depth
+        | _ -> ());
+        acc := { Token.tok; span = span_from st tok_start } :: !acc;
+        loop ()
+  in
+  loop ();
+  List.rev !acc
+
+(* <<EOF / <<-EOF heredoc; cursor just past "<<". *)
+and lex_heredoc st start : Token.t =
+  let indent_mode =
+    if peek st = Some '-' then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let tag = lex_ident st in
+  if tag = "" then error st start "expected heredoc tag after '<<'";
+  (match peek st with
+  | Some '\n' -> advance st
+  | _ -> error st start "expected newline after heredoc tag");
+  (* Collect raw lines until a line equal to the tag (modulo leading
+     whitespace when in indent mode). *)
+  let lines = ref [] in
+  let buf = Buffer.create 64 in
+  let rec read_line () =
+    match peek st with
+    | None -> error st start "unterminated heredoc"
+    | Some '\n' ->
+        advance st;
+        let l = Buffer.contents buf in
+        Buffer.clear buf;
+        l
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        read_line ()
+  in
+  let strip s = String.trim s in
+  let rec collect () =
+    let l = read_line () in
+    if strip l = tag then ()
+    else begin
+      lines := l :: !lines;
+      collect ()
+    end
+  in
+  collect ();
+  let lines = List.rev !lines in
+  let lines =
+    if not indent_mode then lines
+    else
+      (* <<- strips the common leading whitespace *)
+      let leading s =
+        let n = String.length s in
+        let rec go i = if i < n && (s.[i] = ' ' || s.[i] = '\t') then go (i + 1) else i in
+        go 0
+      in
+      let min_indent =
+        List.fold_left
+          (fun acc l -> if strip l = "" then acc else min acc (leading l))
+          max_int lines
+      in
+      let min_indent = if min_indent = max_int then 0 else min_indent in
+      List.map
+        (fun l ->
+          if String.length l >= min_indent then
+            String.sub l min_indent (String.length l - min_indent)
+          else l)
+        lines
+  in
+  let text = String.concat "\n" lines ^ if lines = [] then "" else "\n" in
+  (* Re-lex the body for ${...} interpolations. *)
+  Token.HEREDOC (template_parts ~file:st.file text)
+
+(* Split raw template text into Lit/Interp parts (used by heredocs). *)
+and template_parts ~file text : Token.str_part list =
+  let st = make ~file text in
+  let buf = Buffer.create 32 in
+  let parts = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      parts := Token.Lit (Buffer.contents buf) :: !parts;
+      Buffer.clear buf
+    end
+  in
+  let rec loop () =
+    match peek st with
+    | None -> flush ()
+    | Some '$' when peek2 st = Some '{' ->
+        flush ();
+        advance st;
+        advance st;
+        parts := Token.Interp (lex_interp st (cur_pos st)) :: !parts;
+        loop ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  List.rev !parts
+
+(** Tokenize a full source file. *)
+let tokenize ~file src = tokens (make ~file src)

@@ -1,0 +1,522 @@
+(** Recursive-descent parser for the HCL subset.
+
+    Grammar summary (after the lexer):
+
+    {v
+    config    ::= (NEWLINE | block)* EOF
+    block     ::= IDENT (IDENT | STRING)* '{' body '}'
+    body      ::= (NEWLINE | attribute | block)*
+    attribute ::= IDENT '=' expr NEWLINE
+    expr      ::= ternary
+    ternary   ::= or ('?' expr ':' expr)?
+    or        ::= and ('||' and)*
+    and       ::= equality ('&&' equality)*
+    equality  ::= compare (('=='|'!=') compare)*
+    compare   ::= additive (('<'|'>'|'<='|'>=') additive)*
+    additive  ::= multiplicative (('+'|'-') multiplicative)*
+    mult      ::= unary (('*'|'/'|'%') unary)*
+    unary     ::= ('-'|'!') unary | postfix
+    postfix   ::= primary ('.' IDENT | '[' expr ']' | '[' '*' ']' '.' IDENT)*
+    primary   ::= literal | ident | call | '(' expr ')' | list | object | for
+    v} *)
+
+exception Error of string * Loc.span
+
+type state = { mutable toks : Token.spanned list; mutable last : Loc.span }
+
+let make toks = { toks; last = Loc.dummy }
+
+let peek st =
+  match st.toks with [] -> Token.EOF | { tok; _ } :: _ -> tok
+
+let peek_span st =
+  match st.toks with [] -> st.last | { span; _ } :: _ -> span
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | { span; _ } :: rest ->
+      st.last <- span;
+      st.toks <- rest
+
+let error st msg = raise (Error (msg, peek_span st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (Token.describe tok)
+         (Token.describe (peek st)))
+
+let skip_newlines st =
+  while peek st = Token.NEWLINE do
+    advance st
+  done
+
+(* Newlines are insignificant inside (), [] and {object} contexts; the
+   expression parser calls this between sub-terms where HCL allows a
+   line break. *)
+let skip_newlines_in_expr = skip_newlines
+
+let rec parse_expr st : Ast.expr = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_or st in
+  if peek st = Token.QUESTION then begin
+    advance st;
+    skip_newlines_in_expr st;
+    let a = parse_expr st in
+    skip_newlines_in_expr st;
+    expect st Token.COLON;
+    skip_newlines_in_expr st;
+    let b = parse_expr st in
+    { Ast.desc = Ast.Cond (c, a, b); espan = Loc.merge c.espan b.espan }
+  end
+  else c
+
+and parse_binop_level st ops next =
+  let left = ref (next st) in
+  let rec loop () =
+    match List.assoc_opt (peek st) ops with
+    | Some op ->
+        advance st;
+        skip_newlines_in_expr st;
+        let right = next st in
+        left :=
+          {
+            Ast.desc = Ast.Binop (op, !left, right);
+            espan = Loc.merge !left.Ast.espan right.Ast.espan;
+          };
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  !left
+
+and parse_or st = parse_binop_level st [ (Token.OR, Ast.Or) ] parse_and
+and parse_and st = parse_binop_level st [ (Token.AND, Ast.And) ] parse_eq
+
+and parse_eq st =
+  parse_binop_level st
+    [ (Token.EQ, Ast.Eq); (Token.NEQ, Ast.Neq) ]
+    parse_compare
+
+and parse_compare st =
+  parse_binop_level st
+    [ (Token.LT, Ast.Lt); (Token.GT, Ast.Gt); (Token.LE, Ast.Le); (Token.GE, Ast.Ge) ]
+    parse_add
+
+and parse_add st =
+  parse_binop_level st [ (Token.PLUS, Ast.Add); (Token.MINUS, Ast.Sub) ] parse_mul
+
+and parse_mul st =
+  parse_binop_level st
+    [ (Token.STAR, Ast.Mul); (Token.SLASH, Ast.Div); (Token.PERCENT, Ast.Mod) ]
+    parse_unary
+
+and parse_unary st =
+  let span = peek_span st in
+  match peek st with
+  | Token.MINUS ->
+      advance st;
+      let e = parse_unary st in
+      { Ast.desc = Ast.Unop (Ast.Neg, e); espan = Loc.merge span e.espan }
+  | Token.NOT ->
+      advance st;
+      let e = parse_unary st in
+      { Ast.desc = Ast.Unop (Ast.Not, e); espan = Loc.merge span e.espan }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let rec loop () =
+    match peek st with
+    | Token.DOT ->
+        advance st;
+        (match peek st with
+        | Token.IDENT name ->
+            advance st;
+            e :=
+              {
+                Ast.desc = Ast.GetAttr (!e, name);
+                espan = Loc.merge !e.Ast.espan st.last;
+              };
+            loop ()
+        | Token.INT n ->
+            (* list element access written with dot syntax, e.g. a.0 *)
+            advance st;
+            let idx = { Ast.desc = Ast.Int n; espan = st.last } in
+            e :=
+              {
+                Ast.desc = Ast.Index (!e, idx);
+                espan = Loc.merge !e.Ast.espan st.last;
+              };
+            loop ()
+        | Token.STAR ->
+            advance st;
+            expect st Token.DOT;
+            (match peek st with
+            | Token.IDENT name ->
+                advance st;
+                e :=
+                  {
+                    Ast.desc = Ast.Splat (!e, name);
+                    espan = Loc.merge !e.Ast.espan st.last;
+                  };
+                loop ()
+            | _ -> error st "expected attribute name after '.*.'")
+        | _ -> error st "expected attribute name after '.'")
+    | Token.LBRACKET -> (
+        advance st;
+        skip_newlines_in_expr st;
+        match peek st with
+        | Token.STAR ->
+            advance st;
+            expect st Token.RBRACKET;
+            expect st Token.DOT;
+            (match peek st with
+            | Token.IDENT name ->
+                advance st;
+                e :=
+                  {
+                    Ast.desc = Ast.Splat (!e, name);
+                    espan = Loc.merge !e.Ast.espan st.last;
+                  };
+                loop ()
+            | _ -> error st "expected attribute name after '[*].'")
+        | _ ->
+            let idx = parse_expr st in
+            skip_newlines_in_expr st;
+            expect st Token.RBRACKET;
+            e :=
+              {
+                Ast.desc = Ast.Index (!e, idx);
+                espan = Loc.merge !e.Ast.espan st.last;
+              };
+            loop ())
+    | _ -> ()
+  in
+  loop ();
+  !e
+
+and parse_primary st =
+  let span = peek_span st in
+  match peek st with
+  | Token.INT n ->
+      advance st;
+      { Ast.desc = Ast.Int n; espan = span }
+  | Token.FLOAT f ->
+      advance st;
+      { Ast.desc = Ast.Float f; espan = span }
+  | Token.QUOTED parts | Token.HEREDOC parts ->
+      advance st;
+      { Ast.desc = Ast.Template (parse_parts ~span parts); espan = span }
+  | Token.IDENT "true" ->
+      advance st;
+      { Ast.desc = Ast.Bool true; espan = span }
+  | Token.IDENT "false" ->
+      advance st;
+      { Ast.desc = Ast.Bool false; espan = span }
+  | Token.IDENT "null" ->
+      advance st;
+      { Ast.desc = Ast.Null; espan = span }
+  | Token.IDENT name ->
+      advance st;
+      if peek st = Token.LPAREN then begin
+        advance st;
+        skip_newlines_in_expr st;
+        let args = ref [] in
+        let expand = ref false in
+        (if peek st <> Token.RPAREN then
+           let rec args_loop () =
+             let a = parse_expr st in
+             args := a :: !args;
+             skip_newlines_in_expr st;
+             match peek st with
+             | Token.COMMA ->
+                 advance st;
+                 skip_newlines_in_expr st;
+                 if peek st <> Token.RPAREN then args_loop ()
+             | Token.ELLIPSIS ->
+                 advance st;
+                 expand := true;
+                 skip_newlines_in_expr st
+             | _ -> ()
+           in
+           args_loop ());
+        expect st Token.RPAREN;
+        {
+          Ast.desc = Ast.Call (name, List.rev !args, !expand);
+          espan = Loc.merge span st.last;
+        }
+      end
+      else { Ast.desc = Ast.Var name; espan = span }
+  | Token.LPAREN ->
+      advance st;
+      skip_newlines_in_expr st;
+      let e = parse_expr st in
+      skip_newlines_in_expr st;
+      expect st Token.RPAREN;
+      { Ast.desc = Ast.Paren e; espan = Loc.merge span st.last }
+  | Token.LBRACKET -> parse_list_or_for st span
+  | Token.LBRACE -> parse_object_or_for st span
+  | t -> error st (Printf.sprintf "unexpected %s in expression" (Token.describe t))
+
+and parse_parts ~span parts =
+  List.map
+    (function
+      | Token.Lit s -> Ast.Lit s
+      | Token.Interp toks ->
+          let sub = make toks in
+          let e = parse_expr sub in
+          skip_newlines sub;
+          if peek sub <> Token.EOF then
+            raise
+              (Error
+                 ( Printf.sprintf "unexpected %s after interpolation"
+                     (Token.describe (peek sub)),
+                   span ));
+          Ast.Interp e)
+    parts
+
+and parse_for_clause st =
+  (* cursor is just past 'for' *)
+  let first =
+    match peek st with
+    | Token.IDENT v ->
+        advance st;
+        v
+    | _ -> error st "expected variable name after 'for'"
+  in
+  let key_var, val_var =
+    if peek st = Token.COMMA then begin
+      advance st;
+      match peek st with
+      | Token.IDENT v ->
+          advance st;
+          (Some first, v)
+      | _ -> error st "expected second variable name in for-expression"
+    end
+    else (None, first)
+  in
+  (match peek st with
+  | Token.IDENT "in" -> advance st
+  | _ -> error st "expected 'in' in for-expression");
+  skip_newlines_in_expr st;
+  let coll = parse_expr st in
+  skip_newlines_in_expr st;
+  expect st Token.COLON;
+  skip_newlines_in_expr st;
+  (key_var, val_var, coll)
+
+and parse_for_cond st =
+  skip_newlines_in_expr st;
+  match peek st with
+  | Token.IDENT "if" ->
+      advance st;
+      skip_newlines_in_expr st;
+      Some (parse_expr st)
+  | _ -> None
+
+and parse_list_or_for st span =
+  advance st;
+  skip_newlines_in_expr st;
+  match peek st with
+  | Token.IDENT "for" ->
+      advance st;
+      let key_var, val_var, coll = parse_for_clause st in
+      let body = parse_expr st in
+      let cond = parse_for_cond st in
+      skip_newlines_in_expr st;
+      expect st Token.RBRACKET;
+      {
+        Ast.desc = Ast.ForList { key_var; val_var; coll; body; cond };
+        espan = Loc.merge span st.last;
+      }
+  | _ ->
+      let items = ref [] in
+      let rec loop () =
+        skip_newlines_in_expr st;
+        if peek st = Token.RBRACKET then ()
+        else begin
+          let e = parse_expr st in
+          items := e :: !items;
+          skip_newlines_in_expr st;
+          match peek st with
+          | Token.COMMA ->
+              advance st;
+              loop ()
+          | Token.RBRACKET -> ()
+          | t ->
+              error st
+                (Printf.sprintf "expected ',' or ']' but found %s"
+                   (Token.describe t))
+        end
+      in
+      loop ();
+      expect st Token.RBRACKET;
+      { Ast.desc = Ast.ListLit (List.rev !items); espan = Loc.merge span st.last }
+
+and parse_object_or_for st span =
+  advance st;
+  skip_newlines_in_expr st;
+  match peek st with
+  | Token.IDENT "for" ->
+      advance st;
+      let key_var, val_var, coll = parse_for_clause st in
+      let key = parse_expr st in
+      skip_newlines_in_expr st;
+      expect st Token.FATARROW;
+      skip_newlines_in_expr st;
+      let value = parse_expr st in
+      let cond = parse_for_cond st in
+      skip_newlines_in_expr st;
+      expect st Token.RBRACE;
+      {
+        Ast.desc = Ast.ForMap ({ key_var; val_var; coll; body = key; cond }, value);
+        espan = Loc.merge span st.last;
+      }
+  | _ ->
+      let kvs = ref [] in
+      let rec loop () =
+        skip_newlines_in_expr st;
+        if peek st = Token.RBRACE then ()
+        else begin
+          let key =
+            match peek st with
+            | Token.IDENT k ->
+                advance st;
+                (* a bare identifier key, unless it's a parenthesised
+                   expression key *)
+                Ast.Kident k
+            | Token.QUOTED [ Token.Lit s ] ->
+                advance st;
+                Ast.Kident s
+            | Token.QUOTED _ | Token.LPAREN ->
+                let e = parse_expr st in
+                Ast.Kexpr e
+            | t ->
+                error st
+                  (Printf.sprintf "expected object key but found %s"
+                     (Token.describe t))
+          in
+          skip_newlines_in_expr st;
+          (match peek st with
+          | Token.ASSIGN | Token.COLON -> advance st
+          | t ->
+              error st
+                (Printf.sprintf "expected '=' or ':' in object but found %s"
+                   (Token.describe t)));
+          skip_newlines_in_expr st;
+          let v = parse_expr st in
+          kvs := (key, v) :: !kvs;
+          skip_newlines_in_expr st;
+          match peek st with
+          | Token.COMMA ->
+              advance st;
+              loop ()
+          | Token.RBRACE -> ()
+          | _ -> loop ()
+        end
+      in
+      loop ();
+      expect st Token.RBRACE;
+      { Ast.desc = Ast.ObjectLit (List.rev !kvs); espan = Loc.merge span st.last }
+
+(* ------------------------------------------------------------------ *)
+(* Blocks and bodies                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_body st : Ast.body =
+  let attrs = ref [] and blocks = ref [] in
+  let rec loop () =
+    skip_newlines st;
+    match peek st with
+    | Token.RBRACE | Token.EOF -> ()
+    | Token.IDENT name -> (
+        let span = peek_span st in
+        advance st;
+        match peek st with
+        | Token.ASSIGN ->
+            advance st;
+            skip_newlines_in_expr st;
+            let value = parse_expr st in
+            attrs :=
+              { Ast.aname = name; avalue = value; aspan = Loc.merge span st.last }
+              :: !attrs;
+            (match peek st with
+            | Token.NEWLINE | Token.RBRACE | Token.EOF -> ()
+            | t ->
+                error st
+                  (Printf.sprintf "expected newline after attribute, found %s"
+                     (Token.describe t)));
+            loop ()
+        | Token.LBRACE | Token.QUOTED _ | Token.IDENT _ ->
+            let b = parse_block_after_type st name span in
+            blocks := b :: !blocks;
+            loop ()
+        | t ->
+            error st
+              (Printf.sprintf "expected '=' or '{' after %S, found %s" name
+                 (Token.describe t)))
+    | t -> error st (Printf.sprintf "unexpected %s in body" (Token.describe t))
+  in
+  loop ();
+  { Ast.attrs = List.rev !attrs; blocks = List.rev !blocks }
+
+and parse_block_after_type st btype span : Ast.block =
+  let labels = ref [] in
+  let rec labels_loop () =
+    match peek st with
+    | Token.QUOTED [ Token.Lit s ] ->
+        advance st;
+        labels := s :: !labels;
+        labels_loop ()
+    | Token.QUOTED _ -> error st "block labels must be literal strings"
+    | Token.IDENT s ->
+        advance st;
+        labels := s :: !labels;
+        labels_loop ()
+    | Token.LBRACE -> ()
+    | t ->
+        error st
+          (Printf.sprintf "expected block label or '{' but found %s"
+             (Token.describe t))
+  in
+  labels_loop ();
+  expect st Token.LBRACE;
+  let body = parse_body st in
+  expect st Token.RBRACE;
+  {
+    Ast.btype;
+    labels = List.rev !labels;
+    bbody = body;
+    bspan = Loc.merge span st.last;
+  }
+
+let parse_config st : Ast.body =
+  let body = parse_body st in
+  skip_newlines st;
+  if peek st <> Token.EOF then
+    error st
+      (Printf.sprintf "unexpected %s at top level" (Token.describe (peek st)));
+  body
+
+(** Parse a configuration file from source text. *)
+let parse ~file src : Ast.body =
+  let toks = Lexer.tokenize ~file src in
+  parse_config (make toks)
+
+(** Parse a single standalone expression (used by the REPL-ish tools and
+    by tests). *)
+let parse_expr_string ?(file = "<expr>") src : Ast.expr =
+  let toks = Lexer.tokenize ~file src in
+  let st = make toks in
+  skip_newlines st;
+  let e = parse_expr st in
+  skip_newlines st;
+  if peek st <> Token.EOF then
+    error st
+      (Printf.sprintf "unexpected %s after expression"
+         (Token.describe (peek st)));
+  e

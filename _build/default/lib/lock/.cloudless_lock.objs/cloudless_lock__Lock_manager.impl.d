@@ -1,0 +1,1 @@
+lib/lock/lock_manager.ml: Cloudless_hcl Hashtbl List

@@ -1,0 +1,1 @@
+lib/lock/team_sim.ml: Cloudless_hcl Cloudless_sim Cloudless_state List Lock_manager Printf Txn

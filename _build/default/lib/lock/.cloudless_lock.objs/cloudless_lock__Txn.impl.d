@@ -1,0 +1,1 @@
+lib/lock/txn.ml: Cloudless_hcl Cloudless_state List

@@ -1,0 +1,1 @@
+lib/lock/txn.mli: Cloudless_hcl Cloudless_state

@@ -1,0 +1,36 @@
+(** Granular locking for concurrent infrastructure updates (§3.4).
+
+    Lock sets are granted atomically (all-or-nothing); waiters queue
+    FIFO among conflicting requests, but a queued request never blocks
+    a later non-conflicting one (no head-of-line blocking across
+    disjoint key sets).  Keys are taken in sorted order internally, so
+    the discipline is deadlock-free. *)
+
+module Addr := Cloudless_hcl.Addr
+
+(** [Global] models today's whole-infrastructure lock; [Per_resource]
+    is the cloudless proposal. *)
+type granularity = Global | Per_resource
+
+type t
+
+val create : granularity -> t
+
+(** Request the locks for [keys] on behalf of [owner]; the callback
+    fires (possibly immediately, possibly later) once all keys are
+    held.  Re-entrant per owner. *)
+val acquire : t -> owner:string -> keys:Addr.t list -> (unit -> unit) -> unit
+
+(** Release every key held by [owner] and wake eligible waiters. *)
+val release : t -> owner:string -> unit
+
+(** Non-queueing variant; [false] = would block. *)
+val try_acquire : t -> owner:string -> keys:Addr.t list -> bool
+
+(** Currently held keys with their owners, sorted. *)
+val holders : t -> (Addr.t * string) list
+
+val queue_length : t -> int
+
+(** (grants, requests that had to queue). *)
+val stats : t -> int * int

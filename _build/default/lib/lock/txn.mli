@@ -1,0 +1,43 @@
+(** Transactions over the golden-state database (§3.4): updates are
+    staged against the logical state under locks (or optimistically)
+    and committed atomically; the physical infrastructure is driven
+    separately. *)
+
+module Addr := Cloudless_hcl.Addr
+module Value := Cloudless_hcl.Value
+module State := Cloudless_state.State
+
+type store = {
+  mutable golden : State.t;
+  mutable commits : int;
+  mutable aborts : int;
+}
+
+val create_store : State.t -> store
+
+type op =
+  | Set_attr of Addr.t * string * Value.t
+  | Remove_resource of Addr.t
+  | Add_resource of State.resource_state
+
+type txn
+
+val begin_txn : store -> owner:string -> txn
+
+(** The owner named at [begin_txn] — the lock-manager identity the
+    transaction's locks are held under. *)
+val owner : txn -> string
+
+val stage : txn -> op -> unit
+
+(** Keys a transaction's locks must cover (deduplicated). *)
+val write_set : txn -> Addr.t list
+
+(** Atomic commit; the caller must hold the write set (2PL). *)
+val commit_locked : store -> txn -> unit
+
+(** Optimistic commit: aborts if anyone committed since [begin_txn]. *)
+val commit_optimistic : store -> txn -> (unit, [ `Conflict ]) result
+
+(** Read the golden state inside a transaction. *)
+val read : store -> Addr.t -> State.resource_state option

@@ -1,0 +1,1 @@
+lib/plan/plan.ml: Cloudless_graph Cloudless_hcl Cloudless_schema Cloudless_state Fmt List Option Printf String

@@ -1,0 +1,330 @@
+(** Deployment planning: diff desired instances against recorded state
+    and produce an executable, dependency-ordered change set (§2.1's
+    "execution plan", §3.3's acceleration substrate).
+
+    Replace decisions use the knowledge base's [force_new] attribute
+    flags, mirroring Terraform's create-before-destroy/replace
+    semantics. *)
+
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Eval = Cloudless_hcl.Eval
+module Smap = Value.Smap
+module State = Cloudless_state.State
+module Dag = Cloudless_graph.Dag
+module Schema = Cloudless_schema
+
+type attr_change = {
+  attr : string;
+  before : Value.t option;
+  after : Value.t option;
+}
+
+type action =
+  | Create
+  | Update of attr_change list
+  | Replace of { changes : attr_change list; reasons : string list }
+  | Delete
+  | Noop
+
+let action_symbol = function
+  | Create -> "+"
+  | Update _ -> "~"
+  | Replace _ -> "-/+"
+  | Delete -> "-"
+  | Noop -> " "
+
+type change = {
+  addr : Addr.t;
+  rtype : string;
+  region : string;
+  action : action;
+  desired : Value.t Smap.t option;  (** None for deletes *)
+  prior : State.resource_state option;  (** None for creates *)
+  deps : Addr.t list;  (** forward dependencies (for create/update) *)
+  cbd : bool;
+      (** lifecycle create_before_destroy: a Replace creates the new
+          resource before deleting the old one *)
+}
+
+type t = {
+  changes : change list;  (** stable order *)
+  default_region : string;
+}
+
+exception Prevented of Addr.t * string
+(** Raised by {!make} when the plan would destroy or replace a resource
+    whose lifecycle sets [prevent_destroy] — Terraform's guard against
+    accidental destruction of critical infrastructure. *)
+
+let is_noop c = c.action = Noop
+
+let actionable t = List.filter (fun c -> not (is_noop c)) t.changes
+
+let count pred t = List.length (List.filter pred (actionable t))
+
+type summary = {
+  to_create : int;
+  to_update : int;
+  to_replace : int;
+  to_delete : int;
+  unchanged : int;
+}
+
+let summarize t =
+  {
+    to_create = count (fun c -> c.action = Create) t;
+    to_update = count (fun c -> match c.action with Update _ -> true | _ -> false) t;
+    to_replace =
+      count (fun c -> match c.action with Replace _ -> true | _ -> false) t;
+    to_delete = count (fun c -> c.action = Delete) t;
+    unchanged = List.length (List.filter is_noop t.changes);
+  }
+
+let is_empty t = actionable t = []
+
+(* ------------------------------------------------------------------ *)
+(* Diffing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let region_of_attrs ~default attrs =
+  match Smap.find_opt "region" attrs with
+  | Some (Value.Vstring r) -> r
+  | _ -> (
+      match Smap.find_opt "location" attrs with
+      | Some (Value.Vstring r) -> r
+      | _ -> default)
+
+(* Compare desired config attrs with prior state attrs.  Only
+   attributes the configuration sets participate; computed attributes
+   and unknowns are skipped (an unknown desired value cannot prove a
+   change). *)
+let diff_attrs ~ignore_changes desired prior_attrs : attr_change list =
+  Smap.fold
+    (fun name dv acc ->
+      if List.mem name ignore_changes then acc
+      else if Value.has_unknown dv then acc
+      else
+        match Smap.find_opt name prior_attrs with
+        | Some pv when Value.equal dv pv -> acc
+        | Some pv -> { attr = name; before = Some pv; after = Some dv } :: acc
+        | None -> { attr = name; before = None; after = Some dv } :: acc)
+    desired []
+  |> List.rev
+
+let force_new_reasons rtype (changes : attr_change list) =
+  match Schema.Catalog.find rtype with
+  | None -> []
+  | Some schema ->
+      let force = Schema.Resource_schema.force_new_attrs schema in
+      List.filter_map
+        (fun c -> if List.mem c.attr force then Some c.attr else None)
+        changes
+
+(** Compute the plan for the full configuration. *)
+let make ?(default_region = "us-east-1") ~(state : State.t)
+    (instances : Eval.instance list) : t =
+  let desired_addrs = List.map (fun (i : Eval.instance) -> i.Eval.addr) instances in
+  let forward =
+    List.map
+      (fun (i : Eval.instance) ->
+        let addr = i.Eval.addr in
+        let rtype = addr.Addr.rtype in
+        let deps =
+          List.sort_uniq Addr.compare (i.Eval.ref_deps @ i.Eval.explicit_deps)
+        in
+        let desired = i.Eval.attrs in
+        let region = region_of_attrs ~default:default_region desired in
+        let cbd = i.Eval.lifecycle.Cloudless_hcl.Config.create_before_destroy in
+        match State.find_opt state addr with
+        | None ->
+            {
+              addr;
+              rtype;
+              region;
+              action = Create;
+              desired = Some desired;
+              prior = None;
+              deps;
+              cbd;
+            }
+        | Some prior ->
+            let ignore_changes = i.Eval.lifecycle.Cloudless_hcl.Config.ignore_changes in
+            let changes =
+              diff_attrs ~ignore_changes desired prior.State.attrs
+            in
+            let action =
+              if changes = [] then Noop
+              else
+                match force_new_reasons rtype changes with
+                | [] -> Update changes
+                | reasons ->
+                    if i.Eval.lifecycle.Cloudless_hcl.Config.prevent_destroy then
+                      raise
+                        (Prevented
+                           ( addr,
+                             Printf.sprintf
+                               "replacement forced by %s, but lifecycle sets \
+                                prevent_destroy"
+                               (String.concat ", " reasons) ))
+                    else Replace { changes; reasons }
+            in
+            {
+              addr;
+              rtype;
+              region = prior.State.region;
+              action;
+              desired = Some desired;
+              prior = Some prior;
+              deps;
+              cbd;
+            })
+      instances
+  in
+  let deletes =
+    State.orphans state desired_addrs
+    |> List.map (fun addr ->
+           let prior = Option.get (State.find_opt state addr) in
+           {
+             addr;
+             rtype = prior.State.rtype;
+             region = prior.State.region;
+             action = Delete;
+             desired = None;
+             prior = Some prior;
+             deps = prior.State.deps;
+             cbd = false;
+           })
+  in
+  { changes = deletes @ forward; default_region }
+
+(* ------------------------------------------------------------------ *)
+(* Execution graph                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Build the execution DAG over actionable changes.
+
+    - create/update/replace nodes depend on their forward dependencies
+      (when those are also in the plan);
+    - delete nodes run in reverse dependency order: a resource is
+      deleted only after everything that depended on it is deleted;
+    - deletes of an address precede a create of the same address (not
+      applicable to Replace, which is atomic here). *)
+let execution_graph (t : t) : change Dag.t =
+  let changes = actionable t in
+  let dag =
+    List.fold_left (fun acc c -> Dag.add_node acc c.addr c) Dag.empty changes
+  in
+  let in_plan addr = Dag.mem dag addr in
+  let resolve dep =
+    (* a dep may be recorded at instance granularity already; fall back
+       to matching all instances sharing the base *)
+    if in_plan dep then [ dep ]
+    else
+      List.filter_map
+        (fun c -> if Addr.same_base c.addr dep then Some c.addr else None)
+        changes
+  in
+  let dag =
+    List.fold_left
+      (fun acc c ->
+        match c.action with
+        | Delete -> acc
+        | Create | Update _ | Replace _ | Noop ->
+            List.fold_left
+              (fun acc dep ->
+                List.fold_left
+                  (fun acc d ->
+                    (* only depend on other non-delete changes *)
+                    match Dag.find_opt acc d with
+                    | Some { action = Delete; _ } -> acc
+                    | Some _ when not (Addr.equal d c.addr) ->
+                        Dag.add_edge acc ~dependent:c.addr ~dependency:d
+                    | _ -> acc)
+                  acc (resolve dep))
+              acc c.deps)
+      dag changes
+  in
+  (* reverse edges among deletes *)
+  let delete_changes = List.filter (fun c -> c.action = Delete) changes in
+  let dag =
+    List.fold_left
+      (fun acc c ->
+        List.fold_left
+          (fun acc dep ->
+            List.fold_left
+              (fun acc d ->
+                match Dag.find_opt acc d with
+                | Some { action = Delete; _ } when not (Addr.equal d c.addr) ->
+                    (* dependency d is deleted after dependent c *)
+                    Dag.add_edge acc ~dependent:d ~dependency:c.addr
+                | _ -> acc)
+              acc (resolve dep))
+          acc c.deps)
+      dag delete_changes
+  in
+  dag
+
+(* ------------------------------------------------------------------ *)
+(* Incremental planning (§3.3)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Given the previous full graph and the set of directly-edited
+    resource addresses, the impact scope is the only part of the
+    configuration whose plan can change.  Returns the scoped address
+    set; the engine then refreshes and replans just those. *)
+let impact_scope ~(graph : 'a Dag.t) ~(edited : Addr.t list) : Addr.Set.t =
+  let seeds =
+    List.fold_left
+      (fun acc a ->
+        if Dag.mem graph a then Addr.Set.add a acc
+        else
+          (* edited base address: include all its instances *)
+          List.fold_left
+            (fun acc node ->
+              if Addr.same_base node a then Addr.Set.add node acc else acc)
+            acc (Dag.nodes graph))
+      Addr.Set.empty edited
+  in
+  Dag.impact_scope graph seeds
+
+(** Restrict a plan to an address set (everything else forced to Noop).
+    Used by the incremental engine after scoping. *)
+let restrict (t : t) (keep : Addr.Set.t) : t =
+  {
+    t with
+    changes =
+      List.map
+        (fun c ->
+          if Addr.Set.mem c.addr keep then c else { c with action = Noop })
+        t.changes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_change ppf c =
+  match c.action with
+  | Noop -> ()
+  | Create -> Fmt.pf ppf "  + %s@." (Addr.to_string c.addr)
+  | Delete -> Fmt.pf ppf "  - %s@." (Addr.to_string c.addr)
+  | Update changes ->
+      Fmt.pf ppf "  ~ %s@." (Addr.to_string c.addr);
+      List.iter
+        (fun ch ->
+          Fmt.pf ppf "      %s: %s -> %s@." ch.attr
+            (match ch.before with Some v -> Value.show v | None -> "(none)")
+            (match ch.after with Some v -> Value.show v | None -> "(none)"))
+        changes
+  | Replace { reasons; _ } ->
+      Fmt.pf ppf "  -/+ %s (forces replacement: %s)@." (Addr.to_string c.addr)
+        (String.concat ", " reasons)
+
+let pp ppf t =
+  let s = summarize t in
+  List.iter (pp_change ppf) t.changes;
+  Fmt.pf ppf "Plan: %d to add, %d to change, %d to replace, %d to destroy.@."
+    s.to_create s.to_update s.to_replace s.to_delete
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,1 @@
+lib/policy/controller.ml: Cloudless_hcl Cloudless_plan Cloudless_state Cost_model List Policy String

@@ -1,0 +1,1 @@
+lib/policy/cost_model.ml: Cloudless_plan Cloudless_state List Option

@@ -1,0 +1,1 @@
+lib/policy/cost_model.mli: Cloudless_plan Cloudless_state

@@ -1,0 +1,1 @@
+lib/policy/policy.ml: Cloudless_hcl Fmt List Printf

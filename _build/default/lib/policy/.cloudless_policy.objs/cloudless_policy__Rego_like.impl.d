@@ -1,0 +1,1 @@
+lib/policy/rego_like.ml: Cloudless_hcl List Printf

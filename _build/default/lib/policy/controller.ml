@@ -1,0 +1,176 @@
+(** The infrastructure controller (§3.6): "analogous to an SDN
+    controller ... allowing users to enforce different policies as
+    needed" across the lifecycle.
+
+    The controller holds the policy set; at each lifecycle phase the
+    caller provides the phase's observation context and, depending on
+    the phase, either a plan (admission control) or a configuration
+    (actions evolve the IaC program, which the caller then replans and
+    redeploys — policies never touch the cloud directly). *)
+
+module Hcl = Cloudless_hcl
+module Value = Hcl.Value
+module Smap = Value.Smap
+module Plan = Cloudless_plan.Plan
+module State = Cloudless_state.State
+
+type t = {
+  policies : Policy.t list;
+  mutable evaluations : int;
+  mutable fired : int;
+  mutable notifications : string list;  (** newest first *)
+}
+
+let create policies =
+  { policies; evaluations = 0; fired = 0; notifications = [] }
+
+let of_source ~file src = create (Policy.parse ~file src)
+
+let notifications t = List.rev t.notifications
+
+type tick_result = {
+  decisions : Policy.decision list;
+  denied : string option;  (** first deny message, if any *)
+  new_config : Hcl.Config.t option;  (** rewritten config, when it changed *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Built-in observations                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Standard observations derivable from state + plan; experiment
+    harnesses extend this with scenario metrics (VPN throughput, NIC
+    load, ...). *)
+let standard_obs ?(state = State.empty) ?plan ?(extra = []) () : Policy.obs =
+  let count_by_type =
+    List.fold_left
+      (fun acc (r : State.resource_state) ->
+        Smap.update r.State.rtype
+          (fun v -> Some (Value.Vint (1 + match v with Some (Value.Vint n) -> n | _ -> 0)))
+          acc)
+      Smap.empty (State.resources state)
+  in
+  let base =
+    [
+      ("resource_count", Value.Vint (State.size state));
+      ("count_by_type", Value.Vmap count_by_type);
+      ("hourly_cost", Value.Vfloat (Cost_model.of_state state));
+    ]
+  in
+  let plan_obs =
+    match plan with
+    | None -> []
+    | Some p ->
+        let s = Plan.summarize p in
+        [
+          ("plan_creates", Value.Vint s.Plan.to_create);
+          ("plan_updates", Value.Vint s.Plan.to_update);
+          ("plan_replaces", Value.Vint s.Plan.to_replace);
+          ("plan_deletes", Value.Vint s.Plan.to_delete);
+          ("plan_cost_delta", Value.Vfloat (Cost_model.delta_of_plan p));
+          ( "projected_cost",
+            Value.Vfloat (Cost_model.of_state state +. Cost_model.delta_of_plan p)
+          );
+        ]
+  in
+  Policy.obs_of_list (base @ plan_obs @ extra)
+
+(* ------------------------------------------------------------------ *)
+(* Config rewriting (actions)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let split_target target =
+  match String.index_opt target '.' with
+  | Some i ->
+      ( String.sub target 0 i,
+        String.sub target (i + 1) (String.length target - i - 1) )
+  | None -> (target, "")
+
+(** Apply one decision to a configuration, returning the updated
+    configuration and whether anything changed. *)
+let apply_decision (cfg : Hcl.Config.t) (d : Policy.decision) :
+    Hcl.Config.t * bool =
+  match d with
+  | Policy.D_set_count { target; count } ->
+      let rtype, rname = split_target target in
+      let changed = ref false in
+      let resources =
+        List.map
+          (fun (r : Hcl.Config.resource) ->
+            if r.Hcl.Config.rtype = rtype && r.Hcl.Config.rname = rname then begin
+              changed := true;
+              { r with Hcl.Config.rcount = Some (Hcl.Ast.mk (Hcl.Ast.Int count)) }
+            end
+            else r)
+          cfg.Hcl.Config.resources
+      in
+      ({ cfg with Hcl.Config.resources }, !changed)
+  | Policy.D_set_attr { target; attr; value } ->
+      let rtype, rname = split_target target in
+      let changed = ref false in
+      let resources =
+        List.map
+          (fun (r : Hcl.Config.resource) ->
+            if r.Hcl.Config.rtype = rtype && r.Hcl.Config.rname = rname then begin
+              changed := true;
+              let expr = Hcl.Codec.value_to_expr value in
+              let attrs =
+                List.filter
+                  (fun (a : Hcl.Ast.attribute) -> a.Hcl.Ast.aname <> attr)
+                  r.Hcl.Config.rbody.Hcl.Ast.attrs
+                @ [ { Hcl.Ast.aname = attr; avalue = expr; aspan = Hcl.Loc.dummy } ]
+              in
+              {
+                r with
+                Hcl.Config.rbody = { r.Hcl.Config.rbody with Hcl.Ast.attrs };
+              }
+            end
+            else r)
+          cfg.Hcl.Config.resources
+      in
+      ({ cfg with Hcl.Config.resources }, !changed)
+  | Policy.D_deny _ | Policy.D_notify _ -> (cfg, false)
+
+(** Run all policies registered for [phase].
+
+    [config] is required for phases whose actions evolve the program;
+    the result carries the rewritten configuration when any action
+    changed it. *)
+let tick t ~phase ~(obs : Policy.obs) ?config () : tick_result =
+  let fired =
+    List.filter
+      (fun (p : Policy.t) ->
+        p.Policy.phase = phase
+        &&
+        (t.evaluations <- t.evaluations + 1;
+         Policy.triggered p obs))
+      t.policies
+  in
+  t.fired <- t.fired + List.length fired;
+  let decisions = List.concat_map (fun p -> Policy.decide p obs) fired in
+  let denied =
+    List.find_map
+      (function Policy.D_deny msg -> Some msg | _ -> None)
+      decisions
+  in
+  List.iter
+    (function
+      | Policy.D_notify msg -> t.notifications <- msg :: t.notifications
+      | _ -> ())
+    decisions;
+  let new_config =
+    match config with
+    | None -> None
+    | Some cfg ->
+        let cfg', any =
+          List.fold_left
+            (fun (cfg, any) d ->
+              let cfg', changed = apply_decision cfg d in
+              (cfg', any || changed))
+            (cfg, false) decisions
+        in
+        if any then Some cfg' else None
+  in
+  { decisions; denied; new_config }
+
+let stats t = (t.evaluations, t.fired)

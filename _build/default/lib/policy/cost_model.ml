@@ -1,0 +1,50 @@
+(** Simple hourly cost model for budget policies (§3.6: "an enterprise
+    may require autoscaling policies while ensuring that their
+    infrastructure does not exceed their budget").
+
+    Prices are indicative USD/hour figures for small instance classes;
+    the absolute values only matter relative to each other. *)
+
+module State = Cloudless_state.State
+module Plan = Cloudless_plan.Plan
+
+let hourly : (string * float) list =
+  [
+    ("aws_instance", 0.0208);
+    ("aws_virtual_machine", 0.0208);
+    ("aws_nat_gateway", 0.045);
+    ("aws_lb", 0.0225);
+    ("aws_db_instance", 0.171);
+    ("aws_elasticache_cluster", 0.068);
+    ("aws_vpn_gateway", 0.05);
+    ("aws_vpn_connection", 0.05);
+    ("aws_eip", 0.005);
+    ("aws_ebs_volume", 0.011);
+    ("aws_dynamodb_table", 0.01);
+    ("aws_lambda_function", 0.002);
+    ("aws_autoscaling_group", 0.0);
+    ("azurerm_linux_virtual_machine", 0.023);
+    ("azurerm_virtual_machine", 0.023);
+    ("azurerm_virtual_network_gateway", 0.10);
+    ("azurerm_lb", 0.025);
+    ("azurerm_sql_database", 0.15);
+    ("azurerm_storage_account", 0.01);
+  ]
+
+let of_rtype rtype = Option.value ~default:0. (List.assoc_opt rtype hourly)
+
+(** Estimated hourly cost of everything in state. *)
+let of_state (state : State.t) =
+  List.fold_left
+    (fun acc (r : State.resource_state) -> acc +. of_rtype r.State.rtype)
+    0. (State.resources state)
+
+(** Hourly cost delta a plan would introduce. *)
+let delta_of_plan (plan : Plan.t) =
+  List.fold_left
+    (fun acc (c : Plan.change) ->
+      match c.Plan.action with
+      | Plan.Create -> acc +. of_rtype c.Plan.rtype
+      | Plan.Delete -> acc -. of_rtype c.Plan.rtype
+      | Plan.Update _ | Plan.Replace _ | Plan.Noop -> acc)
+    0. plan.Plan.changes

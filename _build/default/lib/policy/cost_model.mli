@@ -1,0 +1,11 @@
+(** Hourly cost model backing budget policies (§3.6). *)
+
+(** Indicative USD/hour for a resource type (0 when unknown). *)
+val of_rtype : string -> float
+
+(** Estimated hourly cost of everything in state. *)
+val of_state : Cloudless_state.State.t -> float
+
+(** Hourly cost delta a plan would introduce (creates add, deletes
+    subtract). *)
+val delta_of_plan : Cloudless_plan.Plan.t -> float

@@ -1,0 +1,1 @@
+lib/rollback/rollback.ml: Cloudless_hcl Cloudless_plan Cloudless_schema Cloudless_state List Option String

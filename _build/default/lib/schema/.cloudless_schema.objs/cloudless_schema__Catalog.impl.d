@@ -1,0 +1,1 @@
+lib/schema/catalog.ml: Hashtbl List Resource_schema Semantic_type String

@@ -1,0 +1,1 @@
+lib/schema/cloud_rules.ml: Cloudless_hcl Cloudless_sim List Printf

@@ -1,0 +1,1 @@
+lib/schema/mining.ml: Cloudless_hcl Hashtbl List Option Printf Resource_schema Semantic_type String

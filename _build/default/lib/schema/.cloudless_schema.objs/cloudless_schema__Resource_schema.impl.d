@@ -1,0 +1,1 @@
+lib/schema/resource_schema.ml: List Semantic_type

@@ -1,0 +1,1 @@
+lib/schema/rules.ml: Cloudless_hcl Fmt List String

@@ -1,0 +1,1 @@
+lib/schema/semantic_type.ml: Cloudless_hcl List Printf String

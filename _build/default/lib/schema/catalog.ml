@@ -1,0 +1,508 @@
+(** The resource-type knowledge base (§3.2).
+
+    A registry of {!Resource_schema.t} covering the AWS-flavoured and
+    Azure-flavoured types used across the examples, workloads and
+    benches.  §3.2 argues this knowledge base should be *derived and
+    continuously updated* from documentation and usage; {!Mining} adds
+    learned entries at runtime via {!register}. *)
+
+open Resource_schema
+module T = Semantic_type
+
+let std_computed =
+  [
+    attr ~computed:true "id" T.Str;
+    attr ~computed:true "arn" T.Str;
+  ]
+
+let a = attr
+
+let aws : Resource_schema.t list =
+  [
+    make ~rtype:"aws_vpc" ~provider:"aws" ~doc:"Virtual private cloud"
+      (std_computed
+      @ [
+          a ~required:true ~force_new:true "cidr_block" T.Cidr;
+          a "region" T.Region;
+          a "enable_dns" T.Bool;
+          a "name" T.Name;
+          a "tags" (T.Map_of T.Str);
+        ]);
+    make ~rtype:"aws_subnet" ~provider:"aws" ~doc:"VPC subnet"
+      (std_computed
+      @ [
+          a ~required:true ~force_new:true "vpc_id" (T.Resource_id "aws_vpc");
+          a ~required:true ~force_new:true "cidr_block" T.Cidr;
+          a "region" T.Region;
+          a ~force_new:true "availability_zone" T.Str;
+          a "tags" (T.Map_of T.Str);
+        ]);
+    make ~rtype:"aws_internet_gateway" ~provider:"aws" ~doc:"Internet gateway"
+      (std_computed
+      @ [
+          a ~required:true "vpc_id" (T.Resource_id "aws_vpc");
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_nat_gateway" ~provider:"aws" ~doc:"NAT gateway"
+      (std_computed
+      @ [
+          a ~required:true ~force_new:true "subnet_id" (T.Resource_id "aws_subnet");
+          a "allocation_id" (T.Resource_id "aws_eip");
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_eip" ~provider:"aws" ~doc:"Elastic IP"
+      (std_computed
+      @ [ a "vpc" T.Bool; a "region" T.Region;
+          a ~computed:true "public_ip" T.Ip_address ]);
+    make ~rtype:"aws_route_table" ~provider:"aws" ~doc:"Route table"
+      (std_computed
+      @ [
+          a ~required:true "vpc_id" (T.Resource_id "aws_vpc");
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_route" ~provider:"aws" ~doc:"Route entry"
+      (std_computed
+      @ [
+          a ~required:true "route_table_id" (T.Resource_id "aws_route_table");
+          a ~required:true "destination_cidr_block" T.Cidr;
+          a "gateway_id" (T.Resource_id "aws_internet_gateway");
+          a "nat_gateway_id" (T.Resource_id "aws_nat_gateway");
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_security_group" ~provider:"aws" ~doc:"Security group"
+      (std_computed
+      @ [
+          a "name" T.Name;
+          a ~required:true "vpc_id" (T.Resource_id "aws_vpc");
+          a "region" T.Region;
+          a "description" T.Str;
+        ]);
+    make ~rtype:"aws_security_group_rule" ~provider:"aws"
+      ~doc:"Security group rule"
+      (std_computed
+      @ [
+          a ~required:true "security_group_id" (T.Resource_id "aws_security_group");
+          a ~required:true "type" (T.Enum [ "ingress"; "egress" ]);
+          a ~required:true "from_port" T.Port;
+          a ~required:true "to_port" T.Port;
+          a ~required:true "protocol" T.Protocol;
+          a "cidr_blocks" (T.List_of T.Cidr);
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_network_interface" ~provider:"aws" ~doc:"Network interface"
+      (std_computed
+      @ [
+          a "name" T.Name;
+          a "subnet_id" (T.Resource_id "aws_subnet");
+          a "location" T.Region;
+          a "region" T.Region;
+          a "private_ip" T.Ip_address;
+          a "security_groups" (T.List_of (T.Resource_id "aws_security_group"));
+        ]);
+    make ~rtype:"aws_instance" ~provider:"aws" ~doc:"EC2 instance"
+      (std_computed
+      @ [
+          a ~required:true ~force_new:true "ami" T.Str;
+          a ~required:true "instance_type" T.Str;
+          a ~force_new:true "subnet_id" (T.Resource_id "aws_subnet");
+          a "region" T.Region;
+          a "vpc_security_group_ids" (T.List_of (T.Resource_id "aws_security_group"));
+          a "tags" (T.Map_of T.Str);
+          a ~computed:true "private_ip" T.Ip_address;
+          a ~computed:true "public_ip" T.Ip_address;
+          a "user_data" T.Str;
+        ]);
+    make ~rtype:"aws_virtual_machine" ~provider:"aws"
+      ~doc:"Simplified VM (the paper's Figure 2 type)"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a "nic_ids" (T.List_of (T.Resource_id "aws_network_interface"));
+          a "location" T.Region;
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_launch_template" ~provider:"aws" ~doc:"Launch template"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "image_id" T.Str;
+          a "instance_type" T.Str;
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_autoscaling_group" ~provider:"aws" ~doc:"Auto-scaling group"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "min_size" T.Int;
+          a ~required:true "max_size" T.Int;
+          a "desired_capacity" T.Int;
+          a "launch_template_id" (T.Resource_id "aws_launch_template");
+          a "subnet_ids" (T.List_of (T.Resource_id "aws_subnet"));
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_lb" ~provider:"aws" ~doc:"Load balancer"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a "internal" T.Bool;
+          a "subnet_ids" (T.List_of (T.Resource_id "aws_subnet"));
+          a "security_groups" (T.List_of (T.Resource_id "aws_security_group"));
+          a "region" T.Region;
+          a ~computed:true "dns_name" T.Str;
+        ]);
+    make ~rtype:"aws_lb_target_group" ~provider:"aws" ~doc:"LB target group"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "port" T.Port;
+          a ~required:true "protocol" T.Protocol;
+          a ~required:true "vpc_id" (T.Resource_id "aws_vpc");
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_lb_listener" ~provider:"aws" ~doc:"LB listener"
+      (std_computed
+      @ [
+          a ~required:true "load_balancer_id" (T.Resource_id "aws_lb");
+          a ~required:true "port" T.Port;
+          a "protocol" T.Protocol;
+          a "target_group_id" (T.Resource_id "aws_lb_target_group");
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_vpn_gateway" ~provider:"aws" ~doc:"VPN gateway"
+      (std_computed
+      @ [
+          a ~required:true "vpc_id" (T.Resource_id "aws_vpc");
+          a "region" T.Region;
+          a "capacity_mbps" T.Int;
+        ]);
+    make ~rtype:"aws_vpn_connection" ~provider:"aws" ~doc:"VPN tunnel"
+      (std_computed
+      @ [
+          a ~required:true "vpn_gateway_id" (T.Resource_id "aws_vpn_gateway");
+          a ~required:true "customer_ip" T.Ip_address;
+          a "region" T.Region;
+          a "bandwidth_mbps" T.Int;
+        ]);
+    make ~rtype:"aws_vpc_peering_connection" ~provider:"aws" ~doc:"VPC peering"
+      (std_computed
+      @ [
+          a ~required:true "vpc_id" (T.Resource_id "aws_vpc");
+          a ~required:true "peer_vpc_id" (T.Resource_id "aws_vpc");
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_route53_zone" ~provider:"aws" ~doc:"DNS zone"
+      (std_computed @ [ a ~required:true "name" T.Str; a "region" T.Region ]);
+    make ~rtype:"aws_route53_record" ~provider:"aws" ~doc:"DNS record"
+      (std_computed
+      @ [
+          a ~required:true "zone_id" (T.Resource_id "aws_route53_zone");
+          a ~required:true "name" T.Str;
+          a ~required:true "type" (T.Enum [ "A"; "AAAA"; "CNAME"; "TXT"; "MX" ]);
+          a "records" (T.List_of T.Str);
+          a "ttl" T.Int;
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_s3_bucket" ~provider:"aws" ~doc:"Object storage bucket"
+      (std_computed
+      @ [
+          a ~required:true ~force_new:true "bucket" T.Name;
+          a "region" T.Region;
+          a "versioning" T.Bool;
+          a "tags" (T.Map_of T.Str);
+        ]);
+    make ~rtype:"aws_s3_bucket_policy" ~provider:"aws" ~doc:"Bucket policy"
+      (std_computed
+      @ [
+          a ~required:true "bucket_id" (T.Resource_id "aws_s3_bucket");
+          a ~required:true "policy" T.Str;
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_ebs_volume" ~provider:"aws" ~doc:"Block volume"
+      (std_computed
+      @ [
+          a ~required:true "size_gb" T.Int;
+          a ~force_new:true "availability_zone" T.Str;
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_db_subnet_group" ~provider:"aws" ~doc:"DB subnet group"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "subnet_ids" (T.List_of (T.Resource_id "aws_subnet"));
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_db_instance" ~provider:"aws" ~doc:"Managed database"
+      (std_computed
+      @ [
+          a ~required:true "identifier" T.Name;
+          a ~required:true ~force_new:true "engine"
+            (T.Enum [ "postgres"; "mysql"; "mariadb" ]);
+          a ~required:true "instance_class" T.Str;
+          a "allocated_storage" T.Int;
+          a "db_subnet_group_id" (T.Resource_id "aws_db_subnet_group");
+          a "security_group_ids" (T.List_of (T.Resource_id "aws_security_group"));
+          a "region" T.Region;
+          a "multi_az" T.Bool;
+          a ~computed:true "endpoint" T.Str;
+        ]);
+    make ~rtype:"aws_elasticache_cluster" ~provider:"aws" ~doc:"Cache cluster"
+      (std_computed
+      @ [
+          a ~required:true "cluster_id" T.Name;
+          a ~required:true "engine" (T.Enum [ "redis"; "memcached" ]);
+          a "node_type" T.Str;
+          a "num_nodes" T.Int;
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_dynamodb_table" ~provider:"aws" ~doc:"NoSQL table"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "hash_key" T.Str;
+          a "billing_mode" (T.Enum [ "PROVISIONED"; "PAY_PER_REQUEST" ]);
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_iam_role" ~provider:"aws" ~doc:"IAM role"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "assume_role_policy" T.Str;
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_iam_policy" ~provider:"aws" ~doc:"IAM policy"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "policy" T.Str;
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_iam_role_policy_attachment" ~provider:"aws"
+      ~doc:"Role/policy attachment"
+      (std_computed
+      @ [
+          a ~required:true "role_id" (T.Resource_id "aws_iam_role");
+          a ~required:true "policy_id" (T.Resource_id "aws_iam_policy");
+          a "region" T.Region;
+        ]);
+    make ~rtype:"aws_lambda_function" ~provider:"aws" ~doc:"Serverless function"
+      (std_computed
+      @ [
+          a ~required:true "function_name" T.Name;
+          a ~required:true "runtime" T.Str;
+          a ~required:true "handler" T.Str;
+          a "role_id" (T.Resource_id "aws_iam_role");
+          a "memory_mb" T.Int;
+          a "region" T.Region;
+        ]);
+  ]
+
+let azure : Resource_schema.t list =
+  [
+    make ~rtype:"azurerm_resource_group" ~provider:"azurerm"
+      ~doc:"Resource group"
+      (std_computed
+      @ [ a ~required:true "name" T.Name; a ~required:true "location" T.Region ]);
+    make ~rtype:"azurerm_virtual_network" ~provider:"azurerm"
+      ~doc:"Virtual network"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "location" T.Region;
+          a ~required:true "resource_group_id" (T.Resource_id "azurerm_resource_group");
+          a ~required:true "address_space" (T.List_of T.Cidr);
+        ]);
+    make ~rtype:"azurerm_subnet" ~provider:"azurerm" ~doc:"Subnet"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "virtual_network_id" (T.Resource_id "azurerm_virtual_network");
+          a ~required:true "address_prefix" T.Cidr;
+        ]);
+    make ~rtype:"azurerm_network_interface" ~provider:"azurerm"
+      ~doc:"Network interface card"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "location" T.Region;
+          a "subnet_id" (T.Resource_id "azurerm_subnet");
+          a "private_ip" T.Ip_address;
+        ]);
+    make ~rtype:"azurerm_linux_virtual_machine" ~provider:"azurerm"
+      ~doc:"Linux virtual machine"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "location" T.Region;
+          a ~required:true "size" T.Str;
+          a ~required:true "nic_ids" (T.List_of (T.Resource_id "azurerm_network_interface"));
+          a "admin_password" T.Str;
+          a "disable_password" T.Bool;
+        ]);
+    make ~rtype:"azurerm_public_ip" ~provider:"azurerm" ~doc:"Public IP"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "location" T.Region;
+          a "allocation" (T.Enum [ "Static"; "Dynamic" ]);
+        ]);
+    make ~rtype:"azurerm_network_security_group" ~provider:"azurerm"
+      ~doc:"Network security group"
+      (std_computed
+      @ [ a ~required:true "name" T.Name; a ~required:true "location" T.Region ]);
+    make ~rtype:"azurerm_lb" ~provider:"azurerm" ~doc:"Load balancer"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "location" T.Region;
+          a "frontend_ip_id" (T.Resource_id "azurerm_public_ip");
+        ]);
+    make ~rtype:"azurerm_virtual_network_gateway" ~provider:"azurerm"
+      ~doc:"VPN gateway"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "location" T.Region;
+          a "vnet_id" (T.Resource_id "azurerm_virtual_network");
+          a "sku" T.Str;
+        ]);
+    make ~rtype:"azurerm_virtual_network_peering" ~provider:"azurerm"
+      ~doc:"VNet peering"
+      (std_computed
+      @ [
+          a ~required:true "vnet_id" (T.Resource_id "azurerm_virtual_network");
+          a ~required:true "remote_vnet_id" (T.Resource_id "azurerm_virtual_network");
+        ]);
+    make ~rtype:"azurerm_storage_account" ~provider:"azurerm"
+      ~doc:"Storage account"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "location" T.Region;
+          a "tier" (T.Enum [ "Standard"; "Premium" ]);
+        ]);
+    make ~rtype:"azurerm_sql_database" ~provider:"azurerm" ~doc:"SQL database"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "location" T.Region;
+          a "sku" T.Str;
+        ]);
+  ]
+
+let gcp : Resource_schema.t list =
+  [
+    make ~rtype:"google_compute_network" ~provider:"google" ~doc:"VPC network"
+      (std_computed
+      @ [
+          a ~required:true ~force_new:true "name" T.Name;
+          a "auto_create_subnetworks" T.Bool;
+          a "region" T.Region;
+        ]);
+    make ~rtype:"google_compute_subnetwork" ~provider:"google" ~doc:"Subnetwork"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "network" (T.Resource_id "google_compute_network");
+          a ~required:true ~force_new:true "ip_cidr_range" T.Cidr;
+          a ~required:true "region" T.Region;
+        ]);
+    make ~rtype:"google_compute_instance" ~provider:"google" ~doc:"VM instance"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "machine_type" T.Str;
+          a ~required:true "zone" T.Str;
+          a "subnetwork" (T.Resource_id "google_compute_subnetwork");
+          a "region" T.Region;
+          a "labels" (T.Map_of T.Str);
+        ]);
+    make ~rtype:"google_compute_firewall" ~provider:"google" ~doc:"Firewall rule"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "network" (T.Resource_id "google_compute_network");
+          a "source_ranges" (T.List_of T.Cidr);
+          a "region" T.Region;
+        ]);
+    make ~rtype:"google_compute_address" ~provider:"google" ~doc:"Static IP"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a "region" T.Region;
+          a ~computed:true "address" T.Ip_address;
+        ]);
+    make ~rtype:"google_compute_router" ~provider:"google" ~doc:"Cloud router"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "network" (T.Resource_id "google_compute_network");
+          a ~required:true "region" T.Region;
+        ]);
+    make ~rtype:"google_sql_database_instance" ~provider:"google"
+      ~doc:"Cloud SQL instance"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true ~force_new:true "database_version"
+            (T.Enum [ "POSTGRES_15"; "MYSQL_8_0" ]);
+          a ~required:true "tier" T.Str;
+          a ~required:true "region" T.Region;
+          a ~computed:true "connection_name" T.Str;
+        ]);
+    make ~rtype:"google_storage_bucket" ~provider:"google" ~doc:"GCS bucket"
+      (std_computed
+      @ [
+          a ~required:true ~force_new:true "name" T.Name;
+          a ~required:true "location" T.Region;
+          a "versioning" T.Bool;
+        ]);
+    make ~rtype:"google_container_cluster" ~provider:"google" ~doc:"GKE cluster"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "location" T.Region;
+          a "network" (T.Resource_id "google_compute_network");
+          a "initial_node_count" T.Int;
+          a ~computed:true "endpoint" T.Ip_address;
+        ]);
+    make ~rtype:"google_pubsub_topic" ~provider:"google" ~doc:"Pub/Sub topic"
+      (std_computed @ [ a ~required:true "name" T.Name; a "region" T.Region ]);
+    make ~rtype:"google_cloudfunctions_function" ~provider:"google"
+      ~doc:"Cloud Function"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "runtime" T.Str;
+          a ~required:true "entry_point" T.Str;
+          a "region" T.Region;
+          a "available_memory_mb" T.Int;
+        ]);
+    make ~rtype:"google_dns_managed_zone" ~provider:"google" ~doc:"DNS zone"
+      (std_computed
+      @ [
+          a ~required:true "name" T.Name;
+          a ~required:true "dns_name" T.Str;
+          a "region" T.Region;
+        ]);
+  ]
+
+(* Runtime registry so mining / tests can extend the knowledge base. *)
+let registry : (string, Resource_schema.t) Hashtbl.t = Hashtbl.create 64
+
+let register schema = Hashtbl.replace registry schema.rtype schema
+
+let () = List.iter register (aws @ azure @ gcp)
+
+let find rtype = Hashtbl.find_opt registry rtype
+
+let known_types () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort String.compare
+
+let is_known rtype = Hashtbl.mem registry rtype
+
+(** Schemas whose type belongs to [provider]. *)
+let of_provider provider =
+  Hashtbl.fold
+    (fun _ s acc -> if s.provider = provider then s :: acc else acc)
+    registry []
+  |> List.sort (fun a b -> String.compare a.rtype b.rtype)

@@ -1,0 +1,38 @@
+(** Per-resource-type schemas: the typed vocabulary of the knowledge
+    base. *)
+
+type attr = {
+  aname : string;
+  aty : Semantic_type.t;
+  required : bool;
+  computed : bool;  (** set by the cloud, not the user (e.g. [id]) *)
+  force_new : bool;  (** changing it requires destroy + recreate *)
+}
+
+let attr ?(required = false) ?(computed = false) ?(force_new = false) aname aty
+    =
+  { aname; aty; required; computed; force_new }
+
+type t = {
+  rtype : string;
+  provider : string;
+  doc : string;
+  attrs : attr list;
+}
+
+let make ~rtype ~provider ~doc attrs = { rtype; provider; doc; attrs }
+
+let find_attr t name = List.find_opt (fun a -> a.aname = name) t.attrs
+
+let required_attrs t = List.filter (fun a -> a.required) t.attrs
+
+let force_new_attrs t =
+  List.filter (fun a -> a.force_new) t.attrs |> List.map (fun a -> a.aname)
+
+(** Attributes a user may set (not computed). *)
+let settable_attrs t = List.filter (fun a -> not a.computed) t.attrs
+
+(** Attribute names the cloud computes; the importer of §3.1 strips
+    these when porting cloud state to IaC. *)
+let computed_attr_names t =
+  List.filter (fun a -> a.computed) t.attrs |> List.map (fun a -> a.aname)

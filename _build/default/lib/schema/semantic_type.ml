@@ -1,0 +1,204 @@
+(** Semantic attribute types (§3.2).
+
+    Where stock IaC treats most attributes as opaque strings, the
+    knowledge base assigns *semantic* types: "this string is a region",
+    "this string is the id of an aws_network_interface".  Composition
+    errors — passing a subnet id where a NIC id is expected — become
+    type errors at validation time instead of deploy-time surprises.
+
+    Plan-time unknowns ("known after apply") carry their provenance
+    address, which is what makes reference typing possible before
+    anything exists: [Vunknown "aws_subnet.a.id"] fails to check
+    against [Resource_id "aws_network_interface"]. *)
+
+module Value = Cloudless_hcl.Value
+module Ipnet = Cloudless_hcl.Ipnet
+module Addr = Cloudless_hcl.Addr
+
+type t =
+  | Any
+  | Str
+  | Int
+  | Num
+  | Bool
+  | Name  (** resource display name: restricted charset and length *)
+  | Region
+  | Cidr
+  | Ip_address
+  | Port
+  | Protocol
+  | Resource_id of string  (** the id of a specific resource type *)
+  | Enum of string list
+  | List_of of t
+  | Map_of of t
+
+let rec to_string = function
+  | Any -> "any"
+  | Str -> "string"
+  | Int -> "int"
+  | Num -> "number"
+  | Bool -> "bool"
+  | Name -> "name"
+  | Region -> "region"
+  | Cidr -> "cidr"
+  | Ip_address -> "ip"
+  | Port -> "port"
+  | Protocol -> "protocol"
+  | Resource_id rt -> "id<" ^ rt ^ ">"
+  | Enum vs -> "enum(" ^ String.concat "|" vs ^ ")"
+  | List_of t -> "list<" ^ to_string t ^ ">"
+  | Map_of t -> "map<" ^ to_string t ^ ">"
+
+let known_regions =
+  [
+    "us-east-1"; "us-west-2"; "eu-west-1"; "ap-southeast-1";
+    (* azure-style names, used by azurerm examples *)
+    "eastus"; "westus2"; "westeurope"; "southeastasia";
+    (* gcp-style names *)
+    "us-central1"; "us-east4"; "europe-west1"; "asia-southeast1";
+  ]
+
+let looks_like_ip s =
+  match Ipnet.parse_addr s with _ -> true | exception Ipnet.Invalid _ -> false
+
+let valid_name s =
+  let n = String.length s in
+  n >= 1 && n <= 80
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+         | _ -> false)
+       s
+
+(* The provenance of an unknown is "<addr>.<attr>" or nested forms; the
+   reference is well-typed when the addr has the wanted resource type
+   and the attribute is [id]. *)
+let unknown_id_matches ~wanted provenance =
+  match String.rindex_opt provenance '.' with
+  | None -> `Unknown_shape
+  | Some i ->
+      let addr_part = String.sub provenance 0 i in
+      let attr = String.sub provenance (i + 1) (String.length provenance - i - 1) in
+      (match Addr.of_string addr_part with
+      | Some a ->
+          if a.Addr.rtype = wanted && attr = "id" then `Match
+          else `Mismatch (a.Addr.rtype, attr)
+      | None -> `Unknown_shape)
+
+(** [check ty v] validates a value against a semantic type.  Unknowns
+    are accepted unless their provenance demonstrably contradicts the
+    type (the resource-id case). *)
+let rec check (ty : t) (v : Value.t) : (unit, string) result =
+  match (ty, v) with
+  | _, Value.Vnull -> Ok ()  (* absence is handled by 'required' *)
+  | Any, _ -> Ok ()
+  | Resource_id wanted, Value.Vunknown p -> (
+      match unknown_id_matches ~wanted p with
+      | `Match | `Unknown_shape -> Ok ()
+      | `Mismatch (got_type, got_attr) ->
+          Error
+            (Printf.sprintf
+               "expected the id of a %s, got %s.%s (wrong resource type)"
+               wanted got_type got_attr))
+  | _, Value.Vunknown _ -> Ok ()
+  | Str, Value.Vstring _ -> Ok ()
+  | Str, v -> Error (Printf.sprintf "expected string, got %s" (Value.type_name v))
+  | Int, Value.Vint _ -> Ok ()
+  | Int, v -> Error (Printf.sprintf "expected integer, got %s" (Value.type_name v))
+  | Num, (Value.Vint _ | Value.Vfloat _) -> Ok ()
+  | Num, v -> Error (Printf.sprintf "expected number, got %s" (Value.type_name v))
+  | Bool, Value.Vbool _ -> Ok ()
+  | Bool, v -> Error (Printf.sprintf "expected bool, got %s" (Value.type_name v))
+  | Name, Value.Vstring s ->
+      if valid_name s then Ok ()
+      else Error (Printf.sprintf "invalid resource name %S" s)
+  | Name, v -> Error (Printf.sprintf "expected name string, got %s" (Value.type_name v))
+  | Region, Value.Vstring s ->
+      if List.mem s known_regions then Ok ()
+      else Error (Printf.sprintf "unknown region %S" s)
+  | Region, v -> Error (Printf.sprintf "expected region, got %s" (Value.type_name v))
+  | Cidr, Value.Vstring s ->
+      if Ipnet.is_valid_prefix s then Ok ()
+      else Error (Printf.sprintf "invalid CIDR block %S" s)
+  | Cidr, v -> Error (Printf.sprintf "expected CIDR, got %s" (Value.type_name v))
+  | Ip_address, Value.Vstring s ->
+      if looks_like_ip s then Ok ()
+      else Error (Printf.sprintf "invalid IP address %S" s)
+  | Ip_address, v -> Error (Printf.sprintf "expected IP, got %s" (Value.type_name v))
+  | Port, Value.Vint n ->
+      if n >= 0 && n <= 65535 then Ok ()
+      else Error (Printf.sprintf "port %d out of range" n)
+  | Port, v -> Error (Printf.sprintf "expected port, got %s" (Value.type_name v))
+  | Protocol, Value.Vstring s ->
+      if List.mem (String.lowercase_ascii s) [ "tcp"; "udp"; "icmp"; "-1"; "all" ]
+      then Ok ()
+      else Error (Printf.sprintf "unknown protocol %S" s)
+  | Protocol, v -> Error (Printf.sprintf "expected protocol, got %s" (Value.type_name v))
+  | Resource_id _, Value.Vstring _ -> Ok ()  (* imported/literal ids *)
+  | Resource_id _, v ->
+      Error (Printf.sprintf "expected a resource id, got %s" (Value.type_name v))
+  | Enum allowed, Value.Vstring s ->
+      if List.mem s allowed then Ok ()
+      else
+        Error
+          (Printf.sprintf "value %S not in {%s}" s (String.concat ", " allowed))
+  | Enum _, v -> Error (Printf.sprintf "expected enum string, got %s" (Value.type_name v))
+  | List_of inner, Value.Vlist vs ->
+      let rec go i = function
+        | [] -> Ok ()
+        | v :: rest -> (
+            match check inner v with
+            | Ok () -> go (i + 1) rest
+            | Error msg -> Error (Printf.sprintf "element %d: %s" i msg))
+      in
+      go 0 vs
+  | List_of _, v -> Error (Printf.sprintf "expected list, got %s" (Value.type_name v))
+  | Map_of inner, Value.Vmap m ->
+      Value.Smap.fold
+        (fun k v acc ->
+          match acc with
+          | Error _ -> acc
+          | Ok () -> (
+              match check inner v with
+              | Ok () -> Ok ()
+              | Error msg -> Error (Printf.sprintf "key %S: %s" k msg)))
+        m (Ok ())
+  | Map_of _, v -> Error (Printf.sprintf "expected map, got %s" (Value.type_name v))
+
+(** Infer a semantic type from an observed literal value — the building
+    block of specification mining (values seen in a corpus suggest the
+    attribute's semantic type). *)
+let rec infer (v : Value.t) : t =
+  match v with
+  | Value.Vstring s ->
+      if Ipnet.is_valid_prefix s then Cidr
+      else if looks_like_ip s then Ip_address
+      else if List.mem s known_regions then Region
+      else Str
+  | Value.Vint n when n >= 0 && n <= 65535 -> Port
+  | Value.Vint _ -> Int
+  | Value.Vfloat _ -> Num
+  | Value.Vbool _ -> Bool
+  | Value.Vlist (v :: _) -> List_of (infer v)
+  | Value.Vlist [] -> List_of Any
+  | Value.Vmap _ -> Map_of Any
+  | Value.Vnull | Value.Vunknown _ -> Any
+
+(** Widen two inferred types to their join (used when a corpus shows
+    conflicting observations). *)
+let rec join a b =
+  if a = b then a
+  else
+    match (a, b) with
+    | Any, t | t, Any -> t
+    | (Port, Int | Int, Port) -> Int
+    | (Cidr, Str | Str, Cidr) -> Str
+    | (Region, Str | Str, Region) -> Str
+    | (Ip_address, Str | Str, Ip_address) -> Str
+    | (Name, Str | Str, Name) -> Str
+    | Enum xs, Enum ys -> Enum (List.sort_uniq compare (xs @ ys))
+    | (Enum _, Str | Str, Enum _) -> Str
+    | List_of x, List_of y -> List_of (join x y)
+    | Map_of x, Map_of y -> Map_of (join x y)
+    | Int, Num | Num, Int -> Num
+    | _ -> Any

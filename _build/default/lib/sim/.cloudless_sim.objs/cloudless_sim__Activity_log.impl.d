@@ -1,0 +1,1 @@
+lib/sim/activity_log.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/sim/cloud.ml: Activity_log Cloudless_hcl Event_queue Failure Float Hashtbl List Printf Prng Rate_limiter Service_model String

@@ -1,0 +1,1 @@
+lib/sim/service_model.ml: Float List Prng

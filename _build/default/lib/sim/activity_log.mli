@@ -1,0 +1,60 @@
+(** Cloud activity log (Azure Activity Log / CloudTrail analogue).
+
+    An append-only record of every management-plane operation,
+    including those performed outside the IaC framework — the signal
+    §3.5's log-based drift detector tails. *)
+
+type actor =
+  | Iac_engine of string  (** deployments driven by an IaC engine *)
+  | Oob_script of string  (** out-of-band change (legacy script, portal) *)
+  | Cloud_internal  (** provider-initiated events *)
+
+type operation =
+  | Log_create
+  | Log_update
+  | Log_delete
+  | Log_read
+  | Log_failure of string
+
+type entry = {
+  seq : int;  (** monotone sequence number, the cursor for tailing *)
+  time : float;
+  actor : actor;
+  op : operation;
+  cloud_id : string;
+  rtype : string;
+  region : string;
+  detail : string;
+}
+
+type t
+
+val create : unit -> t
+
+val append :
+  t ->
+  time:float ->
+  actor:actor ->
+  op:operation ->
+  cloud_id:string ->
+  rtype:string ->
+  region:string ->
+  detail:string ->
+  entry
+
+(** Total entries ever appended (= next sequence number). *)
+val length : t -> int
+
+(** Entries with [seq >= cursor], oldest first. *)
+val since : t -> int -> entry list
+
+(** All entries, oldest first. *)
+val all : t -> entry list
+
+val actor_to_string : actor -> string
+val op_to_string : operation -> string
+val pp_entry : Format.formatter -> entry -> unit
+
+(** Write operations not attributable to an IaC engine — candidate
+    drift events. *)
+val non_iac_writes : t -> since:int -> entry list

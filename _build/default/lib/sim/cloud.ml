@@ -1,0 +1,503 @@
+(** The simulated cloud: a discrete-event management plane.
+
+    This is the substitute substrate for AWS/Azure (DESIGN.md,
+    substitution table).  It models exactly the properties every §3
+    mechanism interacts with:
+
+    - asynchronous CRUD operations with per-type service times,
+    - token-bucket API rate limiting with 429-style throttling,
+    - per-type regional quotas,
+    - transient/permanent failures and hangs,
+    - an activity log recording every management operation,
+    - out-of-band mutation (the source of drift).
+
+    Deployment engines drive the cloud in callback style: {!submit}
+    registers an operation; {!step}/{!run_until_idle} advance simulated
+    time and deliver completions. *)
+
+module Smap = Cloudless_hcl.Value.Smap
+module Value = Cloudless_hcl.Value
+
+type status = Creating | Ready | Updating | Deleting | Failed of string
+
+let status_to_string = function
+  | Creating -> "creating"
+  | Ready -> "ready"
+  | Updating -> "updating"
+  | Deleting -> "deleting"
+  | Failed msg -> "failed:" ^ msg
+
+type resource = {
+  cloud_id : string;
+  rtype : string;
+  region : string;
+  mutable attrs : Value.t Smap.t;
+  mutable status : status;
+  created_at : float;
+  mutable updated_at : float;
+}
+
+type error =
+  | Throttled of float  (** retry-after seconds *)
+  | Not_found of string
+  | Quota_exceeded of string
+  | Transient of string
+  | Invalid of string  (** permanent rejection, e.g. constraint violation *)
+
+let error_to_string = function
+  | Throttled after -> Printf.sprintf "429 throttled (retry after %.1fs)" after
+  | Not_found id -> Printf.sprintf "404 resource %S not found" id
+  | Quota_exceeded msg -> Printf.sprintf "409 quota exceeded: %s" msg
+  | Transient msg -> Printf.sprintf "500 transient: %s" msg
+  | Invalid msg -> Printf.sprintf "400 invalid: %s" msg
+
+let is_retryable = function
+  | Throttled _ | Transient _ -> true
+  | Not_found _ | Quota_exceeded _ | Invalid _ -> false
+
+type op =
+  | Create of { rtype : string; region : string; attrs : Value.t Smap.t }
+  | Update of { cloud_id : string; attrs : Value.t Smap.t }
+  | Delete of { cloud_id : string }
+  | Read of { cloud_id : string }
+  | List_type of { rtype : string; region : string option }
+
+type op_result = (Value.t Smap.t, error) result
+
+(** Cloud-level semantic check, invoked before a create/update commits.
+    Receives a lookup function over existing resources so cross-resource
+    constraints ("the referenced NIC must exist and be in the same
+    region") can be expressed.  Returning [Error msg] rejects the
+    operation with [Invalid msg] *after* the service time has elapsed —
+    cloud constraint violations surface late, which is precisely the
+    §3.2 pain point. *)
+type semantic_check =
+  lookup:(string -> resource option) ->
+  rtype:string ->
+  region:string ->
+  attrs:Value.t Smap.t ->
+  (unit, string) result
+
+type config = {
+  regions : string list;
+  api_latency : float;  (** per-call round-trip, seconds *)
+  quotas : (string * int) list;  (** max instances per type per region *)
+  failure : Failure.t;
+  semantic_checks : semantic_check list;
+  list_page_size : int;
+}
+
+let default_config =
+  {
+    regions =
+      [
+        "us-east-1"; "us-west-2"; "eu-west-1"; "ap-southeast-1";
+        (* azure + gcp flavoured names used by those providers' types *)
+        "eastus"; "westus2"; "westeurope"; "southeastasia";
+        "us-central1"; "us-east4"; "europe-west1"; "asia-southeast1";
+      ];
+    api_latency = 0.15;
+    quotas = [];
+    failure = Failure.none;
+    semantic_checks = [];
+    list_page_size = 50;
+  }
+
+type t = {
+  config : config;
+  prng : Prng.t;
+  mutable clock : float;
+  events : (unit -> unit) Event_queue.t;
+  resources : (string, resource) Hashtbl.t;  (** by cloud_id *)
+  write_limiter : Rate_limiter.t;
+  read_limiter : Rate_limiter.t;
+  log : Activity_log.t;
+  mutable id_counter : int;
+  mutable api_calls : int;
+}
+
+let create ?(config = default_config) ?write_limiter ?read_limiter ~seed () =
+  {
+    config;
+    prng = Prng.create seed;
+    clock = 0.;
+    events = Event_queue.create ();
+    resources = Hashtbl.create 64;
+    write_limiter =
+      (match write_limiter with
+      | Some l -> l
+      | None -> Rate_limiter.default_write ());
+    read_limiter =
+      (match read_limiter with
+      | Some l -> l
+      | None -> Rate_limiter.default_read ());
+    log = Activity_log.create ();
+    id_counter = 0;
+    api_calls = 0;
+  }
+
+let now t = t.clock
+let log t = t.log
+let api_call_count t = t.api_calls
+
+let write_throttle_stats t = Rate_limiter.stats t.write_limiter
+let read_throttle_stats t = Rate_limiter.stats t.read_limiter
+
+(* Short id prefix from the resource type, e.g. aws_vpc -> "vpc". *)
+let id_prefix rtype =
+  match String.rindex_opt rtype '_' with
+  | Some i -> String.sub rtype (i + 1) (String.length rtype - i - 1)
+  | None -> rtype
+
+let fresh_id t rtype =
+  t.id_counter <- t.id_counter + 1;
+  Printf.sprintf "%s-%06x" (id_prefix rtype) t.id_counter
+
+let lookup t cloud_id = Hashtbl.find_opt t.resources cloud_id
+
+let resources_of_type t ?region rtype =
+  Hashtbl.fold
+    (fun _ r acc ->
+      if
+        r.rtype = rtype
+        && (match region with Some reg -> r.region = reg | None -> true)
+        && r.status <> Deleting
+      then r :: acc
+      else acc)
+    t.resources []
+  |> List.sort (fun a b -> String.compare a.cloud_id b.cloud_id)
+
+let all_resources t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.resources []
+  |> List.sort (fun a b -> String.compare a.cloud_id b.cloud_id)
+
+let resource_count t = Hashtbl.length t.resources
+
+let schedule t ~delay f =
+  Event_queue.push t.events ~time:(t.clock +. delay) f
+
+(** Advance to the next event and run it.  Returns [false] when the
+    queue is empty. *)
+let step t =
+  match Event_queue.pop t.events with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- Float.max t.clock time;
+      f ();
+      true
+
+let run_until_idle t =
+  while step t do
+    ()
+  done
+
+(** Advance simulated time even with an empty queue (used by monitors
+    that poll on a period). *)
+let advance_to t time = if time > t.clock then t.clock <- time
+
+(* ------------------------------------------------------------------ *)
+(* Operation execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let count_in_region t rtype region =
+  Hashtbl.fold
+    (fun _ r acc ->
+      if r.rtype = rtype && r.region = region && r.status <> Deleting then
+        acc + 1
+      else acc)
+    t.resources 0
+
+let quota_of t rtype = List.assoc_opt rtype t.config.quotas
+
+let check_semantics t ~rtype ~region ~attrs =
+  let lookup id = lookup t id in
+  let rec go = function
+    | [] -> Ok ()
+    | check :: rest -> (
+        match check ~lookup ~rtype ~region ~attrs with
+        | Ok () -> go rest
+        | Error _ as e -> e)
+  in
+  go t.config.semantic_checks
+
+let log_append t ~actor ~op ~cloud_id ~rtype ~region ~detail =
+  ignore
+    (Activity_log.append t.log ~time:t.clock ~actor ~op ~cloud_id ~rtype
+       ~region ~detail)
+
+(* Computed attributes the cloud adds to every resource. *)
+let computed_attrs t r =
+  r.attrs
+  |> Smap.add "id" (Value.Vstring r.cloud_id)
+  |> Smap.add "arn"
+       (Value.Vstring (Printf.sprintf "arn:sim:%s:%s:%s" r.region r.rtype r.cloud_id))
+  |> Smap.add "region" (Value.Vstring r.region)
+  |> fun attrs ->
+  ignore t;
+  attrs
+
+let sample_duration t rtype kind = Service_model.sample t.prng rtype kind
+
+(** Submit an operation on behalf of [actor]; [k] receives the result
+    when the operation completes in simulated time. *)
+let submit t ~actor op (k : op_result -> unit) =
+  t.api_calls <- t.api_calls + 1;
+  let limiter =
+    match op with
+    | Read _ | List_type _ -> t.read_limiter
+    | Create _ | Update _ | Delete _ -> t.write_limiter
+  in
+  match Rate_limiter.try_acquire limiter ~now:t.clock with
+  | Error retry_after ->
+      (* Throttled calls are rejected fast (no service time). *)
+      schedule t ~delay:t.config.api_latency (fun () ->
+          k (Error (Throttled retry_after)))
+  | Ok () -> (
+      match op with
+      | Create { rtype; region; attrs } ->
+          if not (List.mem region t.config.regions) then
+            schedule t ~delay:t.config.api_latency (fun () ->
+                k (Error (Invalid (Printf.sprintf "unknown region %S" region))))
+          else begin
+            (match quota_of t rtype with
+            | Some q when count_in_region t rtype region >= q ->
+                schedule t ~delay:t.config.api_latency (fun () ->
+                    log_append t ~actor
+                      ~op:(Activity_log.Log_failure "quota")
+                      ~cloud_id:"-" ~rtype ~region ~detail:"quota exceeded";
+                    k
+                      (Error
+                         (Quota_exceeded
+                            (Printf.sprintf "%s limit %d in %s" rtype q region))))
+            | _ -> (
+                match Failure.draw t.config.failure t.prng ~rtype with
+                | Failure.Fail_permanent msg ->
+                    let d = sample_duration t rtype Service_model.Op_create in
+                    schedule t ~delay:(t.config.api_latency +. (d *. 0.3))
+                      (fun () ->
+                        log_append t ~actor
+                          ~op:(Activity_log.Log_failure msg) ~cloud_id:"-"
+                          ~rtype ~region ~detail:msg;
+                        k (Error (Invalid msg)))
+                | Failure.Fail_transient msg ->
+                    let d = sample_duration t rtype Service_model.Op_create in
+                    schedule t ~delay:(t.config.api_latency +. (d *. 0.2))
+                      (fun () ->
+                        log_append t ~actor
+                          ~op:(Activity_log.Log_failure msg) ~cloud_id:"-"
+                          ~rtype ~region ~detail:msg;
+                        k (Error (Transient msg)))
+                | (Failure.Proceed | Failure.Slow _) as outcome ->
+                    let factor =
+                      match outcome with
+                      | Failure.Slow f -> f
+                      | _ -> 1.
+                    in
+                    let d =
+                      sample_duration t rtype Service_model.Op_create *. factor
+                    in
+                    (* The resource is visible in Creating state
+                       immediately (like real clouds). *)
+                    let cloud_id = fresh_id t rtype in
+                    let r =
+                      {
+                        cloud_id;
+                        rtype;
+                        region;
+                        attrs;
+                        status = Creating;
+                        created_at = t.clock;
+                        updated_at = t.clock;
+                      }
+                    in
+                    Hashtbl.replace t.resources cloud_id r;
+                    schedule t ~delay:(t.config.api_latency +. d) (fun () ->
+                        (* semantic (cross-resource) validation happens
+                           at materialization time *)
+                        match check_semantics t ~rtype ~region ~attrs with
+                        | Error msg ->
+                            Hashtbl.remove t.resources cloud_id;
+                            log_append t ~actor
+                              ~op:(Activity_log.Log_failure msg) ~cloud_id
+                              ~rtype ~region ~detail:msg;
+                            k (Error (Invalid msg))
+                        | Ok () ->
+                            r.status <- Ready;
+                            r.attrs <- computed_attrs t r;
+                            r.updated_at <- t.clock;
+                            log_append t ~actor ~op:Activity_log.Log_create
+                              ~cloud_id ~rtype ~region ~detail:"created";
+                            k (Ok r.attrs))))
+          end
+      | Update { cloud_id; attrs } -> (
+          match lookup t cloud_id with
+          | None ->
+              schedule t ~delay:t.config.api_latency (fun () ->
+                  k (Error (Not_found cloud_id)))
+          | Some r -> (
+              match Failure.draw t.config.failure t.prng ~rtype:r.rtype with
+              | Failure.Fail_transient msg ->
+                  schedule t ~delay:(t.config.api_latency *. 2.) (fun () ->
+                      k (Error (Transient msg)))
+              | Failure.Fail_permanent msg ->
+                  schedule t ~delay:(t.config.api_latency *. 2.) (fun () ->
+                      k (Error (Invalid msg)))
+              | (Failure.Proceed | Failure.Slow _) as outcome ->
+                  let factor =
+                    match outcome with Failure.Slow f -> f | _ -> 1.
+                  in
+                  let d =
+                    sample_duration t r.rtype Service_model.Op_update *. factor
+                  in
+                  r.status <- Updating;
+                  schedule t ~delay:(t.config.api_latency +. d) (fun () ->
+                      match
+                        check_semantics t ~rtype:r.rtype ~region:r.region
+                          ~attrs
+                      with
+                      | Error msg ->
+                          r.status <- Ready;
+                          log_append t ~actor
+                            ~op:(Activity_log.Log_failure msg) ~cloud_id
+                            ~rtype:r.rtype ~region:r.region ~detail:msg;
+                          k (Error (Invalid msg))
+                      | Ok () ->
+                          r.attrs <-
+                            computed_attrs t
+                              { r with attrs = Smap.union (fun _ _ v -> Some v) r.attrs attrs };
+                          r.status <- Ready;
+                          r.updated_at <- t.clock;
+                          log_append t ~actor ~op:Activity_log.Log_update
+                            ~cloud_id ~rtype:r.rtype ~region:r.region
+                            ~detail:"updated";
+                          k (Ok r.attrs))))
+      | Delete { cloud_id } -> (
+          match lookup t cloud_id with
+          | None ->
+              schedule t ~delay:t.config.api_latency (fun () ->
+                  k (Error (Not_found cloud_id)))
+          | Some r ->
+              let d = sample_duration t r.rtype Service_model.Op_delete in
+              r.status <- Deleting;
+              schedule t ~delay:(t.config.api_latency +. d) (fun () ->
+                  Hashtbl.remove t.resources cloud_id;
+                  log_append t ~actor ~op:Activity_log.Log_delete ~cloud_id
+                    ~rtype:r.rtype ~region:r.region ~detail:"deleted";
+                  k (Ok r.attrs)))
+      | Read { cloud_id } -> (
+          match lookup t cloud_id with
+          | None ->
+              schedule t ~delay:t.config.api_latency (fun () ->
+                  k (Error (Not_found cloud_id)))
+          | Some r ->
+              let d = sample_duration t r.rtype Service_model.Op_read in
+              schedule t ~delay:(t.config.api_latency +. d) (fun () ->
+                  log_append t ~actor ~op:Activity_log.Log_read ~cloud_id
+                    ~rtype:r.rtype ~region:r.region ~detail:"read";
+                  k (Ok r.attrs)))
+      | List_type { rtype; region } ->
+          let rs = resources_of_type t ?region rtype in
+          (* Pagination: each extra page is an extra read-limiter call;
+             charge them up front. *)
+          let pages =
+            max 1
+              ((List.length rs + t.config.list_page_size - 1)
+              / t.config.list_page_size)
+          in
+          let throttled = ref None in
+          for _ = 2 to pages do
+            t.api_calls <- t.api_calls + 1;
+            match Rate_limiter.try_acquire t.read_limiter ~now:t.clock with
+            | Ok () -> ()
+            | Error after ->
+                if !throttled = None then throttled := Some after
+          done;
+          (match !throttled with
+          | Some after ->
+              schedule t ~delay:t.config.api_latency (fun () ->
+                  k (Error (Throttled after)))
+          | None ->
+              let d = 0.2 *. float_of_int pages in
+              schedule t ~delay:(t.config.api_latency +. d) (fun () ->
+                  let listing =
+                    List.map
+                      (fun r -> (r.cloud_id, Value.Vmap r.attrs))
+                      rs
+                  in
+                  k (Ok (Smap.of_seq (List.to_seq listing))))))
+
+(* ------------------------------------------------------------------ *)
+(* Synchronous conveniences (drive the loop internally)                *)
+(* ------------------------------------------------------------------ *)
+
+(** Run [op] and drive the simulation until it completes.  Only safe
+    when no other operations are in flight (tests, simple tools). *)
+let run_sync t ~actor op =
+  let result = ref None in
+  submit t ~actor op (fun r -> result := Some r);
+  let rec drive () =
+    match !result with
+    | Some r -> r
+    | None -> if step t then drive () else failwith "simulation stalled"
+  in
+  drive ()
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-band mutation: the source of drift (§3.5)                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Mutate a resource attribute directly, bypassing any IaC engine —
+    models a legacy script or ClickOps change.  Logged with the
+    out-of-band actor so log-based drift detection can spot it. *)
+let mutate_oob t ~script ~cloud_id ~attr ~value =
+  match lookup t cloud_id with
+  | None -> Error (Not_found cloud_id)
+  | Some r ->
+      r.attrs <- Smap.add attr value r.attrs;
+      r.updated_at <- t.clock;
+      log_append t ~actor:(Activity_log.Oob_script script)
+        ~op:Activity_log.Log_update ~cloud_id ~rtype:r.rtype ~region:r.region
+        ~detail:(Printf.sprintf "set %s" attr);
+      Ok ()
+
+(** Delete a resource out-of-band. *)
+let delete_oob t ~script ~cloud_id =
+  match lookup t cloud_id with
+  | None -> Error (Not_found cloud_id)
+  | Some r ->
+      Hashtbl.remove t.resources cloud_id;
+      log_append t ~actor:(Activity_log.Oob_script script)
+        ~op:Activity_log.Log_delete ~cloud_id ~rtype:r.rtype ~region:r.region
+        ~detail:"deleted out of band";
+      Ok ()
+
+(** Create a resource out-of-band (an "unmanaged" resource). *)
+let create_oob t ~script ~rtype ~region ~attrs =
+  let cloud_id = fresh_id t rtype in
+  let r =
+    {
+      cloud_id;
+      rtype;
+      region;
+      attrs;
+      status = Ready;
+      created_at = t.clock;
+      updated_at = t.clock;
+    }
+  in
+  r.attrs <- computed_attrs t r;
+  Hashtbl.replace t.resources cloud_id r;
+  log_append t ~actor:(Activity_log.Oob_script script)
+    ~op:Activity_log.Log_create ~cloud_id ~rtype ~region
+    ~detail:"created out of band";
+  cloud_id
+
+(** Replace a resource's attributes wholesale without logging — used by
+    tools that materialize a recorded deployment into a fresh simulator
+    (state restore), not by anything that models real cloud traffic. *)
+let restore_attrs t ~cloud_id ~attrs =
+  match lookup t cloud_id with
+  | None -> ()
+  | Some r ->
+      r.attrs <- attrs;
+      r.attrs <- computed_attrs t r

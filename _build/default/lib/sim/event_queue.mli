@@ -1,0 +1,19 @@
+(** Binary-heap event queue for the discrete-event simulator.
+
+    Events are ordered by (time, insertion sequence): ties fire in
+    insertion order, keeping runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+(** Schedule a payload at an absolute time. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** Remove and return the earliest event. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Earliest event time without removing it. *)
+val peek_time : 'a t -> float option

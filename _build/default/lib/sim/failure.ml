@@ -1,0 +1,35 @@
+(** Failure-injection policy for the simulated cloud.
+
+    Transient failures model the retryable errors real providers emit
+    (capacity blips, eventual-consistency 404s); permanent failures
+    model configuration rejections.  Both are drawn deterministically
+    from the simulation PRNG. *)
+
+type t = {
+  transient_prob : float;  (** probability a write op fails transiently *)
+  permanent : (string * string) list;
+      (** [(rtype, message)]: creates of this type always fail *)
+  hang_prob : float;  (** probability a write op hangs (very slow) *)
+  hang_factor : float;  (** duration multiplier when hanging *)
+}
+
+let none = { transient_prob = 0.; permanent = []; hang_prob = 0.; hang_factor = 1. }
+
+let make ?(transient_prob = 0.) ?(permanent = []) ?(hang_prob = 0.)
+    ?(hang_factor = 20.) () =
+  { transient_prob; permanent; hang_prob; hang_factor }
+
+type outcome =
+  | Proceed
+  | Slow of float  (** duration multiplier *)
+  | Fail_transient of string
+  | Fail_permanent of string
+
+let draw t prng ~rtype =
+  match List.assoc_opt rtype t.permanent with
+  | Some msg -> Fail_permanent msg
+  | None ->
+      if Prng.bernoulli prng t.transient_prob then
+        Fail_transient "transient provider error (retryable)"
+      else if Prng.bernoulli prng t.hang_prob then Slow t.hang_factor
+      else Proceed

@@ -1,0 +1,29 @@
+(** Failure-injection policy for the simulated cloud. *)
+
+type t = {
+  transient_prob : float;  (** probability a write fails transiently *)
+  permanent : (string * string) list;
+      (** [(rtype, message)]: creates of this type always fail *)
+  hang_prob : float;  (** probability a write hangs (very slow) *)
+  hang_factor : float;  (** duration multiplier when hanging *)
+}
+
+(** No injected failures. *)
+val none : t
+
+val make :
+  ?transient_prob:float ->
+  ?permanent:(string * string) list ->
+  ?hang_prob:float ->
+  ?hang_factor:float ->
+  unit ->
+  t
+
+type outcome =
+  | Proceed
+  | Slow of float  (** duration multiplier *)
+  | Fail_transient of string
+  | Fail_permanent of string
+
+(** Draw the outcome for one write operation. *)
+val draw : t -> Prng.t -> rtype:string -> outcome

@@ -1,0 +1,69 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Everything stochastic in the simulator (service-time jitter,
+    transient failures, workload generation) draws from explicit PRNG
+    states seeded by the experiment harness, so every run is exactly
+    reproducible.  [Random.self_init] never appears in this codebase. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: good statistical quality, tiny, and portable. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) land max_int in
+  r mod bound
+
+(** Uniform int in [lo, hi] inclusive. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Prng.int_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+(** Uniform float in [lo, hi). *)
+let float_range t lo hi = lo +. (float t *. (hi -. lo))
+
+(** Bernoulli draw with probability [p]. *)
+let bernoulli t p = float t < p
+
+(** Exponentially distributed with the given [mean]. *)
+let exponential t ~mean =
+  let u = float t in
+  (* guard against log 0 *)
+  let u = if u <= 1e-12 then 1e-12 else u in
+  -.mean *. log u
+
+(** Pick a uniformly random element of a non-empty list. *)
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+(** Fisher-Yates shuffle (returns a new list). *)
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(** Derive an independent child generator (for splitting streams between
+    subsystems without correlating them). *)
+let split t = { state = next_int64 t }

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Everything stochastic in the simulator draws from explicit PRNG
+    states seeded by the experiment harness, so every run is exactly
+    reproducible. *)
+
+type t
+
+(** [create seed] — a fresh generator; equal seeds yield equal
+    streams. *)
+val create : int -> t
+
+(** Independent copy (same future stream). *)
+val copy : t -> t
+
+(** Raw 64-bit step (exposed for hashing-style uses). *)
+val next_int64 : t -> int64
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform int in [0, bound); raises [Invalid_argument] on
+    non-positive bound. *)
+val int : t -> int -> int
+
+(** Uniform int in [lo, hi] inclusive. *)
+val int_range : t -> int -> int -> int
+
+(** Uniform float in [lo, hi). *)
+val float_range : t -> float -> float -> float
+
+(** Bernoulli draw with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** Exponentially distributed with the given [mean]. *)
+val exponential : t -> mean:float -> float
+
+(** Uniformly random element of a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Fisher-Yates shuffle (returns a new list). *)
+val shuffle : t -> 'a list -> 'a list
+
+(** Derive an independent child generator (stream splitting). *)
+val split : t -> t

@@ -1,0 +1,1 @@
+lib/state/state.ml: Cloudless_hcl List Option Printf String

@@ -1,0 +1,1 @@
+lib/state/version_store.ml: Fmt List Printf State

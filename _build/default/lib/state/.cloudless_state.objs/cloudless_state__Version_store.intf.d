@@ -1,0 +1,1 @@
+lib/state/version_store.mli: Format State

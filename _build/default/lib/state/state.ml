@@ -1,0 +1,287 @@
+(** Deployment state: the IaC framework's record of what it believes
+    exists in the cloud.
+
+    Equivalent to Terraform's state file.  Maps resource addresses to
+    their cloud identity and last-known attributes, and records the
+    dependency edges observed at apply time (needed to destroy in the
+    right order even after the configuration changed).
+
+    Serialized as HCL itself — one [instance] block per resource — so
+    the whole toolchain shares a single syntax. *)
+
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Smap = Value.Smap
+
+type resource_state = {
+  addr : Addr.t;
+  cloud_id : string;
+  rtype : string;
+  region : string;
+  attrs : Value.t Smap.t;  (** last attributes observed from the cloud *)
+  deps : Addr.t list;  (** dependencies at the time of creation *)
+}
+
+type t = {
+  serial : int;  (** bumped on every mutation; optimistic concurrency *)
+  resources : resource_state Addr.Map.t;
+  outputs : (string * Value.t) list;
+}
+
+let empty = { serial = 0; resources = Addr.Map.empty; outputs = [] }
+
+let serial t = t.serial
+let resources t = List.map snd (Addr.Map.bindings t.resources)
+let size t = Addr.Map.cardinal t.resources
+let find_opt t addr = Addr.Map.find_opt addr t.resources
+let mem t addr = Addr.Map.mem addr t.resources
+let outputs t = t.outputs
+
+let add t (r : resource_state) =
+  { t with serial = t.serial + 1; resources = Addr.Map.add r.addr r t.resources }
+
+let remove t addr =
+  { t with serial = t.serial + 1; resources = Addr.Map.remove addr t.resources }
+
+let set_outputs t outputs = { t with serial = t.serial + 1; outputs }
+
+(** Update just the attributes of a tracked resource. *)
+let update_attrs t addr attrs =
+  match Addr.Map.find_opt addr t.resources with
+  | None -> t
+  | Some r ->
+      {
+        t with
+        serial = t.serial + 1;
+        resources = Addr.Map.add addr { r with attrs } t.resources;
+      }
+
+(** The lookup function expansion needs (see
+    {!Cloudless_hcl.Eval.env.state_lookup}). *)
+let lookup t addr =
+  Option.map (fun r -> r.attrs) (Addr.Map.find_opt addr t.resources)
+
+(** Find the state entry for a cloud id (reverse index). *)
+let find_by_cloud_id t cloud_id =
+  Addr.Map.fold
+    (fun _ r acc -> if r.cloud_id = cloud_id then Some r else acc)
+    t.resources None
+
+(** Addresses tracked in state but not in [addrs] — candidates for
+    deletion in a plan. *)
+let orphans t addrs =
+  let keep = Addr.Set.of_list addrs in
+  Addr.Map.fold
+    (fun addr _ acc -> if Addr.Set.mem addr keep then acc else addr :: acc)
+    t.resources []
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Serialization (HCL blocks)                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Ast = Cloudless_hcl.Ast
+module Codec = Cloudless_hcl.Codec
+module Printer = Cloudless_hcl.Printer
+module Parser = Cloudless_hcl.Parser
+module Loc = Cloudless_hcl.Loc
+
+exception Corrupt of string
+
+(* Unknowns must never reach the state file; replace them defensively
+   with nulls on write. *)
+let rec sanitize (v : Value.t) : Value.t =
+  match v with
+  | Value.Vunknown _ -> Value.Vnull
+  | Value.Vlist vs -> Value.Vlist (List.map sanitize vs)
+  | Value.Vmap m -> Value.Vmap (Smap.map sanitize m)
+  | v -> v
+
+let resource_to_block (r : resource_state) : Ast.block =
+  let attr name value = { Ast.aname = name; avalue = value; aspan = Loc.dummy } in
+  let attrs_obj =
+    Codec.value_to_expr (Value.Vmap (Smap.map sanitize r.attrs))
+  in
+  let deps_list =
+    Ast.mk
+      (Ast.ListLit
+         (List.map (fun d -> Ast.string_lit (Addr.to_string d)) r.deps))
+  in
+  {
+    Ast.btype = "instance";
+    labels = [ Addr.to_string r.addr ];
+    bbody =
+      {
+        Ast.attrs =
+          [
+            attr "cloud_id" (Ast.string_lit r.cloud_id);
+            attr "type" (Ast.string_lit r.rtype);
+            attr "region" (Ast.string_lit r.region);
+            attr "attributes" attrs_obj;
+            attr "depends" deps_list;
+          ];
+        blocks = [];
+      };
+    bspan = Loc.dummy;
+  }
+
+let to_string t =
+  let header =
+    {
+      Ast.btype = "state";
+      labels = [];
+      bbody =
+        {
+          Ast.attrs =
+            [
+              { Ast.aname = "serial"; avalue = Ast.mk (Ast.Int t.serial); aspan = Loc.dummy };
+            ];
+          blocks = [];
+        };
+      bspan = Loc.dummy;
+    }
+  in
+  let output_blocks =
+    List.map
+      (fun (name, v) ->
+        {
+          Ast.btype = "output";
+          labels = [ name ];
+          bbody =
+            {
+              Ast.attrs =
+                [
+                  {
+                    Ast.aname = "value";
+                    avalue = Codec.value_to_expr (sanitize v);
+                    aspan = Loc.dummy;
+                  };
+                ];
+              blocks = [];
+            };
+          bspan = Loc.dummy;
+        })
+      t.outputs
+  in
+  Printer.config_to_string
+    {
+      Ast.attrs = [];
+      blocks = (header :: List.map resource_to_block (resources t)) @ output_blocks;
+    }
+
+let literal body name =
+  match Ast.attr body name with
+  | None -> raise (Corrupt (Printf.sprintf "state: missing %S" name))
+  | Some e -> (
+      match Codec.expr_to_value e with
+      | Some v -> v
+      | None -> raise (Corrupt (Printf.sprintf "state: %S is not literal" name)))
+
+let of_string src =
+  let body = Parser.parse ~file:"<state>" src in
+  List.fold_left
+    (fun acc (b : Ast.block) ->
+      match (b.Ast.btype, b.Ast.labels) with
+      | "state", _ ->
+          let serial = Value.to_int (literal b.Ast.bbody "serial") in
+          { acc with serial }
+      | "instance", [ addr_str ] ->
+          let addr =
+            match Addr.of_string addr_str with
+            | Some a -> a
+            | None -> raise (Corrupt ("state: bad address " ^ addr_str))
+          in
+          let attrs =
+            match literal b.Ast.bbody "attributes" with
+            | Value.Vmap m -> m
+            | _ -> raise (Corrupt "state: attributes must be an object")
+          in
+          let deps =
+            match literal b.Ast.bbody "depends" with
+            | Value.Vlist vs ->
+                List.map
+                  (fun v ->
+                    match Addr.of_string (Value.to_string v) with
+                    | Some a -> a
+                    | None -> raise (Corrupt "state: bad dep address"))
+                  vs
+            | _ -> raise (Corrupt "state: depends must be a list")
+          in
+          let r =
+            {
+              addr;
+              cloud_id = Value.to_string (literal b.Ast.bbody "cloud_id");
+              rtype = Value.to_string (literal b.Ast.bbody "type");
+              region = Value.to_string (literal b.Ast.bbody "region");
+              attrs;
+              deps;
+            }
+          in
+          { acc with resources = Addr.Map.add addr r acc.resources }
+      | "output", [ name ] ->
+          let v = literal b.Ast.bbody "value" in
+          { acc with outputs = acc.outputs @ [ (name, v) ] }
+      | ty, _ -> raise (Corrupt ("state: unexpected block " ^ ty)))
+    empty body.Ast.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Attribute-level difference between two states for the same address
+    set; used by drift reporting and the time machine. *)
+type entry_diff = {
+  diff_addr : Addr.t;
+  changed : (string * Value.t option * Value.t option) list;
+      (** (attr, old value, new value) *)
+}
+
+let diff_entry (a : resource_state) (b : resource_state) : entry_diff option =
+  let keys =
+    List.sort_uniq String.compare
+      (List.map fst (Smap.bindings a.attrs) @ List.map fst (Smap.bindings b.attrs))
+  in
+  let changed =
+    List.filter_map
+      (fun k ->
+        let va = Smap.find_opt k a.attrs and vb = Smap.find_opt k b.attrs in
+        match (va, vb) with
+        | Some x, Some y when Value.equal x y -> None
+        | None, None -> None
+        | _ -> Some (k, va, vb))
+      keys
+  in
+  if changed = [] then None else Some { diff_addr = a.addr; changed }
+
+type state_diff = {
+  added : Addr.t list;  (** in [b] but not [a] *)
+  removed : Addr.t list;  (** in [a] but not [b] *)
+  modified : entry_diff list;
+}
+
+let diff a b =
+  let added =
+    Addr.Map.fold
+      (fun addr _ acc -> if Addr.Map.mem addr a.resources then acc else addr :: acc)
+      b.resources []
+    |> List.rev
+  in
+  let removed =
+    Addr.Map.fold
+      (fun addr _ acc -> if Addr.Map.mem addr b.resources then acc else addr :: acc)
+      a.resources []
+    |> List.rev
+  in
+  let modified =
+    Addr.Map.fold
+      (fun addr ra acc ->
+        match Addr.Map.find_opt addr b.resources with
+        | None -> acc
+        | Some rb -> (
+            match diff_entry ra rb with None -> acc | Some d -> d :: acc))
+      a.resources []
+    |> List.rev
+  in
+  { added; removed; modified }
+
+let diff_is_empty d = d.added = [] && d.removed = [] && d.modified = []

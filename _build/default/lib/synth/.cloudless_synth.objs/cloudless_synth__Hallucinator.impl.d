@@ -1,0 +1,1 @@
+lib/synth/hallucinator.ml: Bytes Cloudless_hcl Cloudless_sim Intent List String

@@ -1,0 +1,1 @@
+lib/synth/importer.ml: Cloudless_hcl Cloudless_sim List String

@@ -1,0 +1,1 @@
+lib/synth/intent.ml: Cloudless_hcl Cloudless_schema List Printf String

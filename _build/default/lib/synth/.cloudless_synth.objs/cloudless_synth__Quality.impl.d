@@ -1,0 +1,1 @@
+lib/synth/quality.ml: Cloudless_hcl Cloudless_schema Fmt List String

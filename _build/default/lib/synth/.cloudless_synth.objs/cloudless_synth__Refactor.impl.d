@@ -1,0 +1,1 @@
+lib/synth/refactor.ml: Buffer Cloudless_hcl Cloudless_schema Fun Hashtbl Int32 List Option Printf String

@@ -1,0 +1,128 @@
+(** A statistical model of today's LLM-based IaC generators (§3.1).
+
+    The paper observes that existing LLM tools "frequently generate
+    invalid IaC code, even for small-scale templates involving widely
+    used resources", hallucinating syntax, attribute names, and unsafe
+    defaults.  To benchmark the type-guided synthesizer against that
+    baseline (experiment E9) we take a *correct* synthesis and inject
+    the documented failure modes at calibrated rates:
+
+    - misspelled / invented attribute names,
+    - dangling references to resources that don't exist,
+    - wrong-type references (subnet id where a NIC id belongs),
+    - invalid literals (regions, CIDRs) ,
+    - dropped required attributes,
+    - security-sensitive defaults (0.0.0.0/0 ingress, plaintext
+      passwords without the guard flag). *)
+
+module Hcl = Cloudless_hcl
+module Ast = Hcl.Ast
+module Prng = Cloudless_sim.Prng
+
+type rates = {
+  misspell_attr : float;
+  dangling_ref : float;
+  wrong_type_ref : float;
+  invalid_literal : float;
+  drop_required : float;
+  insecure_default : float;
+}
+
+(* Calibration: roughly one error per short template, matching the
+   anecdotal reports the paper cites. *)
+let default_rates =
+  {
+    misspell_attr = 0.06;
+    dangling_ref = 0.05;
+    wrong_type_ref = 0.05;
+    invalid_literal = 0.05;
+    drop_required = 0.04;
+    insecure_default = 0.03;
+  }
+
+let misspell prng name =
+  (* drop a character or duplicate one — classic hallucination *)
+  let n = String.length name in
+  if n < 3 then name ^ "s"
+  else if Prng.bernoulli prng 0.5 then
+    (* drop *)
+    let i = Prng.int prng n in
+    String.sub name 0 i ^ String.sub name (i + 1) (n - i - 1)
+  else
+    (* swap two adjacent characters *)
+    let i = Prng.int prng (n - 1) in
+    let b = Bytes.of_string name in
+    let c = Bytes.get b i in
+    Bytes.set b i (Bytes.get b (i + 1));
+    Bytes.set b (i + 1) c;
+    Bytes.to_string b
+
+let bogus_literals = [ "us-easter-1"; "10.0.0.0/33"; "300.1.2.3/16"; "eu-mars-2" ]
+
+(** Corrupt a correct configuration with hallucination-style errors.
+    Deterministic in [seed]. *)
+let corrupt ?(rates = default_rates) ~seed (cfg : Hcl.Config.t) : Hcl.Config.t =
+  let prng = Prng.create seed in
+  let corrupt_attr (r : Hcl.Config.resource) (a : Ast.attribute) :
+      Ast.attribute option =
+    if Prng.bernoulli prng rates.drop_required then None
+    else
+      let a =
+        if Prng.bernoulli prng rates.misspell_attr then
+          { a with Ast.aname = misspell prng a.Ast.aname }
+        else a
+      in
+      let a =
+        if Prng.bernoulli prng rates.dangling_ref then
+          {
+            a with
+            Ast.avalue =
+              Ast.mk
+                (Ast.GetAttr
+                   ( Ast.mk (Ast.GetAttr (Ast.mk (Ast.Var r.Hcl.Config.rtype), "nonexistent")),
+                     "id" ));
+          }
+        else if Prng.bernoulli prng rates.wrong_type_ref then
+          (* reference the *resource itself* type-incorrectly: point a
+             reference at a security-group-shaped phantom *)
+          {
+            a with
+            Ast.avalue =
+              Ast.mk
+                (Ast.GetAttr
+                   (Ast.mk (Ast.GetAttr (Ast.mk (Ast.Var "aws_s3_bucket"), "logs")), "id"));
+          }
+        else if Prng.bernoulli prng rates.invalid_literal then
+          { a with Ast.avalue = Ast.string_lit (Prng.choose prng bogus_literals) }
+        else a
+      in
+      Some a
+  in
+  let resources =
+    List.map
+      (fun (r : Hcl.Config.resource) ->
+        let attrs =
+          List.filter_map (corrupt_attr r) r.Hcl.Config.rbody.Ast.attrs
+        in
+        let attrs =
+          if Prng.bernoulli prng rates.insecure_default then
+            attrs
+            @ [
+                {
+                  Ast.aname = "admin_password";
+                  avalue = Ast.string_lit "hunter2";
+                  aspan = Hcl.Loc.dummy;
+                };
+              ]
+          else attrs
+        in
+        { r with Hcl.Config.rbody = { r.Hcl.Config.rbody with Ast.attrs } })
+      cfg.Hcl.Config.resources
+  in
+  { cfg with Hcl.Config.resources }
+
+(** End-to-end baseline generator: synthesize an intent the reliable
+    way, then corrupt it like an LLM would. *)
+let generate ?(rates = default_rates) ~seed (intent : Intent.intent) :
+    Hcl.Config.t =
+  corrupt ~rates ~seed (Intent.synthesize intent)

@@ -1,0 +1,1025 @@
+(** The program optimizer for ported IaC (§3.1).
+
+    "Porting from existing cloud infrastructures to IaC must be
+    assisted with a program optimizer that provides structural
+    guidance ... if the cloud-level state contains many resources of
+    the same type, the corresponding IaC program should use compact
+    structures such as count and for_each ... nested modules are
+    another way to wrap sets of resources with the same structure.
+    For an individual resource, many of its cloud-level attributes
+    could be removed."
+
+    Four passes, in order:
+
+    1. {!recover_references} — literal cloud-id strings become typed
+       references (guided by the knowledge base's [Resource_id] types);
+    2. {!prune_computed} — attributes the cloud computes are dropped;
+    3. {!compact_groups} — same-shaped resources collapse into one
+       block with [count] (index/arithmetic/CIDR patterns) or
+       [for_each] (patternless single-attribute variation);
+    4. {!extract_modules} — repeated multi-resource structures become
+       a module invoked several times with differing variables. *)
+
+module Hcl = Cloudless_hcl
+module Value = Hcl.Value
+module Ast = Hcl.Ast
+module Ipnet = Hcl.Ipnet
+module Schema = Cloudless_schema
+module T = Schema.Semantic_type
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let string_lit_of (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Template [ Ast.Lit s ] -> Some s
+  | Ast.Template [] -> Some ""
+  | _ -> None
+
+let int_lit_of (e : Ast.expr) =
+  match e.Ast.desc with Ast.Int n -> Some n | _ -> None
+
+(* structural equality on printed form: cheap and adequate here *)
+let expr_equal a b =
+  Hcl.Printer.expr_to_string a = Hcl.Printer.expr_to_string b
+
+let resource_ref rtype rname attr =
+  Ast.mk (Ast.GetAttr (Ast.mk (Ast.GetAttr (Ast.mk (Ast.Var rtype), rname)), attr))
+
+let count_index = Ast.mk (Ast.GetAttr (Ast.mk (Ast.Var "count"), "index"))
+
+let count_index_plus base =
+  if base = 0 then count_index
+  else Ast.mk (Ast.Binop (Ast.Add, count_index, Ast.mk (Ast.Int base)))
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: reference recovery                                          *)
+(* ------------------------------------------------------------------ *)
+
+let recover_references (cfg : Hcl.Config.t) : Hcl.Config.t =
+  (* map: literal id -> (rtype, rname) *)
+  let id_map = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Hcl.Config.resource) ->
+      match Ast.attr r.Hcl.Config.rbody "id" with
+      | Some e -> (
+          match string_lit_of e with
+          | Some id ->
+              Hashtbl.replace id_map id (r.Hcl.Config.rtype, r.Hcl.Config.rname)
+          | None -> ())
+      | None -> ())
+    cfg.Hcl.Config.resources;
+  let expected_type rtype attr_name =
+    match Schema.Catalog.find rtype with
+    | None -> None
+    | Some schema -> (
+        match Schema.Resource_schema.find_attr schema attr_name with
+        | Some { Schema.Resource_schema.aty = T.Resource_id t; _ } -> Some t
+        | Some { Schema.Resource_schema.aty = T.List_of (T.Resource_id t); _ } ->
+            Some t
+        | _ -> None)
+  in
+  let rewrite_value rtype attr_name (e : Ast.expr) : Ast.expr =
+    let try_ref s =
+      match Hashtbl.find_opt id_map s with
+      | Some (target_type, target_name) -> (
+          match expected_type rtype attr_name with
+          | Some want when want <> target_type -> None  (* miswired: keep literal *)
+          | _ -> Some (resource_ref target_type target_name "id"))
+      | None -> None
+    in
+    match e.Ast.desc with
+    | Ast.Template [ Ast.Lit s ] -> (
+        match try_ref s with Some r -> r | None -> e)
+    | Ast.ListLit es ->
+        Ast.mk
+          (Ast.ListLit
+             (List.map
+                (fun item ->
+                  match string_lit_of item with
+                  | Some s -> (
+                      match try_ref s with Some r -> r | None -> item)
+                  | None -> item)
+                es))
+    | _ -> e
+  in
+  let resources =
+    List.map
+      (fun (r : Hcl.Config.resource) ->
+        let attrs =
+          List.map
+            (fun (a : Ast.attribute) ->
+              if a.Ast.aname = "id" then a
+              else
+                {
+                  a with
+                  Ast.avalue = rewrite_value r.Hcl.Config.rtype a.Ast.aname a.Ast.avalue;
+                })
+            r.Hcl.Config.rbody.Ast.attrs
+        in
+        { r with Hcl.Config.rbody = { r.Hcl.Config.rbody with Ast.attrs } })
+      cfg.Hcl.Config.resources
+  in
+  { cfg with Hcl.Config.resources }
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: prune computed attributes                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prune_computed (cfg : Hcl.Config.t) : Hcl.Config.t =
+  let resources =
+    List.map
+      (fun (r : Hcl.Config.resource) ->
+        let computed =
+          match Schema.Catalog.find r.Hcl.Config.rtype with
+          | Some s -> Schema.Resource_schema.computed_attr_names s
+          | None -> [ "id"; "arn" ]
+        in
+        let attrs =
+          List.filter
+            (fun (a : Ast.attribute) -> not (List.mem a.Ast.aname computed))
+            r.Hcl.Config.rbody.Ast.attrs
+        in
+        { r with Hcl.Config.rbody = { r.Hcl.Config.rbody with Ast.attrs } })
+      cfg.Hcl.Config.resources
+  in
+  { cfg with Hcl.Config.resources }
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: count / for_each compaction                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Pattern detected across the i-th members of a group, in order. *)
+type attr_pattern =
+  | P_same of Ast.expr
+  | P_int_suffix of { prefix : string; suffix : string; base : int }
+  | P_arith of { base : int; step : int }
+  | P_cidr of { parent : string; newbits : int; base : int }
+  | P_indexed_ref of { rtype : string; rname : string; attr : string; base : int }
+
+let pattern_to_expr = function
+  | P_same e -> e
+  | P_int_suffix { prefix; suffix; base } ->
+      let parts =
+        [ Ast.Lit prefix; Ast.Interp (count_index_plus base) ]
+        @ if suffix = "" then [] else [ Ast.Lit suffix ]
+      in
+      Ast.mk (Ast.Template parts)
+  | P_arith { base; step } ->
+      if step = 0 then Ast.mk (Ast.Int base)
+      else if step = 1 then count_index_plus base
+      else
+        Ast.mk
+          (Ast.Binop
+             ( Ast.Add,
+               Ast.mk (Ast.Binop (Ast.Mul, count_index, Ast.mk (Ast.Int step))),
+               Ast.mk (Ast.Int base) ))
+  | P_cidr { parent; newbits; base } ->
+      Ast.mk
+        (Ast.Call
+           ( "cidrsubnet",
+             [
+               Ast.string_lit parent;
+               Ast.mk (Ast.Int newbits);
+               count_index_plus base;
+             ],
+             false ))
+  | P_indexed_ref { rtype; rname; attr; base } ->
+      Ast.mk
+        (Ast.GetAttr
+           ( Ast.mk
+               (Ast.Index
+                  ( Ast.mk (Ast.GetAttr (Ast.mk (Ast.Var rtype), rname)),
+                    count_index_plus base )),
+             attr ))
+
+(* decompose "web-3" into ("web-", 3, "") etc.: longest digit run *)
+let int_suffix_decompose s =
+  let n = String.length s in
+  (* find the last maximal digit run *)
+  let rec find_end i = if i >= 0 && s.[i] >= '0' && s.[i] <= '9' then find_end (i - 1) else i in
+  let rec scan i =
+    if i < 0 then None
+    else if s.[i] >= '0' && s.[i] <= '9' then
+      let start = find_end i + 1 in
+      Some (String.sub s 0 start, int_of_string (String.sub s start (i - start + 1)),
+            String.sub s (i + 1) (n - i - 1))
+    else scan (i - 1)
+  in
+  scan (n - 1)
+
+let detect_int_suffix values =
+  let decomposed = List.map int_suffix_decompose values in
+  if List.exists (fun d -> d = None) decomposed then None
+  else
+    let ds = List.map Option.get decomposed in
+    match ds with
+    | [] -> None
+    | (p0, n0, s0) :: rest ->
+        if
+          List.for_all (fun (p, _, s) -> p = p0 && s = s0) rest
+          && List.mapi (fun i (_, n, _) -> n = n0 + i) ((p0, n0, s0) :: rest)
+             |> List.for_all Fun.id
+        then Some (P_int_suffix { prefix = p0; suffix = s0; base = n0 })
+        else None
+
+let detect_arith values =
+  match values with
+  | [] | [ _ ] -> None
+  | v0 :: v1 :: _ ->
+      let step = v1 - v0 in
+      if List.mapi (fun i v -> v = v0 + (step * i)) values |> List.for_all Fun.id
+      then Some (P_arith { base = v0; step })
+      else None
+
+let detect_cidr values =
+  match List.map (fun s -> Ipnet.parse_prefix s) values with
+  | exception Ipnet.Invalid _ -> None
+  | prefixes -> (
+      match prefixes with
+      | [] -> None
+      | p0 :: _ ->
+          let bits = p0.Ipnet.bits in
+          if not (List.for_all (fun p -> p.Ipnet.bits = bits) prefixes) then None
+          else
+            (* try enclosing parents from tight to loose *)
+            let rec try_newbits newbits =
+              if newbits > bits then None
+              else
+                let parent_bits = bits - newbits in
+                let parent =
+                  { Ipnet.network = Int32.logand p0.Ipnet.network (Ipnet.mask parent_bits);
+                    bits = parent_bits }
+                in
+                let netnum p =
+                  Int32.to_int
+                    (Int32.shift_right_logical
+                       (Int32.logxor p.Ipnet.network parent.Ipnet.network)
+                       (32 - bits))
+                in
+                if List.for_all (fun p -> Ipnet.contains ~outer:parent ~inner:p) prefixes
+                then
+                  let nums = List.map netnum prefixes in
+                  match nums with
+                  | n0 :: _
+                    when List.mapi (fun i n -> n = n0 + i) nums
+                         |> List.for_all Fun.id ->
+                      Some
+                        (P_cidr
+                           {
+                             parent = Ipnet.prefix_to_string parent;
+                             newbits;
+                             base = n0;
+                           })
+                  | _ -> try_newbits (newbits + 1)
+                else try_newbits (newbits + 1)
+            in
+            try_newbits 1)
+
+(* refs to consecutive instances of an already-compacted resource:
+   rtype.rname[k].attr with k consecutive *)
+let detect_indexed_ref (exprs : Ast.expr list) =
+  let decompose (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.GetAttr
+        ( {
+            Ast.desc =
+              Ast.Index
+                ( { Ast.desc = Ast.GetAttr ({ Ast.desc = Ast.Var rtype; _ }, rname); _ },
+                  { Ast.desc = Ast.Int k; _ } );
+            _;
+          },
+          attr ) ->
+        Some (rtype, rname, attr, k)
+    | _ -> None
+  in
+  let ds = List.map decompose exprs in
+  if List.exists (fun d -> d = None) ds then None
+  else
+    match List.map Option.get ds with
+    | [] -> None
+    | (t0, n0, a0, k0) :: rest as all ->
+        if
+          List.for_all (fun (t, n, a, _) -> t = t0 && n = n0 && a = a0) rest
+          && List.mapi (fun i (_, _, _, k) -> k = k0 + i) all |> List.for_all Fun.id
+        then Some (P_indexed_ref { rtype = t0; rname = n0; attr = a0; base = k0 })
+        else None
+
+let detect_pattern (exprs : Ast.expr list) : attr_pattern option =
+  match exprs with
+  | [] -> None
+  | e0 :: rest ->
+      if List.for_all (expr_equal e0) rest then Some (P_same e0)
+      else (
+        match List.map string_lit_of exprs with
+        | strs when List.for_all (fun s -> s <> None) strs -> (
+            let values = List.map Option.get strs in
+            match detect_int_suffix values with
+            | Some p -> Some p
+            | None -> detect_cidr values)
+        | _ -> (
+            match List.map int_lit_of exprs with
+            | ints when List.for_all (fun i -> i <> None) ints ->
+                detect_arith (List.map Option.get ints)
+            | _ -> detect_indexed_ref exprs))
+
+type group_rewrite = {
+  new_block : Hcl.Config.resource;
+  renames : (string * int) list;  (** old rname -> index in new block *)
+}
+
+(* Try to compact one group (same rtype, same attr-name sets, n >= 2).
+   Ordering heuristic: order members by their first varying attribute
+   (numerically when int-suffixed, else lexicographically). *)
+let try_compact_group (rs : Hcl.Config.resource list) : group_rewrite option =
+  match rs with
+  | [] | [ _ ] -> None
+  | r0 :: _ ->
+      let attr_names =
+        List.map (fun (a : Ast.attribute) -> a.Ast.aname) r0.Hcl.Config.rbody.Ast.attrs
+      in
+      let get r name = Option.get (Ast.attr r.Hcl.Config.rbody name) in
+      (* choose ordering *)
+      let varying =
+        List.filter
+          (fun name ->
+            let e0 = get r0 name in
+            not (List.for_all (fun r -> expr_equal e0 (get r name)) rs))
+          attr_names
+      in
+      (* natural ordering: split the first varying attribute's rendering
+         into text/number segments so "w-10" sorts after "w-2" and
+         "10.0.10.0/24" after "10.0.2.0/24" *)
+      let natural_key s =
+        let segs = ref [] in
+        let buf = Buffer.create 8 in
+        let num = ref false in
+        let flush () =
+          if Buffer.length buf > 0 then begin
+            let seg = Buffer.contents buf in
+            segs :=
+              (if !num then `Num (int_of_string seg) else `Txt seg) :: !segs;
+            Buffer.clear buf
+          end
+        in
+        String.iter
+          (fun c ->
+            let is_digit = c >= '0' && c <= '9' in
+            if is_digit <> !num then begin
+              flush ();
+              num := is_digit
+            end;
+            Buffer.add_char buf c)
+          s;
+        flush ();
+        List.rev !segs
+      in
+      let order =
+        match varying with
+        | [] -> rs  (* identical resources: any order *)
+        | first :: _ ->
+            let key r =
+              natural_key
+                (match string_lit_of (get r first) with
+                | Some s -> s
+                | None -> Hcl.Printer.expr_to_string (get r first))
+            in
+            List.sort (fun a b -> compare (key a) (key b)) rs
+      in
+      let patterns =
+        List.map
+          (fun name ->
+            (name, detect_pattern (List.map (fun r -> get r name) order)))
+          attr_names
+      in
+      if List.for_all (fun (_, p) -> p <> None) patterns then
+        (* full count compaction *)
+        let attrs =
+          List.map
+            (fun (name, p) ->
+              {
+                Ast.aname = name;
+                avalue = pattern_to_expr (Option.get p);
+                aspan = Hcl.Loc.dummy;
+              })
+            patterns
+        in
+        let new_block =
+          {
+            r0 with
+            Hcl.Config.rname = r0.Hcl.Config.rname;
+            rcount = Some (Ast.mk (Ast.Int (List.length rs)));
+            rbody = { r0.Hcl.Config.rbody with Ast.attrs };
+          }
+        in
+        Some
+          {
+            new_block;
+            renames =
+              List.mapi (fun i r -> (r.Hcl.Config.rname, i)) order;
+          }
+      else
+        (* for_each fallback: exactly one patternless varying attr, all
+           string literals, all distinct *)
+        let unmatched =
+          List.filter (fun (_, p) -> p = None) patterns |> List.map fst
+        in
+        match unmatched with
+        | [ attr ] -> (
+            let values = List.map (fun r -> string_lit_of (get r attr)) order in
+            if List.for_all (fun v -> v <> None) values then
+              let values = List.map Option.get values in
+              if List.length (List.sort_uniq compare values) = List.length values
+              then
+                let attrs =
+                  List.map
+                    (fun (name, p) ->
+                      let avalue =
+                        if name = attr then
+                          Ast.mk (Ast.GetAttr (Ast.mk (Ast.Var "each"), "value"))
+                        else pattern_to_expr (Option.get p)
+                      in
+                      { Ast.aname = name; avalue; aspan = Hcl.Loc.dummy })
+                    patterns
+                in
+                let fe =
+                  Ast.mk
+                    (Ast.Call
+                       ( "toset",
+                         [ Ast.mk (Ast.ListLit (List.map Ast.string_lit values)) ],
+                         false ))
+                in
+                let new_block =
+                  {
+                    r0 with
+                    Hcl.Config.rcount = None;
+                    rfor_each = Some fe;
+                    rbody = { r0.Hcl.Config.rbody with Ast.attrs };
+                  }
+                in
+                (* for_each renames are by key, not index; indexes are
+                   unusable for cross-references, so only offer the
+                   rewrite when nothing references the group (checked by
+                   the caller via renames = []) *)
+                Some { new_block; renames = [] }
+              else None
+            else None)
+        | _ -> None
+
+(* rewrite references to compacted members: t.old.attr -> t.new[i].attr *)
+let rewrite_refs_in_expr (renames : (string * string * string * int) list)
+    (e : Ast.expr) : Ast.expr =
+  let rec go (e : Ast.expr) =
+    let mk desc = { e with Ast.desc } in
+    match e.Ast.desc with
+    | Ast.GetAttr ({ Ast.desc = Ast.GetAttr ({ Ast.desc = Ast.Var rtype; _ }, rname); _ }, attr)
+      -> (
+        match
+          List.find_opt (fun (t, o, _, _) -> t = rtype && o = rname) renames
+        with
+        | Some (_, _, new_name, idx) ->
+            Ast.mk
+              (Ast.GetAttr
+                 ( Ast.mk
+                     (Ast.Index
+                        ( Ast.mk (Ast.GetAttr (Ast.mk (Ast.Var rtype), new_name)),
+                          Ast.mk (Ast.Int idx) )),
+                   attr ))
+        | None -> e)
+    | Ast.GetAttr (inner, a) -> mk (Ast.GetAttr (go inner, a))
+    | Ast.Index (inner, i) -> mk (Ast.Index (go inner, go i))
+    | Ast.Splat (inner, a) -> mk (Ast.Splat (go inner, a))
+    | Ast.ListLit es -> mk (Ast.ListLit (List.map go es))
+    | Ast.ObjectLit kvs ->
+        mk (Ast.ObjectLit (List.map (fun (k, v) -> (k, go v)) kvs))
+    | Ast.Call (f, args, ex) -> mk (Ast.Call (f, List.map go args, ex))
+    | Ast.Unop (op, a) -> mk (Ast.Unop (op, go a))
+    | Ast.Binop (op, a, b) -> mk (Ast.Binop (op, go a, go b))
+    | Ast.Cond (c, a, b) -> mk (Ast.Cond (go c, go a, go b))
+    | Ast.Paren a -> mk (Ast.Paren (go a))
+    | Ast.Template parts ->
+        mk
+          (Ast.Template
+             (List.map
+                (function
+                  | Ast.Lit s -> Ast.Lit s
+                  | Ast.Interp e -> Ast.Interp (go e))
+                parts))
+    | Ast.ForList fc ->
+        mk (Ast.ForList { fc with Ast.coll = go fc.Ast.coll; body = go fc.Ast.body })
+    | Ast.ForMap (fc, v) ->
+        mk (Ast.ForMap ({ fc with Ast.coll = go fc.Ast.coll; body = go fc.Ast.body }, go v))
+    | Ast.Null | Ast.Bool _ | Ast.Int _ | Ast.Float _ | Ast.Var _ -> e
+  in
+  go e
+
+let rewrite_refs_in_resource renames (r : Hcl.Config.resource) =
+  let attrs =
+    List.map
+      (fun (a : Ast.attribute) ->
+        { a with Ast.avalue = rewrite_refs_in_expr renames a.Ast.avalue })
+      r.Hcl.Config.rbody.Ast.attrs
+  in
+  { r with Hcl.Config.rbody = { r.Hcl.Config.rbody with Ast.attrs } }
+
+(* One compaction sweep; returns the new config and whether progress
+   was made.  Iterated to fixpoint so groups that reference freshly
+   compacted groups can compact in a later round (indexed-ref
+   pattern). *)
+let compact_once (cfg : Hcl.Config.t) : Hcl.Config.t * bool =
+  let shape (r : Hcl.Config.resource) =
+    ( r.Hcl.Config.rtype,
+      List.sort compare
+        (List.map (fun (a : Ast.attribute) -> a.Ast.aname) r.Hcl.Config.rbody.Ast.attrs),
+      r.Hcl.Config.rcount = None && r.Hcl.Config.rfor_each = None )
+  in
+  (* stable grouping *)
+  let groups : (string * (Hcl.Config.resource list ref)) list ref = ref [] in
+  List.iter
+    (fun r ->
+      let rtype, names, plain = shape r in
+      if plain then begin
+        let key = rtype ^ "|" ^ String.concat "," names in
+        match List.assoc_opt key !groups with
+        | Some cell -> cell := r :: !cell
+        | None -> groups := !groups @ [ (key, ref [ r ]) ]
+      end)
+    cfg.Hcl.Config.resources;
+  let rewrites =
+    List.filter_map
+      (fun (_, cell) ->
+        let members = List.rev !cell in
+        if List.length members >= 2 then
+          match try_compact_group members with
+          | Some rw when rw.renames <> [] -> Some (members, rw)
+          | Some rw ->
+              (* for_each rewrite: only safe when nothing references the
+                 members *)
+              let member_names =
+                List.map (fun r -> (r.Hcl.Config.rtype, r.Hcl.Config.rname)) members
+              in
+              let referenced =
+                List.exists
+                  (fun (r : Hcl.Config.resource) ->
+                    not
+                      (List.mem
+                         (r.Hcl.Config.rtype, r.Hcl.Config.rname)
+                         member_names)
+                    && List.exists
+                         (function
+                           | Hcl.Refs.Tresource (t, n) ->
+                               List.mem (t, n) member_names
+                           | _ -> false)
+                         (Hcl.Refs.of_body r.Hcl.Config.rbody))
+                  cfg.Hcl.Config.resources
+              in
+              if referenced then None else Some (members, rw)
+          | None -> None
+        else None)
+      !groups
+  in
+  match rewrites with
+  | [] -> (cfg, false)
+  | _ ->
+      let removed =
+        List.concat_map
+          (fun (members, _) ->
+            List.map (fun r -> (r.Hcl.Config.rtype, r.Hcl.Config.rname)) members)
+          rewrites
+      in
+      let renames =
+        List.concat_map
+          (fun (members, rw) ->
+            let rtype = (List.hd members).Hcl.Config.rtype in
+            let new_name = rw.new_block.Hcl.Config.rname in
+            List.map (fun (old, i) -> (rtype, old, new_name, i)) rw.renames)
+          rewrites
+      in
+      let resources =
+        List.filter_map
+          (fun (r : Hcl.Config.resource) ->
+            if List.mem (r.Hcl.Config.rtype, r.Hcl.Config.rname) removed then None
+            else Some (rewrite_refs_in_resource renames r))
+          cfg.Hcl.Config.resources
+      in
+      (* insert new blocks at the position of their first member *)
+      let new_blocks = List.map (fun (_, rw) -> rw.new_block) rewrites in
+      let new_blocks =
+        List.map (rewrite_refs_in_resource renames) new_blocks
+      in
+      ({ cfg with Hcl.Config.resources = resources @ new_blocks }, true)
+
+let compact_groups (cfg : Hcl.Config.t) : Hcl.Config.t =
+  let rec fix cfg rounds =
+    if rounds = 0 then cfg
+    else
+      let cfg', progress = compact_once cfg in
+      if progress then fix cfg' (rounds - 1) else cfg'
+  in
+  fix cfg 6
+
+(* ------------------------------------------------------------------ *)
+(* Pass 4: module extraction                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Connected components of the intra-config reference graph. *)
+let components (cfg : Hcl.Config.t) : Hcl.Config.resource list list =
+  let key (r : Hcl.Config.resource) = (r.Hcl.Config.rtype, r.Hcl.Config.rname) in
+  let nodes = List.map key cfg.Hcl.Config.resources in
+  let adj = Hashtbl.create 32 in
+  let add_edge a b =
+    if a <> b && List.mem b nodes then begin
+      Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a));
+      Hashtbl.replace adj b (a :: Option.value ~default:[] (Hashtbl.find_opt adj b))
+    end
+  in
+  List.iter
+    (fun (r : Hcl.Config.resource) ->
+      List.iter
+        (function
+          | Hcl.Refs.Tresource (t, n) -> add_edge (key r) (t, n)
+          | _ -> ())
+        (Hcl.Refs.of_body r.Hcl.Config.rbody))
+    cfg.Hcl.Config.resources;
+  let visited = Hashtbl.create 32 in
+  let by_key = Hashtbl.create 32 in
+  List.iter (fun r -> Hashtbl.replace by_key (key r) r) cfg.Hcl.Config.resources;
+  List.filter_map
+    (fun r ->
+      let k = key r in
+      if Hashtbl.mem visited k then None
+      else begin
+        let comp = ref [] in
+        let rec dfs k =
+          if not (Hashtbl.mem visited k) then begin
+            Hashtbl.replace visited k ();
+            (match Hashtbl.find_opt by_key k with
+            | Some r -> comp := r :: !comp
+            | None -> ());
+            List.iter dfs (Option.value ~default:[] (Hashtbl.find_opt adj k))
+          end
+        in
+        dfs k;
+        Some (List.rev !comp)
+      end)
+    cfg.Hcl.Config.resources
+
+(* Canonical signature of a component: types, attr names, and internal
+   reference structure with names abstracted to positional indexes. *)
+let component_signature (comp : Hcl.Config.resource list) : string =
+  let comp =
+    List.sort
+      (fun (a : Hcl.Config.resource) b ->
+        compare
+          (a.Hcl.Config.rtype, a.Hcl.Config.rname)
+          (b.Hcl.Config.rtype, b.Hcl.Config.rname))
+      comp
+  in
+  let index_of t n =
+    let rec go i = function
+      | [] -> -1
+      | (r : Hcl.Config.resource) :: rest ->
+          if r.Hcl.Config.rtype = t && r.Hcl.Config.rname = n then i
+          else go (i + 1) rest
+    in
+    go 0 comp
+  in
+  let entry (r : Hcl.Config.resource) =
+    let attrs =
+      List.map
+        (fun (a : Ast.attribute) ->
+          let refs =
+            Hcl.Refs.of_expr a.Ast.avalue
+            |> List.filter_map (function
+                 | Hcl.Refs.Tresource (t, n) when index_of t n >= 0 ->
+                     Some (string_of_int (index_of t n))
+                 | _ -> None)
+          in
+          a.Ast.aname ^ (if refs = [] then "" else "->" ^ String.concat "+" refs))
+        r.Hcl.Config.rbody.Ast.attrs
+      |> List.sort compare
+    in
+    r.Hcl.Config.rtype ^ "{" ^ String.concat ";" attrs ^ "}"
+  in
+  String.concat "|" (List.map entry comp)
+
+(** Extract repeated structures into modules.  Returns the rewritten
+    root configuration plus the module library (source path ->
+    configuration) to register in the evaluator's module registry. *)
+let extract_modules ?(min_component_size = 2) ?(min_occurrences = 2)
+    (cfg : Hcl.Config.t) : Hcl.Config.t * (string * Hcl.Config.t) list =
+  let comps =
+    components cfg |> List.filter (fun c -> List.length c >= min_component_size)
+  in
+  let by_sig = Hashtbl.create 8 in
+  List.iter
+    (fun comp ->
+      let s = component_signature comp in
+      Hashtbl.replace by_sig s (comp :: Option.value ~default:[] (Hashtbl.find_opt by_sig s)))
+    comps;
+  let module_groups =
+    Hashtbl.fold
+      (fun _ comps acc ->
+        if List.length comps >= min_occurrences then List.rev comps :: acc
+        else acc)
+      by_sig []
+  in
+  if module_groups = [] then (cfg, [])
+  else begin
+    let modules = ref [] in
+    let removed = ref [] in
+    let module_calls = ref [] in
+    List.iteri
+      (fun gi group ->
+        let sorted_occurrence comp =
+          List.sort
+            (fun (a : Hcl.Config.resource) b ->
+              compare
+                (a.Hcl.Config.rtype, a.Hcl.Config.rname)
+                (b.Hcl.Config.rtype, b.Hcl.Config.rname))
+            comp
+        in
+        let occurrences = List.map sorted_occurrence group in
+        (* canonicalize each occurrence: member i becomes "r<i>" and all
+           internal references are rewritten to the canonical names, so
+           intra-stamp references stop looking like varying attributes *)
+        let canonicalize occ =
+          let rename_map =
+            List.mapi
+              (fun ri (r : Hcl.Config.resource) ->
+                (r.Hcl.Config.rtype, r.Hcl.Config.rname, Printf.sprintf "r%d" ri))
+              occ
+          in
+          let rec go (e : Ast.expr) =
+            let mk desc = { e with Ast.desc } in
+            match e.Ast.desc with
+            | Ast.GetAttr
+                ({ Ast.desc = Ast.GetAttr ({ Ast.desc = Ast.Var rtype; _ }, rname); _ }, attr)
+              -> (
+                match
+                  List.find_opt (fun (t, o, _) -> t = rtype && o = rname) rename_map
+                with
+                | Some (_, _, nn) -> resource_ref rtype nn attr
+                | None -> e)
+            | Ast.GetAttr (inner, a) -> mk (Ast.GetAttr (go inner, a))
+            | Ast.Index (inner, i) -> mk (Ast.Index (go inner, go i))
+            | Ast.ListLit es -> mk (Ast.ListLit (List.map go es))
+            | Ast.Call (f, args, ex) -> mk (Ast.Call (f, List.map go args, ex))
+            | Ast.Template parts ->
+                mk
+                  (Ast.Template
+                     (List.map
+                        (function
+                          | Ast.Lit s -> Ast.Lit s
+                          | Ast.Interp e -> Ast.Interp (go e))
+                        parts))
+            | _ -> e
+          in
+          List.mapi
+            (fun ri (r : Hcl.Config.resource) ->
+              let attrs =
+                List.map
+                  (fun (a : Ast.attribute) -> { a with Ast.avalue = go a.Ast.avalue })
+                  r.Hcl.Config.rbody.Ast.attrs
+              in
+              {
+                r with
+                Hcl.Config.rname = Printf.sprintf "r%d" ri;
+                rbody = { r.Hcl.Config.rbody with Ast.attrs };
+              })
+            occ
+        in
+        let canon = List.map canonicalize occurrences in
+        let template = List.hd canon in
+        (* attrs that still differ across canonical occurrences become
+           module variables *)
+        let varying = ref [] in
+        List.iteri
+          (fun ri (tr : Hcl.Config.resource) ->
+            List.iter
+              (fun (a : Ast.attribute) ->
+                let values =
+                  List.map
+                    (fun occ ->
+                      let r = List.nth occ ri in
+                      Option.get (Ast.attr r.Hcl.Config.rbody a.Ast.aname))
+                    canon
+                in
+                match values with
+                | v0 :: rest when not (List.for_all (expr_equal v0) rest) ->
+                    varying := (ri, a.Ast.aname) :: !varying
+                | _ -> ())
+              tr.Hcl.Config.rbody.Ast.attrs)
+          template;
+        let varying = List.rev !varying in
+        (* a varying value containing references cannot be lifted to a
+           root-level module argument: skip such groups *)
+        let liftable =
+          List.for_all
+            (fun (ri, aname) ->
+              List.for_all
+                (fun occ ->
+                  let r = List.nth occ ri in
+                  let v = Option.get (Ast.attr r.Hcl.Config.rbody aname) in
+                  Hcl.Refs.of_expr v = [])
+                canon)
+            varying
+        in
+        if liftable then begin
+          let var_name (ri, aname) = Printf.sprintf "r%d_%s" ri aname in
+          let child_resources =
+            List.mapi
+              (fun ri (tr : Hcl.Config.resource) ->
+                let attrs =
+                  List.map
+                    (fun (a : Ast.attribute) ->
+                      if List.mem (ri, a.Ast.aname) varying then
+                        {
+                          a with
+                          Ast.avalue =
+                            Ast.mk
+                              (Ast.GetAttr
+                                 (Ast.mk (Ast.Var "var"), var_name (ri, a.Ast.aname)));
+                        }
+                      else a)
+                    tr.Hcl.Config.rbody.Ast.attrs
+                in
+                { tr with Hcl.Config.rbody = { tr.Hcl.Config.rbody with Ast.attrs } })
+              template
+          in
+          let child =
+            {
+              (Hcl.Config.empty ~file:"<module>") with
+              Hcl.Config.variables =
+                List.map
+                  (fun v ->
+                    {
+                      Hcl.Config.vname = var_name v;
+                      vtype = None;
+                      vdefault = None;
+                      vdescription = None;
+                      vspan = Hcl.Loc.dummy;
+                    })
+                  varying;
+              resources = child_resources;
+            }
+          in
+          let source = Printf.sprintf "./modules/stamp_%d" gi in
+          modules := (source, child) :: !modules;
+          List.iteri
+            (fun oi occ ->
+              (* record the *original* names for removal *)
+              removed :=
+                List.map
+                  (fun (r : Hcl.Config.resource) ->
+                    (r.Hcl.Config.rtype, r.Hcl.Config.rname))
+                  (List.nth occurrences oi)
+                @ !removed;
+              let args =
+                List.map
+                  (fun (ri, aname) ->
+                    let r = List.nth occ ri in
+                    ( var_name (ri, aname),
+                      Option.get (Ast.attr r.Hcl.Config.rbody aname) ))
+                  varying
+              in
+              module_calls :=
+                {
+                  Hcl.Config.mname = Printf.sprintf "stamp_%d_%d" gi oi;
+                  msource = source;
+                  margs = args;
+                  mcount = None;
+                  mfor_each = None;
+                  mspan = Hcl.Loc.dummy;
+                }
+                :: !module_calls)
+            canon
+        end)
+      module_groups;
+    let resources =
+      List.filter
+        (fun (r : Hcl.Config.resource) ->
+          not (List.mem (r.Hcl.Config.rtype, r.Hcl.Config.rname) !removed))
+        cfg.Hcl.Config.resources
+    in
+    ( {
+        cfg with
+        Hcl.Config.resources;
+        modules = cfg.Hcl.Config.modules @ List.rev !module_calls;
+      },
+      List.rev !modules )
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pass 4b: module-call compaction                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Collapse repeated calls to the same module source into one call
+    with [for_each] — §3.1's "nested modules ... wrap sets of resources
+    with the same structure" taken one step further.  Each call's
+    literal arguments become one entry of the for_each map; argument
+    references inside the call body become [each.value.<arg>]. *)
+let compact_module_calls (cfg : Hcl.Config.t) : Hcl.Config.t =
+  let by_source = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Hcl.Config.module_call) ->
+      if m.Hcl.Config.mcount = None && m.Hcl.Config.mfor_each = None then
+        Hashtbl.replace by_source m.Hcl.Config.msource
+          (m :: Option.value ~default:[] (Hashtbl.find_opt by_source m.Hcl.Config.msource)))
+    cfg.Hcl.Config.modules;
+  let groups =
+    Hashtbl.fold
+      (fun source calls acc ->
+        let calls = List.rev calls in
+        let arg_names (m : Hcl.Config.module_call) =
+          List.sort compare (List.map fst m.Hcl.Config.margs)
+        in
+        match calls with
+        | first :: _ :: _
+          when List.for_all
+                 (fun m ->
+                   arg_names m = arg_names first
+                   && List.for_all
+                        (fun (_, e) -> Hcl.Refs.of_expr e = [] && Ast.is_literal e)
+                        m.Hcl.Config.margs)
+                 calls ->
+            (source, calls) :: acc
+        | _ -> acc)
+      by_source []
+  in
+  if groups = [] then cfg
+  else begin
+    let removed = ref [] in
+    let new_calls =
+      List.map
+        (fun (source, calls) ->
+          List.iter
+            (fun (m : Hcl.Config.module_call) ->
+              removed := m.Hcl.Config.mname :: !removed)
+            calls;
+          let entries =
+            List.map
+              (fun (m : Hcl.Config.module_call) ->
+                ( Ast.Kident m.Hcl.Config.mname,
+                  Ast.mk
+                    (Ast.ObjectLit
+                       (List.map
+                          (fun (name, e) -> (Ast.Kident name, e))
+                          m.Hcl.Config.margs)) ))
+              calls
+          in
+          let arg_names =
+            match calls with
+            | m :: _ -> List.map fst m.Hcl.Config.margs
+            | [] -> []
+          in
+          let margs =
+            List.map
+              (fun name ->
+                ( name,
+                  Ast.mk
+                    (Ast.GetAttr
+                       ( Ast.mk (Ast.GetAttr (Ast.mk (Ast.Var "each"), "value")),
+                         name )) ))
+              arg_names
+          in
+          {
+            Hcl.Config.mname = (List.hd calls).Hcl.Config.mname;
+            msource = source;
+            margs;
+            mcount = None;
+            mfor_each = Some (Ast.mk (Ast.ObjectLit entries));
+            mspan = Hcl.Loc.dummy;
+          })
+        groups
+    in
+    {
+      cfg with
+      Hcl.Config.modules =
+        List.filter
+          (fun (m : Hcl.Config.module_call) ->
+            not (List.mem m.Hcl.Config.mname !removed))
+          cfg.Hcl.Config.modules
+        @ new_calls;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The full pipeline                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  optimized : Hcl.Config.t;
+  module_library : (string * Hcl.Config.t) list;
+}
+
+(** Run every pass (§3.1's program optimizer). *)
+let optimize ?(modules = true) (cfg : Hcl.Config.t) : result =
+  let cfg = recover_references cfg in
+  let cfg = prune_computed cfg in
+  let cfg = compact_groups cfg in
+  if modules then
+    let optimized, module_library = extract_modules cfg in
+    { optimized = compact_module_calls optimized; module_library }
+  else { optimized = cfg; module_library = [] }

@@ -1,0 +1,1 @@
+lib/validate/diagnostic.ml: Cloudless_hcl Fmt List Printf

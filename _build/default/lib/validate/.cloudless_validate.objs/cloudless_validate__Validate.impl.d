@@ -1,0 +1,1 @@
+lib/validate/validate.ml: Cloudless_hcl Cloudless_schema Diagnostic List Printf

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+test/test_deploy.ml: Addr Alcotest Cloudless_deploy Cloudless_graph Cloudless_hcl Cloudless_plan Cloudless_schema Cloudless_sim Cloudless_state Config Eval List Option Printf Test_fixtures Value

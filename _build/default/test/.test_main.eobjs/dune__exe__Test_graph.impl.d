@@ -1,0 +1,1 @@
+test/test_graph.ml: Addr Alcotest Array Cloudless_graph Cloudless_hcl Config Eval List QCheck QCheck_alcotest Test_fixtures

@@ -1,0 +1,1 @@
+test/test_hcl.ml: Addr Alcotest Ast Cloudless_hcl Config Eval Ipnet Lexer List Loc Option Parser Printer QCheck QCheck_alcotest Refs Token Value

@@ -1,0 +1,1 @@
+test/test_hcl_eval.ml: Addr Alcotest Cloudless_hcl Config Eval List Printf QCheck QCheck_alcotest String Test_fixtures Value

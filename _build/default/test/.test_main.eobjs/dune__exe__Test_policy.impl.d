@@ -1,0 +1,1 @@
+test/test_policy.ml: Addr Alcotest Ast Cloudless_hcl Cloudless_plan Cloudless_policy Cloudless_state Config Eval Fun List Option Printf Test_fixtures Value

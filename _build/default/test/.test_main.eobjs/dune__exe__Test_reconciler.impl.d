@@ -1,0 +1,1 @@
+test/test_reconciler.ml: Addr Alcotest Ast Cloudless_deploy Cloudless_drift Cloudless_hcl Cloudless_plan Cloudless_schema Cloudless_sim Cloudless_state Config Eval List Option Test_fixtures Value

@@ -1,0 +1,1 @@
+test/test_sim.ml: Activity_log Alcotest Cloud Cloudless_hcl Cloudless_sim Event_queue Failure List Option Prng QCheck QCheck_alcotest Rate_limiter String

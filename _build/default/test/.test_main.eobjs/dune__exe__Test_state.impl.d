@@ -1,0 +1,1 @@
+test/test_state.ml: Addr Alcotest Cloudless_hcl Cloudless_state List Option Value

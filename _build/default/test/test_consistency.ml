@@ -1,0 +1,96 @@
+(* Validation <-> cloud consistency (§3.2's core premise).
+
+   The pipeline's cloud-rule stage claims to transplant *actual*
+   cloud-level constraints to compile time.  That is only meaningful if
+   the cloud really enforces them: for each misconfiguration class that
+   the cloud polices, deploying with validation bypassed must fail at
+   the cloud, and the §3.5 debugger must translate the failure. *)
+
+open Cloudless_hcl
+module Cloud = Cloudless_sim.Cloud
+module State = Cloudless_state.State
+module Plan = Cloudless_plan.Plan
+module Executor = Cloudless_deploy.Executor
+module Debugger = Cloudless_debug.Debugger
+module Workload = Cloudless_workload.Workload
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+
+(* misconfig classes the simulated cloud itself enforces (the others —
+   bad literals, dangling references, missing attrs — are caught by
+   earlier validation stages or at expansion) *)
+let cloud_enforced =
+  [
+    Workload.M_region_mismatch;
+    Workload.M_subnet_outside_vpc;
+    Workload.M_password_no_flag;
+    Workload.M_overlapping_peering;
+    Workload.M_port_inversion;
+  ]
+
+let deploy_bypassing_validation src =
+  let cloud =
+    Cloud.create ~config:(Cloudless_schema.Cloud_rules.config_with_checks ())
+      ~seed:91 ()
+  in
+  let cfg = Config.parse ~file:"bypass.tf" src in
+  let instances = (Eval.expand cfg).Eval.instances in
+  let plan = Plan.make ~state:State.empty instances in
+  let report =
+    Executor.apply cloud ~config:Executor.baseline_config ~state:State.empty
+      ~plan ()
+  in
+  (cfg, instances, report)
+
+let test_cloud_enforces_what_validation_catches () =
+  List.iter
+    (fun m ->
+      let name = Workload.misconfig_name m in
+      let src = Workload.misconfigured m in
+      let cfg, instances, report = deploy_bypassing_validation src in
+      (* 1. the cloud rejects the deployment *)
+      check bool_ (name ^ ": cloud rejects") true
+        (report.Executor.failed <> []);
+      (* 2. the debugger produces a diagnosis for the failure *)
+      let f = List.hd report.Executor.failed in
+      let d =
+        Debugger.diagnose ~cfg ~instances ~addr:f.Executor.faddr
+          ~error:f.Executor.reason
+      in
+      check bool_ (name ^ ": diagnosis nonempty") true
+        (String.length d.Debugger.root_cause > 0);
+      (* 3. and validation would have caught it pre-deploy *)
+      let vreport =
+        Cloudless_validate.Validate.validate_source
+          ~level:Cloudless_validate.Validate.L_cloud ~file:"v.tf" src
+      in
+      check bool_ (name ^ ": validation catches pre-deploy") true
+        (Cloudless_validate.Diagnostic.count_errors
+           vreport.Cloudless_validate.Validate.diagnostics
+        > 0))
+    cloud_enforced
+
+let test_paper_scenario_high_confidence () =
+  (* the paper's flagship NIC scenario must get a High-confidence
+     diagnosis with evidence pointing at both resources *)
+  let src = Workload.misconfigured Workload.M_region_mismatch in
+  let cfg, instances, report = deploy_bypassing_validation src in
+  let f = List.hd report.Executor.failed in
+  let d =
+    Debugger.diagnose ~cfg ~instances ~addr:f.Executor.faddr
+      ~error:f.Executor.reason
+  in
+  check bool_ "high confidence" true (d.Debugger.confidence = `High);
+  check bool_ "two evidence spans" true (List.length d.Debugger.evidence = 2)
+
+let suites =
+  [
+    ( "consistency",
+      [
+        Alcotest.test_case "cloud enforces validated rules" `Slow
+          test_cloud_enforces_what_validation_catches;
+        Alcotest.test_case "paper scenario high confidence" `Quick
+          test_paper_scenario_high_confidence;
+      ] );
+  ]

@@ -1,0 +1,158 @@
+(* Tests for the dependency DAG: construction, topological order,
+   levels, critical path, impact scope. *)
+
+open Cloudless_hcl
+module Dag = Cloudless_graph.Dag
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+let addr name = Addr.make ~rtype:"t_x" ~rname:name ()
+
+(* a -> b -> d, a -> c -> d (diamond); payload = duration *)
+let diamond () =
+  let g = Dag.empty in
+  let g = List.fold_left (fun g (n, d) -> Dag.add_node g (addr n) d) g
+      [ ("a", 1.); ("b", 10.); ("c", 2.); ("d", 1.) ] in
+  let g = Dag.add_edge g ~dependent:(addr "b") ~dependency:(addr "a") in
+  let g = Dag.add_edge g ~dependent:(addr "c") ~dependency:(addr "a") in
+  let g = Dag.add_edge g ~dependent:(addr "d") ~dependency:(addr "b") in
+  let g = Dag.add_edge g ~dependent:(addr "d") ~dependency:(addr "c") in
+  g
+
+let names addrs = List.map (fun a -> a.Addr.rname) addrs
+
+let test_topo_sort () =
+  let order = names (Dag.topo_sort (diamond ())) in
+  check string_ "a first" "a" (List.hd order);
+  check string_ "d last" "d" (List.nth order 3);
+  (* stable: b before c (insertion order) *)
+  check (Alcotest.list string_) "full order" [ "a"; "b"; "c"; "d" ] order
+
+let test_cycle_detection () =
+  let g = diamond () in
+  let g = Dag.add_edge g ~dependent:(addr "a") ~dependency:(addr "d") in
+  check bool_ "cycle" true (Dag.has_cycle g);
+  match Dag.topo_sort g with
+  | exception Dag.Cycle _ -> ()
+  | _ -> Alcotest.fail "expected Cycle"
+
+let test_levels () =
+  let ls = Dag.levels (diamond ()) in
+  check int_ "3 levels" 3 (List.length ls);
+  check (Alcotest.list string_) "middle level" [ "b"; "c" ] (names (List.nth ls 1));
+  check int_ "depth" 3 (Dag.depth (diamond ()));
+  check int_ "width" 2 (Dag.max_width (diamond ()))
+
+let test_critical_path () =
+  let g = diamond () in
+  let duration a = Dag.payload g a in
+  let total, path = Dag.critical_path g ~duration in
+  check (Alcotest.float 1e-9) "1+10+1" 12. total;
+  check (Alcotest.list string_) "path through b" [ "a"; "b"; "d" ] (names path)
+
+let test_priorities () =
+  let g = diamond () in
+  let duration a = Dag.payload g a in
+  let prio = Dag.priorities g ~duration in
+  (* remaining longest path including self *)
+  check (Alcotest.float 1e-9) "a = full path" 12. (prio (addr "a"));
+  check (Alcotest.float 1e-9) "b on critical path" 11. (prio (addr "b"));
+  check (Alcotest.float 1e-9) "c slack" 3. (prio (addr "c"));
+  check bool_ "b more critical than c" true (prio (addr "b") > prio (addr "c"))
+
+let test_ancestors_descendants () =
+  let g = diamond () in
+  let seeds = Addr.Set.singleton (addr "b") in
+  check int_ "ancestors of b = {a,b}" 2 (Addr.Set.cardinal (Dag.ancestors g seeds));
+  check int_ "descendants of b = {b,d}" 2
+    (Addr.Set.cardinal (Dag.descendants g seeds))
+
+let test_impact_scope () =
+  let g = diamond () in
+  (* editing c impacts c, d (dependents) + their deps a, b as context *)
+  let scope = Dag.impact_scope g (Addr.Set.singleton (addr "c")) in
+  check bool_ "c in scope" true (Addr.Set.mem (addr "c") scope);
+  check bool_ "d in scope" true (Addr.Set.mem (addr "d") scope);
+  check bool_ "a in scope (context dep of c)" true (Addr.Set.mem (addr "a") scope)
+
+let test_impact_scope_small_for_leaf () =
+  (* editing the sink d impacts only d + its direct deps *)
+  let g = diamond () in
+  let scope = Dag.impact_scope g (Addr.Set.singleton (addr "d")) in
+  check int_ "d, b, c" 3 (Addr.Set.cardinal scope)
+
+let test_restrict () =
+  let g = diamond () in
+  let keep = Addr.Set.of_list [ addr "a"; addr "b" ] in
+  let g' = Dag.restrict g keep in
+  check int_ "2 nodes" 2 (Dag.size g');
+  check int_ "1 edge" 1 (Dag.edge_count g')
+
+let test_of_instances () =
+  let cfg =
+    Config.parse ~file:"t"
+      {|
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "s" {
+  count  = 3
+  vpc_id = aws_vpc.v.id
+}
+resource "aws_instance" "i" {
+  ami           = "a"
+  instance_type = "t"
+  subnet_id     = aws_subnet.s[0].id
+}
+|}
+  in
+  let instances = (Eval.expand cfg).Eval.instances in
+  let g = Dag.of_instances instances in
+  check int_ "5 nodes" 5 (Dag.size g);
+  (* each subnet depends on the vpc *)
+  let subnet0 = Addr.make ~rtype:"aws_subnet" ~rname:"s" ~key:(Addr.Kint 0) () in
+  check int_ "subnet deps" 1 (Addr.Set.cardinal (Dag.deps_of g subnet0));
+  (* the instance depends on the subnets (base-resolved) *)
+  let inst = Addr.make ~rtype:"aws_instance" ~rname:"i" () in
+  check bool_ "instance deps nonempty" true
+    (not (Addr.Set.is_empty (Dag.deps_of g inst)))
+
+let test_to_dot () =
+  let dot = Dag.to_dot (diamond ()) in
+  check bool_ "digraph" true (Test_fixtures.contains_substring ~sub:"digraph" dot);
+  check bool_ "edge" true (Test_fixtures.contains_substring ~sub:"->" dot)
+
+(* Property: impact scope of a random seed set is monotone (adding
+   seeds never shrinks it) and contains the seeds. *)
+let prop_impact_monotone =
+  QCheck.Test.make ~count:50 ~name:"impact scope monotone in seeds"
+    QCheck.(pair (int_range 0 3) (int_range 0 3))
+    (fun (i, j) ->
+      let g = diamond () in
+      let all = [| "a"; "b"; "c"; "d" |] in
+      let s1 = Addr.Set.singleton (addr all.(i)) in
+      let s2 = Addr.Set.add (addr all.(j)) s1 in
+      let sc1 = Dag.impact_scope g s1 and sc2 = Dag.impact_scope g s2 in
+      Addr.Set.subset sc1 sc2 && Addr.Set.mem (addr all.(i)) sc1)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "graph.dag",
+      [
+        Alcotest.test_case "topo sort" `Quick test_topo_sort;
+        Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+        Alcotest.test_case "levels" `Quick test_levels;
+        Alcotest.test_case "critical path" `Quick test_critical_path;
+        Alcotest.test_case "priorities" `Quick test_priorities;
+        Alcotest.test_case "ancestors/descendants" `Quick test_ancestors_descendants;
+        Alcotest.test_case "impact scope" `Quick test_impact_scope;
+        Alcotest.test_case "impact scope leaf" `Quick test_impact_scope_small_for_leaf;
+        Alcotest.test_case "restrict" `Quick test_restrict;
+        Alcotest.test_case "of_instances" `Quick test_of_instances;
+        Alcotest.test_case "to_dot" `Quick test_to_dot;
+        qtest prop_impact_monotone;
+      ] );
+  ]

@@ -1,0 +1,182 @@
+(* Tests for program regeneration after drift (§3.5's "regenerate the
+   IaC-level program to reflect the latest deployment"). *)
+
+open Cloudless_hcl
+module Cloud = Cloudless_sim.Cloud
+module State = Cloudless_state.State
+module Plan = Cloudless_plan.Plan
+module Executor = Cloudless_deploy.Executor
+module Drift = Cloudless_drift.Drift
+module Reconciler = Cloudless_drift.Reconciler
+module Smap = Value.Smap
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+let base_src =
+  {|
+resource "aws_instance" "web" {
+  ami           = "ami-1"
+  instance_type = "t3.small"
+  region        = "us-east-1"
+}
+|}
+
+let deployed () =
+  let cloud =
+    Cloud.create ~config:(Cloudless_schema.Cloud_rules.config_with_checks ())
+      ~seed:61 ()
+  in
+  let cfg = Config.parse ~file:"main.tf" base_src in
+  let instances = (Eval.expand cfg).Eval.instances in
+  let plan = Plan.make ~state:State.empty instances in
+  let report =
+    Executor.apply cloud ~config:Executor.cloudless_config ~state:State.empty
+      ~plan ()
+  in
+  assert (Executor.succeeded report);
+  (cloud, cfg, report.Executor.state)
+
+let web_addr = Addr.make ~rtype:"aws_instance" ~rname:"web" ()
+
+let test_update_config_attr () =
+  let _, cfg, _ = deployed () in
+  match
+    Reconciler.update_config_attr cfg ~addr:web_addr ~attr:"instance_type"
+      ~value:(Value.Vstring "t3.metal")
+  with
+  | Some cfg' -> (
+      let r = Option.get (Config.find_resource cfg' "aws_instance" "web") in
+      match Ast.attr r.Config.rbody "instance_type" with
+      | Some { Ast.desc = Ast.Template [ Ast.Lit "t3.metal" ]; _ } -> ()
+      | _ -> Alcotest.fail "attribute not regenerated")
+  | None -> Alcotest.fail "expected regeneration"
+
+let test_update_config_attr_skips_expressions () =
+  let src =
+    {|
+resource "aws_instance" "web" {
+  ami           = "ami-1"
+  instance_type = var.size
+  region        = "us-east-1"
+}
+variable "size" { default = "t3.small" }
+|}
+  in
+  let cfg = Config.parse ~file:"t" src in
+  check bool_ "expression attr untouched" true
+    (Reconciler.update_config_attr cfg ~addr:web_addr ~attr:"instance_type"
+       ~value:(Value.Vstring "x")
+    = None)
+
+let test_adopt_unmanaged () =
+  let cloud, cfg, state = deployed () in
+  let orphan_id =
+    Cloud.create_oob cloud ~script:"clickops" ~rtype:"aws_eip"
+      ~region:"us-east-1" ~attrs:(Smap.singleton "vpc" (Value.Vbool true))
+  in
+  match Reconciler.adopt_unmanaged cloud ~cfg ~state ~cloud_id:orphan_id with
+  | None -> Alcotest.fail "expected adoption"
+  | Some o ->
+      check int_ "config grew" 2 (List.length o.Reconciler.config.Config.resources);
+      check int_ "state grew" 2 (State.size o.Reconciler.state);
+      (* adopted block carries no computed attrs *)
+      let adopted =
+        List.find
+          (fun r -> r.Config.rtype = "aws_eip")
+          o.Reconciler.config.Config.resources
+      in
+      check bool_ "no id attr" true (Ast.attr adopted.Config.rbody "id" = None);
+      (* after adoption, a plan over the regenerated program is empty *)
+      let env =
+        {
+          Eval.default_env with
+          Eval.state_lookup = (fun a -> State.lookup o.Reconciler.state a);
+        }
+      in
+      let instances = (Eval.expand ~env o.Reconciler.config).Eval.instances in
+      let plan = Plan.make ~state:o.Reconciler.state instances in
+      check bool_ "empty plan after adoption" true (Plan.is_empty plan)
+
+let test_drop_deleted () =
+  let _, cfg, state = deployed () in
+  let o = Reconciler.drop_deleted ~cfg ~state ~addr:web_addr in
+  check int_ "config emptied" 0 (List.length o.Reconciler.config.Config.resources);
+  check int_ "state emptied" 0 (State.size o.Reconciler.state)
+
+let test_regenerate_end_to_end () =
+  (* drift of all three kinds, processed in one batch *)
+  let cloud, cfg, state = deployed () in
+  let r = Option.get (State.find_opt state web_addr) in
+  ignore
+    (Cloud.mutate_oob cloud ~script:"legacy" ~cloud_id:r.State.cloud_id
+       ~attr:"instance_type" ~value:(Value.Vstring "t3.metal"));
+  ignore
+    (Cloud.create_oob cloud ~script:"clickops" ~rtype:"aws_eip"
+       ~region:"us-east-1" ~attrs:Smap.empty);
+  let tailer = Drift.Log_tailer.create () in
+  let events = Drift.Log_tailer.poll tailer cloud ~state in
+  check int_ "two drift events" 2 (List.length events);
+  let cfg', state', log = Reconciler.regenerate cloud ~cfg ~state events in
+  check int_ "two log lines" 2 (List.length log);
+  check int_ "eip adopted" 2 (List.length cfg'.Config.resources);
+  (* the regenerated program now matches the cloud: plan is empty *)
+  let env =
+    { Eval.default_env with Eval.state_lookup = (fun a -> State.lookup state' a) }
+  in
+  let instances = (Eval.expand ~env cfg').Eval.instances in
+  let plan = Plan.make ~state:state' instances in
+  check bool_ "converged" true (Plan.is_empty plan);
+  (* the regenerated source is valid HCL *)
+  let printed = Config.to_string cfg' in
+  let reparsed = Config.parse ~file:"regen.tf" printed in
+  check int_ "round-trips" 2 (List.length reparsed.Config.resources)
+
+let test_adopt_name_collision () =
+  let cloud, cfg, state = deployed () in
+  let id1 =
+    Cloud.create_oob cloud ~script:"s" ~rtype:"aws_instance" ~region:"us-east-1"
+      ~attrs:(Smap.singleton "ami" (Value.Vstring "x"))
+  in
+  match Reconciler.adopt_unmanaged cloud ~cfg ~state ~cloud_id:id1 with
+  | Some o ->
+      (* both aws_instance.web and the adopted block coexist *)
+      let names =
+        List.filter_map
+          (fun r ->
+            if r.Config.rtype = "aws_instance" then Some r.Config.rname else None)
+          o.Reconciler.config.Config.resources
+      in
+      check int_ "two instances" 2 (List.length names);
+      check bool_ "distinct names" true
+        (List.length (List.sort_uniq compare names) = 2)
+  | None -> Alcotest.fail "expected adoption"
+
+let test_notify_on_deletion () =
+  let cloud, cfg, state = deployed () in
+  let r = Option.get (State.find_opt state web_addr) in
+  ignore (Cloud.delete_oob cloud ~script:"legacy" ~cloud_id:r.State.cloud_id);
+  let tailer = Drift.Log_tailer.create () in
+  let events = Drift.Log_tailer.poll tailer cloud ~state in
+  let cfg', state', log = Reconciler.regenerate cloud ~cfg ~state events in
+  (* deletions are not auto-accepted *)
+  check int_ "program unchanged" 1 (List.length cfg'.Config.resources);
+  check int_ "state unchanged" 1 (State.size state');
+  check bool_ "notified" true
+    (List.exists (fun l -> Test_fixtures.contains_substring ~sub:"NOTIFY" l) log)
+
+let suites =
+  [
+    ( "drift.reconciler",
+      [
+        Alcotest.test_case "update config attr" `Quick test_update_config_attr;
+        Alcotest.test_case "skip expression attrs" `Quick test_update_config_attr_skips_expressions;
+        Alcotest.test_case "adopt unmanaged" `Quick test_adopt_unmanaged;
+        Alcotest.test_case "drop deleted" `Quick test_drop_deleted;
+        Alcotest.test_case "regenerate end-to-end" `Quick test_regenerate_end_to_end;
+        Alcotest.test_case "adoption name collision" `Quick test_adopt_name_collision;
+        Alcotest.test_case "deletion notifies" `Quick test_notify_on_deletion;
+      ] );
+  ]

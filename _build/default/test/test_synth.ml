@@ -1,0 +1,386 @@
+(* Tests for §3.1: type-guided synthesis, the hallucinating baseline,
+   cloud import, and the refactoring optimizer. *)
+
+open Cloudless_hcl
+module Synth = Cloudless_synth
+module Validate = Cloudless_validate.Validate
+module Diagnostic = Cloudless_validate.Diagnostic
+module Cloud = Cloudless_sim.Cloud
+module State = Cloudless_state.State
+module Plan = Cloudless_plan.Plan
+module Executor = Cloudless_deploy.Executor
+module Workload = Cloudless_workload.Workload
+module Smap = Value.Smap
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+
+let errors cfg =
+  let report = Validate.validate_config cfg in
+  Diagnostic.count_errors report.Validate.diagnostics
+
+(* ------------------------------------------------------------------ *)
+(* Type-guided synthesis                                               *)
+(* ------------------------------------------------------------------ *)
+
+let vm_intent =
+  {
+    Synth.Intent.region = "us-east-1";
+    requests =
+      [
+        Synth.Intent.request ~rtype:"aws_instance" ~name:"web" ~count:2 ();
+        (* a NAT gateway *requires* a subnet, which requires a VPC:
+           exercises two levels of dependency closure *)
+        Synth.Intent.request ~rtype:"aws_nat_gateway" ~name:"nat" ();
+        Synth.Intent.request ~rtype:"aws_db_instance" ~name:"db" ();
+      ];
+  }
+
+let test_synthesis_validates_clean () =
+  let cfg = Synth.Intent.synthesize vm_intent in
+  check int_ "no validation errors" 0 (errors cfg);
+  (* dependencies were closed over: the NAT gateway needs a subnet,
+     which needs a vpc *)
+  check bool_ "vpc synthesized" true
+    (List.exists (fun r -> r.Config.rtype = "aws_vpc") cfg.Config.resources);
+  check bool_ "subnet synthesized" true
+    (List.exists (fun r -> r.Config.rtype = "aws_subnet") cfg.Config.resources)
+
+let test_synthesis_source_parses () =
+  let src = Synth.Intent.synthesize_source vm_intent in
+  let cfg = Config.parse ~file:"synth.tf" src in
+  check bool_ "round-trips" true (List.length cfg.Config.resources >= 3)
+
+let test_synthesis_deploys () =
+  let cfg = Synth.Intent.synthesize vm_intent in
+  let cloud =
+    Cloud.create ~config:(Cloudless_schema.Cloud_rules.config_with_checks ())
+      ~seed:11 ()
+  in
+  let instances = (Eval.expand cfg).Eval.instances in
+  let plan = Plan.make ~state:State.empty instances in
+  let report =
+    Executor.apply cloud ~config:Executor.cloudless_config ~state:State.empty
+      ~plan ()
+  in
+  check bool_ "synthesized config deploys" true (Executor.succeeded report)
+
+let test_synthesis_overrides () =
+  let intent =
+    {
+      Synth.Intent.region = "eu-west-1";
+      requests =
+        [
+          Synth.Intent.request ~rtype:"aws_s3_bucket" ~name:"logs"
+            ~overrides:[ ("bucket", Ast.string_lit "my-logs") ]
+            ();
+        ];
+    }
+  in
+  let cfg = Synth.Intent.synthesize intent in
+  let b = Option.get (Config.find_resource cfg "aws_s3_bucket" "logs") in
+  match Ast.attr b.Config.rbody "bucket" with
+  | Some { Ast.desc = Ast.Template [ Ast.Lit "my-logs" ]; _ } -> ()
+  | _ -> Alcotest.fail "override not honoured"
+
+(* ------------------------------------------------------------------ *)
+(* Hallucinating baseline (E9 machinery)                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_hallucinator_injects_errors () =
+  (* across many seeds, the corrupted configs must fail validation far
+     more often than the type-guided ones (which never do) *)
+  let invalid = ref 0 in
+  let n = 30 in
+  for seed = 1 to n do
+    let cfg = Synth.Hallucinator.generate ~seed vm_intent in
+    if errors cfg > 0 then incr invalid
+  done;
+  check bool_
+    (Printf.sprintf "a majority of hallucinated configs invalid (%d/%d)" !invalid n)
+    true
+    (!invalid > n / 2);
+  (* and the reliable synthesizer never produces an invalid one *)
+  let reliable_invalid = ref 0 in
+  for _ = 1 to 5 do
+    if errors (Synth.Intent.synthesize vm_intent) > 0 then incr reliable_invalid
+  done;
+  check int_ "type-guided always valid" 0 !reliable_invalid
+
+let test_hallucinator_deterministic () =
+  let a = Synth.Hallucinator.generate ~seed:7 vm_intent in
+  let b = Synth.Hallucinator.generate ~seed:7 vm_intent in
+  check bool_ "same seed, same output" true
+    (Config.to_string a = Config.to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Import + refactor (E7 machinery)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Deploy a fleet with repetitive structure, then import it back. *)
+let deployed_fleet () =
+  let cloud =
+    Cloud.create ~config:(Cloudless_schema.Cloud_rules.config_with_checks ())
+      ~seed:21 ()
+  in
+  let src =
+    {|
+resource "aws_vpc" "main" {
+  cidr_block = "10.0.0.0/16"
+  region     = "us-east-1"
+  name       = "fleet"
+}
+resource "aws_subnet" "s" {
+  count      = 4
+  vpc_id     = aws_vpc.main.id
+  cidr_block = cidrsubnet("10.0.0.0/16", 8, count.index)
+  region     = "us-east-1"
+}
+resource "aws_instance" "w" {
+  count         = 4
+  ami           = "ami-fleet"
+  instance_type = "t3.small"
+  subnet_id     = aws_subnet.s[count.index].id
+  region        = "us-east-1"
+  name          = "worker-${count.index}"
+}
+|}
+  in
+  let cfg = Config.parse ~file:"t" src in
+  let instances = (Eval.expand cfg).Eval.instances in
+  let plan = Plan.make ~state:State.empty instances in
+  let report =
+    Executor.apply cloud ~config:Executor.cloudless_config ~state:State.empty
+      ~plan ()
+  in
+  assert (Executor.succeeded report);
+  cloud
+
+let test_import_naive () =
+  let cloud = deployed_fleet () in
+  let cfg = Synth.Importer.import cloud () in
+  (* 1 vpc + 4 subnets + 4 instances *)
+  check int_ "one block per resource" 9 (List.length cfg.Config.resources);
+  (* naive port contains computed noise and zero references *)
+  let m = Synth.Quality.measure cfg in
+  check bool_ "computed noise present" true (m.Synth.Quality.literal_noise > 0);
+  check (Alcotest.float 0.001) "no references" 0. m.Synth.Quality.reference_ratio
+
+let test_refactor_recovers_structure () =
+  let cloud = deployed_fleet () in
+  let naive = Synth.Importer.import cloud () in
+  let result = Synth.Refactor.optimize ~modules:false naive in
+  let opt = result.Synth.Refactor.optimized in
+  let m_naive = Synth.Quality.measure naive in
+  let m_opt = Synth.Quality.measure opt in
+  (* compaction: 9 resources in at most 4 blocks (vpc + subnet group +
+     instance group [+ stragglers]) *)
+  check bool_
+    (Printf.sprintf "fewer blocks (%d < %d)" m_opt.Synth.Quality.blocks
+       m_naive.Synth.Quality.blocks)
+    true
+    (m_opt.Synth.Quality.blocks < m_naive.Synth.Quality.blocks);
+  check bool_ "noise eliminated" true (m_opt.Synth.Quality.literal_noise = 0);
+  check bool_ "references recovered" true
+    (m_opt.Synth.Quality.reference_ratio > 0.9);
+  check bool_ "count blocks exist" true
+    (List.exists (fun r -> r.Config.rcount <> None) opt.Config.resources);
+  check bool_ "shorter program" true
+    (m_opt.Synth.Quality.loc < m_naive.Synth.Quality.loc)
+
+let test_refactor_output_is_equivalent () =
+  (* the optimized program must expand to the same desired resources *)
+  let cloud = deployed_fleet () in
+  let naive = Synth.Importer.import cloud () in
+  let result = Synth.Refactor.optimize ~modules:false naive in
+  let opt = result.Synth.Refactor.optimized in
+  (* both must re-parse and expand *)
+  let reparse cfg = Config.parse ~file:"r" (Config.to_string cfg) in
+  let naive_instances = (Eval.expand (reparse naive)).Eval.instances in
+  let opt_instances = (Eval.expand (reparse opt)).Eval.instances in
+  check int_ "same instance count" (List.length naive_instances)
+    (List.length opt_instances);
+  (* compare the multiset of (rtype, settable attr values) ignoring
+     names/addresses, computed attrs, and reference-vs-literal form *)
+  let fingerprint instances =
+    List.map
+      (fun (i : Eval.instance) ->
+        let interesting =
+          Smap.filter
+            (fun k v ->
+              (not (List.mem k [ "id"; "arn" ]))
+              && (match v with Value.Vunknown _ -> false | _ -> true)
+              &&
+              match v with
+              | Value.Vstring s ->
+                  not (Synth.Quality.looks_like_cloud_id s)
+              | Value.Vlist _ -> false
+              | _ -> true)
+            i.Eval.attrs
+        in
+        (i.Eval.addr.Addr.rtype,
+         List.map (fun (k, v) -> (k, Value.show v)) (Smap.bindings interesting)))
+      instances
+    |> List.sort compare
+  in
+  check bool_ "same desired attributes" true
+    (fingerprint naive_instances = fingerprint opt_instances)
+
+let test_refactor_for_each_fallback () =
+  (* same-shape buckets with patternless names: for_each, not count *)
+  let src =
+    {|
+resource "aws_s3_bucket" "a" {
+  bucket = "alpha-logs"
+  region = "us-east-1"
+}
+resource "aws_s3_bucket" "b" {
+  bucket = "prod-data"
+  region = "us-east-1"
+}
+resource "aws_s3_bucket" "c" {
+  bucket = "ml-models"
+  region = "us-east-1"
+}
+|}
+  in
+  let cfg = Config.parse ~file:"t" src in
+  let result = Synth.Refactor.optimize ~modules:false cfg in
+  let opt = result.Synth.Refactor.optimized in
+  check int_ "one block" 1 (List.length opt.Config.resources);
+  check bool_ "for_each used" true
+    ((List.hd opt.Config.resources).Config.rfor_each <> None);
+  (* and it expands back to 3 buckets *)
+  let instances = (Eval.expand (Config.parse ~file:"r" (Config.to_string opt))).Eval.instances in
+  check int_ "3 instances" 3 (List.length instances)
+
+let test_refactor_module_extraction () =
+  (* two identical app stamps: vpc+subnet pairs *)
+  let src =
+    {|
+resource "aws_vpc" "app1" {
+  cidr_block = "10.1.0.0/16"
+  region     = "us-east-1"
+}
+resource "aws_subnet" "app1" {
+  vpc_id     = aws_vpc.app1.id
+  cidr_block = "10.1.1.0/24"
+  region     = "us-east-1"
+}
+resource "aws_vpc" "app2" {
+  cidr_block = "10.2.0.0/16"
+  region     = "us-east-1"
+}
+resource "aws_subnet" "app2" {
+  vpc_id     = aws_vpc.app2.id
+  cidr_block = "10.2.1.0/24"
+  region     = "us-east-1"
+}
+|}
+  in
+  let cfg = Config.parse ~file:"t" src in
+  let optimized, lib = Synth.Refactor.extract_modules cfg in
+  check int_ "one module extracted" 1 (List.length lib);
+  check int_ "two module calls" 2 (List.length optimized.Config.modules);
+  check int_ "no leftover resources" 0 (List.length optimized.Config.resources);
+  (* the modularized config expands to the same 4 resources *)
+  let env =
+    {
+      Eval.default_env with
+      Eval.module_registry = (fun src -> List.assoc_opt src lib);
+    }
+  in
+  let instances = (Eval.expand ~env optimized).Eval.instances in
+  check int_ "4 instances" 4 (List.length instances)
+
+let test_refactor_import_deploys_identically () =
+  (* port a live deployment, optimize, redeploy to a fresh cloud: the
+     new cloud ends up with the same resource multiset *)
+  let cloud = deployed_fleet () in
+  let naive = Synth.Importer.import cloud () in
+  let result = Synth.Refactor.optimize ~modules:false naive in
+  let opt = Config.parse ~file:"r" (Config.to_string result.Synth.Refactor.optimized) in
+  let fresh =
+    Cloud.create ~config:(Cloudless_schema.Cloud_rules.config_with_checks ())
+      ~seed:99 ()
+  in
+  let instances = (Eval.expand opt).Eval.instances in
+  let plan = Plan.make ~state:State.empty instances in
+  let report =
+    Executor.apply fresh ~config:Executor.cloudless_config ~state:State.empty
+      ~plan ()
+  in
+  check bool_ "optimized port deploys" true (Executor.succeeded report);
+  check int_ "same resource count" (Cloud.resource_count cloud)
+    (Cloud.resource_count fresh)
+
+let test_module_call_compaction () =
+  (* two identical stamps -> one module + one for_each'd call *)
+  let src =
+    {|
+resource "aws_vpc" "app1" {
+  cidr_block = "10.1.0.0/16"
+  region     = "us-east-1"
+}
+resource "aws_subnet" "app1" {
+  vpc_id     = aws_vpc.app1.id
+  cidr_block = "10.1.1.0/24"
+  region     = "us-east-1"
+}
+resource "aws_vpc" "app2" {
+  cidr_block = "10.2.0.0/16"
+  region     = "us-east-1"
+}
+resource "aws_subnet" "app2" {
+  vpc_id     = aws_vpc.app2.id
+  cidr_block = "10.2.1.0/24"
+  region     = "us-east-1"
+}
+|}
+  in
+  let cfg = Config.parse ~file:"t" src in
+  let modularized, lib = Synth.Refactor.extract_modules cfg in
+  let compact = Synth.Refactor.compact_module_calls modularized in
+  check int_ "one for_each module call" 1 (List.length compact.Config.modules);
+  let m = List.hd compact.Config.modules in
+  check bool_ "for_each present" true (m.Config.mfor_each <> None);
+  (* the compacted form still expands to the same 4 resources *)
+  let env =
+    {
+      Eval.default_env with
+      Eval.module_registry = (fun s -> List.assoc_opt s lib);
+    }
+  in
+  let instances = (Eval.expand ~env compact).Eval.instances in
+  check int_ "still 4 instances" 4 (List.length instances);
+  (* and the printed form re-parses *)
+  let printed = Config.to_string compact in
+  let reparsed = Config.parse ~file:"r" printed in
+  check int_ "round-trips" 1 (List.length reparsed.Config.modules)
+
+let suites =
+  [
+    ( "synth.intent",
+      [
+        Alcotest.test_case "validates clean" `Quick test_synthesis_validates_clean;
+        Alcotest.test_case "source parses" `Quick test_synthesis_source_parses;
+        Alcotest.test_case "deploys" `Quick test_synthesis_deploys;
+        Alcotest.test_case "overrides" `Quick test_synthesis_overrides;
+      ] );
+    ( "synth.hallucinator",
+      [
+        Alcotest.test_case "injects errors" `Quick test_hallucinator_injects_errors;
+        Alcotest.test_case "deterministic" `Quick test_hallucinator_deterministic;
+      ] );
+    ( "synth.refactor",
+      [
+        Alcotest.test_case "naive import" `Quick test_import_naive;
+        Alcotest.test_case "recovers structure" `Quick test_refactor_recovers_structure;
+        Alcotest.test_case "semantics preserved" `Quick test_refactor_output_is_equivalent;
+        Alcotest.test_case "for_each fallback" `Quick test_refactor_for_each_fallback;
+        Alcotest.test_case "module extraction" `Quick test_refactor_module_extraction;
+        Alcotest.test_case "module call compaction" `Quick test_module_call_compaction;
+        Alcotest.test_case "port redeploys" `Quick test_refactor_import_deploys_identically;
+      ] );
+  ]
