@@ -10,6 +10,10 @@ module Plan = Cloudless_plan.Plan
 module Executor = Cloudless_deploy.Executor
 module Workload = Cloudless_workload.Workload
 
+(* Set by [main.ml] when "--quick" is passed: experiments that sweep
+   large inputs (E11) shrink to a ≤5s smoke run for tier-1 CI. *)
+let quick = ref false
+
 let section title =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s\n" title;

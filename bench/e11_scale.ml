@@ -1,0 +1,153 @@
+(* E11 (engine scalability): scheduler overhead at 10k-resource fleets.
+
+   The paper's §3.3 scheduling argument only holds if the IaC engine's
+   own bookkeeping stays negligible as fleets grow.  This experiment
+   times the executor's *real* (wall-clock) overhead — as opposed to
+   simulated cloud time — while deploying `Workload.fleet` topologies
+   of 100 → 10k resources with the cloudless engine, under both
+   ready-set implementations:
+
+   - heap: the shared Pqueue binary heap (O(log n) picks), the default;
+   - list: the seed's list scan (O(n) per pick), kept as reference.
+
+   Both must produce identical makespans and apply orders (asserted
+   here); they differ only in engine overhead.  Results also land in
+   BENCH_scale.json so future PRs can track the perf trajectory.
+
+   `--quick` shrinks the sweep to a ≤5s smoke run. *)
+
+open Bench_util
+module Executor = Cloudless_deploy.Executor
+module Plan = Cloudless_plan.Plan
+
+type sample = {
+  n : int;
+  sched : string;
+  wall_s : float;  (** real seconds for the whole apply *)
+  sched_s : float;  (** real seconds inside ready-set operations *)
+  picks : int;
+  peak_ready : int;
+  makespan : float;  (** simulated seconds *)
+  ok : bool;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_one ~n ~sched ~sched_name plan =
+  let cloud = fresh_cloud ~seed:42 () in
+  let report, wall =
+    time (fun () ->
+        Executor.apply cloud ~config:Executor.cloudless_config
+          ~state:State.empty ~plan ~sched ())
+  in
+  ( {
+      n;
+      sched = sched_name;
+      wall_s = wall;
+      sched_s = report.Executor.sched_time;
+      picks = report.Executor.sched_picks;
+      peak_ready = report.Executor.peak_ready;
+      makespan = report.Executor.makespan;
+      ok = Executor.succeeded report;
+    },
+    report )
+
+let json_of_sample s =
+  Printf.sprintf
+    "    {\"n\": %d, \"sched\": \"%s\", \"wall_s\": %.6f, \"sched_s\": %.6f, \
+     \"picks\": %d, \"picks_per_s\": %.0f, \"peak_ready\": %d, \
+     \"makespan_sim_s\": %.3f, \"succeeded\": %b}"
+    s.n s.sched s.wall_s s.sched_s s.picks
+    (if s.sched_s > 0. then float_of_int s.picks /. s.sched_s else 0.)
+    s.peak_ready s.makespan s.ok
+
+let write_json ~quick ~samples ~ratio ~ratio_desc =
+  let oc = open_out "BENCH_scale.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e11_scale\",\n\
+    \  \"engine\": \"cloudless\",\n\
+    \  \"quick\": %b,\n\
+    \  \"samples\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"summary\": {\"sched_overhead_ratio\": %.1f, \"description\": \"%s\"}\n\
+     }\n"
+    quick
+    (String.concat ",\n" (List.map json_of_sample samples))
+    ratio ratio_desc;
+  close_out oc
+
+let run () =
+  let quick = !Bench_util.quick in
+  section
+    (Printf.sprintf "E11: engine overhead at scale — heap vs list ready set%s"
+       (if quick then " (quick)" else ""));
+  let sizes = if quick then [ 100; 250; 500 ] else [ 100; 500; 1000; 5000; 10000 ] in
+  let list_cap = if quick then 500 else 5000 in
+  let widths = [ 7; 5; 9; 9; 8; 10; 7; 9 ] in
+  row widths
+    [ "n"; "sched"; "wall"; "sched-ovh"; "picks"; "peak-rdy"; "sim"; "ok" ];
+  hline widths;
+  let samples = ref [] in
+  List.iter
+    (fun n ->
+      let src = Workload.fleet ~resources:n () in
+      let instances = expand_src src in
+      assert (List.length instances = n);
+      let plan = Plan.make ~state:State.empty instances in
+      let heap_sample, heap_report =
+        run_one ~n ~sched:Executor.Sched_heap ~sched_name:"heap" plan
+      in
+      let print_sample s =
+        row widths
+          [
+            string_of_int s.n;
+            s.sched;
+            Printf.sprintf "%.3fs" s.wall_s;
+            Printf.sprintf "%.4fs" s.sched_s;
+            string_of_int s.picks;
+            string_of_int s.peak_ready;
+            Printf.sprintf "%.0fs" s.makespan;
+            (if s.ok then "yes" else "NO");
+          ]
+      in
+      print_sample heap_sample;
+      samples := heap_sample :: !samples;
+      if n <= list_cap then begin
+        let list_sample, list_report =
+          run_one ~n ~sched:Executor.Sched_list ~sched_name:"list" plan
+        in
+        print_sample list_sample;
+        samples := list_sample :: !samples;
+        (* same schedule, bit for bit: only the overhead may differ *)
+        assert (list_report.Executor.makespan = heap_report.Executor.makespan);
+        assert (list_report.Executor.applied = heap_report.Executor.applied)
+      end)
+    sizes;
+  let samples = List.rev !samples in
+  let find sched n =
+    List.find_opt (fun s -> s.sched = sched && s.n = n) samples
+  in
+  let heap_top = Option.get (find "heap" (List.fold_left max 0 sizes)) in
+  let list_top = Option.get (find "list" list_cap) in
+  let ratio =
+    if heap_top.sched_s > 0. then list_top.sched_s /. heap_top.sched_s
+    else Float.infinity
+  in
+  let ratio_desc =
+    Printf.sprintf
+      "list ready set at n=%d spends %.1fx the scheduler time of the heap at \
+       n=%d"
+      list_top.n ratio heap_top.n
+  in
+  Printf.printf
+    "\n\
+    \  shape check: identical makespans and apply orders under both ready\n\
+    \  sets; %s.\n\
+    \  wrote BENCH_scale.json\n"
+    ratio_desc;
+  write_json ~quick ~samples ~ratio ~ratio_desc

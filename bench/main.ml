@@ -1,10 +1,13 @@
 (* The experiment harness: regenerates every table in EXPERIMENTS.md.
 
    Usage:
-     dune exec bench/main.exe            # E1-E10 (simulated-time experiments)
+     dune exec bench/main.exe            # E1-E11 (simulated-time experiments)
      dune exec bench/main.exe -- micro   # bechamel microbenches only
      dune exec bench/main.exe -- e3 e5   # a subset
-     dune exec bench/main.exe -- all     # experiments + microbenches *)
+     dune exec bench/main.exe -- all     # experiments + microbenches
+
+   Flags:
+     --quick   shrink large sweeps (E11) to a ≤5s smoke run *)
 
 let experiments =
   [
@@ -18,6 +21,7 @@ let experiments =
     ("e8", E8_policy.run);
     ("e9", E9_synthesis.run);
     ("e10", E10_rate_limit.run);
+    ("e11", E11_scale.run);
     ("ablation", Ablation.run);
   ]
 
@@ -25,7 +29,25 @@ let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          Bench_util.quick := true;
+          false
+        end
+        else true)
+      args
+  in
   let run_experiments names =
+    List.iter
+      (fun n ->
+        if n <> "micro" && not (List.mem_assoc n experiments) then begin
+          Printf.eprintf "unknown experiment %S (known: %s, micro)\n" n
+            (String.concat ", " (List.map fst experiments));
+          exit 2
+        end)
+      names;
     List.iter
       (fun (name, f) -> if names = [] || List.mem name names then f ())
       experiments

@@ -27,6 +27,13 @@ module Plan = Cloudless_plan.Plan
 
 type schedule_policy = Fifo | Critical_path
 
+(** Ready-set implementation.  [Sched_heap] is the default: a shared
+    {!Cloudless_sim.Pqueue} binary heap giving O(log n) admissions.
+    [Sched_list] is the historical O(n)-per-pick list scan, kept as a
+    reference implementation for scheduler-overhead benchmarks (E11)
+    and for equivalence tests — both produce identical pick orders. *)
+type scheduler = Sched_heap | Sched_list
+
 type refresh_mode = Refresh_none | Refresh_full | Refresh_scoped of Addr.Set.t
 
 type config = {
@@ -89,6 +96,12 @@ type report = {
   failed : failure list;
   skipped : Addr.t list;  (** skipped because a dependency failed *)
   state : State.t;  (** state after the run *)
+  sched_picks : int;  (** ready-set admissions performed *)
+  sched_time : float;
+      (** real (wall-clock) seconds spent inside ready-set operations —
+          the engine's own scheduling overhead, as opposed to simulated
+          cloud time *)
+  peak_ready : int;  (** high-water mark of the ready set *)
 }
 
 let succeeded r = r.failed = [] && r.skipped = []
@@ -150,34 +163,33 @@ let refresh (cloud : Cloud.t) ~engine ~(state : State.t) ?addrs
   let state_ref = ref state in
   let missing = ref [] in
   let reads = ref 0 in
-  let queue = ref targets in
+  (* FIFO work list; throttled reads re-enter at the back.  A [Queue.t]
+     keeps both operations O(1) — the former list append degraded to
+     quadratic under sustained throttling. *)
+  let queue = Queue.create () in
+  List.iter (fun r -> Queue.add r queue) targets;
   let in_flight = ref 0 in
   let actor = Cloudless_sim.Activity_log.Iac_engine engine in
   let rec pump () =
-    match !queue with
-    | [] -> ()
-    | r :: rest ->
-        if !in_flight >= parallelism then ()
-        else begin
-          queue := rest;
-          incr in_flight;
-          incr reads;
-          Cloud.submit cloud ~actor
-            (Cloud.Read { cloud_id = r.State.cloud_id })
-            (fun result ->
-              decr in_flight;
-              (match result with
-              | Ok attrs ->
-                  state_ref := State.update_attrs !state_ref r.State.addr attrs
-              | Error (Cloud.Not_found _) ->
-                  missing := r.State.addr :: !missing
-              | Error (Cloud.Throttled _) ->
-                  (* re-queue at the back; the limiter will recover *)
-                  queue := !queue @ [ r ]
-              | Error _ -> ());
-              pump ());
-          pump ()
-        end
+    if (not (Queue.is_empty queue)) && !in_flight < parallelism then begin
+      let r = Queue.pop queue in
+      incr in_flight;
+      incr reads;
+      Cloud.submit cloud ~actor
+        (Cloud.Read { cloud_id = r.State.cloud_id })
+        (fun result ->
+          decr in_flight;
+          (match result with
+          | Ok attrs ->
+              state_ref := State.update_attrs !state_ref r.State.addr attrs
+          | Error (Cloud.Not_found _) -> missing := r.State.addr :: !missing
+          | Error (Cloud.Throttled _) ->
+              (* re-queue at the back; the limiter will recover *)
+              Queue.add r queue
+          | Error _ -> ());
+          pump ());
+      pump ()
+    end
   in
   pump ();
   Cloud.run_until_idle cloud;
@@ -204,10 +216,16 @@ let change_duration (c : Plan.change) =
   | Plan.Delete -> Service_model.expected c.Plan.rtype Service_model.Op_delete
   | Plan.Noop -> 0.
 
+module Pq = Cloudless_sim.Pqueue
+
+let now_mono () = Unix.gettimeofday ()
+
 (** Apply a plan.  Returns the report; the returned state reflects all
-    successful operations. *)
+    successful operations.  [sched] selects the ready-set
+    implementation (default {!Sched_heap}); both orders are identical,
+    see {!scheduler}. *)
 let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
-    ~(plan : Plan.t) ?(seed = 7) () : report =
+    ~(plan : Plan.t) ?(seed = 7) ?(sched = Sched_heap) () : report =
   let prng = Prng.create seed in
   let actor = Cloudless_sim.Activity_log.Iac_engine config.name in
   let base_api_calls = Cloud.api_call_count cloud in
@@ -228,20 +246,35 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
 
   (* phase 2: apply *)
   let dag = Plan.execution_graph plan in
+  let nodes = Dag.nodes dag in
+  let node_count = Dag.size dag in
   let duration_of addr = change_duration (Dag.payload dag addr) in
-  let priority = Dag.priorities dag ~duration:duration_of in
+  (* Materialize the remaining-longest-path priority of every node once,
+     up front, instead of consulting the [Dag] closure (and its
+     hashtables) on every admission. *)
+  let priority =
+    match config.policy with
+    | Fifo -> fun _ -> 0.
+    | Critical_path ->
+        let f = Dag.priorities dag ~duration:duration_of in
+        let tbl : (Addr.t, float) Hashtbl.t = Hashtbl.create node_count in
+        List.iter (fun a -> Hashtbl.replace tbl a (f a)) nodes;
+        fun a -> (
+          match Hashtbl.find_opt tbl a with Some p -> p | None -> 0.)
+  in
   let status : (Addr.t, node_status) Hashtbl.t = Hashtbl.create 64 in
-  List.iter (fun a -> Hashtbl.replace status a Pending) (Dag.nodes dag);
+  List.iter (fun a -> Hashtbl.replace status a Pending) nodes;
   let remaining_deps : (Addr.t, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun a ->
       Hashtbl.replace remaining_deps a (Addr.Set.cardinal (Dag.deps_of dag a)))
-    (Dag.nodes dag);
-  let ready : Addr.t list ref = ref [] in
+    nodes;
   let in_flight = ref 0 in
   let retries = ref 0 in
   let applied = ref [] in
   let failed = ref [] in
+  let picks = ref 0 in
+  let sched_time = ref 0. in
   (* client-side pacing: mirror the provider's documented write budget *)
   let client_limiter =
     let capacity, refill_rate = config.pacing_budget in
@@ -255,36 +288,91 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     else config.backoff_base
   in
 
-  let add_ready addr =
-    ready := addr :: !ready
+  (* The ready set.  Both implementations produce the same pick order:
 
-  and take_ready () =
-    match !ready with
-    | [] -> None
-    | _ ->
-        let pick =
+     - [Fifo] pops in insertion order (oldest first);
+     - [Critical_path] pops the max priority, ties going to the most
+       recently inserted node (what the historical newest-first list
+       fold with a strict [>] yielded).
+
+     The heap gives O(log n) picks and O(1) skip-removal (lazy
+     tombstones); the list scan is O(n) per pick and kept only as the
+     E11 reference. *)
+  let add_ready, take_ready, remove_ready, peak_ready =
+    match sched with
+    | Sched_heap ->
+        let order =
           match config.policy with
-          | Fifo ->
-              (* FIFO = oldest first; list is newest-first *)
-              List.nth !ready (List.length !ready - 1)
-          | Critical_path ->
-              List.fold_left
-                (fun best a ->
-                  match best with
-                  | None -> Some a
-                  | Some b -> if priority a > priority b then Some a else Some b)
-                None !ready
-              |> Option.get
+          | Fifo -> Pq.Min_first
+          | Critical_path -> Pq.Max_first
         in
-        ready := List.filter (fun a -> not (Addr.equal a pick)) !ready;
-        Some pick
+        let q : (Addr.t, Addr.t) Pq.t =
+          Pq.create ~initial_capacity:node_count order
+        in
+        let add addr = Pq.push q ~prio:(priority addr) ~key:addr addr in
+        let take () =
+          match Pq.pop q with
+          | None -> None
+          | Some (_, _, addr) ->
+              incr picks;
+              Some addr
+        in
+        let remove addr = ignore (Pq.remove q addr) in
+        (add, take, remove, fun () -> Pq.peak_length q)
+    | Sched_list ->
+        let ready : Addr.t list ref = ref [] in
+        let count = ref 0 in
+        let peak = ref 0 in
+        let add addr =
+          ready := addr :: !ready;
+          incr count;
+          if !count > !peak then peak := !count
+        in
+        let take () =
+          match !ready with
+          | [] -> None
+          | _ ->
+              let pick =
+                match config.policy with
+                | Fifo ->
+                    (* FIFO = oldest first; list is newest-first *)
+                    List.nth !ready (List.length !ready - 1)
+                | Critical_path ->
+                    List.fold_left
+                      (fun best a ->
+                        match best with
+                        | None -> Some a
+                        | Some b ->
+                            if priority a > priority b then Some a else Some b)
+                      None !ready
+                    |> Option.get
+              in
+              ready := List.filter (fun a -> not (Addr.equal a pick)) !ready;
+              decr count;
+              incr picks;
+              Some pick
+        in
+        let remove addr =
+          let n = List.length !ready in
+          ready := List.filter (fun a -> not (Addr.equal a addr)) !ready;
+          count := !count - (n - List.length !ready)
+        in
+        (add, take, remove, fun () -> !peak)
+  in
+  let take_ready () =
+    let t0 = now_mono () in
+    let r = take_ready () in
+    sched_time := !sched_time +. (now_mono () -. t0);
+    r
   in
 
   let rec mark_skipped addr =
     match Hashtbl.find_opt status addr with
     | Some (Pending | Running) ->
         Hashtbl.replace status addr Skipped;
-        ready := List.filter (fun a -> not (Addr.equal a addr)) !ready;
+        let t0 = now_mono () in
+        remove_ready addr;
+        sched_time := !sched_time +. (now_mono () -. t0);
         Addr.Set.iter mark_skipped (Dag.rdeps_of dag addr)
     | _ -> ()
   in
@@ -507,7 +595,7 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
   (* seed the ready set *)
   List.iter
     (fun a -> if Hashtbl.find remaining_deps a = 0 then add_ready a)
-    (Dag.nodes dag);
+    nodes;
   pump ();
   (* drive the simulation, pumping after every event *)
   let rec drive () =
@@ -544,4 +632,7 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     failed = List.rev !failed;
     skipped;
     state = !state_ref;
+    sched_picks = !picks;
+    sched_time = !sched_time;
+    peak_ready = peak_ready ();
   }

@@ -1,79 +1,24 @@
-(** Binary-heap event queue for the discrete-event simulator.
+(** Event queue for the discrete-event simulator: a thin veneer over
+    the shared {!Pqueue} heap.
 
-    Events are ordered by (time, sequence number): ties break in
-    insertion order, which keeps runs deterministic. *)
+    Events are ordered by (time, sequence number): [Pqueue.Min_first]
+    ties break in insertion order, which keeps runs deterministic. *)
 
-type 'a entry = { time : float; seq : int; payload : 'a }
+type 'a t = (unit, 'a) Pqueue.t
 
-type 'a t = {
-  mutable heap : 'a entry array;  (** heap.(0) is the minimum *)
-  mutable size : int;
-  mutable next_seq : int;
-}
+let create () = Pqueue.create Pqueue.Min_first
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
-
-let is_empty t = t.size = 0
-let length t = t.size
-
-let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let grow t =
-  let cap = Array.length t.heap in
-  if t.size >= cap then begin
-    let ncap = max 16 (cap * 2) in
-    let nh =
-      Array.make ncap
-        (if cap = 0 then { time = 0.; seq = 0; payload = Obj.magic 0 }
-         else t.heap.(0))
-    in
-    Array.blit t.heap 0 nh 0 t.size;
-    t.heap <- nh
-  end
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if entry_before t.heap.(i) t.heap.(parent) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(parent);
-      t.heap.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && entry_before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && entry_before t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.heap.(i) in
-    t.heap.(i) <- t.heap.(!smallest);
-    t.heap.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+let is_empty = Pqueue.is_empty
+let length = Pqueue.length
 
 (** Schedule [payload] at absolute [time]. *)
-let push t ~time payload =
-  grow t;
-  t.heap.(t.size) <- { time; seq = t.next_seq; payload };
-  t.next_seq <- t.next_seq + 1;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+let push t ~time payload = Pqueue.push t ~prio:time ~key:() payload
 
 (** Remove and return the earliest event. *)
 let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0
-    end;
-    Some (top.time, top.payload)
-  end
+  match Pqueue.pop t with
+  | None -> None
+  | Some (time, (), payload) -> Some (time, payload)
 
 (** Earliest event time without removing it. *)
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time = Pqueue.peek_prio

@@ -1,0 +1,143 @@
+(** Generic keyed priority queue (binary heap); see the interface for
+    the ordering and lazy-deletion contract. *)
+
+type order = Min_first | Max_first
+
+type ('k, 'a) entry = { prio : float; seq : int; key : 'k; payload : 'a }
+
+type ('k, 'a) t = {
+  order : order;
+  mutable heap : ('k, 'a) entry array;  (** heap.(0) orders first *)
+  mutable size : int;  (** slots in use, tombstoned entries included *)
+  mutable next_seq : int;
+  live : ('k, int) Hashtbl.t;  (** key -> live entries in the heap *)
+  tombs : ('k, int) Hashtbl.t;  (** key -> entries pending lazy deletion *)
+  mutable tomb_count : int;
+  mutable peak : int;
+}
+
+let create ?(initial_capacity = 0) order =
+  {
+    order;
+    heap = [||];
+    size = 0;
+    next_seq = 0;
+    live = Hashtbl.create (max 16 initial_capacity);
+    tombs = Hashtbl.create 16;
+    tomb_count = 0;
+    peak = 0;
+  }
+
+let length t = t.size - t.tomb_count
+let is_empty t = length t = 0
+let peak_length t = t.peak
+
+(* The (prio, seq) comparison is strict and total (seq is unique), so
+   pops are deterministic regardless of heap shape. *)
+let before t a b =
+  match t.order with
+  | Min_first -> a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+  | Max_first -> a.prio > b.prio || (a.prio = b.prio && a.seq > b.seq)
+
+let counter_get tbl k = match Hashtbl.find_opt tbl k with Some n -> n | None -> 0
+
+let counter_incr tbl k = Hashtbl.replace tbl k (counter_get tbl k + 1)
+
+let counter_decr tbl k =
+  match counter_get tbl k - 1 with
+  | 0 -> Hashtbl.remove tbl k
+  | n -> Hashtbl.replace tbl k n
+
+(* Grow by doubling, filling fresh slots with the entry about to be
+   pushed — a live value, so no [Obj.magic] dummy is ever stored. *)
+let ensure_capacity t fill =
+  if t.size = Array.length t.heap then begin
+    let ncap = max 16 (2 * Array.length t.heap) in
+    let nh = Array.make ncap fill in
+    Array.blit t.heap 0 nh 0 t.size;
+    t.heap <- nh
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let first = ref i in
+  if l < t.size && before t t.heap.(l) t.heap.(!first) then first := l;
+  if r < t.size && before t t.heap.(r) t.heap.(!first) then first := r;
+  if !first <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!first);
+    t.heap.(!first) <- tmp;
+    sift_down t !first
+  end
+
+let push t ~prio ~key payload =
+  let e = { prio; seq = t.next_seq; key; payload } in
+  ensure_capacity t e;
+  t.heap.(t.size) <- e;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  counter_incr t.live key;
+  let live_now = length t in
+  if live_now > t.peak then t.peak <- live_now
+
+let pop_root t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  top
+
+(* Discard tombstoned entries sitting at the root. *)
+let rec settle t =
+  if t.size > 0 && t.tomb_count > 0 then begin
+    let root = t.heap.(0) in
+    if counter_get t.tombs root.key > 0 then begin
+      ignore (pop_root t);
+      counter_decr t.tombs root.key;
+      t.tomb_count <- t.tomb_count - 1;
+      settle t
+    end
+  end
+
+let pop t =
+  settle t;
+  if t.size = 0 then None
+  else begin
+    let top = pop_root t in
+    counter_decr t.live top.key;
+    Some (top.prio, top.key, top.payload)
+  end
+
+let peek t =
+  settle t;
+  if t.size = 0 then None
+  else
+    let top = t.heap.(0) in
+    Some (top.prio, top.key, top.payload)
+
+let peek_prio t = Option.map (fun (p, _, _) -> p) (peek t)
+
+let mem t key = counter_get t.live key > 0
+
+let remove t key =
+  if counter_get t.live key > 0 then begin
+    counter_decr t.live key;
+    counter_incr t.tombs key;
+    t.tomb_count <- t.tomb_count + 1;
+    true
+  end
+  else false

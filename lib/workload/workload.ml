@@ -366,6 +366,83 @@ resource "%s" "%s" {
       done)
 
 (* ------------------------------------------------------------------ *)
+(* Scale fleet: exact-n topologies for scheduler benchmarks (E11)      *)
+(* ------------------------------------------------------------------ *)
+
+(** [fleet ~resources] builds a service fleet whose expanded instance
+    count is exactly [resources]: one VPC, then service groups of
+    subnet + security group + target group + [instances_per_group]
+    instances (all three plumbing resources hang off the VPC, the
+    instances off their group's subnet and security group), padded with
+    standalone EIPs to hit the exact count.  The frontier after the VPC
+    is three nodes per group wide, so 1k/5k/10k fleets stress the
+    executor's ready set, not just the simulated cloud.  Subnet CIDRs
+    are computed here (10.x.y.0/24 inside a 10.0.0.0/8 VPC) to stay
+    valid at any group count. *)
+let fleet ?(region = "us-east-1") ?(instances_per_group = 6) ~resources () =
+  if resources < 1 then invalid_arg "Workload.fleet: resources < 1";
+  let group_size = 3 + instances_per_group in
+  let groups = (resources - 1) / group_size in
+  let pad = resources - 1 - (groups * group_size) in
+  buf_config (fun b ->
+      add b
+        (Printf.sprintf
+           {|resource "aws_vpc" "fleet" {
+  cidr_block = "10.0.0.0/8"
+  region     = "%s"
+}
+|}
+           region);
+      for g = 0 to groups - 1 do
+        add b
+          (Printf.sprintf
+             {|
+resource "aws_subnet" "g%d" {
+  vpc_id     = aws_vpc.fleet.id
+  cidr_block = "10.%d.%d.0/24"
+  region     = "%s"
+}
+
+resource "aws_security_group" "g%d" {
+  name   = "g%d-sg"
+  vpc_id = aws_vpc.fleet.id
+  region = "%s"
+}
+
+resource "aws_lb_target_group" "g%d" {
+  name     = "g%d-tg"
+  port     = %d
+  protocol = "tcp"
+  vpc_id   = aws_vpc.fleet.id
+  region   = "%s"
+}
+
+resource "aws_instance" "g%d" {
+  count                  = %d
+  ami                    = "ami-0fleet"
+  instance_type          = "t3.small"
+  subnet_id              = aws_subnet.g%d.id
+  vpc_security_group_ids = [aws_security_group.g%d.id]
+  region                 = "%s"
+}
+|}
+             g (g / 256) (g mod 256) region g g region g g
+             (8000 + (g mod 1000))
+             region g instances_per_group g g region)
+      done;
+      if pad > 0 then
+        add b
+          (Printf.sprintf
+             {|
+resource "aws_eip" "pad" {
+  count      = %d
+  region     = "%s"
+  depends_on = [aws_vpc.fleet]
+}
+|}
+             pad region))
+
+(* ------------------------------------------------------------------ *)
 (* Misconfiguration injection (E6)                                     *)
 (* ------------------------------------------------------------------ *)
 

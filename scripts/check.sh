@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build, full test suite, and the E11 engine-scale
+# smoke run (≤5s sweep; writes BENCH_scale.json with quick=true).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+dune exec bench/main.exe -- e11 --quick

@@ -361,6 +361,129 @@ resource "aws_vpc" "main" {
   let plan = Plan.make ~state:report1.Executor.state updated in
   check int_ "update allowed" 1 (Plan.summarize plan).Plan.to_update
 
+(* ------------------------------------------------------------------ *)
+(* Scheduler determinism (E11 guard)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Golden values recorded from the seed's list-based scheduler: the
+   heap ready set must reproduce the exact makespan and apply order
+   (identical tie-breaking), or E1/E2/E10 tables silently shift. *)
+let test_seed_golden_makespans () =
+  let golden =
+    [
+      ( Cloudless_workload.Workload.web_tier (),
+        Executor.cloudless_config,
+        471.87722419265299,
+        Some
+          [
+            "aws_vpc.main"; "aws_subnet.app[0]"; "aws_security_group.web";
+            "aws_subnet.app[1]"; "aws_security_group_rule.https";
+            "aws_lb_target_group.tg"; "aws_db_subnet_group.db";
+            "aws_instance.web[0]"; "aws_instance.web[1]";
+            "aws_instance.web[2]"; "aws_instance.web[3]"; "aws_lb.front";
+            "aws_lb_listener.https"; "aws_db_instance.db";
+          ] );
+      ( Cloudless_workload.Workload.web_tier (),
+        Executor.baseline_config,
+        471.7147692600555,
+        None );
+      ( Cloudless_workload.Workload.microservices ~services:4 (),
+        Executor.cloudless_config,
+        57.597893395300538,
+        None );
+      ( Cloudless_workload.Workload.layered ~width:4 ~depth:3 (),
+        Executor.cloudless_config,
+        276.02576543473987,
+        None );
+    ]
+  in
+  List.iter
+    (fun (src, engine, makespan, applied) ->
+      let cloud = fresh_cloud ~seed:42 () in
+      let report = deploy ~engine cloud src in
+      check bool_ "succeeded" true (Executor.succeeded report);
+      check (Alcotest.float 0.) "seed makespan unchanged" makespan
+        report.Executor.makespan;
+      match applied with
+      | None -> ()
+      | Some order ->
+          check (Alcotest.list string_) "seed apply order unchanged" order
+            (List.map Addr.to_string report.Executor.applied))
+    golden
+
+(* The heap and the legacy list ready set must schedule identically on
+   every policy; only the engine overhead may differ. *)
+let test_heap_list_equivalent () =
+  let srcs =
+    [
+      Cloudless_workload.Workload.web_tier ();
+      Cloudless_workload.Workload.microservices ~services:6 ();
+      Cloudless_workload.Workload.layered ~width:6 ~depth:4 ();
+      Cloudless_workload.Workload.fleet ~resources:120 ();
+    ]
+  in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun engine ->
+          List.iter
+            (fun seed ->
+              let run sched =
+                let cloud = fresh_cloud ~seed () in
+                let instances = expand_src src in
+                let plan = Plan.make ~state:State.empty instances in
+                Executor.apply cloud ~config:engine ~state:State.empty ~plan
+                  ~sched ()
+              in
+              let h = run Executor.Sched_heap in
+              let l = run Executor.Sched_list in
+              check (Alcotest.float 0.) "same makespan" l.Executor.makespan
+                h.Executor.makespan;
+              check (Alcotest.list string_) "same apply order"
+                (List.map Addr.to_string l.Executor.applied)
+                (List.map Addr.to_string h.Executor.applied);
+              check int_ "same picks" l.Executor.sched_picks
+                h.Executor.sched_picks;
+              check int_ "same peak ready" l.Executor.peak_ready
+                h.Executor.peak_ready)
+            [ 42; 43 ])
+        [ Executor.baseline_config; Executor.cloudless_config ])
+    srcs
+
+(* A failure cascade exercises the tombstone path (ready-set removal);
+   both implementations must skip the same set. *)
+let test_heap_list_equivalent_on_failure () =
+  let src =
+    Cloudless_workload.Workload.misconfigured Cloudless_workload.Workload.M_unknown_region
+  in
+  let run sched =
+    let cloud = fresh_cloud ~seed:42 () in
+    let instances = expand_src src in
+    let plan = Plan.make ~state:State.empty instances in
+    Executor.apply cloud ~config:Executor.cloudless_config ~state:State.empty
+      ~plan ~sched ()
+  in
+  let h = run Executor.Sched_heap in
+  let l = run Executor.Sched_list in
+  check (Alcotest.list string_) "same applied"
+    (List.map Addr.to_string l.Executor.applied)
+    (List.map Addr.to_string h.Executor.applied);
+  check (Alcotest.list string_) "same skipped"
+    (List.sort compare (List.map Addr.to_string l.Executor.skipped))
+    (List.sort compare (List.map Addr.to_string h.Executor.skipped));
+  check int_ "same failures" (List.length l.Executor.failed)
+    (List.length h.Executor.failed)
+
+(* The fleet generator hits its resource budget exactly. *)
+let test_fleet_exact_count () =
+  List.iter
+    (fun n ->
+      let instances =
+        expand_src (Cloudless_workload.Workload.fleet ~resources:n ())
+      in
+      check int_ "exact instance count" n (List.length instances))
+    [ 1; 2; 9; 10; 100; 137; 1000 ]
+
 let suites =
   [
     ( "deploy.end_to_end",
@@ -384,5 +507,15 @@ let suites =
         Alcotest.test_case "transient retried" `Quick test_transient_failures_are_retried;
         Alcotest.test_case "refresh reads" `Quick test_refresh_reads_state;
         Alcotest.test_case "determinism" `Quick test_deterministic_deploys;
+      ] );
+    ( "deploy.scheduler",
+      [
+        Alcotest.test_case "seed golden makespans" `Quick
+          test_seed_golden_makespans;
+        Alcotest.test_case "heap = list schedule" `Quick
+          test_heap_list_equivalent;
+        Alcotest.test_case "heap = list on failure" `Quick
+          test_heap_list_equivalent_on_failure;
+        Alcotest.test_case "fleet exact count" `Quick test_fleet_exact_count;
       ] );
   ]

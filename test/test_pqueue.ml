@@ -1,0 +1,161 @@
+(* Tests for the shared keyed priority queue: ordering and tie-break
+   properties under both orders, lazy deletion via tombstones, and the
+   live-length accounting the executor's ready set relies on. *)
+
+module Pq = Cloudless_sim.Pqueue
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+
+let drain q =
+  let rec go acc =
+    match Pq.pop q with
+    | None -> List.rev acc
+    | Some (prio, key, payload) -> go ((prio, key, payload) :: acc)
+  in
+  go []
+
+(* Reference order: sort (prio, insertion index) pairs the way the heap
+   promises to pop them. *)
+let expected_order order prios =
+  let indexed = List.mapi (fun i p -> (p, i)) prios in
+  let cmp (pa, ia) (pb, ib) =
+    match order with
+    | Pq.Min_first -> if pa <> pb then compare pa pb else compare ia ib
+    | Pq.Max_first -> if pa <> pb then compare pb pa else compare ib ia
+  in
+  List.map snd (List.sort cmp indexed)
+
+let prop_pop_sorted order name =
+  QCheck.Test.make ~count:300 ~name
+    QCheck.(list (float_range (-100.) 100.))
+    (fun prios ->
+      let q = Pq.create order in
+      List.iteri (fun i p -> Pq.push q ~prio:p ~key:i i) prios;
+      let popped = List.map (fun (_, _, i) -> i) (drain q) in
+      popped = expected_order order prios)
+
+let prop_min_sorted = prop_pop_sorted Pq.Min_first "Min_first pops (prio asc, seq asc)"
+let prop_max_sorted = prop_pop_sorted Pq.Max_first "Max_first pops (prio desc, seq desc)"
+
+(* All-equal priorities isolate the tie-break. *)
+let test_ties_fifo () =
+  let q = Pq.create Pq.Min_first in
+  List.iter (fun i -> Pq.push q ~prio:1. ~key:i i) [ 0; 1; 2; 3; 4 ];
+  check (Alcotest.list int_) "insertion order"
+    [ 0; 1; 2; 3; 4 ]
+    (List.map (fun (_, k, _) -> k) (drain q))
+
+let test_ties_lifo () =
+  let q = Pq.create Pq.Max_first in
+  List.iter (fun i -> Pq.push q ~prio:1. ~key:i i) [ 0; 1; 2; 3; 4 ];
+  check (Alcotest.list int_) "reverse insertion order"
+    [ 4; 3; 2; 1; 0 ]
+    (List.map (fun (_, k, _) -> k) (drain q))
+
+let test_remove_tombstones () =
+  let q = Pq.create Pq.Min_first in
+  List.iter (fun i -> Pq.push q ~prio:(float_of_int i) ~key:i i) [ 0; 1; 2; 3; 4 ];
+  check int_ "five live" 5 (Pq.length q);
+  check bool_ "remove known" true (Pq.remove q 2);
+  check bool_ "remove again fails" false (Pq.remove q 2);
+  check bool_ "remove unknown fails" false (Pq.remove q 99);
+  check int_ "four live" 4 (Pq.length q);
+  check bool_ "gone from mem" false (Pq.mem q 2);
+  check bool_ "others remain" true (Pq.mem q 3);
+  check (Alcotest.list int_) "pop skips tombstone"
+    [ 0; 1; 3; 4 ]
+    (List.map (fun (_, k, _) -> k) (drain q));
+  check bool_ "empty" true (Pq.is_empty q)
+
+let test_remove_head_then_peek () =
+  let q = Pq.create Pq.Min_first in
+  Pq.push q ~prio:1. ~key:"a" ();
+  Pq.push q ~prio:2. ~key:"b" ();
+  ignore (Pq.remove q "a");
+  (match Pq.peek q with
+  | Some (p, k, ()) ->
+      check (Alcotest.float 0.) "peek skips tombstoned head" 2. p;
+      check Alcotest.string "key b" "b" k
+  | None -> Alcotest.fail "expected an entry");
+  check (Alcotest.option (Alcotest.float 0.)) "peek_prio" (Some 2.)
+    (Pq.peek_prio q)
+
+let test_peak_length () =
+  let q = Pq.create Pq.Min_first in
+  List.iter (fun i -> Pq.push q ~prio:(float_of_int i) ~key:i i) [ 0; 1; 2 ];
+  ignore (Pq.pop q);
+  ignore (Pq.pop q);
+  List.iter (fun i -> Pq.push q ~prio:(float_of_int i) ~key:i i) [ 3; 4 ];
+  check int_ "peak is high-water mark" 3 (Pq.peak_length q);
+  check int_ "current length" 3 (Pq.length q)
+
+(* Interleave pushes, pops, and removes against a naive sorted-list
+   model.  Keys are unique (the insertion sequence number), mirroring
+   how the executor's ready set uses the queue — under key reuse the
+   lazy tombstone may resolve to a later entry, see the interface. *)
+let prop_model =
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun p -> `Push p) (float_range 0. 50.);
+          always `Pop;
+          map (fun k -> `Remove k) (int_range 0 40);
+        ])
+  in
+  QCheck.Test.make ~count:300 ~name:"matches a sorted-list model"
+    (QCheck.list op)
+    (fun ops ->
+      let q = Pq.create Pq.Min_first in
+      (* model: list of (prio, key) of live entries; key = seq, unique *)
+      let model = ref [] in
+      let seq = ref 0 in
+      let model_sorted () =
+        List.sort
+          (fun (pa, ka) (pb, kb) ->
+            if pa <> pb then compare pa pb else compare ka kb)
+          !model
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Push p ->
+              Pq.push q ~prio:p ~key:!seq !seq;
+              model := (p, !seq) :: !model;
+              incr seq;
+              Pq.length q = List.length !model
+          | `Pop -> (
+              match (Pq.pop q, model_sorted ()) with
+              | None, [] -> true
+              | Some (p, k, _), (mp, mk) :: rest ->
+                  model := rest;
+                  p = mp && k = mk
+              | _ -> false)
+          | `Remove k ->
+              let had = List.exists (fun (_, mk) -> mk = k) !model in
+              let removed = Pq.remove q k in
+              if removed then
+                model := List.filter (fun (_, mk) -> mk <> k) !model;
+              removed = had
+              && Pq.length q = List.length !model
+              && Pq.mem q k = false)
+        ops)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "sim.pqueue",
+      [
+        qtest prop_min_sorted;
+        qtest prop_max_sorted;
+        Alcotest.test_case "min ties are FIFO" `Quick test_ties_fifo;
+        Alcotest.test_case "max ties are LIFO" `Quick test_ties_lifo;
+        Alcotest.test_case "remove tombstones" `Quick test_remove_tombstones;
+        Alcotest.test_case "peek skips tombstones" `Quick test_remove_head_then_peek;
+        Alcotest.test_case "peak length" `Quick test_peak_length;
+        qtest prop_model;
+      ] );
+  ]
