@@ -64,8 +64,13 @@ let json_of_sample s =
     (if s.sched_s > 0. then float_of_int s.picks /. s.sched_s else 0.)
     s.peak_ready s.makespan s.ok
 
+(* Quick runs land in a separate throwaway file so a CI smoke run can
+   never clobber the committed full-sweep perf trajectory. *)
+let json_file ~quick =
+  if quick then "BENCH_scale_quick.json" else "BENCH_scale.json"
+
 let write_json ~quick ~samples ~ratio ~ratio_desc =
-  let oc = open_out "BENCH_scale.json" in
+  let oc = open_out (json_file ~quick) in
   Printf.fprintf oc
     "{\n\
     \  \"experiment\": \"e11_scale\",\n\
@@ -148,6 +153,6 @@ let run () =
     "\n\
     \  shape check: identical makespans and apply orders under both ready\n\
     \  sets; %s.\n\
-    \  wrote BENCH_scale.json\n"
-    ratio_desc;
+    \  wrote %s\n"
+    ratio_desc (json_file ~quick);
   write_json ~quick ~samples ~ratio ~ratio_desc

@@ -22,6 +22,7 @@ let experiments =
     ("e9", E9_synthesis.run);
     ("e10", E10_rate_limit.run);
     ("e11", E11_scale.run);
+    ("e12", E12_pipeline.run);
     ("ablation", Ablation.run);
   ]
 

@@ -15,6 +15,7 @@
 module Addr = Cloudless_hcl.Addr
 module Value = Cloudless_hcl.Value
 module Smap = Value.Smap
+module Sset = Set.Make (String)
 module State = Cloudless_state.State
 module Cloud = Cloudless_sim.Cloud
 module Activity_log = Cloudless_sim.Activity_log
@@ -112,9 +113,13 @@ module Scanner = struct
     List.iter read_resource (State.resources state);
     (* optionally list types to find unmanaged resources *)
     if detect_unmanaged then begin
+      (* built once: each listed resource checks membership in O(log n)
+         instead of scanning every known id *)
       let known_ids =
-        List.map (fun (r : State.resource_state) -> r.State.cloud_id)
-          (State.resources state)
+        Sset.of_list
+          (List.map
+             (fun (r : State.resource_state) -> r.State.cloud_id)
+             (State.resources state))
       in
       let types =
         List.sort_uniq String.compare
@@ -132,7 +137,7 @@ module Scanner = struct
                 | Ok listing ->
                     Smap.iter
                       (fun cloud_id _ ->
-                        if not (List.mem cloud_id known_ids) then
+                        if not (Sset.mem cloud_id known_ids) then
                           emit
                             {
                               addr = None;

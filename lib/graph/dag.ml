@@ -14,12 +14,22 @@ type 'a t = {
   deps : Addr.Set.t Addr.Map.t;  (** node -> nodes it depends on *)
   rdeps : Addr.Set.t Addr.Map.t;  (** node -> nodes depending on it *)
   order : Addr.t list;  (** insertion order, for stable iteration *)
+  mutable rounds_memo : Addr.t list list option;
+      (** cached Kahn rounds (= parallel levels); reset by any
+          topology-changing constructor so [topo_sort], [levels],
+          [depth] and [max_width] share one traversal *)
 }
 
 exception Cycle of Addr.t list
 
 let empty =
-  { payloads = Addr.Map.empty; deps = Addr.Map.empty; rdeps = Addr.Map.empty; order = [] }
+  {
+    payloads = Addr.Map.empty;
+    deps = Addr.Map.empty;
+    rdeps = Addr.Map.empty;
+    order = [];
+    rounds_memo = None;
+  }
 
 let mem t addr = Addr.Map.mem addr t.payloads
 let find_opt t addr = Addr.Map.find_opt addr t.payloads
@@ -33,6 +43,7 @@ let payload t addr =
 
 let add_node t addr payload =
   if mem t addr then
+    (* payload replacement leaves the topology (and the cache) intact *)
     { t with payloads = Addr.Map.add addr payload t.payloads }
   else
     {
@@ -40,6 +51,7 @@ let add_node t addr payload =
       deps = Addr.Map.add addr Addr.Set.empty t.deps;
       rdeps = Addr.Map.add addr Addr.Set.empty t.rdeps;
       order = addr :: t.order;
+      rounds_memo = None;
     }
 
 (** Add a dependency edge: [dependent] needs [dependency] first.  Both
@@ -61,6 +73,7 @@ let add_edge t ~dependent ~dependency =
         Addr.Map.update dependency
           (fun s -> Some (Addr.Set.add dependent (Option.value ~default:Addr.Set.empty s)))
           t.rdeps;
+      rounds_memo = None;
     }
 
 let deps_of t addr =
@@ -76,36 +89,65 @@ let edge_count t =
 (* Topological order                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Kahn's algorithm by rounds.  Round k holds exactly the nodes of
+   level k (all dependencies in rounds < k), each round in insertion
+   order — the same order the seed's per-round [List.partition] scan
+   produced, but in O(V log V + E) instead of O(depth * V): only the
+   nodes whose in-degree just reached zero are touched between rounds,
+   and each round is sorted by insertion index.  Raises {!Cycle} with
+   the blocked nodes (insertion order) when the graph has one. *)
+let kahn_rounds t =
+  let n = Addr.Map.cardinal t.payloads in
+  let idx = Hashtbl.create (2 * n) in
+  let in_degree = Hashtbl.create (2 * n) in
+  let first = ref [] in
+  List.iteri
+    (fun i a ->
+      Hashtbl.replace idx a i;
+      let d = Addr.Set.cardinal (deps_of t a) in
+      Hashtbl.replace in_degree a d;
+      if d = 0 then first := a :: !first)
+    (nodes t);
+  let by_insertion l =
+    List.sort (fun a b -> compare (Hashtbl.find idx a) (Hashtbl.find idx b)) l
+  in
+  let processed = ref 0 in
+  let rec go ready acc =
+    match ready with
+    | [] -> List.rev acc
+    | _ ->
+        let round = by_insertion ready in
+        processed := !processed + List.length round;
+        let next =
+          List.fold_left
+            (fun next a ->
+              Addr.Set.fold
+                (fun d next ->
+                  let deg = Hashtbl.find in_degree d - 1 in
+                  Hashtbl.replace in_degree d deg;
+                  if deg = 0 then d :: next else next)
+                (rdeps_of t a) next)
+            [] round
+        in
+        go next (round :: acc)
+  in
+  let rounds = go !first [] in
+  if !processed < n then
+    raise (Cycle (List.filter (fun a -> Hashtbl.find in_degree a > 0) (nodes t)));
+  rounds
+
+let rounds t =
+  match t.rounds_memo with
+  | Some r -> r
+  | None ->
+      let r = kahn_rounds t in
+      t.rounds_memo <- Some r;
+      r
+
 (** Stable topological sort: among nodes whose dependencies are
     satisfied, insertion order wins.  Raises {!Cycle} with the offending
     nodes when the graph has one. *)
-let topo_sort t =
-  let in_degree = Hashtbl.create 64 in
-  List.iter
-    (fun a -> Hashtbl.replace in_degree a (Addr.Set.cardinal (deps_of t a)))
-    (nodes t);
-  let result = ref [] in
-  let remaining = ref (nodes t) in
-  let progress = ref true in
-  while !remaining <> [] && !progress do
-    progress := false;
-    let ready, blocked =
-      List.partition (fun a -> Hashtbl.find in_degree a = 0) !remaining
-    in
-    if ready <> [] then begin
-      progress := true;
-      List.iter
-        (fun a ->
-          result := a :: !result;
-          Addr.Set.iter
-            (fun d -> Hashtbl.replace in_degree d (Hashtbl.find in_degree d - 1))
-            (rdeps_of t a))
-        ready;
-      remaining := blocked
-    end
-  done;
-  if !remaining <> [] then raise (Cycle !remaining);
-  List.rev !result
+let topo_sort t = List.concat (rounds t)
 
 let has_cycle t =
   match topo_sort t with _ -> false | exception Cycle _ -> true
@@ -113,21 +155,7 @@ let has_cycle t =
 (** Group nodes into parallel levels: level 0 has no dependencies,
     level k depends only on levels < k.  The number of levels is the
     graph depth; the widest level bounds achievable parallelism. *)
-let levels t =
-  let level = Hashtbl.create 64 in
-  let order = topo_sort t in
-  List.iter
-    (fun a ->
-      let l =
-        Addr.Set.fold
-          (fun d acc -> max acc (Hashtbl.find level d + 1))
-          (deps_of t a) 0
-      in
-      Hashtbl.replace level a l)
-    order;
-  let max_level = List.fold_left (fun acc a -> max acc (Hashtbl.find level a)) 0 order in
-  List.init (max_level + 1) (fun l ->
-      List.filter (fun a -> Hashtbl.find level a = l) order)
+let levels t = match rounds t with [] -> [ [] ] | rs -> rs
 
 let depth t = List.length (levels t)
 let max_width t = List.fold_left (fun acc l -> max acc (List.length l)) 0 (levels t)
@@ -266,10 +294,23 @@ let of_instances (instances : Cloudless_hcl.Eval.instance list) :
         add_node acc i.Cloudless_hcl.Eval.addr i)
       empty instances
   in
-  let all_addrs = nodes t in
+  (* base address -> instances of that base, in insertion order, so a
+     dependency on [aws_subnet.s] finds all its instances in O(log n)
+     instead of scanning every address per edge *)
+  let by_base =
+    List.fold_left
+      (fun m a ->
+        Addr.Map.update (Addr.base a)
+          (fun l -> Some (a :: Option.value ~default:[] l))
+          m)
+      Addr.Map.empty (nodes t)
+  in
   let resolve dep =
     if mem t dep then [ dep ]
-    else List.filter (fun a -> Addr.same_base (Addr.base a) dep || Addr.same_base a dep) all_addrs
+    else
+      match Addr.Map.find_opt (Addr.base dep) by_base with
+      | Some l -> List.rev l
+      | None -> []
   in
   List.fold_left
     (fun acc (i : Cloudless_hcl.Eval.instance) ->
@@ -285,6 +326,63 @@ let of_instances (instances : Cloudless_hcl.Eval.instance list) :
             acc (resolve dep))
         acc deps)
     t instances
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementations                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The seed's list-based traversals, kept in-tree (like the executor's
+    [Sched_list]) so tests and the E12 bench can assert that the Kahn
+    implementations above produce byte-identical orders and levels. *)
+module Reference = struct
+  (* per-round List.partition over the remaining nodes: O(depth * V) *)
+  let topo_sort t =
+    let in_degree = Hashtbl.create 64 in
+    List.iter
+      (fun a -> Hashtbl.replace in_degree a (Addr.Set.cardinal (deps_of t a)))
+      (nodes t);
+    let result = ref [] in
+    let remaining = ref (nodes t) in
+    let progress = ref true in
+    while !remaining <> [] && !progress do
+      progress := false;
+      let ready, blocked =
+        List.partition (fun a -> Hashtbl.find in_degree a = 0) !remaining
+      in
+      if ready <> [] then begin
+        progress := true;
+        List.iter
+          (fun a ->
+            result := a :: !result;
+            Addr.Set.iter
+              (fun d -> Hashtbl.replace in_degree d (Hashtbl.find in_degree d - 1))
+              (rdeps_of t a))
+          ready;
+        remaining := blocked
+      end
+    done;
+    if !remaining <> [] then raise (Cycle !remaining);
+    List.rev !result
+
+  (* per-level List.filter over the full order: O(depth * V) *)
+  let levels t =
+    let level = Hashtbl.create 64 in
+    let order = topo_sort t in
+    List.iter
+      (fun a ->
+        let l =
+          Addr.Set.fold
+            (fun d acc -> max acc (Hashtbl.find level d + 1))
+            (deps_of t a) 0
+        in
+        Hashtbl.replace level a l)
+      order;
+    let max_level =
+      List.fold_left (fun acc a -> max acc (Hashtbl.find level a)) 0 order
+    in
+    List.init (max_level + 1) (fun l ->
+        List.filter (fun a -> Hashtbl.find level a = l) order)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -68,6 +68,17 @@ val impact_scope : 'a t -> Addr.Set.t -> Addr.Set.t
 (** Restrict to a node subset, keeping internal edges. *)
 val restrict : 'a t -> Addr.Set.t -> 'a t
 
+(** The seed's list-based traversals, kept in-tree (like the executor's
+    [Sched_list]) so tests and benches can assert the Kahn
+    implementations produce byte-identical orders and levels. *)
+module Reference : sig
+  (** Per-round [List.partition] scan: O(depth * V). *)
+  val topo_sort : 'a t -> Addr.t list
+
+  (** Per-level [List.filter] over the full order: O(depth * V). *)
+  val levels : 'a t -> Addr.t list list
+end
+
 (** One node per expanded instance; edges from reference and
     [depends_on] dependencies (base addresses fan out to every
     instance). *)

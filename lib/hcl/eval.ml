@@ -13,6 +13,7 @@
     exactly like Terraform's plan-time unknowns. *)
 
 module Smap = Value.Smap
+module Sset = Set.Make (String)
 
 exception Eval_error of string * Loc.span
 
@@ -70,6 +71,8 @@ type scope = {
   module_path : string list;
   vars : Value.t Smap.t;
   locals_src : (string * Ast.expr) list;
+  locals_tbl : (string, Ast.expr) Hashtbl.t;
+      (** first-binding index of [locals_src] *)
   locals_cache : (string, Value.t) Hashtbl.t;
   mutable locals_forcing : string list;  (** cycle detection *)
   resources : (string * string, node_expansion) Hashtbl.t;
@@ -80,6 +83,15 @@ type scope = {
   for_bindings : Value.t Smap.t;
 }
 
+(* Index a locals binding list by name, keeping the first binding for a
+   name like [List.assoc_opt] would. *)
+let locals_index (locals : (string * Ast.expr) list) =
+  let tbl = Hashtbl.create (max 8 (2 * List.length locals)) in
+  List.iter
+    (fun (n, e) -> if not (Hashtbl.mem tbl n) then Hashtbl.add tbl n e)
+    locals;
+  tbl
+
 let make_scope ?(env = default_env) ?(module_path = []) ?(locals = [])
     ?(vars = Smap.empty) () =
   {
@@ -87,6 +99,7 @@ let make_scope ?(env = default_env) ?(module_path = []) ?(locals = [])
     module_path;
     vars;
     locals_src = locals;
+    locals_tbl = locals_index locals;
     locals_cache = Hashtbl.create 8;
     locals_forcing = [];
     resources = Hashtbl.create 16;
@@ -212,7 +225,7 @@ and force_local scope span name =
   | None ->
       if List.mem name scope.locals_forcing then
         errf span "dependency cycle through local.%s" name;
-      (match List.assoc_opt name scope.locals_src with
+      (match Hashtbl.find_opt scope.locals_tbl name with
       | None -> errf span "reference to undeclared local.%s" name
       | Some e ->
           scope.locals_forcing <- name :: scope.locals_forcing;
@@ -627,7 +640,10 @@ let node_span = function
 (* Static targets of a node, with local references expanded
    transitively so that ordering respects locals that mention
    resources. *)
-let node_targets (cfg : Config.t) node : Refs.target list =
+let node_targets ?locals (cfg : Config.t) node : Refs.target list =
+  let locals =
+    match locals with Some t -> t | None -> locals_index cfg.Config.locals
+  in
   let direct =
     match node with
     | Ndata d -> Refs.of_body d.Config.dbody
@@ -653,14 +669,14 @@ let node_targets (cfg : Config.t) node : Refs.target list =
     List.concat_map
       (fun t ->
         match t with
-        | Refs.Tlocal name when not (List.mem name seen) -> (
-            match List.assoc_opt name cfg.Config.locals with
-            | Some e -> expand_locals (name :: seen) (Refs.of_expr e)
+        | Refs.Tlocal name when not (Sset.mem name seen) -> (
+            match Hashtbl.find_opt locals name with
+            | Some e -> expand_locals (Sset.add name seen) (Refs.of_expr e)
             | None -> [ t ])
         | t -> [ t ])
       targets
   in
-  expand_locals [] direct
+  expand_locals Sset.empty direct
 
 let target_node_key = function
   | Refs.Tresource (t, n) -> Some (t ^ "." ^ n)
@@ -677,8 +693,9 @@ let order_nodes (cfg : Config.t) : node list =
   in
   let by_key = Hashtbl.create 16 in
   List.iter (fun n -> Hashtbl.replace by_key (node_key n) n) nodes;
+  let locals = locals_index cfg.Config.locals in
   let deps n =
-    node_targets cfg n
+    node_targets ~locals cfg n
     |> List.filter_map target_node_key
     |> List.filter_map (Hashtbl.find_opt by_key)
   in
@@ -796,9 +813,7 @@ and expand_resource scope cfg (r : Config.resource) :
     | Some p -> p
     | None -> provider_of_rtype r.Config.rtype
   in
-  let targets =
-    node_targets cfg (Nres r)
-  in
+  let targets = node_targets ~locals:scope.locals_tbl cfg (Nres r) in
   let ref_deps =
     List.concat_map (target_instance_addrs scope cfg) targets
   in

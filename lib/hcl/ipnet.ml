@@ -95,6 +95,13 @@ let overlaps a b =
   let m = mask bits in
   Int32.logand a.network m = Int32.logand b.network m
 
+(** Inclusive [(first, last)] address range as non-negative ints; two
+    prefixes overlap iff their ranges intersect, which lets rule checks
+    sweep prefixes sorted by start address instead of testing pairs. *)
+let range p =
+  let first = Int32.to_int p.network land 0xFFFFFFFF in
+  (first, first lor (0xFFFFFFFF lsr p.bits))
+
 (** Is [inner] entirely contained in [outer]? *)
 let contains ~outer ~inner =
   inner.bits >= outer.bits

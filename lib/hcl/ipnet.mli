@@ -41,5 +41,9 @@ val netmask : prefix -> addr
 (** Do two prefixes share any address? *)
 val overlaps : prefix -> prefix -> bool
 
+(** Inclusive [(first, last)] address range covered by the prefix, as
+    non-negative ints.  Prefixes overlap iff their ranges intersect. *)
+val range : prefix -> int * int
+
 (** Is [inner] entirely contained in [outer]? *)
 val contains : outer:prefix -> inner:prefix -> bool

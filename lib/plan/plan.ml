@@ -202,28 +202,13 @@ let make ?(default_region = "us-east-1") ~(state : State.t)
 (* Execution graph                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(** Build the execution DAG over actionable changes.
-
-    - create/update/replace nodes depend on their forward dependencies
-      (when those are also in the plan);
-    - delete nodes run in reverse dependency order: a resource is
-      deleted only after everything that depended on it is deleted;
-    - deletes of an address precede a create of the same address (not
-      applicable to Replace, which is atomic here). *)
-let execution_graph (t : t) : change Dag.t =
-  let changes = actionable t in
+(* Edge construction shared by the indexed and reference builders;
+   [resolve] maps a recorded dependency to the plan addresses it
+   denotes. *)
+let graph_of_changes (changes : change list) ~(resolve : Addr.t -> Addr.t list)
+    : change Dag.t =
   let dag =
     List.fold_left (fun acc c -> Dag.add_node acc c.addr c) Dag.empty changes
-  in
-  let in_plan addr = Dag.mem dag addr in
-  let resolve dep =
-    (* a dep may be recorded at instance granularity already; fall back
-       to matching all instances sharing the base *)
-    if in_plan dep then [ dep ]
-    else
-      List.filter_map
-        (fun c -> if Addr.same_base c.addr dep then Some c.addr else None)
-        changes
   in
   let dag =
     List.fold_left
@@ -265,6 +250,40 @@ let execution_graph (t : t) : change Dag.t =
   in
   dag
 
+(** Build the execution DAG over actionable changes.
+
+    - create/update/replace nodes depend on their forward dependencies
+      (when those are also in the plan);
+    - delete nodes run in reverse dependency order: a resource is
+      deleted only after everything that depended on it is deleted;
+    - deletes of an address precede a create of the same address (not
+      applicable to Replace, which is atomic here). *)
+let execution_graph (t : t) : change Dag.t =
+  let changes = actionable t in
+  let in_plan = Addr.Set.of_list (List.map (fun c -> c.addr) changes) in
+  (* base -> plan addresses sharing it, in plan order, so resolving a
+     base-granularity dep is a map lookup instead of a scan over the
+     whole change list *)
+  let by_base =
+    List.fold_left
+      (fun acc c ->
+        let b = Addr.base c.addr in
+        let prev = Option.value ~default:[] (Addr.Map.find_opt b acc) in
+        Addr.Map.add b (c.addr :: prev) acc)
+      Addr.Map.empty changes
+    |> Addr.Map.map List.rev
+  in
+  let resolve dep =
+    (* a dep may be recorded at instance granularity already; fall back
+       to matching all instances sharing the base *)
+    if Addr.Set.mem dep in_plan then [ dep ]
+    else
+      match Addr.Map.find_opt (Addr.base dep) by_base with
+      | Some addrs -> addrs
+      | None -> []
+  in
+  graph_of_changes changes ~resolve
+
 (* ------------------------------------------------------------------ *)
 (* Incremental planning (§3.3)                                         *)
 (* ------------------------------------------------------------------ *)
@@ -274,16 +293,28 @@ let execution_graph (t : t) : change Dag.t =
     configuration whose plan can change.  Returns the scoped address
     set; the engine then refreshes and replans just those. *)
 let impact_scope ~(graph : 'a Dag.t) ~(edited : Addr.t list) : Addr.Set.t =
+  (* built on first base-granularity edit only: most edits name exact
+     instances and never pay for the index *)
+  let by_base =
+    lazy
+      (List.fold_left
+         (fun acc node ->
+           let b = Addr.base node in
+           let prev =
+             Option.value ~default:Addr.Set.empty (Addr.Map.find_opt b acc)
+           in
+           Addr.Map.add b (Addr.Set.add node prev) acc)
+         Addr.Map.empty (Dag.nodes graph))
+  in
   let seeds =
     List.fold_left
       (fun acc a ->
         if Dag.mem graph a then Addr.Set.add a acc
         else
           (* edited base address: include all its instances *)
-          List.fold_left
-            (fun acc node ->
-              if Addr.same_base node a then Addr.Set.add node acc else acc)
-            acc (Dag.nodes graph))
+          match Addr.Map.find_opt (Addr.base a) (Lazy.force by_base) with
+          | Some insts -> Addr.Set.union insts acc
+          | None -> acc)
       Addr.Set.empty edited
   in
   Dag.impact_scope graph seeds
@@ -299,6 +330,88 @@ let restrict (t : t) (keep : Addr.Set.t) : t =
           if Addr.Set.mem c.addr keep then c else { c with action = Noop })
         t.changes;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementations                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The seed's list-scan planners, kept in-tree (like the executor's
+    [Sched_list] and [Dag.Reference]) so tests and E12 can assert the
+    indexed implementations produce byte-identical plans and scopes. *)
+module Reference = struct
+  (* Per-dependency O(n) scan over the whole change list. *)
+  let execution_graph (t : t) : change Dag.t =
+    let changes = actionable t in
+    let resolve dep =
+      if List.exists (fun c -> Addr.equal c.addr dep) changes then [ dep ]
+      else
+        List.filter_map
+          (fun c -> if Addr.same_base c.addr dep then Some c.addr else None)
+          changes
+    in
+    graph_of_changes changes ~resolve
+
+  (* Per-edited-base O(V) scan over all graph nodes. *)
+  let impact_scope ~(graph : 'a Dag.t) ~(edited : Addr.t list) : Addr.Set.t =
+    let seeds =
+      List.fold_left
+        (fun acc a ->
+          if Dag.mem graph a then Addr.Set.add a acc
+          else
+            List.fold_left
+              (fun acc node ->
+                if Addr.same_base node a then Addr.Set.add node acc else acc)
+              acc (Dag.nodes graph))
+        Addr.Set.empty edited
+    in
+    Dag.impact_scope graph seeds
+
+  (* List-scan diff classification: the same verdicts as {!make} but
+     with O(n) state lookup and orphan detection per resource, so the
+     whole pass is O(n^2).  E12 checks the indexed plan's action list
+     against this on capped sizes. *)
+  let action_symbols ~(state : State.t) (instances : Eval.instance list) :
+      (Addr.t * string) list =
+    let resources = State.resources state in
+    let find_prior addr =
+      List.find_opt (fun r -> Addr.equal r.State.addr addr) resources
+    in
+    let forward =
+      List.map
+        (fun (i : Eval.instance) ->
+          let addr = i.Eval.addr in
+          match find_prior addr with
+          | None -> (addr, action_symbol Create)
+          | Some prior ->
+              let ignore_changes =
+                i.Eval.lifecycle.Cloudless_hcl.Config.ignore_changes
+              in
+              let changes =
+                diff_attrs ~ignore_changes i.Eval.attrs prior.State.attrs
+              in
+              let action =
+                if changes = [] then Noop
+                else
+                  match force_new_reasons addr.Addr.rtype changes with
+                  | [] -> Update changes
+                  | reasons -> Replace { changes; reasons }
+              in
+              (addr, action_symbol action))
+        instances
+    in
+    let deletes =
+      List.filter
+        (fun (r : State.resource_state) ->
+          not
+            (List.exists
+               (fun (i : Eval.instance) -> Addr.equal i.Eval.addr r.State.addr)
+               instances))
+        resources
+      |> List.map (fun (r : State.resource_state) ->
+             (r.State.addr, action_symbol Delete))
+    in
+    deletes @ forward
+end
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -251,6 +251,14 @@ let subnet_within_network =
   }
 
 (* Sibling subnets of one network must not overlap each other. *)
+type subnet_entry = {
+  sidx : int;  (** position in the subnet list, for stable ordering *)
+  sinst : Eval.instance;
+  sprefix : Ipnet.prefix;
+  sstart : int;
+  sstop : int;
+}
+
 let sibling_subnets_disjoint =
   {
     id = "sibling-subnets-disjoint";
@@ -276,23 +284,61 @@ let sibling_subnets_disjoint =
               | exception Ipnet.Invalid _ -> None)
           | None, None -> None
         in
-        let rec pairs = function
-          | [] -> []
-          | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+        (* Resolve each subnet's parent and prefix once, then sweep each
+           sibling group sorted by start address: O(s log s + hits)
+           instead of deref-ing and testing all O(s^2) pairs.  Hits are
+           re-sorted by list position so the violations come out in the
+           same order the pairwise scan produced. *)
+        let by_parent =
+          List.mapi
+            (fun i s ->
+              match (parent_of s, cidr_of s) with
+              | Some p, Some c ->
+                  let sstart, sstop = Ipnet.range c in
+                  Some
+                    ( p.Eval.addr,
+                      { sidx = i; sinst = s; sprefix = c; sstart; sstop } )
+              | _ -> None)
+            subnets
+          |> List.filter_map Fun.id
+          |> List.fold_left
+               (fun acc (parent, e) ->
+                 let prev =
+                   Option.value ~default:[] (Addr.Map.find_opt parent acc)
+                 in
+                 Addr.Map.add parent (e :: prev) acc)
+               Addr.Map.empty
         in
-        pairs subnets
-        |> List.filter_map (fun (s1, s2) ->
-               match (parent_of s1, parent_of s2, cidr_of s1, cidr_of s2) with
-               | Some p1, Some p2, Some c1, Some c2
-                 when Addr.equal p1.Eval.addr p2.Eval.addr
-                      && Ipnet.overlaps c1 c2 ->
-                   Some
-                     (violation ~rule_id:"sibling-subnets-disjoint" s2
-                        "subnet overlaps sibling %s (%s vs %s)"
-                        (Addr.to_string s1.Eval.addr)
-                        (Ipnet.prefix_to_string c1)
-                        (Ipnet.prefix_to_string c2))
-               | _ -> None));
+        let hits = ref [] in
+        Addr.Map.iter
+          (fun _ group ->
+            let arr = Array.of_list group in
+            Array.sort
+              (fun a b -> compare (a.sstart, a.sidx) (b.sstart, b.sidx))
+              arr;
+            Array.iteri
+              (fun i a ->
+                let j = ref (i + 1) in
+                while !j < Array.length arr && arr.(!j).sstart <= a.sstop do
+                  let b = arr.(!j) in
+                  let first, second =
+                    if a.sidx < b.sidx then (a, b) else (b, a)
+                  in
+                  hits := (first, second) :: !hits;
+                  incr j
+                done)
+              arr)
+          by_parent;
+        List.sort
+          (fun (a1, b1) (a2, b2) ->
+            compare (a1.sidx, b1.sidx) (a2.sidx, b2.sidx))
+          !hits
+        |> List.map (fun (s1, s2) ->
+               violation ~rule_id:"sibling-subnets-disjoint" s2.sinst
+                 "subnet overlaps sibling %s (%s vs %s)"
+                 (Addr.to_string s1.sinst.Eval.addr)
+                 (Ipnet.prefix_to_string s1.sprefix)
+                 (Ipnet.prefix_to_string s2.sprefix)));
   }
 
 let sg_rule_port_order =

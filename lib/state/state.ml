@@ -25,10 +25,19 @@ type resource_state = {
 type t = {
   serial : int;  (** bumped on every mutation; optimistic concurrency *)
   resources : resource_state Addr.Map.t;
+  by_cloud_id : Addr.t Smap.t;
+      (** reverse index maintained by {!add}/{!remove}; cloud ids are
+          unique per deployment — on a duplicate the latest add wins *)
   outputs : (string * Value.t) list;
 }
 
-let empty = { serial = 0; resources = Addr.Map.empty; outputs = [] }
+let empty =
+  {
+    serial = 0;
+    resources = Addr.Map.empty;
+    by_cloud_id = Smap.empty;
+    outputs = [];
+  }
 
 let serial t = t.serial
 let resources t = List.map snd (Addr.Map.bindings t.resources)
@@ -37,11 +46,31 @@ let find_opt t addr = Addr.Map.find_opt addr t.resources
 let mem t addr = Addr.Map.mem addr t.resources
 let outputs t = t.outputs
 
+(* Drop [addr]'s index entry, but only when it still points at [addr]
+   (another address may legitimately own the cloud id by now). *)
+let unindex t addr =
+  match Addr.Map.find_opt addr t.resources with
+  | Some prev -> (
+      match Smap.find_opt prev.cloud_id t.by_cloud_id with
+      | Some a when Addr.equal a addr -> Smap.remove prev.cloud_id t.by_cloud_id
+      | _ -> t.by_cloud_id)
+  | None -> t.by_cloud_id
+
 let add t (r : resource_state) =
-  { t with serial = t.serial + 1; resources = Addr.Map.add r.addr r t.resources }
+  {
+    t with
+    serial = t.serial + 1;
+    resources = Addr.Map.add r.addr r t.resources;
+    by_cloud_id = Smap.add r.cloud_id r.addr (unindex t r.addr);
+  }
 
 let remove t addr =
-  { t with serial = t.serial + 1; resources = Addr.Map.remove addr t.resources }
+  {
+    t with
+    serial = t.serial + 1;
+    resources = Addr.Map.remove addr t.resources;
+    by_cloud_id = unindex t addr;
+  }
 
 let set_outputs t outputs = { t with serial = t.serial + 1; outputs }
 
@@ -61,11 +90,12 @@ let update_attrs t addr attrs =
 let lookup t addr =
   Option.map (fun r -> r.attrs) (Addr.Map.find_opt addr t.resources)
 
-(** Find the state entry for a cloud id (reverse index). *)
+(** Find the state entry for a cloud id via the reverse index:
+    O(log n) instead of a fold over every tracked resource. *)
 let find_by_cloud_id t cloud_id =
-  Addr.Map.fold
-    (fun _ r acc -> if r.cloud_id = cloud_id then Some r else acc)
-    t.resources None
+  match Smap.find_opt cloud_id t.by_cloud_id with
+  | Some addr -> Addr.Map.find_opt addr t.resources
+  | None -> None
 
 (** Addresses tracked in state but not in [addrs] — candidates for
     deletion in a plan. *)
@@ -217,7 +247,11 @@ let of_string src =
               deps;
             }
           in
-          { acc with resources = Addr.Map.add addr r acc.resources }
+          {
+            acc with
+            resources = Addr.Map.add addr r acc.resources;
+            by_cloud_id = Smap.add r.cloud_id addr acc.by_cloud_id;
+          }
       | "output", [ name ] ->
           let v = literal b.Ast.bbody "value" in
           { acc with outputs = acc.outputs @ [ (name, v) ] }

@@ -18,6 +18,13 @@
 module Hcl = Cloudless_hcl
 module Schema = Cloudless_schema
 module Smap = Hcl.Value.Smap
+module Sset = Set.Make (String)
+
+module Pset = Set.Make (struct
+  type t = string * string
+
+  let compare = Stdlib.compare
+end)
 
 type level = L_syntax | L_references | L_types | L_cloud
 
@@ -42,15 +49,25 @@ let level_includes level stage =
 (* ------------------------------------------------------------------ *)
 
 let check_references (cfg : Hcl.Config.t) : Diagnostic.t list =
-  let declared_vars = List.map (fun v -> v.Hcl.Config.vname) cfg.variables in
-  let declared_locals = List.map fst cfg.locals in
+  (* declared-name sets are built once, so each reference resolves in
+     O(log d) instead of a List.mem scan over every declaration *)
+  let declared_vars =
+    Sset.of_list (List.map (fun v -> v.Hcl.Config.vname) cfg.variables)
+  in
+  let declared_locals = Sset.of_list (List.map fst cfg.locals) in
   let declared_resources =
-    List.map (fun r -> (r.Hcl.Config.rtype, r.Hcl.Config.rname)) cfg.resources
+    Pset.of_list
+      (List.map (fun r -> (r.Hcl.Config.rtype, r.Hcl.Config.rname)) cfg.resources)
   in
   let declared_data =
-    List.map (fun d -> (d.Hcl.Config.dtype, d.Hcl.Config.dname)) cfg.data_sources
+    Pset.of_list
+      (List.map
+         (fun d -> (d.Hcl.Config.dtype, d.Hcl.Config.dname))
+         cfg.data_sources)
   in
-  let declared_modules = List.map (fun m -> m.Hcl.Config.mname) cfg.modules in
+  let declared_modules =
+    Sset.of_list (List.map (fun m -> m.Hcl.Config.mname) cfg.modules)
+  in
   let check_targets ~where span targets =
     List.filter_map
       (fun t ->
@@ -58,20 +75,20 @@ let check_references (cfg : Hcl.Config.t) : Diagnostic.t list =
           Some (Diagnostic.make ~stage:Diagnostic.References ~code ~span msg)
         in
         match t with
-        | Hcl.Refs.Tvar x when not (List.mem x declared_vars) ->
+        | Hcl.Refs.Tvar x when not (Sset.mem x declared_vars) ->
             issue "undeclared-variable"
               (Printf.sprintf "%s references undeclared variable var.%s" where x)
-        | Hcl.Refs.Tlocal x when not (List.mem x declared_locals) ->
+        | Hcl.Refs.Tlocal x when not (Sset.mem x declared_locals) ->
             issue "undeclared-local"
               (Printf.sprintf "%s references undeclared local.%s" where x)
-        | Hcl.Refs.Tresource (ty, n) when not (List.mem (ty, n) declared_resources)
+        | Hcl.Refs.Tresource (ty, n) when not (Pset.mem (ty, n) declared_resources)
           ->
             issue "undeclared-resource"
               (Printf.sprintf "%s references undeclared resource %s.%s" where ty n)
-        | Hcl.Refs.Tdata (ty, n) when not (List.mem (ty, n) declared_data) ->
+        | Hcl.Refs.Tdata (ty, n) when not (Pset.mem (ty, n) declared_data) ->
             issue "undeclared-data"
               (Printf.sprintf "%s references undeclared data.%s.%s" where ty n)
-        | Hcl.Refs.Tmodule (m, _) when not (List.mem m declared_modules) ->
+        | Hcl.Refs.Tmodule (m, _) when not (Sset.mem m declared_modules) ->
             issue "undeclared-module"
               (Printf.sprintf "%s references undeclared module.%s" where m)
         | _ -> None)

@@ -442,6 +442,32 @@ resource "aws_eip" "pad" {
 |}
              pad region))
 
+(** [chain ~resources] is the adversarial opposite of {!fleet}: one
+    maximally deep dependency chain of EIPs, each [depends_on] its
+    predecessor, so graph depth equals [resources].  Exercises the
+    per-round cost of topological sorting and leveling where {!fleet}
+    exercises width. *)
+let chain ?(region = "us-east-1") ~resources () =
+  if resources < 1 then invalid_arg "Workload.chain: resources < 1";
+  buf_config (fun b ->
+      add b
+        (Printf.sprintf {|resource "aws_eip" "link0" {
+  region = "%s"
+}
+|}
+           region);
+      for i = 1 to resources - 1 do
+        add b
+          (Printf.sprintf
+             {|
+resource "aws_eip" "link%d" {
+  region     = "%s"
+  depends_on = [aws_eip.link%d]
+}
+|}
+             i region (i - 1))
+      done)
+
 (* ------------------------------------------------------------------ *)
 (* Misconfiguration injection (E6)                                     *)
 (* ------------------------------------------------------------------ *)

@@ -1,9 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full build, full test suite, and the E11 engine-scale
-# smoke run (≤5s sweep; writes BENCH_scale.json with quick=true).
+# Tier-1 gate: full build, full test suite, and the engine-scale smoke
+# runs (quick sweeps; they write BENCH_*_quick.json, never the
+# committed trajectory files).  The E12 smoke gets a wall-clock budget:
+# a reintroduced quadratic scan in the config→plan front half blows
+# far past it and fails the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
 dune exec bench/main.exe -- e11 --quick
+
+E12_BUDGET_S=120
+SECONDS=0
+dune exec bench/main.exe -- e12 --quick
+if (( SECONDS > E12_BUDGET_S )); then
+  echo "check.sh: e12 --quick took ${SECONDS}s (budget ${E12_BUDGET_S}s)" >&2
+  exit 1
+fi

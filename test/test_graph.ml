@@ -123,6 +123,84 @@ let test_to_dot () =
   check bool_ "digraph" true (Test_fixtures.contains_substring ~sub:"digraph" dot);
   check bool_ "edge" true (Test_fixtures.contains_substring ~sub:"->" dot)
 
+(* ------------------------------------------------------------------ *)
+(* Equivalence with the seed's list-scan reference traversals          *)
+(* ------------------------------------------------------------------ *)
+
+(* Node i gets a keyed address with base "n(i/3)", so three consecutive
+   nodes share a base — exercises base-granularity resolution too. *)
+let knode i =
+  Addr.make ~rtype:"t_x"
+    ~rname:(Printf.sprintf "n%d" (i / 3))
+    ~key:(Addr.Kint (i mod 3)) ()
+
+(* Random DAG: n nodes in insertion order; each edge (a, b) is oriented
+   from the higher index to the lower, so the graph is acyclic by
+   construction. *)
+let build_random n pairs =
+  let g = ref Dag.empty in
+  for i = 0 to n - 1 do
+    g := Dag.add_node !g (knode i) i
+  done;
+  List.iter
+    (fun (a, b) ->
+      let a = a mod n and b = b mod n in
+      if a <> b then
+        g :=
+          Dag.add_edge !g
+            ~dependent:(knode (max a b))
+            ~dependency:(knode (min a b)))
+    pairs;
+  !g
+
+let random_dag_arb =
+  QCheck.(
+    pair (int_range 1 30)
+      (list_of_size Gen.(0 -- 60) (pair small_nat small_nat)))
+
+let prop_kahn_matches_reference =
+  QCheck.Test.make ~count:200 ~name:"Kahn topo/levels = reference on random DAGs"
+    random_dag_arb
+    (fun (n, pairs) ->
+      let g = build_random n pairs in
+      Dag.topo_sort g = Dag.Reference.topo_sort g
+      && Dag.levels g = Dag.Reference.levels g
+      && Dag.depth g = List.length (Dag.Reference.levels g))
+
+let prop_impact_matches_reference =
+  QCheck.Test.make ~count:100
+    ~name:"plan impact scope = reference (exact + base edits)"
+    QCheck.(pair random_dag_arb small_nat)
+    (fun ((n, pairs), e) ->
+      let g = build_random n pairs in
+      let i = e mod n in
+      (* the base address (no key) is not a graph node, so scoping must
+         fan it out to every instance sharing the base *)
+      let base =
+        Addr.make ~rtype:"t_x" ~rname:(Printf.sprintf "n%d" (i / 3)) ()
+      in
+      let edited = [ knode i; base ] in
+      let module Plan = Cloudless_plan.Plan in
+      Addr.Set.equal
+        (Plan.impact_scope ~graph:g ~edited)
+        (Plan.Reference.impact_scope ~graph:g ~edited))
+
+let test_memo_invalidation () =
+  let g = diamond () in
+  check (Alcotest.list string_) "initial" [ "a"; "b"; "c"; "d" ]
+    (names (Dag.topo_sort g));
+  (* adding an edge after a computed order must invalidate the cache *)
+  let g = Dag.add_edge g ~dependent:(addr "b") ~dependency:(addr "c") in
+  check (Alcotest.list string_) "after new edge" [ "a"; "c"; "b"; "d" ]
+    (names (Dag.topo_sort g));
+  check (Alcotest.list string_) "reference agrees"
+    (names (Dag.Reference.topo_sort g))
+    (names (Dag.topo_sort g));
+  (* re-payloading an existing node keeps the topology *)
+  let g = Dag.add_node g (addr "a") 99. in
+  check (Alcotest.list string_) "after re-payload" [ "a"; "c"; "b"; "d" ]
+    (names (Dag.topo_sort g))
+
 (* Property: impact scope of a random seed set is monotone (adding
    seeds never shrinks it) and contains the seeds. *)
 let prop_impact_monotone =
@@ -153,6 +231,9 @@ let suites =
         Alcotest.test_case "restrict" `Quick test_restrict;
         Alcotest.test_case "of_instances" `Quick test_of_instances;
         Alcotest.test_case "to_dot" `Quick test_to_dot;
+        Alcotest.test_case "memo invalidation" `Quick test_memo_invalidation;
         qtest prop_impact_monotone;
+        qtest prop_kahn_matches_reference;
+        qtest prop_impact_matches_reference;
       ] );
   ]

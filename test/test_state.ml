@@ -48,6 +48,38 @@ let test_find_by_cloud_id () =
   | Some r -> check string_ "addr" "aws_vpc.main" (Addr.to_string r.State.addr)
   | None -> Alcotest.fail "not found"
 
+let test_cloud_id_index_maintenance () =
+  let addr_a = Addr.make ~rtype:"aws_vpc" ~rname:"a" () in
+  (* removal drops the reverse-index entry *)
+  let s = State.add State.empty (rs "a" "vpc-1" []) in
+  let s = State.remove s addr_a in
+  check bool_ "gone after remove" true (State.find_by_cloud_id s "vpc-1" = None);
+  (* re-adding an addr under a new cloud id retires the old entry *)
+  let s = State.add State.empty (rs "a" "vpc-old" []) in
+  let s = State.add s (rs "a" "vpc-new" []) in
+  check bool_ "old id gone" true (State.find_by_cloud_id s "vpc-old" = None);
+  (match State.find_by_cloud_id s "vpc-new" with
+  | Some r ->
+      check string_ "new id resolves" "aws_vpc.a" (Addr.to_string r.State.addr)
+  | None -> Alcotest.fail "new id missing");
+  (* a cloud id taken over by another address survives the old owner's
+     removal *)
+  let s = State.add State.empty (rs "a" "vpc-1" []) in
+  let s = State.add s (rs "b" "vpc-1" []) in
+  let s = State.remove s addr_a in
+  (match State.find_by_cloud_id s "vpc-1" with
+  | Some r ->
+      check string_ "b owns it" "aws_vpc.b" (Addr.to_string r.State.addr)
+  | None -> Alcotest.fail "takeover entry lost");
+  (* deserialized states answer reverse lookups too *)
+  let s =
+    State.of_string (State.to_string (State.add State.empty (rs "a" "vpc-9" [])))
+  in
+  match State.find_by_cloud_id s "vpc-9" with
+  | Some r ->
+      check string_ "after roundtrip" "aws_vpc.a" (Addr.to_string r.State.addr)
+  | None -> Alcotest.fail "roundtrip lost index"
+
 let test_orphans () =
   let s =
     State.add
@@ -166,6 +198,8 @@ let suites =
         Alcotest.test_case "add/find/remove" `Quick test_add_find_remove;
         Alcotest.test_case "lookup for eval" `Quick test_lookup_for_eval;
         Alcotest.test_case "find by cloud id" `Quick test_find_by_cloud_id;
+        Alcotest.test_case "cloud id index maintenance" `Quick
+          test_cloud_id_index_maintenance;
         Alcotest.test_case "orphans" `Quick test_orphans;
         Alcotest.test_case "serialization round-trip" `Quick test_serialization_roundtrip;
         Alcotest.test_case "unknowns sanitized" `Quick test_serialization_sanitizes_unknowns;

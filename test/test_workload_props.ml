@@ -27,6 +27,8 @@ let generators =
     ("data_pipeline", fun () -> Workload.data_pipeline ());
     ("multi_region", fun () -> Workload.multi_region ());
     ("layered", fun () -> Workload.layered ~width:3 ~depth:4 ());
+    ("fleet", fun () -> Workload.fleet ~resources:40 ());
+    ("chain", fun () -> Workload.chain ~resources:20 ());
   ]
 
 let test_generators_validate () =
@@ -91,6 +93,43 @@ let test_multi_cloud_deploys () =
       ~plan ()
   in
   check bool_ "deploys across providers" true (Executor.succeeded deploy_report)
+
+(* Golden check for the E11/E12 scale workload: a 10k fleet must keep
+   producing exactly the same plan shape after front-half rewiring. *)
+let test_fleet_10k_plan_golden () =
+  let src = Workload.fleet ~resources:10_000 () in
+  let cfg = Config.parse ~file:"fleet.tf" src in
+  let instances = (Eval.expand cfg).Eval.instances in
+  check int_ "10000 instances" 10_000 (List.length instances);
+  let plan = Plan.make ~state:State.empty instances in
+  let s = Plan.summarize plan in
+  check int_ "creates" 10_000 s.Plan.to_create;
+  check int_ "updates" 0 s.Plan.to_update;
+  check int_ "replaces" 0 s.Plan.to_replace;
+  check int_ "deletes" 0 s.Plan.to_delete;
+  let g = Dag.of_instances instances in
+  check int_ "graph nodes" 10_000 (Dag.size g);
+  check int_ "graph depth" 3 (Dag.depth g);
+  (* against a state mirroring the fleet, everything is a noop and the
+     cloud-id index answers reverse lookups *)
+  let populated =
+    List.fold_left
+      (fun st (i : Eval.instance) ->
+        State.add st
+          {
+            State.addr = i.Eval.addr;
+            cloud_id = "cid-" ^ Addr.to_string i.Eval.addr;
+            rtype = i.Eval.addr.Addr.rtype;
+            region = "us-east-1";
+            attrs = i.Eval.attrs;
+            deps = [];
+          })
+      State.empty instances
+  in
+  check bool_ "mirror state plans to noop" true
+    (Plan.is_empty (Plan.make ~state:populated instances));
+  check bool_ "cloud-id index answers" true
+    (State.find_by_cloud_id populated "cid-aws_vpc.fleet" <> None)
 
 (* ------------------------------------------------------------------ *)
 (* Random-fleet deployment property                                    *)
@@ -345,6 +384,8 @@ let suites =
         Alcotest.test_case "all deploy" `Slow test_generators_deploy;
         Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
         Alcotest.test_case "multi-cloud" `Quick test_multi_cloud_deploys;
+        Alcotest.test_case "10k fleet plan golden" `Slow
+          test_fleet_10k_plan_golden;
       ] );
     ( "props.deploy",
       [
