@@ -1,147 +1,22 @@
-(* The cloudless command-line tool.
+(* The cloudless command-line tool: cmdliner wiring only.
 
-   Operates on real .tf files with the simulated cloud behind `apply`
-   (state persists across runs in an HCL-format state file, so
-   plan/apply/destroy workflows behave like the real thing):
+   Every handler lives in [Cloudless.Cli] (lib/core/cli.ml) and
+   returns an exit code — 0 success, 1 user/config error, 2 deploy
+   failure (or, for `plan`, a non-empty diff).  Keeping the bodies in
+   the library means tests exercise exactly what this binary runs:
 
      cloudless fmt main.tf
      cloudless validate main.tf [--level cloud]
      cloudless graph main.tf > deps.dot
-     cloudless plan main.tf --state state.cls
-     cloudless apply main.tf --state state.cls [--engine cloudless]
+     cloudless plan main.tf --state state.cls [--trace t.jsonl]
+     cloudless apply main.tf --state state.cls [--engine cloudless] [--trace t.jsonl]
      cloudless destroy --state state.cls
      cloudless policy-check main.tf --policies policies.hcl
      cloudless example web-tier     # emit a generated workload *)
 
 open Cmdliner
-
-module Hcl = Cloudless_hcl
+module Cli = Cloudless.Cli
 module Validate = Cloudless_validate.Validate
-module Diagnostic = Cloudless_validate.Diagnostic
-module State = Cloudless_state.State
-module Plan = Cloudless_plan.Plan
-module Executor = Cloudless_deploy.Executor
-module Cloud = Cloudless_sim.Cloud
-module Dag = Cloudless_graph.Dag
-
-(* ------------------------------------------------------------------ *)
-(* IO helpers                                                          *)
-(* ------------------------------------------------------------------ *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let write_file path contents =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
-
-let load_state path =
-  if Sys.file_exists path then State.of_string (read_file path)
-  else State.empty
-
-let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
-
-(* The simulated cloud backing `apply` is reconstructed from the state
-   file on every run: each tracked resource is materialized with its
-   recorded cloud id's attributes, so plans and refreshes behave
-   consistently across invocations. *)
-let cloud_from_state state ~seed =
-  let cloud =
-    Cloud.create ~config:(Cloudless_schema.Cloud_rules.config_with_checks ())
-      ~seed ()
-  in
-  (* phase 1: recreate every resource, collecting old-id -> new-id *)
-  let id_map = Hashtbl.create 16 in
-  let created =
-    List.map
-      (fun (r : State.resource_state) ->
-        let cloud_id =
-          Cloud.create_oob cloud ~script:"state-restore" ~rtype:r.State.rtype
-            ~region:r.State.region ~attrs:r.State.attrs
-        in
-        Hashtbl.replace id_map r.State.cloud_id cloud_id;
-        (r, cloud_id))
-      (State.resources state)
-  in
-  (* phase 2: cross-resource references in attributes point at the old
-     ids; remap them so the restored cloud is internally consistent *)
-  let rec remap (v : Hcl.Value.t) : Hcl.Value.t =
-    match v with
-    | Hcl.Value.Vstring s -> (
-        match Hashtbl.find_opt id_map s with
-        | Some fresh -> Hcl.Value.Vstring fresh
-        | None -> v)
-    | Hcl.Value.Vlist vs -> Hcl.Value.Vlist (List.map remap vs)
-    | Hcl.Value.Vmap m -> Hcl.Value.Vmap (Hcl.Value.Smap.map remap m)
-    | v -> v
-  in
-  let remapped =
-    List.fold_left
-      (fun acc ((r : State.resource_state), cloud_id) ->
-        let attrs = Hcl.Value.Smap.map remap r.State.attrs in
-        Cloud.restore_attrs cloud ~cloud_id ~attrs;
-        let attrs =
-          match Cloud.lookup cloud cloud_id with
-          | Some live -> live.Cloud.attrs
-          | None -> attrs
-        in
-        State.add acc { r with State.cloud_id; attrs })
-      State.empty created
-  in
-  (cloud, remapped)
-
-let data_resolver ~rtype ~name:_ ~args:_ =
-  match rtype with
-  | "aws_region" ->
-      Some (Hcl.Value.Smap.singleton "name" (Hcl.Value.Vstring "us-east-1"))
-  | _ -> None
-
-let env_for state =
-  {
-    Hcl.Eval.default_env with
-    Hcl.Eval.data_resolver;
-    state_lookup = (fun addr -> State.lookup state addr);
-  }
-
-(* A FILE argument may be a single .tf file or a directory, in which
-   case every *.tf file in it is parsed and merged (Terraform's
-   directory-as-module model). *)
-let parse_config path =
-  let parse_one file =
-    match Hcl.Config.parse ~file (read_file file) with
-    | cfg -> cfg
-    | exception Hcl.Lexer.Error (msg, span) ->
-        die "%s: lex error: %s" (Hcl.Loc.to_string span) msg
-    | exception Hcl.Parser.Error (msg, span) ->
-        die "%s: parse error: %s" (Hcl.Loc.to_string span) msg
-    | exception Hcl.Config.Config_error (msg, span) ->
-        die "%s: config error: %s" (Hcl.Loc.to_string span) msg
-  in
-  if Sys.is_directory path then begin
-    let files =
-      Sys.readdir path |> Array.to_list
-      |> List.filter (fun f -> Filename.check_suffix f ".tf")
-      |> List.sort String.compare
-      |> List.map (Filename.concat path)
-    in
-    if files = [] then die "%s: no .tf files found" path;
-    match Hcl.Config.merge (List.map parse_one files) with
-    | cfg -> cfg
-    | exception Hcl.Config.Config_error (msg, span) ->
-        die "%s: config error: %s" (Hcl.Loc.to_string span) msg
-  end
-  else parse_one path
-
-let expand_or_die state cfg =
-  match Hcl.Eval.expand ~env:(env_for state) cfg with
-  | r -> r.Hcl.Eval.instances
-  | exception Hcl.Eval.Eval_error (msg, span) ->
-      die "%s: evaluation error: %s" (Hcl.Loc.to_string span) msg
 
 (* ------------------------------------------------------------------ *)
 (* Common args                                                         *)
@@ -162,29 +37,29 @@ let state_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed")
 
-let engine_arg =
-  let engines = [ ("baseline", `Baseline); ("cloudless", `Cloudless) ] in
+let trace_arg =
   Arg.(
     value
-    & opt (enum engines) `Cloudless
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:"Write per-stage trace spans (JSONL) to $(docv)")
+
+let engine_arg =
+  let engines =
+    [ ("baseline", Cli.Baseline); ("cloudless", Cli.Cloudless) ]
+  in
+  Arg.(
+    value
+    & opt (enum engines) Cli.Cloudless
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:"Deployment engine: $(b,baseline) (Terraform-like) or $(b,cloudless)")
-
-let engine_config = function
-  | `Baseline -> Executor.baseline_config
-  | `Cloudless ->
-      { Executor.cloudless_config with Executor.refresh = Executor.Refresh_full }
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let fmt_cmd =
-  let run file in_place =
-    let cfg = parse_config file in
-    let formatted = Hcl.Config.to_string cfg in
-    if in_place then write_file file formatted else print_string formatted
-  in
+  let run file in_place = Cli.fmt ~file ~in_place () in
   let in_place =
     Arg.(value & flag & info [ "i"; "in-place" ] ~doc:"Rewrite the file")
   in
@@ -207,103 +82,40 @@ let level_arg =
         ~doc:"Validation depth: $(b,syntax), $(b,refs), $(b,types) or $(b,cloud)")
 
 let validate_cmd =
-  let run file level state_path =
-    let state = load_state state_path in
-    let report =
-      if Sys.is_directory file then
-        Validate.validate_config ~level ~env:(env_for state) (parse_config file)
-      else
-        Validate.validate_source ~level ~env:(env_for state) ~file
-          (read_file file)
-    in
-    List.iter
-      (fun d -> print_endline (Diagnostic.to_string d))
-      report.Validate.diagnostics;
-    let errors = Diagnostic.count_errors report.Validate.diagnostics in
-    Printf.printf "%d error(s), %d warning(s)\n" errors
-      (List.length report.Validate.diagnostics - errors);
-    if errors > 0 then exit 1
-  in
+  let run file level state_path = Cli.validate ~level ~file ~state_path () in
   Cmd.v
     (Cmd.info "validate" ~doc:"Run the staged validation pipeline (§3.2)")
     Term.(const run $ file_arg $ level_arg $ state_arg)
 
 let graph_cmd =
-  let run file =
-    let cfg = parse_config file in
-    let instances = expand_or_die State.empty cfg in
-    print_string (Dag.to_dot (Dag.of_instances instances))
-  in
+  let run file = Cli.graph ~file () in
   Cmd.v
     (Cmd.info "graph" ~doc:"Emit the resource dependency graph as Graphviz dot")
     Term.(const run $ file_arg)
 
-let plan_against file state =
-  let cfg = parse_config file in
-  let instances = expand_or_die state cfg in
-  Plan.make ~state instances
-
 let plan_cmd =
-  let run file state_path =
-    let state = load_state state_path in
-    let plan = plan_against file state in
-    print_string (Plan.to_string plan);
-    if not (Plan.is_empty plan) then exit 2
+  let run file state_path trace_path =
+    Cli.plan ?trace_path ~file ~state_path ()
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Show what apply would change (exit 2 when non-empty)")
-    Term.(const run $ file_arg $ state_arg)
+    Term.(const run $ file_arg $ state_arg $ trace_arg)
 
 let apply_cmd =
-  let run file state_path seed engine =
-    let recorded = load_state state_path in
-    let cloud, state = cloud_from_state recorded ~seed in
-    let plan = plan_against file state in
-    if Plan.is_empty plan then print_endline "No changes. Infrastructure up to date."
-    else begin
-      print_string (Plan.to_string plan);
-      let report =
-        Executor.apply cloud ~config:(engine_config engine) ~state ~plan ()
-      in
-      Printf.printf
-        "\nApplied %d change(s) in %.0f simulated seconds (%d API calls, %d retries).\n"
-        (List.length report.Executor.applied)
-        report.Executor.makespan report.Executor.api_calls report.Executor.retries;
-      List.iter
-        (fun (f : Executor.failure) ->
-          Printf.printf "FAILED %s: %s\n"
-            (Hcl.Addr.to_string f.Executor.faddr)
-            f.Executor.reason)
-        report.Executor.failed;
-      write_file state_path (State.to_string report.Executor.state);
-      Printf.printf "State written to %s (%d resources).\n" state_path
-        (State.size report.Executor.state);
-      if report.Executor.failed <> [] then exit 1
-    end
+  let run file state_path seed engine trace_path =
+    Cli.apply ?trace_path ~seed ~engine ~file ~state_path ()
   in
   Cmd.v
     (Cmd.info "apply" ~doc:"Apply the configuration against the simulated cloud")
-    Term.(const run $ file_arg $ state_arg $ seed_arg $ engine_arg)
+    Term.(const run $ file_arg $ state_arg $ seed_arg $ engine_arg $ trace_arg)
 
 let destroy_cmd =
-  let run state_path seed =
-    let recorded = load_state state_path in
-    if State.size recorded = 0 then print_endline "Nothing to destroy."
-    else begin
-      let cloud, state = cloud_from_state recorded ~seed in
-      let plan = Plan.make ~state [] in
-      let report =
-        Executor.apply cloud ~config:Executor.cloudless_config ~state ~plan ()
-      in
-      Printf.printf "Destroyed %d resource(s) in %.0f simulated seconds.\n"
-        (List.length report.Executor.applied)
-        report.Executor.makespan;
-      write_file state_path (State.to_string report.Executor.state)
-    end
+  let run state_path seed trace_path =
+    Cli.destroy ?trace_path ~seed ~state_path ()
   in
   Cmd.v
     (Cmd.info "destroy" ~doc:"Destroy everything tracked in the state file")
-    Term.(const run $ state_arg $ seed_arg)
+    Term.(const run $ state_arg $ seed_arg $ trace_arg)
 
 let policy_check_cmd =
   let policies_arg =
@@ -313,31 +125,7 @@ let policy_check_cmd =
       & info [ "policies" ] ~docv:"FILE" ~doc:"Policy file (obs/action HCL)")
   in
   let run file policies_path state_path =
-    let state = load_state state_path in
-    let controller =
-      match
-        Cloudless_policy.Controller.of_source ~file:policies_path
-          (read_file policies_path)
-      with
-      | c -> c
-      | exception Cloudless_policy.Policy.Policy_error (msg, span) ->
-          die "%s: policy error: %s" (Hcl.Loc.to_string span) msg
-    in
-    let plan = plan_against file state in
-    let obs = Cloudless_policy.Controller.standard_obs ~state ~plan () in
-    let result =
-      Cloudless_policy.Controller.tick controller
-        ~phase:Cloudless_policy.Policy.On_plan ~obs ()
-    in
-    List.iter
-      (fun d ->
-        print_endline (Cloudless_policy.Policy.decision_to_string d))
-      result.Cloudless_policy.Controller.decisions;
-    match result.Cloudless_policy.Controller.denied with
-    | Some msg ->
-        Printf.printf "DENIED: %s\n" msg;
-        exit 1
-    | None -> print_endline "plan admitted by all policies"
+    Cli.policy_check ~file ~policies_path ~state_path ()
   in
   Cmd.v
     (Cmd.info "policy-check" ~doc:"Run plan-phase policies against a plan (§3.6)")
@@ -350,21 +138,7 @@ let import_cmd =
       & info [ "no-optimize" ]
           ~doc:"Skip the refactoring optimizer (emit the naive one-block-per-resource dump)")
   in
-  let run state_path no_optimize =
-    let recorded = load_state state_path in
-    if State.size recorded = 0 then die "state %s is empty; apply something first" state_path;
-    let cloud, _ = cloud_from_state recorded ~seed:42 in
-    let naive = Cloudless_synth.Importer.import cloud () in
-    let cfg =
-      if no_optimize then naive
-      else
-        (Cloudless_synth.Refactor.optimize ~modules:false naive)
-          .Cloudless_synth.Refactor.optimized
-    in
-    let metrics = Cloudless_synth.Quality.measure cfg in
-    print_string (Hcl.Config.to_string cfg);
-    Fmt.epr "-- %a@." Cloudless_synth.Quality.pp metrics
-  in
+  let run state_path no_optimize = Cli.import ~no_optimize ~state_path () in
   Cmd.v
     (Cmd.info "import"
        ~doc:
@@ -372,32 +146,16 @@ let import_cmd =
     Term.(const run $ state_arg $ optimize_arg)
 
 let example_cmd =
-  let examples =
-    [
-      ("web-tier", fun () -> Cloudless_workload.Workload.web_tier ());
-      ("microservices", fun () -> Cloudless_workload.Workload.microservices ());
-      ("data-pipeline", fun () -> Cloudless_workload.Workload.data_pipeline ());
-      ("multi-region", fun () -> Cloudless_workload.Workload.multi_region ());
-      ("multi-cloud", fun () -> Cloudless_workload.Workload.multi_cloud ());
-      ("figure2", fun () ->
-        "data \"aws_region\" \"current\" {}\n\n\
-         variable \"vmName\" {\n  type    = string\n  default = \"cloudless\"\n}\n\n\
-         resource \"aws_network_interface\" \"n1\" {\n  name     = \"example-nic\"\n  \
-         location = data.aws_region.current.name\n}\n\n\
-         resource \"aws_virtual_machine\" \"vm1\" {\n  name    = var.vmName\n  \
-         nic_ids = [aws_network_interface.n1.id]\n}\n");
-    ]
-  in
   let name_arg =
     Arg.(
       required
-      & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) examples))) None
+      & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) Cli.examples))) None
       & info [] ~docv:"NAME"
           ~doc:
             "One of: web-tier, microservices, data-pipeline, multi-region, \
              multi-cloud, figure2")
   in
-  let run name = print_string ((List.assoc name examples) ()) in
+  let run name = Cli.example ~name () in
   Cmd.v
     (Cmd.info "example" ~doc:"Emit a generated example configuration")
     Term.(const run $ name_arg)
@@ -418,4 +176,4 @@ let main_cmd =
       example_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () = exit (Cmd.eval' main_cmd)

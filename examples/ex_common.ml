@@ -1,5 +1,14 @@
-(* Small substring-replacement helper shared by the examples. *)
+(* Helpers shared by the examples. *)
 
+module Lifecycle = Cloudless.Lifecycle
+
+(* Unwrap a lifecycle result, rendering any error through the unified
+   diagnostic channel before bailing out. *)
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Lifecycle.error_to_string e)
+
+(* Substring replacement (the stdlib has no non-Str equivalent). *)
 let replace s ~sub ~by =
   let slen = String.length sub in
   if slen = 0 then s

@@ -21,9 +21,7 @@ module Value = Cloudless_hcl.Value
 
 let stage n title = Printf.printf "\n[%d] %s\n%s\n" n title (String.make 60 '-')
 
-let ok = function
-  | Ok v -> v
-  | Error e -> failwith (Lifecycle.error_to_string e)
+let ok = Ex_common.ok
 
 let () =
   print_endline "=== The cloudless lifecycle (Figure 1b) ===";
@@ -52,7 +50,7 @@ let () =
   stage 3 "Updating incrementally: grow the fleet from 4 to 6 instances";
   let grown =
     (* web_tier emits `count = 4` for aws_instance.web *)
-    Str_replace.replace (Workload.web_tier ())
+    Ex_common.replace (Workload.web_tier ())
       ~sub:"count                  = 4" ~by:"count                  = 6"
   in
   let report = ok (Lifecycle.update t grown) in

@@ -1,0 +1,48 @@
+(** The engine boundary: exceptions in, [result]s out.
+
+    Every layer below this one reports failure either through the
+    typed channel ({!Cloudless_error.Error}) or through one of a small
+    set of domain exceptions that predate it (lexer/parser/eval
+    errors, cycle reports, blocked plans, policy errors).  [protect]
+    is the single place all of them become located {!Diagnostic.t}
+    values — the lifecycle verbs and the CLI handlers wrap their
+    bodies in it, so no raw exception escapes to a consumer. *)
+
+module Hcl = Cloudless_hcl
+module Addr = Hcl.Addr
+module Diagnostic = Cloudless_validate.Diagnostic
+module Validate = Cloudless_validate.Validate
+module Plan = Cloudless_plan.Plan
+module Dag = Cloudless_graph.Dag
+module Policy = Cloudless_policy.Policy
+
+(** Convert any known engine exception to a located diagnostic.
+    Returns [None] for exceptions the engine does not own (those
+    should propagate: they are bugs worth a backtrace). *)
+let diagnostic_of_exn : exn -> Diagnostic.t option = function
+  | Cloudless_error.Error d -> Some d
+  | Dag.Cycle addrs ->
+      let names = List.map Addr.to_string addrs in
+      Some
+        (Diagnostic.make ~stage:Diagnostic.Plan_stage ~code:"dependency-cycle"
+           ?addr:(match addrs with a :: _ -> Some a | [] -> None)
+           (Printf.sprintf "dependency cycle between: %s"
+              (String.concat ", " names)))
+  | Plan.Prevented (addr, reason) ->
+      Some
+        (Diagnostic.make ~stage:Diagnostic.Plan_stage ~code:"plan-blocked" ~addr
+           reason)
+  | Policy.Policy_error (msg, span) ->
+      Some (Diagnostic.make ~stage:Diagnostic.Policy ~code:"policy-error" ~span msg)
+  | e -> (
+      match Validate.diagnostic_of_frontend_exn e with
+      | Some d -> Some d
+      | None -> (
+          match Cloudless_error.of_exn e with Some d -> Some d | None -> None))
+
+(** Run [f]; any known engine exception becomes [Error diagnostic]. *)
+let protect (f : unit -> 'a) : ('a, Diagnostic.t) result =
+  match f () with
+  | v -> Ok v
+  | exception e -> (
+      match diagnostic_of_exn e with Some d -> Error d | None -> raise e)

@@ -1,0 +1,242 @@
+(** Command handlers behind the [cloudless] binary.
+
+    Each handler is a plain function returning a process exit code, so
+    tests drive the exact code paths the binary ships: [bin/cloudless_cli.ml]
+    is only cmdliner wiring around these.
+
+    Exit-code convention:
+    - [0] success (for [plan]: an empty diff)
+    - [1] user/config error — bad HCL, failed validation, policy denial,
+      corrupt state, unknown flags
+    - [2] deploy failure — the plan executed but resources failed
+      (for [plan]: a non-empty diff, mirroring `terraform plan -detailed-exitcode`)
+
+    Every error renders through {!Diagnostic.to_string}: handlers wrap
+    their bodies in {!Boundary.protect}, so no raw exception escapes. *)
+
+module Hcl = Cloudless_hcl
+module Validate = Cloudless_validate.Validate
+module Diagnostic = Cloudless_validate.Diagnostic
+module State = Cloudless_state.State
+module Plan = Cloudless_plan.Plan
+module Executor = Cloudless_deploy.Executor
+module Dag = Cloudless_graph.Dag
+module Trace = Cloudless_obs.Trace
+
+(** Where handler output goes; tests substitute buffers. *)
+type io = { out : string -> unit; err : string -> unit }
+
+let default_io = { out = print_string; err = prerr_string }
+let outf io fmt = Printf.ksprintf io.out fmt
+let errf io fmt = Printf.ksprintf io.err fmt
+
+(* A deploy-stage diagnostic means the engine ran and resources
+   failed; everything else is the user's configuration or input. *)
+let exit_code_of_diag (d : Diagnostic.t) =
+  match d.Diagnostic.stage with Diagnostic.Deploy -> 2 | _ -> 1
+
+let protected io (f : unit -> int) : int =
+  match Boundary.protect f with
+  | Ok code -> code
+  | Error d ->
+      errf io "%s\n" (Diagnostic.to_string d);
+      exit_code_of_diag d
+
+(* `--trace out.jsonl`: run [f] with a tracer whose spans stream to
+   [path]; the sink is closed (and the file flushed) even on error. *)
+let with_trace trace_path (f : Trace.t -> 'a) : 'a =
+  match trace_path with
+  | None -> f Trace.null
+  | Some path ->
+      let sink, close = Trace.jsonl_file_sink path in
+      Fun.protect ~finally:close (fun () -> f (Trace.create sink))
+
+type engine = Baseline | Cloudless
+
+let engine_config = function
+  | Baseline -> Executor.baseline_config
+  | Cloudless ->
+      { Executor.cloudless_config with Executor.refresh = Executor.Refresh_full }
+
+(* ------------------------------------------------------------------ *)
+(* Handlers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fmt ?(io = default_io) ~file ~in_place () =
+  protected io @@ fun () ->
+  let cfg = Session.parse_config file in
+  let formatted = Hcl.Config.to_string cfg in
+  if in_place then Io_util.write_file file formatted else io.out formatted;
+  0
+
+let validate ?(io = default_io) ?(level = Validate.L_cloud) ~file ~state_path ()
+    =
+  protected io @@ fun () ->
+  let state = Session.load_state state_path in
+  let report =
+    if Sys.is_directory file then
+      Validate.validate_config ~level ~env:(Session.env_for state)
+        (Session.parse_config file)
+    else
+      Validate.validate_source ~level ~env:(Session.env_for state) ~file
+        (Io_util.read_file file)
+  in
+  List.iter
+    (fun d -> outf io "%s\n" (Diagnostic.to_string d))
+    report.Validate.diagnostics;
+  let errors = Diagnostic.count_errors report.Validate.diagnostics in
+  outf io "%d error(s), %d warning(s)\n" errors
+    (List.length report.Validate.diagnostics - errors);
+  if errors > 0 then 1 else 0
+
+let graph ?(io = default_io) ~file () =
+  protected io @@ fun () ->
+  let cfg = Session.parse_config file in
+  let instances = Session.expand State.empty cfg in
+  io.out (Dag.to_dot (Dag.of_instances instances));
+  0
+
+let plan ?(io = default_io) ?trace_path ~file ~state_path () =
+  protected io @@ fun () ->
+  with_trace trace_path @@ fun trace ->
+  Trace.with_span trace "plan-cmd" @@ fun () ->
+  let state = Session.load_state state_path in
+  let plan = Session.plan_against ~trace ~state file in
+  io.out (Plan.to_string plan);
+  if Plan.is_empty plan then 0 else 2
+
+let apply ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
+    ?cloud_config ~file ~state_path () =
+  protected io @@ fun () ->
+  with_trace trace_path @@ fun trace ->
+  Trace.with_span trace "apply-cmd" @@ fun () ->
+  let recorded = Session.load_state state_path in
+  let cloud, state =
+    Session.cloud_from_state ~trace ?config:cloud_config recorded ~seed
+  in
+  let plan = Session.plan_against ~trace ~state file in
+  if Plan.is_empty plan then begin
+    io.out "No changes. Infrastructure up to date.\n";
+    0
+  end
+  else begin
+    io.out (Plan.to_string plan);
+    let report =
+      Executor.apply cloud ~config:(engine_config engine) ~state ~plan ~trace ()
+    in
+    outf io
+      "\nApplied %d change(s) in %.0f simulated seconds (%d API calls, %d retries).\n"
+      (List.length report.Executor.applied)
+      report.Executor.makespan report.Executor.api_calls report.Executor.retries;
+    List.iter
+      (fun (f : Executor.failure) ->
+        outf io "FAILED %s: %s\n"
+          (Hcl.Addr.to_string f.Executor.faddr)
+          f.Executor.reason)
+      report.Executor.failed;
+    Session.save_state state_path report.Executor.state;
+    outf io "State written to %s (%d resources).\n" state_path
+      (State.size report.Executor.state);
+    if report.Executor.failed <> [] then 2 else 0
+  end
+
+let destroy ?(io = default_io) ?trace_path ?(seed = 42) ~state_path () =
+  protected io @@ fun () ->
+  with_trace trace_path @@ fun trace ->
+  Trace.with_span trace "destroy-cmd" @@ fun () ->
+  let recorded = Session.load_state state_path in
+  if State.size recorded = 0 then begin
+    io.out "Nothing to destroy.\n";
+    0
+  end
+  else begin
+    let cloud, state = Session.cloud_from_state ~trace recorded ~seed in
+    let plan = Plan.make ~trace ~state [] in
+    let report =
+      Executor.apply cloud ~config:Executor.cloudless_config ~state ~plan ~trace
+        ()
+    in
+    outf io "Destroyed %d resource(s) in %.0f simulated seconds.\n"
+      (List.length report.Executor.applied)
+      report.Executor.makespan;
+    Session.save_state state_path report.Executor.state;
+    0
+  end
+
+let policy_check ?(io = default_io) ~file ~policies_path ~state_path () =
+  protected io @@ fun () ->
+  let state = Session.load_state state_path in
+  let controller =
+    Cloudless_policy.Controller.of_source ~file:policies_path
+      (Io_util.read_file policies_path)
+  in
+  let plan = Session.plan_against ~state file in
+  let obs = Cloudless_policy.Controller.standard_obs ~state ~plan () in
+  let result =
+    Cloudless_policy.Controller.tick controller
+      ~phase:Cloudless_policy.Policy.On_plan ~obs ()
+  in
+  List.iter
+    (fun d -> outf io "%s\n" (Cloudless_policy.Policy.decision_to_string d))
+    result.Cloudless_policy.Controller.decisions;
+  match result.Cloudless_policy.Controller.denied with
+  | Some msg ->
+      outf io "DENIED: %s\n" msg;
+      1
+  | None ->
+      io.out "plan admitted by all policies\n";
+      0
+
+let import ?(io = default_io) ?(no_optimize = false) ~state_path () =
+  protected io @@ fun () ->
+  let recorded = Session.load_state state_path in
+  if State.size recorded = 0 then
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.State_io
+      ~code:"empty-state" "state %s is empty; apply something first" state_path;
+  let cloud, _ = Session.cloud_from_state recorded ~seed:42 in
+  let naive = Cloudless_synth.Importer.import cloud () in
+  let cfg =
+    if no_optimize then naive
+    else
+      (Cloudless_synth.Refactor.optimize ~modules:false naive)
+        .Cloudless_synth.Refactor.optimized
+  in
+  let metrics = Cloudless_synth.Quality.measure cfg in
+  io.out (Hcl.Config.to_string cfg);
+  errf io "-- %s\n" (Fmt.str "%a" Cloudless_synth.Quality.pp metrics);
+  0
+
+let examples =
+  [
+    ("web-tier", fun () -> Cloudless_workload.Workload.web_tier ());
+    ("microservices", fun () -> Cloudless_workload.Workload.microservices ());
+    ("data-pipeline", fun () -> Cloudless_workload.Workload.data_pipeline ());
+    ("multi-region", fun () -> Cloudless_workload.Workload.multi_region ());
+    ("multi-cloud", fun () -> Cloudless_workload.Workload.multi_cloud ());
+    ( "figure2",
+      fun () ->
+        "data \"aws_region\" \"current\" {}\n\n\
+         variable \"vmName\" {\n\
+        \  type    = string\n\
+        \  default = \"cloudless\"\n\
+         }\n\n\
+         resource \"aws_network_interface\" \"n1\" {\n\
+        \  name     = \"example-nic\"\n\
+        \  location = data.aws_region.current.name\n\
+         }\n\n\
+         resource \"aws_virtual_machine\" \"vm1\" {\n\
+        \  name    = var.vmName\n\
+        \  nic_ids = [aws_network_interface.n1.id]\n\
+         }\n" );
+  ]
+
+let example ?(io = default_io) ~name () =
+  protected io @@ fun () ->
+  match List.assoc_opt name examples with
+  | Some gen ->
+      io.out (gen ());
+      0
+  | None ->
+      Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+        ~code:"unknown-example" "unknown example %s (try: %s)" name
+        (String.concat ", " (List.map fst examples))

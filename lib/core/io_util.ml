@@ -1,0 +1,17 @@
+(** Small file IO helpers shared by the CLI handlers and tests.
+
+    These were private to [bin/cloudless_cli.ml]; they live here so
+    in-process callers (tests, examples) use the same read/write paths
+    the shipped binary does. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

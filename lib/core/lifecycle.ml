@@ -30,9 +30,11 @@ module Debugger = Cloudless_debug.Debugger
 module Policy = Cloudless_policy.Policy
 module Controller = Cloudless_policy.Controller
 module Dag = Cloudless_graph.Dag
+module Trace = Cloudless_obs.Trace
 
 type t = {
   cloud : Cloud.t;
+  trace : Trace.t;
   engine : Executor.config;
   default_region : string;
   versions : Version_store.t;
@@ -46,33 +48,61 @@ type t = {
   mutable last_graph : Hcl.Eval.instance Dag.t option;
 }
 
+(** The unified error type every lifecycle verb returns.  Each case
+    renders to located diagnostics via {!error_diagnostics}; no verb
+    lets a raw exception escape (see {!Boundary}). *)
 type error =
   | Invalid_config of Diagnostic.t list
   | Policy_denied of string
   | Deploy_failed of Executor.report
   | No_config
-  | Other of string
+  | Fault of Diagnostic.t
+      (** anything the engine boundary caught: blocked plans,
+          dependency cycles, corrupt state, policy evaluation errors,
+          internal invariant violations *)
 
-let error_to_string = function
-  | Invalid_config ds ->
-      Printf.sprintf "validation failed:\n%s"
-        (String.concat "\n" (List.map Diagnostic.to_string ds))
-  | Policy_denied msg -> "policy denied the plan: " ^ msg
+(** Every error as located diagnostics — the one rendering path the
+    CLI and the examples share. *)
+let error_diagnostics = function
+  | Invalid_config ds -> ds
+  | Policy_denied msg ->
+      [ Diagnostic.make ~stage:Diagnostic.Policy ~code:"policy-denied" msg ]
   | Deploy_failed r ->
+      List.map
+        (fun (f : Executor.failure) ->
+          Diagnostic.make ~stage:Diagnostic.Deploy ~code:"deploy-failed"
+            ~addr:f.Executor.faddr f.Executor.reason)
+        r.Executor.failed
+  | No_config ->
+      [
+        Diagnostic.make ~stage:Diagnostic.Internal ~code:"no-config"
+          "no configuration loaded (call develop first)";
+      ]
+  | Fault d -> [ d ]
+
+let error_to_string e =
+  match e with
+  | Invalid_config _ ->
+      Printf.sprintf "validation failed:\n%s"
+        (String.concat "\n" (List.map Diagnostic.to_string (error_diagnostics e)))
+  | Deploy_failed _ ->
       Printf.sprintf "deployment failed: %s"
-        (String.concat "; "
-           (List.map
-              (fun (f : Executor.failure) ->
-                Addr.to_string f.Executor.faddr ^ ": " ^ f.Executor.reason)
-              r.Executor.failed))
+        (String.concat "; " (List.map Diagnostic.to_string (error_diagnostics e)))
+  | Policy_denied msg -> "policy denied the plan: " ^ msg
   | No_config -> "no configuration loaded (call develop first)"
-  | Other msg -> msg
+  | Fault d -> Diagnostic.to_string d
 
 let create ?(seed = 42) ?(engine = Executor.cloudless_config)
     ?(default_region = "us-east-1") ?(vars = Smap.empty) ?policies
-    ?(cloud_config = Cloudless_schema.Cloud_rules.config_with_checks ()) () =
+    ?(cloud_config = Cloudless_schema.Cloud_rules.config_with_checks ())
+    ?(trace = Trace.null) () =
+  let cloud = Cloud.create ~config:cloud_config ~seed () in
+  (* API-call/throttle counters land on whatever lifecycle span is
+     active when the simulator processes a submission *)
+  Cloud.set_trace cloud trace;
   {
-    cloud = Cloud.create ~config:cloud_config ~seed ();
+    cloud;
+    trace;
     engine;
     default_region;
     versions = Version_store.create ();
@@ -88,6 +118,7 @@ let create ?(seed = 42) ?(engine = Executor.cloudless_config)
   }
 
 let cloud t = t.cloud
+let trace t = t.trace
 let state t = t.state
 let versions t = t.versions
 let config_source t = t.config_src
@@ -138,14 +169,27 @@ let env t : Hcl.Eval.env =
 let register_modules t lib = t.module_lib <- lib @ t.module_lib
 
 (* ------------------------------------------------------------------ *)
+(* The engine boundary                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Each verb runs inside a traced span with its body protected: any
+   known engine exception becomes a [Fault] carrying the diagnostic.
+   [f] itself returns the verb's (value, error) result. *)
+let guarded t name (f : unit -> ('a, error) result) : ('a, error) result =
+  Trace.with_span t.trace name @@ fun () ->
+  match Boundary.protect f with Ok r -> r | Error d -> Error (Fault d)
+
+(* ------------------------------------------------------------------ *)
 (* Develop & validate                                                  *)
 (* ------------------------------------------------------------------ *)
 
 (** Load (or replace) the configuration source, running the full §3.2
     validation pipeline.  On success the configuration becomes current. *)
 let develop t src : (Validate.report, error) result =
+  guarded t "develop" @@ fun () ->
   let report =
-    Validate.validate_source ~env:(env t) ~vars:t.vars ~file:"main.tf" src
+    Validate.validate_source ~trace:t.trace ~env:(env t) ~vars:t.vars
+      ~file:"main.tf" src
   in
   if Validate.ok report then begin
     t.config <- Some (Hcl.Config.parse ~file:"main.tf" src);
@@ -156,7 +200,8 @@ let develop t src : (Validate.report, error) result =
 
 (** Validate without loading. *)
 let validate t src : Validate.report =
-  Validate.validate_source ~env:(env t) ~vars:t.vars ~file:"main.tf" src
+  Validate.validate_source ~trace:t.trace ~env:(env t) ~vars:t.vars
+    ~file:"main.tf" src
 
 (* ------------------------------------------------------------------ *)
 (* Plan & apply                                                        *)
@@ -166,7 +211,7 @@ let expand t : (Hcl.Eval.expansion_result, error) result =
   match t.config with
   | None -> Error No_config
   | Some cfg -> (
-      match Hcl.Eval.expand ~env:(env t) ~vars:t.vars cfg with
+      match Hcl.Eval.expand ~env:(env t) ~vars:t.vars ~trace:t.trace cfg with
       | result -> Ok result
       | exception Hcl.Eval.Eval_error (msg, span) ->
           Error
@@ -181,15 +226,12 @@ let plan t : (Plan.t * Hcl.Eval.expansion_result, error) result =
   | Error e -> Error e
   | Ok expansion -> (
       match
-        Plan.make ~default_region:t.default_region ~state:t.state
+        Plan.make ~default_region:t.default_region ~trace:t.trace ~state:t.state
           expansion.Hcl.Eval.instances
       with
       | p -> Ok (p, expansion)
-      | exception Plan.Prevented (addr, reason) ->
-          Error
-            (Other
-               (Printf.sprintf "plan blocked: %s: %s" (Addr.to_string addr)
-                  reason)))
+      | exception (Plan.Prevented _ as e) ->
+          Error (Fault (Option.get (Boundary.diagnostic_of_exn e))))
 
 (* Policy admission on a plan (On_plan phase). *)
 let admit t plan_ : (unit, error) result =
@@ -206,6 +248,7 @@ let admit t plan_ : (unit, error) result =
     for incremental updates (§3.3); by default the engine's own refresh
     mode applies. *)
 let apply ?edited ?description t : (Executor.report, error) result =
+  guarded t "apply" @@ fun () ->
   match plan t with
   | Error e -> Error e
   | Ok (p, expansion) -> (
@@ -222,7 +265,8 @@ let apply ?edited ?description t : (Executor.report, error) result =
                 { t.engine with Executor.refresh = Executor.Refresh_scoped scope }
           in
           let report =
-            Executor.apply t.cloud ~config:engine ~state:t.state ~plan:p ()
+            Executor.apply t.cloud ~config:engine ~state:t.state ~plan:p
+              ~trace:t.trace ()
           in
           t.state <- report.Executor.state;
           (* recompute outputs now that attributes are known *)
@@ -311,8 +355,14 @@ let update t src : (Executor.report, error) result =
 
 (** Destroy everything. *)
 let destroy t : (Executor.report, error) result =
-  let p = Plan.make ~default_region:t.default_region ~state:t.state [] in
-  let report = Executor.apply t.cloud ~config:t.engine ~state:t.state ~plan:p () in
+  guarded t "destroy" @@ fun () ->
+  let p =
+    Plan.make ~default_region:t.default_region ~trace:t.trace ~state:t.state []
+  in
+  let report =
+    Executor.apply t.cloud ~config:t.engine ~state:t.state ~plan:p
+      ~trace:t.trace ()
+  in
   t.state <- report.Executor.state;
   if Executor.succeeded report then begin
     ignore
@@ -338,8 +388,13 @@ let live_attrs t addr =
     planner (§3.4). *)
 let rollback_to ?(strategy = Rollback.Reversibility_aware) t ~version_id :
     (Executor.report, error) result =
+  guarded t "rollback" @@ fun () ->
   match Version_store.find t.versions version_id with
-  | None -> Error (Other (Printf.sprintf "unknown version %d" version_id))
+  | None ->
+      Error
+        (Fault
+           (Diagnostic.make ~stage:Diagnostic.State_io ~code:"unknown-version"
+              (Printf.sprintf "unknown version %d" version_id)))
   | Some v ->
       let rb =
         Rollback.plan_rollback ~strategy ~target:v.Version_store.state
@@ -349,7 +404,7 @@ let rollback_to ?(strategy = Rollback.Reversibility_aware) t ~version_id :
       in
       let report =
         Executor.apply t.cloud ~config:t.engine ~state:t.state
-          ~plan:rb.Rollback.plan ()
+          ~plan:rb.Rollback.plan ~trace:t.trace ()
       in
       t.state <- report.Executor.state;
       t.config_src <- v.Version_store.config_src;
@@ -368,7 +423,10 @@ let rollback_to ?(strategy = Rollback.Reversibility_aware) t ~version_id :
 
 (** Poll the activity log for drift (cheap, log-based, §3.5). *)
 let check_drift t : Drift.event list =
-  Drift.Log_tailer.poll t.drift_tailer t.cloud ~state:t.state
+  Trace.with_span t.trace "observe" @@ fun () ->
+  let events = Drift.Log_tailer.poll t.drift_tailer t.cloud ~state:t.state in
+  Trace.count t.trace "drift_events" (List.length events);
+  events
 
 (** Reconcile drift events with the default policy. *)
 let reconcile_drift t (events : Drift.event list) : unit =
@@ -404,6 +462,7 @@ type police_result = {
     policy's action rewrote the configuration, redeploy it. *)
 let police t ~(extra : (string * Value.t) list) :
     (police_result, error) result =
+  guarded t "police" @@ fun () ->
   match (t.controller, t.config) with
   | None, _ -> Ok { decisions = []; reapplied = None }
   | Some _, None -> Error No_config
@@ -412,7 +471,6 @@ let police t ~(extra : (string * Value.t) list) :
       match
         Controller.tick c ~phase:Policy.On_telemetry ~obs ~config:cfg ()
       with
-      | exception Policy.Policy_error (msg, _) -> Error (Other msg)
       | result -> (
           match result.Controller.new_config with
           | None ->

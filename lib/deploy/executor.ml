@@ -225,7 +225,11 @@ let now_mono () = Unix.gettimeofday ()
     implementation (default {!Sched_heap}); both orders are identical,
     see {!scheduler}. *)
 let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
-    ~(plan : Plan.t) ?(seed = 7) ?(sched = Sched_heap) () : report =
+    ~(plan : Plan.t) ?(seed = 7) ?(sched = Sched_heap)
+    ?(trace = Cloudless_obs.Trace.null) () : report =
+  let module Trace = Cloudless_obs.Trace in
+  Trace.with_span trace "execute" @@ fun () ->
+  Trace.meta trace "engine" config.name;
   let prng = Prng.create seed in
   let actor = Cloudless_sim.Activity_log.Iac_engine config.name in
   let base_api_calls = Cloud.api_call_count cloud in
@@ -618,6 +622,14 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     + snd (Cloud.read_throttle_stats cloud)
     - base_read_throttles
   in
+  (* executor-owned per-stage counters; the cloud itself counted
+     api_calls/throttled onto the active span as calls were submitted *)
+  Trace.count trace "retries" !retries;
+  Trace.count trace "refresh_reads" refresh_result.reads;
+  Trace.count trace "sched_picks" !picks;
+  Trace.count trace "applied" (List.length !applied);
+  Trace.count trace "failed" (List.length !failed);
+  Trace.count trace "skipped" (List.length skipped);
   {
     engine = config.name;
     started_at;

@@ -1,0 +1,121 @@
+(** Resource addresses.
+
+    An address uniquely identifies one resource *instance* in a
+    configuration, Terraform-style:
+    [module.net.aws_subnet.private\[2\]], [data.aws_region.current],
+    [aws_vpc.main\["east"\]]. *)
+
+type mode = Managed | Data
+
+type instance_key =
+  | Knone  (** a singleton resource (no count/for_each) *)
+  | Kint of int  (** produced by [count] *)
+  | Kstr of string  (** produced by [for_each] *)
+
+type t = {
+  module_path : string list;  (** outermost module first *)
+  mode : mode;
+  rtype : string;
+  rname : string;
+  key : instance_key;
+}
+
+let make ?(module_path = []) ?(mode = Managed) ?(key = Knone) ~rtype ~rname () =
+  { module_path; mode; rtype; rname; key }
+
+let key_to_string = function
+  | Knone -> ""
+  | Kint i -> Printf.sprintf "[%d]" i
+  | Kstr s -> Printf.sprintf "[%S]" s
+
+let to_string a =
+  let prefix =
+    String.concat "" (List.map (fun m -> "module." ^ m ^ ".") a.module_path)
+  in
+  let mode = match a.mode with Managed -> "" | Data -> "data." in
+  Printf.sprintf "%s%s%s.%s%s" prefix mode a.rtype a.rname
+    (key_to_string a.key)
+
+let pp ppf a = Fmt.string ppf (to_string a)
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+(** Same resource block, ignoring the instance key — e.g.
+    [aws_subnet.s\[0\]] and [aws_subnet.s\[3\]] share a base. *)
+let same_base a b =
+  a.module_path = b.module_path && a.mode = b.mode && a.rtype = b.rtype
+  && a.rname = b.rname
+
+let base a = { a with key = Knone }
+
+(** Order suitable for stable output: modules first, then data/managed,
+    then type, name, key. *)
+let display_compare a b =
+  let c = compare a.module_path b.module_path in
+  if c <> 0 then c
+  else
+    let c = compare a.mode b.mode in
+    if c <> 0 then c
+    else
+      let c = String.compare a.rtype b.rtype in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rname b.rname in
+        if c <> 0 then c else compare a.key b.key
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+(** Parse the canonical rendering produced by {!to_string}.  Returns
+    [None] on malformed input. *)
+let of_string s =
+  let rec split_modules acc rest =
+    match String.index_opt rest '.' with
+    | Some i when String.sub rest 0 i = "module" -> (
+        let after = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match String.index_opt after '.' with
+        | Some j ->
+            let m = String.sub after 0 j in
+            split_modules (m :: acc)
+              (String.sub after (j + 1) (String.length after - j - 1))
+        | None -> (List.rev acc, rest))
+    | _ -> (List.rev acc, rest)
+  in
+  let module_path, rest = split_modules [] s in
+  let mode, rest =
+    if String.length rest > 5 && String.sub rest 0 5 = "data." then
+      (Data, String.sub rest 5 (String.length rest - 5))
+    else (Managed, rest)
+  in
+  let rest, key =
+    match String.index_opt rest '[' with
+    | None -> (rest, Knone)
+    | Some i ->
+        let inner = String.sub rest (i + 1) (String.length rest - i - 2) in
+        let key =
+          if String.length inner >= 2 && inner.[0] = '"' then
+            Kstr (Scanf.sscanf inner "%S" (fun s -> s))
+          else
+            match int_of_string_opt inner with
+            | Some n -> Kint n
+            | None -> Kstr inner
+        in
+        (String.sub rest 0 i, key)
+  in
+  match String.index_opt rest '.' with
+  | Some i ->
+      let rtype = String.sub rest 0 i in
+      let rname = String.sub rest (i + 1) (String.length rest - i - 1) in
+      if rtype = "" || rname = "" then None
+      else Some { module_path; mode; rtype; rname; key }
+  | None -> None

@@ -1,0 +1,58 @@
+(** The unified typed error channel.
+
+    Everything below the engine boundary reports failure by raising
+    {!Error} with a located {!Diagnostic.t}; the boundary (the
+    {!Cloudless.Lifecycle} verbs and the CLI command handlers) catches
+    it and returns [result].  This replaces the bare
+    [failwith]/[invalid_arg] escapes the repo grew up with: every
+    failure now carries a stage tag and, when the source is known, a
+    span — the §3.2/§3.5 defect-reporting story (cf. Rahman et al.'s
+    IaC gap study) applied to the engine itself.
+
+    This library sits at the very bottom of the dependency stack so
+    that the HCL frontend, the simulator and the planners can all raise
+    through the same channel.  {!Loc} and {!Addr} live here for the
+    same reason; [Cloudless_hcl.Loc]/[Cloudless_hcl.Addr] re-export
+    them unchanged. *)
+
+module Loc = Loc
+module Addr = Addr
+module Diagnostic = Diagnostic
+
+exception Error of Diagnostic.t
+
+let () =
+  Printexc.register_printer (function
+    | Error d -> Some ("cloudless error: " ^ Diagnostic.to_string d)
+    | _ -> None)
+
+let raise_diag d = raise (Error d)
+
+(** [fail ~stage ~code msg] raises through the typed channel.  [span]
+    and [addr] locate the failure when the caller knows the source. *)
+let fail ?severity ~stage ~code ?span ?addr fmt =
+  Fmt.kstr
+    (fun msg -> raise_diag (Diagnostic.make ?severity ~stage ~code ?span ?addr msg))
+    fmt
+
+(** Convert the stdlib's untyped escapes into located diagnostics.
+    Domain-specific exceptions (lexer/parser/eval/policy errors, cycle
+    reports, ...) are converted where they are defined or at the engine
+    boundary, which knows their payloads. *)
+let of_exn = function
+  | Error d -> Some d
+  | Failure msg ->
+      Some (Diagnostic.make ~stage:Diagnostic.Internal ~code:"failure" msg)
+  | Invalid_argument msg ->
+      Some
+        (Diagnostic.make ~stage:Diagnostic.Internal ~code:"invalid-argument" msg)
+  | Sys_error msg ->
+      Some (Diagnostic.make ~stage:Diagnostic.Internal ~code:"sys-error" msg)
+  | _ -> None
+
+(** Run [f], converting typed-channel and stdlib escapes to [Error].
+    Unknown exceptions propagate — the caller's boundary decides. *)
+let protect f =
+  match f () with
+  | v -> Ok v
+  | exception e -> ( match of_exn e with Some d -> Result.Error d | None -> raise e)

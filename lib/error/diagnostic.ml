@@ -1,0 +1,66 @@
+(** Located engine diagnostics.
+
+    One diagnostic describes one finding anywhere in the lifecycle —
+    a validation error, a blocked plan, a failed deployment, a corrupt
+    state file — tagged with the stage that produced it and, when the
+    source is known, the span responsible.  The typed error channel
+    ({!Cloudless_error.Error}) carries exactly one of these. *)
+
+type severity = Error | Warning | Info
+
+type stage =
+  | Syntax  (** lexing/parsing/structure *)
+  | References  (** undeclared variables/resources/modules *)
+  | Types  (** schema + semantic types *)
+  | Cloud_rules  (** cross-resource cloud-level constraints *)
+  | Mined  (** deviations from mined specifications *)
+  | Plan_stage  (** diffing/ordering: blocked changes, dependency cycles *)
+  | Deploy  (** execution against the cloud *)
+  | State_io  (** state file parsing/persistence *)
+  | Policy  (** obs/action policy evaluation *)
+  | Internal  (** engine invariant violations (bugs, misuse) *)
+
+let stage_to_string = function
+  | Syntax -> "syntax"
+  | References -> "references"
+  | Types -> "types"
+  | Cloud_rules -> "cloud-rules"
+  | Mined -> "mined-specs"
+  | Plan_stage -> "plan"
+  | Deploy -> "deploy"
+  | State_io -> "state"
+  | Policy -> "policy"
+  | Internal -> "internal"
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type t = {
+  severity : severity;
+  stage : stage;
+  code : string;  (** stable identifier, e.g. ["unknown-attribute"] *)
+  message : string;
+  span : Loc.span;
+  addr : Addr.t option;  (** offending resource, when known *)
+}
+
+let make ?(severity = Error) ~stage ~code ?(span = Loc.dummy) ?addr message =
+  { severity; stage; code; message; span; addr }
+
+let is_error d = d.severity = Error
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s/%s] %a%s: %s"
+    (severity_to_string d.severity)
+    (stage_to_string d.stage) d.code Loc.pp d.span
+    (match d.addr with
+    | Some a -> Printf.sprintf " (%s)" (Addr.to_string a)
+    | None -> "")
+    d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+let errors ds = List.filter is_error ds
+let count_errors ds = List.length (errors ds)

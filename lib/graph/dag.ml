@@ -39,7 +39,10 @@ let nodes t = List.rev t.order
 let payload t addr =
   match Addr.Map.find_opt addr t.payloads with
   | Some p -> p
-  | None -> invalid_arg ("Dag.payload: unknown node " ^ Addr.to_string addr)
+  | None ->
+      Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+        ~code:"unknown-node" ~addr "Dag.payload: unknown node %s"
+        (Addr.to_string addr)
 
 let add_node t addr payload =
   if mem t addr then
@@ -58,9 +61,13 @@ let add_node t addr payload =
     nodes must already exist. *)
 let add_edge t ~dependent ~dependency =
   if not (mem t dependent) then
-    invalid_arg ("Dag.add_edge: unknown node " ^ Addr.to_string dependent);
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+      ~code:"unknown-node" ~addr:dependent "Dag.add_edge: unknown node %s"
+      (Addr.to_string dependent);
   if not (mem t dependency) then
-    invalid_arg ("Dag.add_edge: unknown node " ^ Addr.to_string dependency);
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+      ~code:"unknown-node" ~addr:dependency "Dag.add_edge: unknown node %s"
+      (Addr.to_string dependency);
   if Addr.equal dependent dependency then t
   else
     {

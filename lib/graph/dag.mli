@@ -19,7 +19,7 @@ val size : 'a t -> int
 (** Nodes in insertion order. *)
 val nodes : 'a t -> Addr.t list
 
-(** Payload of a known node; raises [Invalid_argument] otherwise. *)
+(** Payload of a known node; raises {!Cloudless_error.Error} otherwise. *)
 val payload : 'a t -> Addr.t -> 'a
 
 (** Add (or re-payload) a node. *)

@@ -977,11 +977,18 @@ and expand_module scope env (m : Config.module_call) :
       let outputs, instances = expand_one m.Config.mname None None in
       (Mod_single outputs, instances)
 
-(** Expand a configuration to its resource instances and output values. *)
-let expand ?(env = default_env) ?(vars = Smap.empty) (cfg : Config.t) :
-    expansion_result =
-  let env = { env with var_values = vars } in
-  fst (expand_config env ~module_path:[] ~vars cfg)
+(** Expand a configuration to its resource instances and output values.
+    With a live [trace], expansion runs in an ["expand"] span counting
+    the instances and outputs it produced. *)
+let expand ?(env = default_env) ?(vars = Smap.empty)
+    ?(trace = Cloudless_obs.Trace.null) (cfg : Config.t) : expansion_result =
+  let module Trace = Cloudless_obs.Trace in
+  Trace.with_span trace "expand" (fun () ->
+      let env = { env with var_values = vars } in
+      let result = fst (expand_config env ~module_path:[] ~vars cfg) in
+      Trace.count trace "instances" (List.length result.instances);
+      Trace.count trace "outputs" (List.length result.outputs);
+      result)
 
 (** Evaluate a standalone expression with optional variable bindings —
     convenience for tests and tools. *)

@@ -1,0 +1,388 @@
+(** Stage tracing for the engine run-context.
+
+    A {!t} is a lightweight tracer every lifecycle layer shares.  Each
+    stage runs inside a {b span} ({!with_span}) carrying:
+
+    - the stage name and nesting depth,
+    - simulated-clock start/end (the cloud's discrete-event time) and
+      wall-clock start/end (the engine's own overhead),
+    - named integer counters ([api_calls], [throttled], [retries],
+      [refresh_reads], ...) bumped by whichever layer owns the number
+      via {!count} — the simulator counts API calls, the executor
+      counts retries, the planner counts changes,
+    - free-form [meta] key/value annotations.
+
+    Spans are delivered to a pluggable sink when they end (children
+    before parents, begin order recoverable from [seq]).  Three sinks
+    ship: {!null} (disabled, zero allocation on the hot path),
+    {!memory_sink} (tests, benchmarks) and the JSONL renderer
+    ({!write_jsonl} / {!read_jsonl} round-trip, the CLI's [--trace]
+    output). *)
+
+type span = {
+  name : string;
+  seq : int;  (** begin order, 0-based, unique per tracer *)
+  depth : int;  (** nesting depth at begin (0 = top-level verb) *)
+  sim_start : float;
+  mutable sim_end : float;
+  wall_start : float;
+  mutable wall_end : float;
+  counters : (string, int) Hashtbl.t;
+  mutable meta : (string * string) list;
+}
+
+type sink = span -> unit
+
+type t = {
+  mutable sim_clock : unit -> float;
+  wall_clock : unit -> float;
+  sink : sink option;  (** [None] = tracing disabled *)
+  mutable stack : span list;  (** innermost first *)
+  mutable next_seq : int;
+}
+
+let disabled_tracer =
+  {
+    sim_clock = (fun () -> 0.);
+    wall_clock = (fun () -> 0.);
+    sink = None;
+    stack = [];
+    next_seq = 0;
+  }
+
+(** The no-op tracer: spans are not recorded, counters vanish. *)
+let null = disabled_tracer
+
+let enabled t = t.sink <> None
+
+(** [create ~sim_clock sink] makes a live tracer.  [sim_clock] should
+    read the simulated cloud's clock (default: constant 0, for flows
+    with no simulator). *)
+let create ?(sim_clock = fun () -> 0.) ?(wall_clock = Unix.gettimeofday) sink =
+  { sim_clock; wall_clock; sink = Some sink; stack = []; next_seq = 0 }
+
+(** Point the tracer at a live simulated clock.  The cloud is usually
+    created after the tracer, so {!Cloud.set_trace} calls this to make
+    subsequent spans carry discrete-event timestamps. *)
+let set_sim_clock t clock = if enabled t then t.sim_clock <- clock
+
+(** A sink that accumulates spans in memory; the second component
+    returns them in emission order (end order). *)
+let memory_sink () =
+  let acc = ref [] in
+  ((fun s -> acc := s :: !acc), fun () -> List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Bump counter [key] by [n] on the innermost active span.  No-op when
+    tracing is disabled or no span is open — layers call this
+    unconditionally. *)
+let count t key n =
+  match t.stack with
+  | [] -> ()
+  | span :: _ ->
+      Hashtbl.replace span.counters key
+        (n + Option.value ~default:0 (Hashtbl.find_opt span.counters key))
+
+(** Annotate the innermost active span. *)
+let meta t key value =
+  match t.stack with
+  | [] -> ()
+  | span :: _ -> span.meta <- (key, value) :: List.remove_assoc key span.meta
+
+(** Run [f] inside a span named [name].  The span is emitted to the
+    sink when [f] returns {i or raises} — a failing stage still leaves
+    its timing and counters in the trace. *)
+let with_span t ?(meta = []) name f =
+  match t.sink with
+  | None -> f ()
+  | Some emit ->
+      let span =
+        {
+          name;
+          seq = t.next_seq;
+          depth = List.length t.stack;
+          sim_start = t.sim_clock ();
+          sim_end = nan;
+          wall_start = t.wall_clock ();
+          wall_end = nan;
+          counters = Hashtbl.create 8;
+          meta;
+        }
+      in
+      t.next_seq <- t.next_seq + 1;
+      t.stack <- span :: t.stack;
+      let finish () =
+        span.sim_end <- t.sim_clock ();
+        span.wall_end <- t.wall_clock ();
+        (match t.stack with
+        | s :: rest when s == span -> t.stack <- rest
+        | _ -> t.stack <- List.filter (fun s -> not (s == span)) t.stack);
+        emit span
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          span.meta <- ("error", Printexc.to_string e) :: span.meta;
+          finish ();
+          raise e)
+
+let counter span key =
+  Option.value ~default:0 (Hashtbl.find_opt span.counters key)
+
+let counters span =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) span.counters []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* JSONL rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* %.17g round-trips every float through float_of_string exactly. *)
+let float_lit f =
+  if Float.is_nan f then "null" else Printf.sprintf "%.17g" f
+
+(** One span as a single-line JSON object (the JSONL record). *)
+let span_to_json s =
+  let kv_int k v = Printf.sprintf "\"%s\":%d" k v in
+  let kv_str k v = Printf.sprintf "\"%s\":\"%s\"" k (json_escape v) in
+  let kv_float k v = Printf.sprintf "\"%s\":%s" k (float_lit v) in
+  let obj fields = "{" ^ String.concat "," fields ^ "}" in
+  obj
+    [
+      kv_int "seq" s.seq;
+      kv_str "name" s.name;
+      kv_int "depth" s.depth;
+      kv_float "sim_start" s.sim_start;
+      kv_float "sim_end" s.sim_end;
+      kv_float "wall_start" s.wall_start;
+      kv_float "wall_end" s.wall_end;
+      Printf.sprintf "\"counters\":%s"
+        (obj (List.map (fun (k, v) -> kv_int k v) (counters s)));
+      Printf.sprintf "\"meta\":%s"
+        (obj
+           (List.map
+              (fun (k, v) -> kv_str k v)
+              (List.sort compare s.meta)));
+    ]
+
+let spans_to_jsonl spans =
+  String.concat "" (List.map (fun s -> span_to_json s ^ "\n") spans)
+
+(** A sink that appends each finished span to [path] as one JSON line.
+    Returns the sink and a [close] function flushing the file. *)
+let jsonl_file_sink path =
+  let oc = open_out_bin path in
+  ( (fun span ->
+      output_string oc (span_to_json span);
+      output_char oc '\n'),
+    fun () -> close_out oc )
+
+(* ---- minimal JSON reader for the flat span schema ----------------- *)
+
+exception Parse_error of string
+
+type json =
+  | Jnull
+  | Jnum of float
+  | Jstr of string
+  | Jobj of (string * json) list
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < len && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > len then fail "bad \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* spans only escape control chars; no surrogate pairs *)
+              Buffer.add_char buf (Char.chr (code land 0xff));
+              go ()
+          | Some c -> advance (); Buffer.add_char buf c; go ()
+          | None -> fail "unterminated escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < len
+      && (match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Jnum f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> parse_obj ()
+    | Some '"' -> Jstr (parse_string ())
+    | Some 'n' ->
+        if !pos + 4 <= len && String.sub s !pos 4 = "null" then begin
+          pos := !pos + 4;
+          Jnull
+        end
+        else fail "bad literal"
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end"
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Jobj []
+    end
+    else begin
+      let rec fields acc =
+        let key = (skip_ws (); parse_string ()) in
+        expect ':';
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            fields ((key, v) :: acc)
+        | Some '}' ->
+            advance ();
+            Jobj (List.rev ((key, v) :: acc))
+        | _ -> fail "expected , or }"
+      in
+      fields []
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing input";
+  v
+
+(** Parse one JSONL record back into a span (inverse of
+    {!span_to_json}; raises {!Parse_error} on malformed input). *)
+let span_of_json line =
+  let fields =
+    match parse_json line with
+    | Jobj fields -> fields
+    | _ -> raise (Parse_error "span record must be an object")
+  in
+  let find k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> raise (Parse_error ("missing field " ^ k))
+  in
+  let num k =
+    match find k with
+    | Jnum f -> f
+    | Jnull -> nan
+    | _ -> raise (Parse_error (k ^ " must be a number"))
+  in
+  let str k =
+    match find k with
+    | Jstr s -> s
+    | _ -> raise (Parse_error (k ^ " must be a string"))
+  in
+  let counters = Hashtbl.create 8 in
+  (match find "counters" with
+  | Jobj kvs ->
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Jnum f -> Hashtbl.replace counters k (int_of_float f)
+          | _ -> raise (Parse_error "counter must be a number"))
+        kvs
+  | _ -> raise (Parse_error "counters must be an object"));
+  let meta =
+    match find "meta" with
+    | Jobj kvs ->
+        List.map
+          (fun (k, v) ->
+            match v with
+            | Jstr s -> (k, s)
+            | _ -> raise (Parse_error "meta value must be a string"))
+          kvs
+    | _ -> raise (Parse_error "meta must be an object")
+  in
+  {
+    name = str "name";
+    seq = int_of_float (num "seq");
+    depth = int_of_float (num "depth");
+    sim_start = num "sim_start";
+    sim_end = num "sim_end";
+    wall_start = num "wall_start";
+    wall_end = num "wall_end";
+    counters;
+    meta;
+  }
+
+let spans_of_jsonl text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map span_of_json
+
+let write_jsonl ~path spans =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (spans_to_jsonl spans))
+
+let read_jsonl ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> spans_of_jsonl (really_input_string ic (in_channel_length ic)))

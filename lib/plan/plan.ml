@@ -121,9 +121,13 @@ let force_new_reasons rtype (changes : attr_change list) =
         (fun c -> if List.mem c.attr force then Some c.attr else None)
         changes
 
-(** Compute the plan for the full configuration. *)
-let make ?(default_region = "us-east-1") ~(state : State.t)
-    (instances : Eval.instance list) : t =
+(** Compute the plan for the full configuration.  With a live [trace],
+    planning runs in a ["plan"] span counting the diff it produced
+    (creates/updates/replaces/deletes/noops). *)
+let make ?(default_region = "us-east-1") ?(trace = Cloudless_obs.Trace.null)
+    ~(state : State.t) (instances : Eval.instance list) : t =
+  let module Trace = Cloudless_obs.Trace in
+  Trace.with_span trace "plan" @@ fun () ->
   let desired_addrs = List.map (fun (i : Eval.instance) -> i.Eval.addr) instances in
   let forward =
     List.map
@@ -196,7 +200,21 @@ let make ?(default_region = "us-east-1") ~(state : State.t)
              cbd = false;
            })
   in
-  { changes = deletes @ forward; default_region }
+  let changes = deletes @ forward in
+  List.iter
+    (fun c ->
+      let key =
+        match c.action with
+        | Create -> "creates"
+        | Update _ -> "updates"
+        | Replace _ -> "replaces"
+        | Delete -> "deletes"
+        | Noop -> "noops"
+      in
+      Trace.count trace key 1)
+    changes;
+  Trace.count trace "changes" (List.length changes);
+  { changes; default_region }
 
 (* ------------------------------------------------------------------ *)
 (* Execution graph                                                     *)

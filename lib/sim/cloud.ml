@@ -17,6 +17,8 @@
 
 module Smap = Cloudless_hcl.Value.Smap
 module Value = Cloudless_hcl.Value
+module Trace = Cloudless_obs.Trace
+module Diagnostic = Cloudless_error.Diagnostic
 
 type status = Creating | Ready | Updating | Deleting | Failed of string
 
@@ -114,6 +116,9 @@ type t = {
   log : Activity_log.t;
   mutable id_counter : int;
   mutable api_calls : int;
+  mutable trace : Trace.t;
+      (** stage tracer; API-call and throttle counters land on whatever
+          span is active when the call is submitted *)
 }
 
 let create ?(config = default_config) ?write_limiter ?read_limiter ~seed () =
@@ -134,11 +139,20 @@ let create ?(config = default_config) ?write_limiter ?read_limiter ~seed () =
     log = Activity_log.create ();
     id_counter = 0;
     api_calls = 0;
+    trace = Trace.null;
   }
 
 let now t = t.clock
 let log t = t.log
 let api_call_count t = t.api_calls
+
+(** Attach a tracer: every subsequent API call (and throttle) is
+    counted on the tracer's innermost active span, so per-stage
+    counters come from the layer that owns them. *)
+let set_trace t trace =
+  t.trace <- trace;
+  (* spans begun after this point carry discrete-event timestamps *)
+  Trace.set_sim_clock trace (fun () -> t.clock)
 
 let write_throttle_stats t = Rate_limiter.stats t.write_limiter
 let read_throttle_stats t = Rate_limiter.stats t.read_limiter
@@ -242,6 +256,7 @@ let sample_duration t rtype kind = Service_model.sample t.prng rtype kind
     when the operation completes in simulated time. *)
 let submit t ~actor op (k : op_result -> unit) =
   t.api_calls <- t.api_calls + 1;
+  Trace.count t.trace "api_calls" 1;
   let limiter =
     match op with
     | Read _ | List_type _ -> t.read_limiter
@@ -250,6 +265,7 @@ let submit t ~actor op (k : op_result -> unit) =
   match Rate_limiter.try_acquire limiter ~now:t.clock with
   | Error retry_after ->
       (* Throttled calls are rejected fast (no service time). *)
+      Trace.count t.trace "throttled" 1;
       schedule t ~delay:t.config.api_latency (fun () ->
           k (Error (Throttled retry_after)))
   | Ok () -> (
@@ -407,9 +423,11 @@ let submit t ~actor op (k : op_result -> unit) =
           let throttled = ref None in
           for _ = 2 to pages do
             t.api_calls <- t.api_calls + 1;
+            Trace.count t.trace "api_calls" 1;
             match Rate_limiter.try_acquire t.read_limiter ~now:t.clock with
             | Ok () -> ()
             | Error after ->
+                Trace.count t.trace "throttled" 1;
                 if !throttled = None then throttled := Some after
           done;
           (match !throttled with
@@ -438,7 +456,11 @@ let run_sync t ~actor op =
   let rec drive () =
     match !result with
     | Some r -> r
-    | None -> if step t then drive () else failwith "simulation stalled"
+    | None ->
+        if step t then drive ()
+        else
+          Cloudless_error.fail ~stage:Diagnostic.Internal ~code:"sim-stalled"
+            "simulation stalled: operation submitted but event queue drained"
   in
   drive ()
 

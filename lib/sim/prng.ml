@@ -26,13 +26,17 @@ let float t =
 
 (** Uniform int in [0, bound). *)
 let int t bound =
-  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound <= 0 then
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+      ~code:"invalid-argument" "Prng.int: bound must be positive (got %d)" bound;
   let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1) land max_int in
   r mod bound
 
 (** Uniform int in [lo, hi] inclusive. *)
 let int_range t lo hi =
-  if hi < lo then invalid_arg "Prng.int_range: hi < lo";
+  if hi < lo then
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+      ~code:"invalid-argument" "Prng.int_range: hi (%d) < lo (%d)" hi lo;
   lo + int t (hi - lo + 1)
 
 (** Uniform float in [lo, hi). *)
@@ -50,7 +54,9 @@ let exponential t ~mean =
 
 (** Pick a uniformly random element of a non-empty list. *)
 let choose t = function
-  | [] -> invalid_arg "Prng.choose: empty list"
+  | [] ->
+      Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+        ~code:"invalid-argument" "Prng.choose: empty list"
   | l -> List.nth l (int t (List.length l))
 
 (** Fisher-Yates shuffle (returns a new list). *)

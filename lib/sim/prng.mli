@@ -19,7 +19,7 @@ val next_int64 : t -> int64
 (** Uniform float in [0, 1). *)
 val float : t -> float
 
-(** Uniform int in [0, bound); raises [Invalid_argument] on
+(** Uniform int in [0, bound); raises {!Cloudless_error.Error} on
     non-positive bound. *)
 val int : t -> int -> int
 

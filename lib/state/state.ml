@@ -116,7 +116,11 @@ module Printer = Cloudless_hcl.Printer
 module Parser = Cloudless_hcl.Parser
 module Loc = Cloudless_hcl.Loc
 
-exception Corrupt of string
+(* Corrupt state files surface through the typed error channel with a
+   span pointing into the state file itself. *)
+let corrupt ?(span = Loc.dummy) fmt =
+  Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.State_io
+    ~code:"corrupt-state" ~span fmt
 
 (* Unknowns must never reach the state file; replace them defensively
    with nulls on write. *)
@@ -199,50 +203,56 @@ let to_string t =
       blocks = (header :: List.map resource_to_block (resources t)) @ output_blocks;
     }
 
-let literal body name =
+let literal ?(span = Loc.dummy) body name =
   match Ast.attr body name with
-  | None -> raise (Corrupt (Printf.sprintf "state: missing %S" name))
+  | None -> corrupt ~span "state: missing %S" name
   | Some e -> (
       match Codec.expr_to_value e with
       | Some v -> v
-      | None -> raise (Corrupt (Printf.sprintf "state: %S is not literal" name)))
+      | None ->
+          corrupt
+            ?span:(Some (Option.value ~default:span (Ast.attr_span body name)))
+            "state: %S is not literal" name)
 
-let of_string src =
-  let body = Parser.parse ~file:"<state>" src in
+let of_string ?(file = "<state>") src =
+  let body = Parser.parse ~file src in
   List.fold_left
     (fun acc (b : Ast.block) ->
       match (b.Ast.btype, b.Ast.labels) with
       | "state", _ ->
-          let serial = Value.to_int (literal b.Ast.bbody "serial") in
+          let serial =
+            Value.to_int (literal ~span:b.Ast.bspan b.Ast.bbody "serial")
+          in
           { acc with serial }
       | "instance", [ addr_str ] ->
+          let span = b.Ast.bspan in
           let addr =
             match Addr.of_string addr_str with
             | Some a -> a
-            | None -> raise (Corrupt ("state: bad address " ^ addr_str))
+            | None -> corrupt ~span "state: bad address %s" addr_str
           in
           let attrs =
-            match literal b.Ast.bbody "attributes" with
+            match literal ~span b.Ast.bbody "attributes" with
             | Value.Vmap m -> m
-            | _ -> raise (Corrupt "state: attributes must be an object")
+            | _ -> corrupt ~span "state: attributes must be an object"
           in
           let deps =
-            match literal b.Ast.bbody "depends" with
+            match literal ~span b.Ast.bbody "depends" with
             | Value.Vlist vs ->
                 List.map
                   (fun v ->
                     match Addr.of_string (Value.to_string v) with
                     | Some a -> a
-                    | None -> raise (Corrupt "state: bad dep address"))
+                    | None -> corrupt ~span "state: bad dep address")
                   vs
-            | _ -> raise (Corrupt "state: depends must be a list")
+            | _ -> corrupt ~span "state: depends must be a list"
           in
           let r =
             {
               addr;
-              cloud_id = Value.to_string (literal b.Ast.bbody "cloud_id");
-              rtype = Value.to_string (literal b.Ast.bbody "type");
-              region = Value.to_string (literal b.Ast.bbody "region");
+              cloud_id = Value.to_string (literal ~span b.Ast.bbody "cloud_id");
+              rtype = Value.to_string (literal ~span b.Ast.bbody "type");
+              region = Value.to_string (literal ~span b.Ast.bbody "region");
               attrs;
               deps;
             }
@@ -253,9 +263,9 @@ let of_string src =
             by_cloud_id = Smap.add r.cloud_id addr acc.by_cloud_id;
           }
       | "output", [ name ] ->
-          let v = literal b.Ast.bbody "value" in
+          let v = literal ~span:b.Ast.bspan b.Ast.bbody "value" in
           { acc with outputs = acc.outputs @ [ (name, v) ] }
-      | ty, _ -> raise (Corrupt ("state: unexpected block " ^ ty)))
+      | ty, _ -> corrupt ~span:b.Ast.bspan "state: unexpected block %s" ty)
     empty body.Ast.blocks
 
 (* ------------------------------------------------------------------ *)

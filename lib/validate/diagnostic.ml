@@ -1,53 +1,5 @@
-(** Validation diagnostics with source locations. *)
+(** Validation diagnostics — re-exported from the base error library;
+    the same {!Cloudless_error.Diagnostic} type now spans the whole
+    lifecycle (validation, planning, deployment, state IO, policy). *)
 
-module Loc = Cloudless_hcl.Loc
-module Addr = Cloudless_hcl.Addr
-
-type severity = Error | Warning | Info
-
-type stage =
-  | Syntax  (** lexing/parsing/structure *)
-  | References  (** undeclared variables/resources/modules *)
-  | Types  (** schema + semantic types *)
-  | Cloud_rules  (** cross-resource cloud-level constraints *)
-  | Mined  (** deviations from mined specifications *)
-
-let stage_to_string = function
-  | Syntax -> "syntax"
-  | References -> "references"
-  | Types -> "types"
-  | Cloud_rules -> "cloud-rules"
-  | Mined -> "mined-specs"
-
-let severity_to_string = function
-  | Error -> "error"
-  | Warning -> "warning"
-  | Info -> "info"
-
-type t = {
-  severity : severity;
-  stage : stage;
-  code : string;  (** stable identifier, e.g. ["unknown-attribute"] *)
-  message : string;
-  span : Loc.span;
-  addr : Addr.t option;  (** offending resource, when known *)
-}
-
-let make ?(severity = Error) ~stage ~code ?(span = Loc.dummy) ?addr message =
-  { severity; stage; code; message; span; addr }
-
-let is_error d = d.severity = Error
-
-let pp ppf d =
-  Fmt.pf ppf "%s[%s/%s] %a%s: %s"
-    (severity_to_string d.severity)
-    (stage_to_string d.stage) d.code Loc.pp d.span
-    (match d.addr with
-    | Some a -> Printf.sprintf " (%s)" (Addr.to_string a)
-    | None -> "")
-    d.message
-
-let to_string d = Fmt.str "%a" pp d
-
-let errors ds = List.filter is_error ds
-let count_errors ds = List.length (errors ds)
+include Cloudless_error.Diagnostic

@@ -17,6 +17,7 @@
 
 module Hcl = Cloudless_hcl
 module Schema = Cloudless_schema
+module Trace = Cloudless_obs.Trace
 module Smap = Hcl.Value.Smap
 module Sset = Set.Make (String)
 
@@ -39,8 +40,11 @@ let level_includes level stage =
     | Diagnostic.Syntax -> 0
     | Diagnostic.References -> 1
     | Diagnostic.Types -> 2
-    | Diagnostic.Cloud_rules -> 3
-    | Diagnostic.Mined -> 3
+    | Diagnostic.Cloud_rules | Diagnostic.Mined -> 3
+    (* engine stages never originate in the validator; deepest rank *)
+    | Diagnostic.Plan_stage | Diagnostic.Deploy | Diagnostic.State_io
+    | Diagnostic.Policy | Diagnostic.Internal ->
+        3
   in
   stage_rank stage <= rank level
 
@@ -215,9 +219,22 @@ type report = {
 
 let ok report = Diagnostic.count_errors report.diagnostics = 0
 
-(** Validate a configuration (already parsed). *)
+let count_diags trace diags =
+  Trace.count trace "diagnostics" (List.length diags);
+  Trace.count trace "errors" (Diagnostic.count_errors diags)
+
+(** Validate a configuration (already parsed).  With a live [trace],
+    the pipeline runs in a ["validate"] span counting the diagnostics
+    (total and errors) it produced. *)
 let validate_config ?(level = L_cloud) ?(env = Hcl.Eval.default_env)
-    ?(vars = Smap.empty) (cfg : Hcl.Config.t) : report =
+    ?(vars = Smap.empty) ?(trace = Trace.null) (cfg : Hcl.Config.t) : report =
+  Trace.with_span trace "validate" @@ fun () ->
+  let finish report =
+    count_diags trace report.diagnostics;
+    report
+  in
+  finish
+  @@
   let ref_diags =
     if level_includes level Diagnostic.References then check_references cfg
     else []
@@ -255,32 +272,41 @@ let validate_config ?(level = L_cloud) ?(env = Hcl.Eval.default_env)
           expansion = Some expansion;
         }
 
+(** Syntax-stage diagnostic for a frontend exception, if it is one.
+    Shared by {!validate_source} and the engine boundary. *)
+let diagnostic_of_frontend_exn = function
+  | Hcl.Lexer.Error (msg, span) ->
+      Some (Diagnostic.make ~stage:Diagnostic.Syntax ~code:"lex-error" ~span msg)
+  | Hcl.Parser.Error (msg, span) ->
+      Some
+        (Diagnostic.make ~stage:Diagnostic.Syntax ~code:"parse-error" ~span msg)
+  | Hcl.Config.Config_error (msg, span) ->
+      Some
+        (Diagnostic.make ~stage:Diagnostic.Syntax ~code:"structure-error" ~span
+           msg)
+  | Hcl.Eval.Eval_error (msg, span) ->
+      Some
+        (Diagnostic.make ~stage:Diagnostic.References ~code:"eval-error" ~span
+           msg)
+  | _ -> None
+
 (** Validate source text end to end. *)
 let validate_source ?(level = L_cloud) ?(env = Hcl.Eval.default_env)
-    ?(vars = Smap.empty) ~file src : report =
+    ?(vars = Smap.empty) ?(trace = Trace.null) ~file src : report =
   match Hcl.Config.parse ~file src with
-  | cfg -> validate_config ~level ~env ~vars cfg
-  | exception Hcl.Lexer.Error (msg, span) ->
-      {
-        diagnostics =
-          [ Diagnostic.make ~stage:Diagnostic.Syntax ~code:"lex-error" ~span msg ];
-        expansion = None;
-      }
-  | exception Hcl.Parser.Error (msg, span) ->
-      {
-        diagnostics =
-          [ Diagnostic.make ~stage:Diagnostic.Syntax ~code:"parse-error" ~span msg ];
-        expansion = None;
-      }
-  | exception Hcl.Config.Config_error (msg, span) ->
-      {
-        diagnostics =
-          [
-            Diagnostic.make ~stage:Diagnostic.Syntax ~code:"structure-error"
-              ~span msg;
-          ];
-        expansion = None;
-      }
+  | cfg -> validate_config ~level ~env ~vars ~trace cfg
+  | exception
+      ((Hcl.Lexer.Error _ | Hcl.Parser.Error _ | Hcl.Config.Config_error _) as e)
+    ->
+      let report =
+        {
+          diagnostics = [ Option.get (diagnostic_of_frontend_exn e) ];
+          expansion = None;
+        }
+      in
+      Trace.with_span trace "validate" (fun () ->
+          count_diags trace report.diagnostics;
+          report)
 
 (** Check instances against previously mined specifications (§3.6
     outlier detection) and convert deviations to diagnostics. *)

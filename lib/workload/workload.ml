@@ -380,7 +380,9 @@ resource "%s" "%s" {
     are computed here (10.x.y.0/24 inside a 10.0.0.0/8 VPC) to stay
     valid at any group count. *)
 let fleet ?(region = "us-east-1") ?(instances_per_group = 6) ~resources () =
-  if resources < 1 then invalid_arg "Workload.fleet: resources < 1";
+  if resources < 1 then
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+      ~code:"invalid-argument" "Workload.fleet: resources < 1 (got %d)" resources;
   let group_size = 3 + instances_per_group in
   let groups = (resources - 1) / group_size in
   let pad = resources - 1 - (groups * group_size) in
@@ -448,7 +450,9 @@ resource "aws_eip" "pad" {
     per-round cost of topological sorting and leveling where {!fleet}
     exercises width. *)
 let chain ?(region = "us-east-1") ~resources () =
-  if resources < 1 then invalid_arg "Workload.chain: resources < 1";
+  if resources < 1 then
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+      ~code:"invalid-argument" "Workload.chain: resources < 1 (got %d)" resources;
   buf_config (fun b ->
       add b
         (Printf.sprintf {|resource "aws_eip" "link0" {

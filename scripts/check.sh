@@ -1,11 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full build, full test suite, and the engine-scale smoke
+# Tier-1 gate: full build, full test suite, the engine-scale smoke
 # runs (quick sweeps; they write BENCH_*_quick.json, never the
-# committed trajectory files).  The E12 smoke gets a wall-clock budget:
-# a reintroduced quadratic scan in the config→plan front half blows
-# far past it and fails the gate.
+# committed trajectory files), the typed-error lint, and the example
+# programs as end-to-end smokes.  The E12 smoke gets a wall-clock
+# budget: a reintroduced quadratic scan in the config→plan front half
+# blows far past it and fails the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# -- typed-error lint ------------------------------------------------
+# lib/ reports failure through Cloudless_error (stage tag + location),
+# never bare failwith.  New offenders must be argued into the
+# allowlist, not snuck past it.
+allowlist=scripts/failwith_allowlist.txt
+offenders=$(grep -rln 'failwith' lib/ --include='*.ml' --include='*.mli' | sort | while read -r f; do
+  grep -qxF "$f" <(grep -v '^#' "$allowlist") || echo "$f"
+done)
+if [[ -n "$offenders" ]]; then
+  echo "check.sh: bare failwith in lib/ outside $allowlist:" >&2
+  echo "$offenders" >&2
+  exit 1
+fi
 
 dune build @all
 dune runtest
@@ -18,3 +33,12 @@ if (( SECONDS > E12_BUDGET_S )); then
   echo "check.sh: e12 --quick took ${SECONDS}s (budget ${E12_BUDGET_S}s)" >&2
   exit 1
 fi
+
+# -- example smokes --------------------------------------------------
+# Every example must run to completion: they are the executable
+# documentation for the lifecycle facade and the EDSL.
+for ex in quickstart lifecycle autoscaling import_refactor debugging pulumi_style; do
+  echo "== examples/$ex"
+  dune exec "examples/$ex.exe" > /dev/null
+done
+echo "check.sh: all gates passed"

@@ -1,0 +1,248 @@
+(* The unified error channel, end to end: malformed HCL, unknown
+   references, dependency cycles and quota-exceeded deploys must all
+   surface as located Diagnostic.t values — through the Lifecycle
+   facade and through the in-process CLI handlers (asserting the
+   exit-code convention: 1 = user/config error, 2 = deploy failure).
+   No raw exception may escape either path. *)
+
+module Lifecycle = Cloudless.Lifecycle
+module Cli = Cloudless.Cli
+module Io_util = Cloudless.Io_util
+module Boundary = Cloudless.Boundary
+module Diagnostic = Cloudless_validate.Diagnostic
+module Loc = Cloudless_hcl.Loc
+module Dag = Cloudless_graph.Dag
+module Cloud = Cloudless_sim.Cloud
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+let string_ = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let malformed_hcl = "resource \"aws_vpc\" \"main\" {\n  cidr_block = \n"
+
+let unknown_ref_hcl =
+  {|
+resource "aws_instance" "web" {
+  region = "us-east-1"
+  subnet = aws_subnet.missing.id
+}
+|}
+
+let cycle_hcl =
+  {|
+resource "aws_security_group" "a" {
+  region = "us-east-1"
+  name   = aws_security_group.b.id
+}
+
+resource "aws_security_group" "b" {
+  region = "us-east-1"
+  name   = aws_security_group.a.id
+}
+|}
+
+let quota_hcl =
+  {|
+resource "aws_eip" "ip" {
+  count  = 5
+  region = "us-east-1"
+}
+|}
+
+let quota_cloud_config =
+  Cloudless_schema.Cloud_rules.config_with_checks
+    ~base:{ Cloud.default_config with Cloud.quotas = [ ("aws_eip", 2) ] }
+    ()
+
+(* A temp file containing [contents]; cleaned up by the runner's tmpdir. *)
+let temp_file ?(suffix = ".tf") contents =
+  let path = Filename.temp_file "cloudless_err" suffix in
+  Io_util.write_file path contents;
+  path
+
+let temp_path suffix =
+  let path = Filename.temp_file "cloudless_err" suffix in
+  Sys.remove path;
+  path
+
+(* Capture handler output so test logs stay readable. *)
+let quiet_io () =
+  let out = Buffer.create 256 and err = Buffer.create 256 in
+  ( { Cli.out = Buffer.add_string out; err = Buffer.add_string err },
+    fun () -> (Buffer.contents out, Buffer.contents err) )
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Through the Lifecycle facade                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_lifecycle_malformed () =
+  let t = Lifecycle.create () in
+  match Lifecycle.develop t malformed_hcl with
+  | Ok _ -> Alcotest.fail "malformed HCL must not develop"
+  | Error e -> (
+      match Lifecycle.error_diagnostics e with
+      | [] -> Alcotest.fail "expected at least one diagnostic"
+      | d :: _ ->
+          check bool_ "syntax stage" true (d.Diagnostic.stage = Diagnostic.Syntax);
+          check bool_ "located" false (Loc.is_dummy d.Diagnostic.span);
+          check bool_ "renders" true
+            (contains ~sub:"syntax" (Diagnostic.to_string d)))
+
+let test_lifecycle_unknown_ref () =
+  let t = Lifecycle.create () in
+  match Lifecycle.develop t unknown_ref_hcl with
+  | Ok _ -> Alcotest.fail "unknown reference must not develop"
+  | Error (Lifecycle.Invalid_config ds) ->
+      check bool_ "has diagnostics" true (ds <> []);
+      let d = List.hd ds in
+      check bool_ "references stage" true
+        (d.Diagnostic.stage = Diagnostic.References);
+      check bool_ "located" false (Loc.is_dummy d.Diagnostic.span);
+      check bool_ "line points into the block" true (Loc.line d.Diagnostic.span >= 2)
+  | Error e -> Alcotest.failf "wrong error: %s" (Lifecycle.error_to_string e)
+
+(* mutual references are caught as early as possible: the reference
+   stage of validation reports the cycle with a source span, so the
+   config never reaches the planner *)
+let test_lifecycle_cycle () =
+  let t = Lifecycle.create () in
+  match Lifecycle.develop t cycle_hcl with
+  | Ok _ -> Alcotest.fail "cyclic dependencies must not develop"
+  | Error (Lifecycle.Invalid_config ds) ->
+      let d = List.hd ds in
+      check bool_ "references stage" true
+        (d.Diagnostic.stage = Diagnostic.References);
+      check bool_ "located" false (Loc.is_dummy d.Diagnostic.span);
+      check bool_ "names the cycle" true
+        (contains ~sub:"dependency cycle" d.Diagnostic.message)
+  | Error e -> Alcotest.failf "wrong error: %s" (Lifecycle.error_to_string e)
+
+(* a cycle that only materializes in the graph layer (e.g. mined
+   dependencies) surfaces through the boundary as a located,
+   addressed diagnostic *)
+let test_boundary_dag_cycle () =
+  let addr = Option.get (Cloudless_hcl.Addr.of_string "aws_vpc.a") in
+  match
+    Boundary.protect (fun () -> raise (Dag.Cycle [ addr ]))
+  with
+  | Ok _ -> Alcotest.fail "cycle must become an error"
+  | Error d ->
+      check string_ "code" "dependency-cycle" d.Diagnostic.code;
+      check bool_ "plan stage" true (d.Diagnostic.stage = Diagnostic.Plan_stage);
+      check bool_ "addressed" true (d.Diagnostic.addr = Some addr)
+
+let test_lifecycle_quota () =
+  let t = Lifecycle.create ~cloud_config:quota_cloud_config () in
+  match Lifecycle.deploy t quota_hcl with
+  | Ok _ -> Alcotest.fail "quota-exceeded deploy must fail"
+  | Error (Lifecycle.Deploy_failed _ as e) ->
+      let ds = Lifecycle.error_diagnostics e in
+      check bool_ "per-failure diagnostics" true (List.length ds > 0);
+      List.iter
+        (fun d ->
+          check bool_ "deploy stage" true (d.Diagnostic.stage = Diagnostic.Deploy);
+          check bool_ "addressed" true (d.Diagnostic.addr <> None);
+          check bool_ "mentions quota" true
+            (contains ~sub:"quota" (Diagnostic.to_string d)))
+        ds
+  | Error e -> Alcotest.failf "wrong error: %s" (Lifecycle.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Through the CLI handlers                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_cli_malformed () =
+  let io, dump = quiet_io () in
+  let file = temp_file malformed_hcl in
+  let code = Cli.apply ~io ~file ~state_path:(temp_path ".cls") () in
+  check int_ "config error exits 1" 1 code;
+  let _, err = dump () in
+  check bool_ "stderr is a rendered diagnostic" true
+    (contains ~sub:"error[syntax/" err);
+  check bool_ "stderr carries the location" true (contains ~sub:".tf:" err)
+
+let test_cli_validate_exit_code () =
+  let io, _ = quiet_io () in
+  let file = temp_file unknown_ref_hcl in
+  check int_ "validate exit 1" 1
+    (Cli.validate ~io ~file ~state_path:(temp_path ".cls") ());
+  let io, _ = quiet_io () in
+  let good = temp_file (Cloudless_workload.Workload.web_tier ()) in
+  check int_ "validate exit 0" 0
+    (Cli.validate ~io ~file:good ~state_path:(temp_path ".cls") ())
+
+let test_cli_cycle () =
+  let io, dump = quiet_io () in
+  let file = temp_file cycle_hcl in
+  let code = Cli.apply ~io ~file ~state_path:(temp_path ".cls") () in
+  check int_ "cycle exits 1" 1 code;
+  let _, err = dump () in
+  check bool_ "names the cycle" true (contains ~sub:"dependency cycle" err);
+  check bool_ "rendered via Diagnostic" true (contains ~sub:"error[" err)
+
+let test_cli_quota () =
+  let io, dump = quiet_io () in
+  let file = temp_file quota_hcl in
+  let code =
+    Cli.apply ~io ~cloud_config:quota_cloud_config ~file
+      ~state_path:(temp_path ".cls") ()
+  in
+  check int_ "deploy failure exits 2" 2 code;
+  let out, _ = dump () in
+  check bool_ "failure is reported" true (contains ~sub:"FAILED" out);
+  check bool_ "mentions quota" true (contains ~sub:"quota" out)
+
+let test_cli_corrupt_state () =
+  let io, dump = quiet_io () in
+  let file = temp_file "resource \"aws_vpc\" \"v\" { region = \"us-east-1\" }\n" in
+  let state_path = temp_file ~suffix:".cls" "resource \"half\" {" in
+  let code = Cli.plan ~io ~file ~state_path () in
+  check int_ "corrupt state exits 1" 1 code;
+  let _, err = dump () in
+  check bool_ "rendered via Diagnostic" true (contains ~sub:"error[" err)
+
+(* Boundary.protect must pass unknown exceptions through untouched:
+   they are bugs, and swallowing them would hide the backtrace. *)
+let test_boundary_passthrough () =
+  (match Boundary.protect (fun () -> 41 + 1) with
+  | Ok n -> check int_ "ok passes through" 42 n
+  | Error d -> Alcotest.failf "unexpected error: %s" (Diagnostic.to_string d));
+  match Boundary.protect (fun () -> raise Exit) with
+  | exception Exit -> ()
+  | Ok _ | Error _ -> Alcotest.fail "foreign exception must propagate"
+
+let suites =
+  [
+    ( "errors",
+      [
+        Alcotest.test_case "lifecycle: malformed HCL" `Quick
+          test_lifecycle_malformed;
+        Alcotest.test_case "lifecycle: unknown reference" `Quick
+          test_lifecycle_unknown_ref;
+        Alcotest.test_case "lifecycle: dependency cycle" `Quick
+          test_lifecycle_cycle;
+        Alcotest.test_case "boundary: dag cycle to diagnostic" `Quick
+          test_boundary_dag_cycle;
+        Alcotest.test_case "lifecycle: quota exceeded" `Quick
+          test_lifecycle_quota;
+        Alcotest.test_case "cli: malformed HCL exits 1" `Quick test_cli_malformed;
+        Alcotest.test_case "cli: validate exit codes" `Quick
+          test_cli_validate_exit_code;
+        Alcotest.test_case "cli: dependency cycle exits 1" `Quick test_cli_cycle;
+        Alcotest.test_case "cli: quota deploy exits 2" `Quick test_cli_quota;
+        Alcotest.test_case "cli: corrupt state exits 1" `Quick
+          test_cli_corrupt_state;
+        Alcotest.test_case "boundary: foreign exceptions propagate" `Quick
+          test_boundary_passthrough;
+      ] );
+  ]

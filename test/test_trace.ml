@@ -1,0 +1,191 @@
+(* Stage tracing: the golden span sequence for a develop->apply run,
+   counter attribution, timestamp monotonicity, and the JSONL sink
+   round-trip. *)
+
+module Lifecycle = Cloudless.Lifecycle
+module Cli = Cloudless.Cli
+module Io_util = Cloudless.Io_util
+module Trace = Cloudless_obs.Trace
+module Workload = Cloudless_workload.Workload
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+let strings_ = Alcotest.(list string)
+
+let traced_lifecycle () =
+  let sink, spans = Trace.memory_sink () in
+  let trace = Trace.create sink in
+  (Lifecycle.create ~trace (), spans)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Lifecycle.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Golden span sequence                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* develop -> apply over the web-tier fleet.  Spans are emitted in end
+   order (children before parents); the sequence below is the contract
+   the tentpole promises: validation inside develop, then apply
+   enclosing expand -> plan -> execute -> expand (output recompute). *)
+let test_golden_sequence () =
+  let t, spans = traced_lifecycle () in
+  ignore (ok (Lifecycle.develop t (Workload.web_tier ())));
+  ignore (ok (Lifecycle.apply t));
+  let spans = spans () in
+  check strings_ "end-order span names"
+    [ "validate"; "develop"; "expand"; "plan"; "execute"; "expand"; "apply" ]
+    (List.map (fun s -> s.Trace.name) spans);
+  (* nesting: verbs at depth 0, stages they enclose at depth 1 *)
+  List.iter
+    (fun s ->
+      let expected =
+        match s.Trace.name with "develop" | "apply" -> 0 | _ -> 1
+      in
+      check int_ (s.Trace.name ^ " depth") expected s.Trace.depth)
+    spans;
+  (* seq is begin order: develop begins before its validate child *)
+  let seq name =
+    (List.find (fun s -> s.Trace.name = name) spans).Trace.seq
+  in
+  check bool_ "develop begins before validate" true
+    (seq "develop" < seq "validate");
+  check bool_ "apply begins before plan" true (seq "apply" < seq "plan")
+
+let test_monotone_and_counters () =
+  let t, spans = traced_lifecycle () in
+  ignore (ok (Lifecycle.develop t (Workload.web_tier ())));
+  ignore (ok (Lifecycle.apply t));
+  let spans = spans () in
+  (* every span closes no earlier than it opened, on both clocks *)
+  List.iter
+    (fun s ->
+      check bool_ (s.Trace.name ^ " wall monotone") true
+        (s.Trace.wall_end >= s.Trace.wall_start);
+      check bool_ (s.Trace.name ^ " sim monotone") true
+        (s.Trace.sim_end >= s.Trace.sim_start))
+    spans;
+  (* begin order implies monotone wall-clock starts *)
+  let by_seq =
+    List.sort (fun a b -> compare a.Trace.seq b.Trace.seq) spans
+  in
+  ignore
+    (List.fold_left
+       (fun prev s ->
+         check bool_ (s.Trace.name ^ " starts after predecessor") true
+           (s.Trace.wall_start >= prev);
+         s.Trace.wall_start)
+       neg_infinity by_seq);
+  (* counters come from the layer that owns them *)
+  let span name = List.find (fun s -> s.Trace.name = name) spans in
+  check bool_ "execute counts API calls" true
+    (Trace.counter (span "execute") "api_calls" > 0);
+  check bool_ "execute advances the simulated clock" true
+    ((span "execute").Trace.sim_end > (span "execute").Trace.sim_start);
+  check bool_ "plan counts creates" true
+    (Trace.counter (span "plan") "creates" > 0);
+  let expand = span "expand" in
+  check bool_ "expand counts instances" true
+    (Trace.counter expand "instances" > 0);
+  check bool_ "validate meta-free run is clean" true
+    (List.assoc_opt "error" (span "validate").Trace.meta = None)
+
+(* A failing stage still leaves its span (flagged) in the trace. *)
+let test_error_span_emitted () =
+  let sink, spans = Trace.memory_sink () in
+  let trace = Trace.create sink in
+  (try
+     Trace.with_span trace "boom" (fun () -> failwith "kaput")
+   with Failure _ -> ());
+  match spans () with
+  | [ s ] ->
+      check string_ "name" "boom" s.Trace.name;
+      check bool_ "error meta" true
+        (List.assoc_opt "error" s.Trace.meta <> None)
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_counters_attribute_innermost () =
+  let sink, spans = Trace.memory_sink () in
+  let trace = Trace.create sink in
+  Trace.with_span trace "outer" (fun () ->
+      Trace.count trace "n" 1;
+      Trace.with_span trace "inner" (fun () -> Trace.count trace "n" 10);
+      Trace.count trace "n" 1);
+  let span name = List.find (fun s -> s.Trace.name = name) (spans ()) in
+  check int_ "inner got its own" 10 (Trace.counter (span "inner") "n");
+  check int_ "outer unpolluted" 2 (Trace.counter (span "outer") "n")
+
+let test_null_tracer_is_free () =
+  (* counters and spans on the null tracer must be no-ops, not errors *)
+  Trace.count Trace.null "n" 1;
+  check int_ "null with_span passes value" 7
+    (Trace.with_span Trace.null "x" (fun () -> 7));
+  check bool_ "null is disabled" false (Trace.enabled Trace.null)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round-trip                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let span_eq (a : Trace.span) (b : Trace.span) =
+  a.Trace.name = b.Trace.name && a.Trace.seq = b.Trace.seq
+  && a.Trace.depth = b.Trace.depth
+  && a.Trace.sim_start = b.Trace.sim_start
+  && a.Trace.sim_end = b.Trace.sim_end
+  && a.Trace.wall_start = b.Trace.wall_start
+  && a.Trace.wall_end = b.Trace.wall_end
+  && Trace.counters a = Trace.counters b
+  && List.sort compare a.Trace.meta = List.sort compare b.Trace.meta
+
+let test_jsonl_roundtrip () =
+  let t, spans = traced_lifecycle () in
+  ignore (ok (Lifecycle.deploy t (Workload.web_tier ())));
+  let spans = spans () in
+  let path = Filename.temp_file "cloudless_trace" ".jsonl" in
+  Trace.write_jsonl ~path spans;
+  let back = Trace.read_jsonl ~path in
+  Sys.remove path;
+  check int_ "same count" (List.length spans) (List.length back);
+  List.iter2
+    (fun a b ->
+      check bool_ (a.Trace.name ^ " round-trips exactly") true (span_eq a b))
+    spans back
+
+let test_cli_trace_flag () =
+  let out = Buffer.create 256 and err = Buffer.create 256 in
+  let io = { Cli.out = Buffer.add_string out; err = Buffer.add_string err } in
+  let tf = Filename.temp_file "cloudless_trace" ".tf" in
+  Io_util.write_file tf (Workload.web_tier ());
+  let state = Filename.temp_file "cloudless_trace" ".cls" in
+  Sys.remove state;
+  let jsonl = Filename.temp_file "cloudless_trace" ".jsonl" in
+  check int_ "apply succeeds" 0
+    (Cli.apply ~io ~trace_path:jsonl ~file:tf ~state_path:state ());
+  let spans = Trace.read_jsonl ~path:jsonl in
+  Sys.remove jsonl;
+  check bool_ "spans written" true (List.length spans > 0);
+  let execute = List.find (fun s -> s.Trace.name = "execute") spans in
+  check bool_ "api_calls counted" true (Trace.counter execute "api_calls" > 0);
+  check bool_ "root span is the verb" true
+    (List.exists (fun s -> s.Trace.name = "apply-cmd" && s.Trace.depth = 0) spans)
+
+let suites =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "golden develop->apply sequence" `Quick
+          test_golden_sequence;
+        Alcotest.test_case "monotone timestamps & owned counters" `Quick
+          test_monotone_and_counters;
+        Alcotest.test_case "failing span still emitted" `Quick
+          test_error_span_emitted;
+        Alcotest.test_case "counters land on innermost span" `Quick
+          test_counters_attribute_innermost;
+        Alcotest.test_case "null tracer is a no-op" `Quick
+          test_null_tracer_is_free;
+        Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+        Alcotest.test_case "cli --trace writes spans" `Quick test_cli_trace_flag;
+      ] );
+  ]
