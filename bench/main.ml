@@ -23,6 +23,7 @@ let experiments =
     ("e10", E10_rate_limit.run);
     ("e11", E11_scale.run);
     ("e12", E12_pipeline.run);
+    ("e13", E13_crash.run);
     ("ablation", Ablation.run);
   ]
 

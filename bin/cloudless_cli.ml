@@ -102,12 +102,23 @@ let plan_cmd =
     Term.(const run $ file_arg $ state_arg $ trace_arg)
 
 let apply_cmd =
-  let run file state_path seed engine trace_path =
-    Cli.apply ?trace_path ~seed ~engine ~file ~state_path ()
+  let run file state_path seed engine trace_path resume =
+    Cli.apply ?trace_path ~seed ~engine ~resume ~file ~state_path ()
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Recover from a crashed apply: merge the deployment journal \
+             left next to the state file into the state before planning, \
+             then continue the remaining changes")
   in
   Cmd.v
     (Cmd.info "apply" ~doc:"Apply the configuration against the simulated cloud")
-    Term.(const run $ file_arg $ state_arg $ seed_arg $ engine_arg $ trace_arg)
+    Term.(
+      const run $ file_arg $ state_arg $ seed_arg $ engine_arg $ trace_arg
+      $ resume_arg)
 
 let destroy_cmd =
   let run state_path seed trace_path =

@@ -18,6 +18,7 @@ module Hcl = Cloudless_hcl
 module Validate = Cloudless_validate.Validate
 module Diagnostic = Cloudless_validate.Diagnostic
 module State = Cloudless_state.State
+module Journal = Cloudless_state.Journal
 module Plan = Cloudless_plan.Plan
 module Executor = Cloudless_deploy.Executor
 module Dag = Cloudless_graph.Dag
@@ -105,24 +106,59 @@ let plan ?(io = default_io) ?trace_path ~file ~state_path () =
   io.out (Plan.to_string plan);
   if Plan.is_empty plan then 0 else 2
 
+(* `apply --resume`: the journal left behind by a crashed apply is
+   merged into the recorded state before planning — every operation
+   whose outcome was journaled is trusted (no duplicate create), and
+   intents with no recorded outcome are simply left to the fresh plan.
+   The merged state is persisted immediately, so a crash during
+   recovery re-runs the same (idempotent) replay. *)
 let apply ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
-    ?cloud_config ~file ~state_path () =
+    ?cloud_config ?(resume = false) ~file ~state_path () =
   protected io @@ fun () ->
   with_trace trace_path @@ fun trace ->
   Trace.with_span trace "apply-cmd" @@ fun () ->
   let recorded = Session.load_state state_path in
+  let recorded =
+    if not resume then recorded
+    else
+      match Session.load_journal state_path with
+      | [] ->
+          io.out "No deployment journal found; nothing to resume.\n";
+          recorded
+      | entries ->
+          let merged = Journal.replay recorded entries in
+          Session.save_state state_path merged;
+          let completed =
+            List.length
+              (List.filter
+                 (fun (s : Journal.op_status) ->
+                   match s.Journal.resolution with
+                   | Some o -> o.Journal.ok
+                   | None -> false)
+                 (Journal.analyze entries))
+          in
+          outf io
+            "Resumed from journal: %d completed operation(s) recovered, %d \
+             interrupted (re-planned).\n"
+            completed
+            (List.length (Journal.unresolved entries));
+          merged
+  in
   let cloud, state =
     Session.cloud_from_state ~trace ?config:cloud_config recorded ~seed
   in
   let plan = Session.plan_against ~trace ~state file in
   if Plan.is_empty plan then begin
+    Session.clear_journal state_path;
     io.out "No changes. Infrastructure up to date.\n";
     0
   end
   else begin
     io.out (Plan.to_string plan);
+    let journal = Journal.create ~path:(Session.journal_path state_path) () in
     let report =
-      Executor.apply cloud ~config:(engine_config engine) ~state ~plan ~trace ()
+      Executor.apply cloud ~config:(engine_config engine) ~state ~plan ~trace
+        ~journal ()
     in
     outf io
       "\nApplied %d change(s) in %.0f simulated seconds (%d API calls, %d retries).\n"
@@ -134,7 +170,14 @@ let apply ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
           (Hcl.Addr.to_string f.Executor.faddr)
           f.Executor.reason)
       report.Executor.failed;
+    List.iter
+      (fun d -> errf io "%s\n" (Cloudless_error.Diagnostic.to_string d))
+      report.Executor.diagnostics;
     Session.save_state state_path report.Executor.state;
+    (* the run completed and its effects are in the state file: the
+       journal has served its purpose *)
+    Journal.close journal;
+    Session.clear_journal state_path;
     outf io "State written to %s (%d resources).\n" state_path
       (State.size report.Executor.state);
     if report.Executor.failed <> [] then 2 else 0

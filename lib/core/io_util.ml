@@ -10,8 +10,15 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Atomic by construction: the contents land in [path ^ ".tmp"] first
+   and are renamed over the target only once fully written, so a crash
+   mid-write can truncate the temporary at worst — never the state
+   file or journal the rename targets (POSIX rename is atomic on a
+   single filesystem). *)
 let write_file path contents =
-  let oc = open_out_bin path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path

@@ -18,12 +18,15 @@ module Value = Hcl.Value
 module Addr = Hcl.Addr
 module Smap = Value.Smap
 module Cloud = Cloudless_sim.Cloud
+module Sim_failure = Cloudless_sim.Failure
 module State = Cloudless_state.State
+module Journal = Cloudless_state.Journal
 module Version_store = Cloudless_state.Version_store
 module Validate = Cloudless_validate.Validate
 module Diagnostic = Cloudless_validate.Diagnostic
 module Plan = Cloudless_plan.Plan
 module Executor = Cloudless_deploy.Executor
+module Recovery = Cloudless_deploy.Recovery
 module Rollback = Cloudless_rollback.Rollback
 module Drift = Cloudless_drift.Drift
 module Debugger = Cloudless_debug.Debugger
@@ -46,6 +49,9 @@ type t = {
   mutable config_src : string;
   mutable module_lib : (string * Hcl.Config.t) list;
   mutable last_graph : Hcl.Eval.instance Dag.t option;
+  mutable journal : Journal.t option;
+      (** write-ahead journal shared by apply and resume *)
+  mutable crash : Sim_failure.crash_policy;  (** injected process death *)
 }
 
 (** The unified error type every lifecycle verb returns.  Each case
@@ -55,6 +61,10 @@ type error =
   | Invalid_config of Diagnostic.t list
   | Policy_denied of string
   | Deploy_failed of Executor.report
+  | Crashed of int
+      (** injected engine death ({!Sim_failure.Engine_crashed}): the
+          payload is the number of cloud writes initiated before the
+          process died; the journal survives — call {!resume} *)
   | No_config
   | Fault of Diagnostic.t
       (** anything the engine boundary caught: blocked plans,
@@ -73,6 +83,14 @@ let error_diagnostics = function
           Diagnostic.make ~stage:Diagnostic.Deploy ~code:"deploy-failed"
             ~addr:f.Executor.faddr f.Executor.reason)
         r.Executor.failed
+  | Crashed n ->
+      [
+        Diagnostic.make ~stage:Diagnostic.Deploy ~code:"engine-crashed"
+          (Printf.sprintf
+             "engine process died after %d cloud operation(s); the journal \
+              is intact — resume to recover"
+             n);
+      ]
   | No_config ->
       [
         Diagnostic.make ~stage:Diagnostic.Internal ~code:"no-config"
@@ -88,6 +106,8 @@ let error_to_string e =
   | Deploy_failed _ ->
       Printf.sprintf "deployment failed: %s"
         (String.concat "; " (List.map Diagnostic.to_string (error_diagnostics e)))
+  | Crashed n ->
+      Printf.sprintf "engine crashed after %d cloud operation(s)" n
   | Policy_denied msg -> "policy denied the plan: " ^ msg
   | No_config -> "no configuration loaded (call develop first)"
   | Fault d -> Diagnostic.to_string d
@@ -115,6 +135,8 @@ let create ?(seed = 42) ?(engine = Executor.cloudless_config)
     config_src = "";
     module_lib = [];
     last_graph = None;
+    journal = None;
+    crash = Sim_failure.No_crash;
   }
 
 let cloud t = t.cloud
@@ -122,6 +144,16 @@ let trace t = t.trace
 let state t = t.state
 let versions t = t.versions
 let config_source t = t.config_src
+let journal t = t.journal
+
+(** Turn on write-ahead journaling for subsequent applies.  With
+    [path] every entry is flushed to disk as it is written; without,
+    the journal is in-memory (crash-injection experiments). *)
+let enable_journal ?path t = t.journal <- Some (Journal.create ?path ())
+
+(** Inject engine process death into the next apply (see
+    {!Sim_failure.crash_policy}). *)
+let set_crash t policy = t.crash <- policy
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation environment wiring                                       *)
@@ -264,30 +296,61 @@ let apply ?edited ?description t : (Executor.report, error) result =
                 let scope = Plan.impact_scope ~graph ~edited:addrs in
                 { t.engine with Executor.refresh = Executor.Refresh_scoped scope }
           in
-          let report =
+          match
             Executor.apply t.cloud ~config:engine ~state:t.state ~plan:p
-              ~trace:t.trace ()
-          in
-          t.state <- report.Executor.state;
-          (* recompute outputs now that attributes are known *)
-          (match expand t with
-          | Ok e2 -> t.state <- State.set_outputs t.state e2.Hcl.Eval.outputs
-          | Error _ -> ());
-          if Executor.succeeded report then begin
-            ignore
-              (Version_store.checkpoint t.versions ~time:(Cloud.now t.cloud)
-                 ~description:
-                   (Option.value ~default:"apply" description)
-                 ~config_src:t.config_src ~state:t.state);
-            Ok report
-          end
-          else Error (Deploy_failed report))
+              ~trace:t.trace ?journal:t.journal ~crash:t.crash ()
+          with
+          | exception Sim_failure.Engine_crashed n ->
+              (* process death: in-memory results are gone (t.state is
+                 untouched); the journal and the cloud survive *)
+              Error (Crashed n)
+          | report ->
+              t.state <- report.Executor.state;
+              (* recompute outputs now that attributes are known *)
+              (match expand t with
+              | Ok e2 -> t.state <- State.set_outputs t.state e2.Hcl.Eval.outputs
+              | Error _ -> ());
+              if Executor.succeeded report then begin
+                ignore
+                  (Version_store.checkpoint t.versions ~time:(Cloud.now t.cloud)
+                     ~description:
+                       (Option.value ~default:"apply" description)
+                     ~config_src:t.config_src ~state:t.state);
+                Ok report
+              end
+              else Error (Deploy_failed report))
 
 (** Develop + apply in one step. *)
 let deploy t src : (Executor.report, error) result =
   match develop t src with
   | Error e -> Error e
   | Ok _ -> apply ~description:"initial deploy" t
+
+(** Recover from a crashed apply and converge (the Lifecycle face of
+    [apply --resume]).  The journal is replayed over the current
+    state, unresolved intents are reconciled against the cloud's
+    activity log (adopt / refresh / confirm-delete, see
+    {!Recovery.resume_state}), and the configuration is re-applied so
+    the interrupted remainder runs.  The same journal keeps appending,
+    so a resume can itself crash and be resumed.  Returns the final
+    report plus the recovery accounting. *)
+let resume t : (Executor.report * Recovery.resume_report, error) result =
+  guarded t "resume" @@ fun () ->
+  let entries =
+    match t.journal with Some j -> Journal.entries j | None -> []
+  in
+  (* the restarted process does not inherit the injected death *)
+  t.crash <- Sim_failure.No_crash;
+  let recovered, rr =
+    Recovery.resume_state t.cloud ~engine:t.engine.Executor.name ~state:t.state
+      ~entries
+  in
+  t.state <- recovered;
+  Trace.count t.trace "resume_adopted" (List.length rr.Recovery.adopted);
+  Trace.count t.trace "resume_replanned" (List.length rr.Recovery.replanned);
+  match apply ~description:"resume" t with
+  | Ok report -> Ok (report, rr)
+  | Error e -> Error e
 
 (* ------------------------------------------------------------------ *)
 (* Update (incremental)                                                *)

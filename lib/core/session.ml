@@ -9,6 +9,7 @@
 
 module Hcl = Cloudless_hcl
 module State = Cloudless_state.State
+module Journal = Cloudless_state.Journal
 module Plan = Cloudless_plan.Plan
 module Executor = Cloudless_deploy.Executor
 module Cloud = Cloudless_sim.Cloud
@@ -20,6 +21,19 @@ let load_state path =
   else State.empty
 
 let save_state path state = Io_util.write_file path (State.to_string state)
+
+(* The write-ahead journal lives next to the state file.  A normal
+   apply removes it after the final state write, so its presence on
+   disk is itself the crash signal `apply --resume` keys off. *)
+let journal_path state_path = state_path ^ ".journal"
+
+let load_journal state_path =
+  let path = journal_path state_path in
+  if Sys.file_exists path then Journal.load path else []
+
+let clear_journal state_path =
+  let path = journal_path state_path in
+  if Sys.file_exists path then Sys.remove path
 
 (* The simulated cloud backing `apply` is reconstructed from the state
    file on every run: each tracked resource is materialized with its

@@ -22,6 +22,9 @@ module Rate_limiter = Cloudless_sim.Rate_limiter
 module Service_model = Cloudless_sim.Service_model
 module Prng = Cloudless_sim.Prng
 module State = Cloudless_state.State
+module Journal = Cloudless_state.Journal
+module Failure = Cloudless_sim.Failure
+module Diagnostic = Cloudless_error.Diagnostic
 module Dag = Cloudless_graph.Dag
 module Plan = Cloudless_plan.Plan
 
@@ -102,6 +105,9 @@ type report = {
           the engine's own scheduling overhead, as opposed to simulated
           cloud time *)
   peak_ready : int;  (** high-water mark of the ready set *)
+  diagnostics : Diagnostic.t list;
+      (** structured errors raised during execution (currently: retry
+          exhaustion), in occurrence order *)
 }
 
 let succeeded r = r.failed = [] && r.skipped = []
@@ -223,10 +229,23 @@ let now_mono () = Unix.gettimeofday ()
 (** Apply a plan.  Returns the report; the returned state reflects all
     successful operations.  [sched] selects the ready-set
     implementation (default {!Sched_heap}); both orders are identical,
-    see {!scheduler}. *)
+    see {!scheduler}.
+
+    [journal] (optional) receives a write-ahead record of every cloud
+    write: an {!Journal.Intent} flushed *before* the call leaves the
+    engine, the matching {!Journal.Outcome} as soon as the cloud
+    answers — the crash-safety substrate (see [Recovery]).
+
+    [crash] injects engine process death: with [Crash_after k] the
+    apply raises {!Failure.Engine_crashed} at the (k+1)-th write — its
+    intent is journaled, the cloud call never issued — and every
+    callback belonging to the dead engine is disarmed, so operations
+    already in flight complete on the cloud side with nobody
+    listening, exactly like a killed process. *)
 let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     ~(plan : Plan.t) ?(seed = 7) ?(sched = Sched_heap)
-    ?(trace = Cloudless_obs.Trace.null) () : report =
+    ?(trace = Cloudless_obs.Trace.null) ?journal
+    ?(crash = Failure.No_crash) () : report =
   let module Trace = Cloudless_obs.Trace in
   Trace.with_span trace "execute" @@ fun () ->
   Trace.meta trace "engine" config.name;
@@ -248,10 +267,30 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
   let state_ref = ref refresh_result.rstate in
   let started_at = Cloud.now cloud in
 
+  (* crash-safety machinery: write-ahead journaling + injected death *)
+  let journal_append entry =
+    match journal with Some j -> Journal.append j entry | None -> ()
+  in
+  (* op ids must stay unique across the segments of one journal (a
+     resumed run appends to the journal of the crashed one), while the
+     crash gate counts this run's ops only *)
+  let ops_started =
+    ref
+      (match journal with
+      | Some j -> Journal.max_op (Journal.entries j)
+      | None -> 0)
+  in
+  let run_ops = ref 0 in
+  let crashed = ref false in
+  let diagnostics = ref [] in
+
   (* phase 2: apply *)
   let dag = Plan.execution_graph plan in
   let nodes = Dag.nodes dag in
   let node_count = Dag.size dag in
+  journal_append
+    (Journal.Run_started
+       { engine = config.name; changes = node_count; time = started_at });
   let duration_of addr = change_duration (Dag.payload dag addr) in
   (* Materialize the remaining-longest-path priority of every node once,
      up front, instead of consulting the [Dag] closure (and its
@@ -405,18 +444,100 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
   in
 
   (* A single change may need several cloud ops (Replace).  [perform]
-     runs the op sequence with retries, then calls [complete]. *)
+     runs the op sequence with retries, then calls [complete].
+
+     Every write goes through [submit_logged]: journal the intent,
+     apply the crash gate, issue the cloud call with a disarmable
+     callback.  Outcomes are journaled at the top of each callback,
+     before any state mutation, so the journal is never behind the
+     in-memory record either. *)
   let rec perform addr (c : Plan.change) attempt =
-    let on_error err =
+    let submit_logged kind ~payload ~prior op handler =
+      incr ops_started;
+      incr run_ops;
+      let op_id = !ops_started in
+      journal_append
+        (Journal.Intent
+           {
+             Journal.op = op_id;
+             iaddr = addr;
+             kind;
+             rtype = c.Plan.rtype;
+             region = c.Plan.region;
+             payload;
+             prior_cloud_id = prior;
+             deps = c.Plan.deps;
+             log_cursor =
+               Cloudless_sim.Activity_log.length (Cloud.log cloud);
+             itime = Cloud.now cloud;
+           });
+      (match crash with
+      | Failure.Crash_after k when !run_ops > k ->
+          (* the intent is durable; the cloud call never leaves the
+             engine, and in-flight callbacks are disarmed *)
+          crashed := true;
+          raise (Failure.Engine_crashed k)
+      | _ -> ());
+      Cloud.submit cloud ~actor op (fun result ->
+          if not !crashed then handler op_id result)
+    in
+    let ok_outcome ~op ~kind ~cloud_id attrs =
+      journal_append
+        (Journal.Outcome
+           {
+             Journal.oop = op;
+             oaddr = addr;
+             okind = kind;
+             ok = true;
+             cloud_id;
+             attrs;
+             retried = false;
+             reason = None;
+             otime = Cloud.now cloud;
+           })
+    in
+    let on_error ~op ~kind err =
+      let record retried =
+        journal_append
+          (Journal.Outcome
+             {
+               Journal.oop = op;
+               oaddr = addr;
+               okind = kind;
+               ok = false;
+               cloud_id = None;
+               attrs = Smap.empty;
+               retried;
+               reason = Some (Cloud.error_to_string err);
+               otime = Cloud.now cloud;
+             })
+      in
       match err with
       | Cloud.Throttled after when attempt < config.max_retries ->
+          record true;
           incr retries;
           let delay = Float.max after (backoff attempt) in
           schedule_retry addr c (attempt + 1) delay
       | Cloud.Transient _ when attempt < config.max_retries ->
+          record true;
           incr retries;
           schedule_retry addr c (attempt + 1) (backoff attempt)
-      | err -> complete addr (Error (Cloud.error_to_string err))
+      | err ->
+          record false;
+          (match err with
+          | Cloud.Throttled _ | Cloud.Transient _ ->
+              (* a retryable error out of retry budget: surface a
+                 structured diagnostic, not just a failed report row *)
+              Trace.count trace "retries_exhausted" 1;
+              diagnostics :=
+                Diagnostic.make ~stage:Diagnostic.Deploy
+                  ~code:"retries-exhausted" ~addr
+                  (Printf.sprintf "gave up after %d attempts: %s"
+                     (attempt + 1)
+                     (Cloud.error_to_string err))
+                :: !diagnostics
+          | _ -> ());
+          complete addr (Error (Cloud.error_to_string err))
     in
     match c.Plan.action with
     | Plan.Noop -> complete addr (Ok ())
@@ -425,9 +546,9 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
         | None -> complete addr (Error "create without desired attributes")
         | Some desired ->
             let attrs = resolve_attrs !state_ref desired in
-            Cloud.submit cloud ~actor
+            submit_logged Journal.Op_create ~payload:attrs ~prior:None
               (Cloud.Create { rtype = c.Plan.rtype; region = c.Plan.region; attrs })
-              (fun result ->
+              (fun op result ->
                 match result with
                 | Ok cloud_attrs ->
                     let cloud_id =
@@ -435,6 +556,8 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                       | Some (Value.Vstring s) -> s
                       | _ -> "?"
                     in
+                    ok_outcome ~op ~kind:Journal.Op_create
+                      ~cloud_id:(Some cloud_id) cloud_attrs;
                     state_ref :=
                       State.add !state_ref
                         {
@@ -446,7 +569,7 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                           deps = c.Plan.deps;
                         };
                     complete addr (Ok ())
-                | Error err -> on_error err))
+                | Error err -> on_error ~op ~kind:Journal.Op_create err))
     | Plan.Update changes -> (
         match (c.Plan.prior, c.Plan.desired) with
         | Some prior, Some _ ->
@@ -458,37 +581,45 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                   | None -> acc)
                 Smap.empty changes
             in
-            Cloud.submit cloud ~actor
+            submit_logged Journal.Op_update ~payload:delta
+              ~prior:(Some prior.State.cloud_id)
               (Cloud.Update { cloud_id = prior.State.cloud_id; attrs = delta })
-              (fun result ->
+              (fun op result ->
                 match result with
                 | Ok cloud_attrs ->
+                    ok_outcome ~op ~kind:Journal.Op_update
+                      ~cloud_id:(Some prior.State.cloud_id) cloud_attrs;
                     state_ref := State.update_attrs !state_ref addr cloud_attrs;
                     complete addr (Ok ())
-                | Error err -> on_error err)
+                | Error err -> on_error ~op ~kind:Journal.Op_update err)
         | _ -> complete addr (Error "update without prior state"))
     | Plan.Delete -> (
         match c.Plan.prior with
         | Some prior ->
-            Cloud.submit cloud ~actor
+            submit_logged Journal.Op_delete ~payload:Smap.empty
+              ~prior:(Some prior.State.cloud_id)
               (Cloud.Delete { cloud_id = prior.State.cloud_id })
-              (fun result ->
+              (fun op result ->
                 match result with
                 | Ok _ | Error (Cloud.Not_found _) ->
                     (* already gone = success for a delete *)
+                    ok_outcome ~op ~kind:Journal.Op_delete
+                      ~cloud_id:(Some prior.State.cloud_id) Smap.empty;
                     state_ref := State.remove !state_ref addr;
                     complete addr (Ok ())
-                | Error err -> on_error err)
+                | Error err -> on_error ~op ~kind:Journal.Op_delete err)
         | None -> complete addr (Error "delete without prior state"))
     | Plan.Replace _ -> (
         match (c.Plan.prior, c.Plan.desired) with
         | Some prior, Some desired ->
-            let record_new cloud_attrs k =
+            let record_new op cloud_attrs k =
               let cloud_id =
                 match Smap.find_opt "id" cloud_attrs with
                 | Some (Value.Vstring s) -> s
                 | _ -> "?"
               in
+              ok_outcome ~op ~kind:Journal.Op_create ~cloud_id:(Some cloud_id)
+                cloud_attrs;
               state_ref :=
                 State.add !state_ref
                   {
@@ -506,44 +637,55 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                  up first, then the old resource is destroyed — no
                  availability gap *)
               let attrs = resolve_attrs !state_ref desired in
-              Cloud.submit cloud ~actor
+              submit_logged Journal.Op_create ~payload:attrs ~prior:None
                 (Cloud.Create
                    { rtype = c.Plan.rtype; region = c.Plan.region; attrs })
-                (fun result ->
+                (fun op result ->
                   match result with
                   | Ok cloud_attrs ->
-                      record_new cloud_attrs (fun () ->
-                          Cloud.submit cloud ~actor
+                      record_new op cloud_attrs (fun () ->
+                          submit_logged Journal.Op_delete ~payload:Smap.empty
+                            ~prior:(Some prior.State.cloud_id)
                             (Cloud.Delete { cloud_id = prior.State.cloud_id })
-                            (fun result ->
+                            (fun op result ->
                               match result with
                               | Ok _ | Error (Cloud.Not_found _) ->
+                                  ok_outcome ~op ~kind:Journal.Op_delete
+                                    ~cloud_id:(Some prior.State.cloud_id)
+                                    Smap.empty;
                                   complete addr (Ok ())
-                              | Error err -> on_error err))
-                  | Error err -> on_error err)
+                              | Error err ->
+                                  on_error ~op ~kind:Journal.Op_delete err))
+                  | Error err -> on_error ~op ~kind:Journal.Op_create err)
             else
-              Cloud.submit cloud ~actor
+              submit_logged Journal.Op_delete ~payload:Smap.empty
+                ~prior:(Some prior.State.cloud_id)
                 (Cloud.Delete { cloud_id = prior.State.cloud_id })
-                (fun result ->
+                (fun op result ->
                   match result with
                   | Ok _ | Error (Cloud.Not_found _) ->
+                      ok_outcome ~op ~kind:Journal.Op_delete
+                        ~cloud_id:(Some prior.State.cloud_id) Smap.empty;
                       state_ref := State.remove !state_ref addr;
                       let attrs = resolve_attrs !state_ref desired in
-                      Cloud.submit cloud ~actor
+                      submit_logged Journal.Op_create ~payload:attrs ~prior:None
                         (Cloud.Create
                            { rtype = c.Plan.rtype; region = c.Plan.region; attrs })
-                        (fun result ->
+                        (fun op result ->
                           match result with
                           | Ok cloud_attrs ->
-                              record_new cloud_attrs (fun () ->
+                              record_new op cloud_attrs (fun () ->
                                   complete addr (Ok ()))
-                          | Error err -> on_error err)
-                  | Error err -> on_error err)
+                          | Error err ->
+                              on_error ~op ~kind:Journal.Op_create err)
+                  | Error err -> on_error ~op ~kind:Journal.Op_delete err)
         | _ -> complete addr (Error "replace without prior state"))
 
   and schedule_retry addr c attempt delay =
-    (* keep the op slot while backing off (like real engines do) *)
-    Cloud.schedule cloud ~delay (fun () -> perform addr c attempt)
+    (* keep the op slot while backing off (like real engines do); the
+       wake-up is inert if the engine died in the meantime *)
+    Cloud.schedule cloud ~delay (fun () ->
+        if not !crashed then perform addr c attempt)
 
   and pump () =
     let can_start () =
@@ -581,8 +723,10 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
               (* small guard so the op lands strictly after the refill
                  boundary (float-exact arrivals would race the bucket) *)
               Cloud.schedule cloud ~delay:(wait +. 0.05) (fun () ->
-                  perform addr c 0;
-                  pump ())
+                  if not !crashed then begin
+                    perform addr c 0;
+                    pump ()
+                  end)
             else begin
               perform addr c 0;
               pump ()
@@ -611,6 +755,7 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
   drive ();
 
   let finished_at = Cloud.now cloud in
+  journal_append (Journal.Run_finished { time = finished_at });
   let skipped =
     Hashtbl.fold
       (fun a s acc -> match s with Skipped -> a :: acc | _ -> acc)
@@ -647,4 +792,5 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     sched_picks = !picks;
     sched_time = !sched_time;
     peak_ready = peak_ready ();
+    diagnostics = List.rev !diagnostics;
   }

@@ -9,15 +9,26 @@ type t = {
   transient_prob : float;  (** probability a write op fails transiently *)
   permanent : (string * string) list;
       (** [(rtype, message)]: creates of this type always fail *)
+  transient_types : (string * string) list;
+      (** [(rtype, message)]: writes of this type always fail
+          transiently — the deterministic way to exhaust an engine's
+          retry budget *)
   hang_prob : float;  (** probability a write op hangs (very slow) *)
   hang_factor : float;  (** duration multiplier when hanging *)
 }
 
-let none = { transient_prob = 0.; permanent = []; hang_prob = 0.; hang_factor = 1. }
+let none =
+  {
+    transient_prob = 0.;
+    permanent = [];
+    transient_types = [];
+    hang_prob = 0.;
+    hang_factor = 1.;
+  }
 
-let make ?(transient_prob = 0.) ?(permanent = []) ?(hang_prob = 0.)
-    ?(hang_factor = 20.) () =
-  { transient_prob; permanent; hang_prob; hang_factor }
+let make ?(transient_prob = 0.) ?(permanent = []) ?(transient_types = [])
+    ?(hang_prob = 0.) ?(hang_factor = 20.) () =
+  { transient_prob; permanent; transient_types; hang_prob; hang_factor }
 
 type outcome =
   | Proceed
@@ -28,8 +39,28 @@ type outcome =
 let draw t prng ~rtype =
   match List.assoc_opt rtype t.permanent with
   | Some msg -> Fail_permanent msg
-  | None ->
-      if Prng.bernoulli prng t.transient_prob then
-        Fail_transient "transient provider error (retryable)"
-      else if Prng.bernoulli prng t.hang_prob then Slow t.hang_factor
-      else Proceed
+  | None -> (
+      match List.assoc_opt rtype t.transient_types with
+      | Some msg -> Fail_transient msg
+      | None ->
+          if Prng.bernoulli prng t.transient_prob then
+            Fail_transient "transient provider error (retryable)"
+          else if Prng.bernoulli prng t.hang_prob then Slow t.hang_factor
+          else Proceed)
+
+(* ------------------------------------------------------------------ *)
+(* Engine (process) death                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Crash injection for the *engine process* rather than the cloud:
+    [Crash_after k] kills the engine at the (k+1)-th cloud write
+    operation — the op's intent may already be durable (journaled) but
+    the cloud never receives the call, while the up-to-[k] operations
+    already in flight complete (or fail) on the cloud side with nobody
+    listening.  Deterministic by construction: the crash point is an
+    operation index, not a timer. *)
+type crash_policy = No_crash | Crash_after of int
+
+exception Engine_crashed of int
+(** Raised by an executor honouring a {!crash_policy}; the payload is
+    the number of cloud write operations initiated before death. *)

@@ -4,6 +4,9 @@ type t = {
   transient_prob : float;  (** probability a write fails transiently *)
   permanent : (string * string) list;
       (** [(rtype, message)]: creates of this type always fail *)
+  transient_types : (string * string) list;
+      (** [(rtype, message)]: writes of this type always fail
+          transiently — deterministically exhausts retry budgets *)
   hang_prob : float;  (** probability a write hangs (very slow) *)
   hang_factor : float;  (** duration multiplier when hanging *)
 }
@@ -14,6 +17,7 @@ val none : t
 val make :
   ?transient_prob:float ->
   ?permanent:(string * string) list ->
+  ?transient_types:(string * string) list ->
   ?hang_prob:float ->
   ?hang_factor:float ->
   unit ->
@@ -27,3 +31,13 @@ type outcome =
 
 (** Draw the outcome for one write operation. *)
 val draw : t -> Prng.t -> rtype:string -> outcome
+
+(** Crash injection for the engine *process* (as opposed to the cloud):
+    [Crash_after k] kills the engine at the (k+1)-th cloud write
+    operation, modelling process death at an arbitrary event boundary.
+    Executors honour it by raising {!Engine_crashed}. *)
+type crash_policy = No_crash | Crash_after of int
+
+exception Engine_crashed of int
+(** The payload is the number of write operations initiated before
+    death. *)

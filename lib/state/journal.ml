@@ -1,0 +1,390 @@
+(** The write-ahead deployment journal (crash-safe applies).
+
+    The state file ({!State}) is rewritten only after a whole apply —
+    an engine that dies mid-deployment would lose every resource it
+    created so far (the classic orphan problem).  The journal closes
+    that window: the executor appends one {!Intent} entry *before*
+    each cloud write and one {!Outcome} entry as soon as the cloud
+    answers, flushing each line to disk immediately, so the on-disk
+    record is never behind the cloud by more than the set of calls
+    actually in flight at the instant of death.
+
+    Recovery replays the journal over the last persisted state
+    ({!replay}) and hands the still-unresolved intents ({!unresolved})
+    to the adoption pass (see [Cloudless_deploy.Recovery]), which
+    checks the cloud's own activity log to decide adopt-vs-replan.
+
+    Format: JSONL, one self-contained entry per line, written through
+    a flushed append so a crash can only ever truncate the *last*
+    line; {!of_string} tolerates a torn tail.  Times are simulated
+    seconds rendered with ["%.17g"] so a journal is byte-reproducible
+    for a fixed seed and crash point.  Attribute maps and dependency
+    lists are embedded as canonical HCL expression text — the same
+    codec the state file uses, so the two records cannot disagree on
+    value syntax. *)
+
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Smap = Value.Smap
+module Codec = Cloudless_hcl.Codec
+module Printer = Cloudless_hcl.Printer
+module Parser = Cloudless_hcl.Parser
+module Ast = Cloudless_hcl.Ast
+module Trace = Cloudless_obs.Trace
+
+type op_kind = Op_create | Op_update | Op_delete
+
+let op_kind_to_string = function
+  | Op_create -> "create"
+  | Op_update -> "update"
+  | Op_delete -> "delete"
+
+let op_kind_of_string = function
+  | "create" -> Some Op_create
+  | "update" -> Some Op_update
+  | "delete" -> Some Op_delete
+  | _ -> None
+
+type intent = {
+  op : int;  (** monotone per-run operation index (= crash index) *)
+  iaddr : Addr.t;
+  kind : op_kind;
+  rtype : string;
+  region : string;
+  payload : Value.t Smap.t;
+      (** what was (about to be) sent: full resolved attributes for a
+          create, the attribute delta for an update, empty for a
+          delete *)
+  prior_cloud_id : string option;  (** update/delete target *)
+  deps : Addr.t list;  (** recorded so adoption can rebuild the state row *)
+  log_cursor : int;
+      (** activity-log length when the intent was recorded; adoption
+          only considers cloud events at or after this cursor *)
+  itime : float;  (** simulated seconds *)
+}
+
+type outcome = {
+  oop : int;  (** the {!intent.op} this resolves *)
+  oaddr : Addr.t;
+  okind : op_kind;
+  ok : bool;
+  cloud_id : string option;  (** created/updated/deleted cloud identity *)
+  attrs : Value.t Smap.t;  (** cloud-returned attributes on success *)
+  retried : bool;  (** failed, but the engine scheduled another attempt *)
+  reason : string option;  (** failure detail *)
+  otime : float;
+}
+
+type entry =
+  | Run_started of { engine : string; changes : int; time : float }
+  | Intent of intent
+  | Outcome of outcome
+  | Run_finished of { time : float }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization (JSONL; strings, ints, %.17g floats and nulls only)   *)
+(* ------------------------------------------------------------------ *)
+
+let hcl_of_map m =
+  Printer.expr_to_string
+    (Codec.value_to_expr (Value.Vmap (Smap.map State.sanitize m)))
+
+let map_of_hcl s =
+  match Codec.expr_to_value (Parser.parse_expr_string ~file:"<journal>" s) with
+  | Some (Value.Vmap m) -> m
+  | _ -> raise (Trace.Parse_error "journal: attrs is not an object literal")
+
+let hcl_of_deps deps =
+  Printer.expr_to_string
+    (Ast.mk
+       (Ast.ListLit (List.map (fun d -> Ast.string_lit (Addr.to_string d)) deps)))
+
+let deps_of_hcl s =
+  match Codec.expr_to_value (Parser.parse_expr_string ~file:"<journal>" s) with
+  | Some (Value.Vlist vs) ->
+      List.map
+        (fun v ->
+          match Addr.of_string (Value.to_string v) with
+          | Some a -> a
+          | None -> raise (Trace.Parse_error "journal: bad dep address"))
+        vs
+  | _ -> raise (Trace.Parse_error "journal: deps is not a list literal")
+
+let kv_str k v = Printf.sprintf "\"%s\":\"%s\"" k (Trace.json_escape v)
+let kv_int k v = Printf.sprintf "\"%s\":%d" k v
+let kv_float k v = Printf.sprintf "\"%s\":%s" k (Trace.float_lit v)
+let kv_bool k v = kv_int k (if v then 1 else 0)
+
+let kv_opt k = function None -> Printf.sprintf "\"%s\":null" k | Some s -> kv_str k s
+
+let obj fields = "{" ^ String.concat "," fields ^ "}"
+
+let entry_to_line = function
+  | Run_started { engine; changes; time } ->
+      obj
+        [
+          kv_str "e" "start"; kv_str "engine" engine; kv_int "changes" changes;
+          kv_float "time" time;
+        ]
+  | Intent i ->
+      obj
+        [
+          kv_str "e" "intent";
+          kv_int "op" i.op;
+          kv_str "addr" (Addr.to_string i.iaddr);
+          kv_str "kind" (op_kind_to_string i.kind);
+          kv_str "rtype" i.rtype;
+          kv_str "region" i.region;
+          kv_opt "prior" i.prior_cloud_id;
+          kv_int "cursor" i.log_cursor;
+          kv_str "deps" (hcl_of_deps i.deps);
+          kv_str "attrs" (hcl_of_map i.payload);
+          kv_float "time" i.itime;
+        ]
+  | Outcome o ->
+      obj
+        [
+          kv_str "e" "outcome";
+          kv_int "op" o.oop;
+          kv_str "addr" (Addr.to_string o.oaddr);
+          kv_str "kind" (op_kind_to_string o.okind);
+          kv_bool "ok" o.ok;
+          kv_opt "cloud_id" o.cloud_id;
+          kv_bool "retried" o.retried;
+          kv_opt "reason" o.reason;
+          kv_str "attrs" (hcl_of_map o.attrs);
+          kv_float "time" o.otime;
+        ]
+  | Run_finished { time } -> obj [ kv_str "e" "finish"; kv_float "time" time ]
+
+let field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> raise (Trace.Parse_error ("journal: missing field " ^ k))
+
+let str fields k =
+  match field fields k with
+  | Trace.Jstr s -> s
+  | _ -> raise (Trace.Parse_error ("journal: field " ^ k ^ " is not a string"))
+
+let str_opt fields k =
+  match field fields k with
+  | Trace.Jnull -> None
+  | Trace.Jstr s -> Some s
+  | _ -> raise (Trace.Parse_error ("journal: field " ^ k ^ " is not a string"))
+
+let num fields k =
+  match field fields k with
+  | Trace.Jnum f -> f
+  | _ -> raise (Trace.Parse_error ("journal: field " ^ k ^ " is not a number"))
+
+let int_field fields k = int_of_float (num fields k)
+let bool_field fields k = int_field fields k <> 0
+
+let addr_field fields k =
+  match Addr.of_string (str fields k) with
+  | Some a -> a
+  | None -> raise (Trace.Parse_error ("journal: bad address in " ^ k))
+
+let kind_field fields k =
+  match op_kind_of_string (str fields k) with
+  | Some kd -> kd
+  | None -> raise (Trace.Parse_error ("journal: bad op kind in " ^ k))
+
+let entry_of_line line =
+  let fields =
+    match Trace.parse_json line with
+    | Trace.Jobj fields -> fields
+    | _ -> raise (Trace.Parse_error "journal: entry is not an object")
+  in
+  match str fields "e" with
+  | "start" ->
+      Run_started
+        {
+          engine = str fields "engine";
+          changes = int_field fields "changes";
+          time = num fields "time";
+        }
+  | "intent" ->
+      Intent
+        {
+          op = int_field fields "op";
+          iaddr = addr_field fields "addr";
+          kind = kind_field fields "kind";
+          rtype = str fields "rtype";
+          region = str fields "region";
+          payload = map_of_hcl (str fields "attrs");
+          prior_cloud_id = str_opt fields "prior";
+          deps = deps_of_hcl (str fields "deps");
+          log_cursor = int_field fields "cursor";
+          itime = num fields "time";
+        }
+  | "outcome" ->
+      Outcome
+        {
+          oop = int_field fields "op";
+          oaddr = addr_field fields "addr";
+          okind = kind_field fields "kind";
+          ok = bool_field fields "ok";
+          cloud_id = str_opt fields "cloud_id";
+          attrs = map_of_hcl (str fields "attrs");
+          retried = bool_field fields "retried";
+          reason = str_opt fields "reason";
+          otime = num fields "time";
+        }
+  | "finish" -> Run_finished { time = num fields "time" }
+  | e -> raise (Trace.Parse_error ("journal: unknown entry kind " ^ e))
+
+let to_string entries =
+  String.concat "" (List.map (fun e -> entry_to_line e ^ "\n") entries)
+
+(** Parse a journal, dropping a torn tail: a crash mid-append can only
+    truncate the final line, so parsing stops (without error) at the
+    first line that does not decode. *)
+let of_string src =
+  let lines = String.split_on_char '\n' src in
+  let rec go acc = function
+    | [] | [ "" ] -> List.rev acc
+    | line :: rest -> (
+        match entry_of_line line with
+        | e -> go (e :: acc) rest
+        | exception _ -> List.rev acc)
+  in
+  go [] lines
+
+(* ------------------------------------------------------------------ *)
+(* The appender                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  mutable entries_rev : entry list;
+  sink : out_channel option;
+  mutable closed : bool;
+}
+
+(** A live journal.  With [path] every appended entry is written and
+    flushed immediately (the write-ahead property); without, the
+    journal is memory-only (tests, benchmarks measuring pure engine
+    behaviour). *)
+let create ?path () =
+  {
+    entries_rev = [];
+    sink = Option.map (fun p -> open_out_bin p) path;
+    closed = false;
+  }
+
+let append t entry =
+  t.entries_rev <- entry :: t.entries_rev;
+  match t.sink with
+  | Some oc when not t.closed ->
+      output_string oc (entry_to_line entry);
+      output_char oc '\n';
+      flush oc
+  | _ -> ()
+
+let entries t = List.rev t.entries_rev
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.sink with Some oc -> close_out oc | None -> ()
+  end
+
+let load path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string src
+
+(* ------------------------------------------------------------------ *)
+(* Replay & analysis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type op_status = { intent : intent; resolution : outcome option }
+
+(** Highest op index recorded.  A resumed run seeds its op counter from
+    here so ids stay unique across the segments of one journal (each
+    engine incarnation appends its own [Run_started] … sequence). *)
+let max_op entries =
+  List.fold_left
+    (fun acc -> function
+      | Intent i -> max acc i.op
+      | Outcome o -> max acc o.oop
+      | Run_started _ | Run_finished _ -> acc)
+    0 entries
+
+(** Every intent in op order, paired with its final outcome ([None] =
+    the crash window: intent durable, result unknown). *)
+let analyze entries =
+  let tbl : (int, intent * outcome option) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (function
+      | Intent i ->
+          Hashtbl.replace tbl i.op (i, None);
+          order := i.op :: !order
+      | Outcome o -> (
+          match Hashtbl.find_opt tbl o.oop with
+          | Some (i, _) -> Hashtbl.replace tbl o.oop (i, Some o)
+          | None -> ())
+      | Run_started _ | Run_finished _ -> ())
+    entries;
+  List.rev_map
+    (fun op ->
+      let intent, resolution = Hashtbl.find tbl op in
+      { intent; resolution })
+    !order
+
+(** Intents whose result never made it to the journal, in op order. *)
+let unresolved entries =
+  List.filter_map
+    (fun s -> if s.resolution = None then Some s.intent else None)
+    (analyze entries)
+
+(** [true] when the journal's last run ran to completion — nothing to
+    recover. *)
+let finished entries =
+  match List.rev entries with Run_finished _ :: _ -> true | _ -> false
+
+(** Fold the journal's *known* outcomes over [state]: successful
+    creates are added under their recorded cloud id, updates patch
+    attributes, deletes remove the row (only while it still points at
+    the deleted cloud id — a create-before-destroy replace deletes the
+    *old* identity after the new one was recorded).  Replay is
+    idempotent: re-applying an already-merged journal reproduces the
+    same state, which makes crash-during-recovery safe. *)
+let replay state entries =
+  let intents : (int, intent) Hashtbl.t = Hashtbl.create 64 in
+  List.fold_left
+    (fun st entry ->
+      match entry with
+      | Run_started _ | Run_finished _ -> st
+      | Intent i ->
+          Hashtbl.replace intents i.op i;
+          st
+      | Outcome o when not o.ok -> st
+      | Outcome o -> (
+          match o.okind with
+          | Op_create -> (
+              match (o.cloud_id, Hashtbl.find_opt intents o.oop) with
+              | Some cloud_id, Some i ->
+                  State.add st
+                    {
+                      State.addr = o.oaddr;
+                      cloud_id;
+                      rtype = i.rtype;
+                      region = i.region;
+                      attrs = o.attrs;
+                      deps = i.deps;
+                    }
+              | _ -> st)
+          | Op_update -> State.update_attrs st o.oaddr o.attrs
+          | Op_delete -> (
+              match (State.find_opt st o.oaddr, o.cloud_id) with
+              | Some r, Some gone when r.State.cloud_id = gone ->
+                  State.remove st o.oaddr
+              | _ -> st)))
+    state entries

@@ -34,6 +34,10 @@ if (( SECONDS > E12_BUDGET_S )); then
   exit 1
 fi
 
+# Kill-anywhere crash sweep: the quick run fails hard if the journaled
+# engine leaves any orphan/duplicate/divergence or loses determinism.
+dune exec bench/main.exe -- e13 --quick
+
 # -- example smokes --------------------------------------------------
 # Every example must run to completion: they are the executable
 # documentation for the lifecycle facade and the EDSL.

@@ -1,0 +1,492 @@
+(* Crash safety end to end: atomic state writes, the write-ahead
+   deployment journal (round-trip, torn-tail tolerance, idempotent
+   replay), kill-anywhere crash/resume convergence through the
+   Lifecycle facade, retry-exhaustion diagnostics, and the CLI's
+   `apply --resume` path. *)
+
+open Cloudless_hcl
+module Cloud = Cloudless_sim.Cloud
+module Sim_failure = Cloudless_sim.Failure
+module Activity_log = Cloudless_sim.Activity_log
+module State = Cloudless_state.State
+module Journal = Cloudless_state.Journal
+module Plan = Cloudless_plan.Plan
+module Executor = Cloudless_deploy.Executor
+module Recovery = Cloudless_deploy.Recovery
+module Diagnostic = Cloudless_validate.Diagnostic
+module Lifecycle = Cloudless.Lifecycle
+module Cli = Cloudless.Cli
+module Io_util = Cloudless.Io_util
+module Smap = Value.Smap
+
+let check = Alcotest.check
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+let string_ = Alcotest.string
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let temp_path suffix =
+  let path = Filename.temp_file "cloudless_crash" suffix in
+  Sys.remove path;
+  path
+
+let addr rtype rname = Addr.make ~rtype ~rname ()
+
+(* ------------------------------------------------------------------ *)
+(* Atomic writes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_write_file_atomic () =
+  let path = temp_path ".txt" in
+  Io_util.write_file path "first";
+  check string_ "fresh write lands" "first" (Io_util.read_file path);
+  Io_util.write_file path "second";
+  check string_ "overwrite lands" "second" (Io_util.read_file path);
+  (* the temporary must never be left behind *)
+  check bool_ "no .tmp residue" false (Sys.file_exists (path ^ ".tmp"));
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Journal serialization                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_entries =
+  let attrs =
+    Smap.of_seq
+      (List.to_seq
+         [
+           ("name", Value.Vstring "web \"quoted\"\n");
+           ("count", Value.Vint 3);
+           ("enabled", Value.Vbool true);
+           ("tags", Value.Vlist [ Value.Vstring "a"; Value.Vstring "b" ]);
+           ("nested", Value.Vmap (Smap.singleton "k" (Value.Vstring "v")));
+           ("nothing", Value.Vnull);
+         ])
+  in
+  [
+    Journal.Run_started { engine = "cloudless"; changes = 2; time = 0. };
+    Journal.Intent
+      {
+        Journal.op = 1;
+        iaddr = addr "aws_vpc" "main";
+        kind = Journal.Op_create;
+        rtype = "aws_vpc";
+        region = "us-east-1";
+        payload = attrs;
+        prior_cloud_id = None;
+        deps = [ addr "aws_subnet" "s"; Addr.make ~rtype:"aws_eip" ~rname:"e" ~key:(Addr.Kint 2) () ];
+        log_cursor = 7;
+        itime = 1.5;
+      };
+    Journal.Outcome
+      {
+        Journal.oop = 1;
+        oaddr = addr "aws_vpc" "main";
+        okind = Journal.Op_create;
+        ok = true;
+        cloud_id = Some "vpc-000001";
+        attrs;
+        retried = false;
+        reason = None;
+        otime = 4.25;
+      };
+    Journal.Outcome
+      {
+        Journal.oop = 2;
+        oaddr = addr "aws_subnet" "s";
+        okind = Journal.Op_update;
+        ok = false;
+        cloud_id = None;
+        attrs = Smap.empty;
+        retried = true;
+        reason = Some "throttled; retry after 1.0s";
+        otime = 5.;
+      };
+    Journal.Run_finished { time = 9.75 };
+  ]
+
+let test_journal_round_trip () =
+  let text = Journal.to_string sample_entries in
+  let back = Journal.of_string text in
+  check int_ "all entries survive" (List.length sample_entries)
+    (List.length back);
+  (* maps re-parsed from text can have a different internal tree shape,
+     so equality is judged on the canonical rendering *)
+  check string_ "render/parse/render is a fixpoint" text
+    (Journal.to_string back)
+
+let test_journal_torn_tail () =
+  let text = Journal.to_string sample_entries in
+  (* chop the file mid-way through the last line, as a crash during an
+     append would *)
+  let torn = String.sub text 0 (String.length text - 7) in
+  let back = Journal.of_string torn in
+  check int_ "only the torn line is dropped"
+    (List.length sample_entries - 1)
+    (List.length back)
+
+let test_journal_file_load () =
+  let path = temp_path ".journal" in
+  let j = Journal.create ~path () in
+  List.iter (Journal.append j) sample_entries;
+  Journal.close j;
+  check string_ "loaded = appended"
+    (Journal.to_string sample_entries)
+    (Journal.to_string (Journal.load path));
+  Sys.remove path
+
+let test_replay_idempotent () =
+  let st1 = Journal.replay State.empty sample_entries in
+  check int_ "create replayed" 1 (State.size st1);
+  let r = Option.get (State.find_opt st1 (addr "aws_vpc" "main")) in
+  check string_ "cloud id from outcome" "vpc-000001" r.State.cloud_id;
+  check int_ "deps preserved" 2 (List.length r.State.deps);
+  let st2 = Journal.replay st1 sample_entries in
+  (* identical rows; only the state serial counter may tick *)
+  let rows st =
+    String.concat "\n"
+      (List.filter
+         (fun line -> not (contains ~sub:"serial" line))
+         (String.split_on_char '\n' (State.to_string st)))
+  in
+  check string_ "replay is idempotent" (rows st1) (rows st2)
+
+(* ------------------------------------------------------------------ *)
+(* Kill-anywhere crash/resume through the Lifecycle                    *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_src = Cloudless_workload.Workload.fleet ~resources:10 ()
+
+let engine_creates cloud =
+  List.length
+    (List.filter
+       (fun (e : Activity_log.entry) ->
+         match (e.Activity_log.op, e.Activity_log.actor) with
+         | Activity_log.Log_create, Activity_log.Iac_engine _ -> true
+         | _ -> false)
+       (Activity_log.all (Cloud.log cloud)))
+
+let crash_and_resume ~src ~k =
+  let t = Lifecycle.create ~seed:42 ~engine:Executor.cloudless_config () in
+  Lifecycle.enable_journal t;
+  Lifecycle.set_crash t (Sim_failure.Crash_after k);
+  match Lifecycle.deploy t src with
+  | Ok _ -> (t, None) (* k past the last op *)
+  | Error (Lifecycle.Crashed n) -> (
+      match Lifecycle.resume t with
+      | Ok (_report, rr) -> (t, Some (n, rr))
+      | Error e -> Alcotest.failf "resume failed: %s" (Lifecycle.error_to_string e))
+  | Error e -> Alcotest.failf "deploy failed: %s" (Lifecycle.error_to_string e)
+
+let test_crash_resume_every_k () =
+  for k = 0 to 10 do
+    let t, crashed = crash_and_resume ~src:fleet_src ~k in
+    let cloud = Lifecycle.cloud t in
+    let state = Lifecycle.state t in
+    check int_ (Printf.sprintf "k=%d: all 10 tracked" k) 10 (State.size state);
+    check int_
+      (Printf.sprintf "k=%d: no orphans" k)
+      0
+      (List.length (Recovery.orphans cloud ~state));
+    check int_
+      (Printf.sprintf "k=%d: no duplicate creates" k)
+      10 (engine_creates cloud);
+    (match Lifecycle.plan t with
+    | Ok (p, _) ->
+        check bool_ (Printf.sprintf "k=%d: converged (empty plan)" k) true
+          (Plan.is_empty p)
+    | Error e -> Alcotest.failf "plan failed: %s" (Lifecycle.error_to_string e));
+    if k < 10 then
+      check bool_ (Printf.sprintf "k=%d: crash observed" k) true
+        (crashed <> None)
+  done
+
+let test_crashed_error_shape () =
+  let t = Lifecycle.create ~seed:42 () in
+  Lifecycle.enable_journal t;
+  Lifecycle.set_crash t (Sim_failure.Crash_after 1);
+  match Lifecycle.deploy t fleet_src with
+  | Error (Lifecycle.Crashed n as e) ->
+      check int_ "died after 1 op" 1 n;
+      check bool_ "message mentions the crash" true
+        (contains ~sub:"crashed" (Lifecycle.error_to_string e));
+      let d = List.hd (Lifecycle.error_diagnostics e) in
+      check string_ "diagnostic code" "engine-crashed" d.Diagnostic.code
+  | Ok _ -> Alcotest.fail "expected a crash"
+  | Error e -> Alcotest.failf "wrong error: %s" (Lifecycle.error_to_string e)
+
+(* Adoption must claim exactly the in-flight creates: with unbounded
+   parallelism and a crash mid-fleet, the ops already submitted
+   complete on the cloud and every one of them is adopted (not
+   re-created), keeping total creates at the fleet size. *)
+let test_adoption_accounting () =
+  let _, crashed = crash_and_resume ~src:fleet_src ~k:5 in
+  match crashed with
+  | Some (n, rr) ->
+      check int_ "crash index honoured" 5 n;
+      check bool_ "some creates were in flight" true
+        (List.length rr.Recovery.adopted > 0);
+      (* the crash op's own intent never reached the cloud *)
+      check int_ "crash op re-planned" 1 (List.length rr.Recovery.replanned)
+  | None -> Alcotest.fail "expected a crash at k=5"
+
+(* ------------------------------------------------------------------ *)
+(* Determinism + golden trace                                          *)
+(* ------------------------------------------------------------------ *)
+
+let chain3 =
+  {|
+resource "aws_vpc" "main" {
+  cidr_block = "10.0.0.0/16"
+  region     = "us-east-1"
+}
+resource "aws_subnet" "s" {
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.1.0/24"
+  region     = "us-east-1"
+}
+resource "aws_instance" "web" {
+  ami           = "ami-123"
+  instance_type = "t3.small"
+  subnet_id     = aws_subnet.s.id
+  region        = "us-east-1"
+}
+|}
+
+let entry_tag = function
+  | Journal.Run_started { engine; _ } -> "start:" ^ engine
+  | Journal.Intent i ->
+      Printf.sprintf "intent:%s:%s"
+        (Journal.op_kind_to_string i.Journal.kind)
+        (Addr.to_string i.Journal.iaddr)
+  | Journal.Outcome o ->
+      Printf.sprintf "outcome:%s:%s:%s"
+        (Journal.op_kind_to_string o.Journal.okind)
+        (Addr.to_string o.Journal.oaddr)
+        (if o.Journal.ok then "ok" else "err")
+  | Journal.Run_finished _ -> "finish"
+
+let journal_of t =
+  match Lifecycle.journal t with
+  | Some j -> Journal.entries j
+  | None -> []
+
+let test_determinism_and_golden () =
+  let t1, _ = crash_and_resume ~src:chain3 ~k:2 in
+  let t2, _ = crash_and_resume ~src:chain3 ~k:2 in
+  check string_ "journals byte-identical"
+    (Journal.to_string (journal_of t1))
+    (Journal.to_string (journal_of t2));
+  check string_ "final states byte-identical"
+    (State.to_string (Lifecycle.state t1))
+    (State.to_string (Lifecycle.state t2));
+  (* the golden crash→resume→converge trace for a 3-deep chain killed
+     at the third op: segment 1 creates vpc and subnet, dies holding
+     the instance's intent; segment 2 adopts nothing new to create
+     except the instance *)
+  check
+    Alcotest.(list string)
+    "golden entry sequence"
+    [
+      "start:cloudless";
+      "intent:create:aws_vpc.main";
+      "outcome:create:aws_vpc.main:ok";
+      "intent:create:aws_subnet.s";
+      "outcome:create:aws_subnet.s:ok";
+      "intent:create:aws_instance.web";
+      (* — crash: no outcome for op 3 — *)
+      "start:cloudless";
+      "intent:create:aws_instance.web";
+      "outcome:create:aws_instance.web:ok";
+      "finish";
+    ]
+    (List.map entry_tag (journal_of t1))
+
+(* ------------------------------------------------------------------ *)
+(* Retry exhaustion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_retry_exhaustion () =
+  let failure =
+    Sim_failure.make
+      ~transient_types:[ ("aws_subnet", "subnet API is melting") ]
+      ()
+  in
+  let base = { Cloud.default_config with Cloud.failure } in
+  let config = Cloudless_schema.Cloud_rules.config_with_checks ~base () in
+  let cloud = Cloud.create ~config ~seed:42 () in
+  let env = Eval.default_env in
+  let instances =
+    (Eval.expand ~env (Config.parse ~file:"t.tf" chain3)).Eval.instances
+  in
+  let plan = Plan.make ~state:State.empty instances in
+  let journal = Journal.create () in
+  let engine = { Executor.cloudless_config with Executor.max_retries = 2 } in
+  let report =
+    Executor.apply cloud ~config:engine ~state:State.empty ~plan ~journal ()
+  in
+  check int_ "vpc applied" 1 (List.length report.Executor.applied);
+  check int_ "subnet failed" 1 (List.length report.Executor.failed);
+  check int_ "instance skipped" 1 (List.length report.Executor.skipped);
+  let d =
+    match report.Executor.diagnostics with
+    | [ d ] -> d
+    | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds)
+  in
+  check string_ "diagnostic code" "retries-exhausted" d.Diagnostic.code;
+  check bool_ "diagnostic carries the addr" true
+    (d.Diagnostic.addr = Some (addr "aws_subnet" "s"));
+  check bool_ "stage is deploy" true (d.Diagnostic.stage = Diagnostic.Deploy);
+  (* the journal's view of the run: the vpc is safely recorded, the
+     subnet's attempts are all failed outcomes, nothing is unresolved *)
+  let replayed = Journal.replay State.empty (Journal.entries journal) in
+  check int_ "replay recovers the vpc" 1 (State.size replayed);
+  check bool_ "vpc in replayed state" true
+    (State.find_opt replayed (addr "aws_vpc" "main") <> None);
+  check int_ "no unresolved intents" 0
+    (List.length (Journal.unresolved (Journal.entries journal)))
+
+(* ------------------------------------------------------------------ *)
+(* CLI --resume                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let quiet_io () =
+  let out = Buffer.create 256 and err = Buffer.create 256 in
+  ( { Cli.out = Buffer.add_string out; err = Buffer.add_string err },
+    fun () -> (Buffer.contents out, Buffer.contents err) )
+
+let two_vpcs =
+  {|
+resource "aws_vpc" "a" {
+  cidr_block = "10.0.0.0/16"
+  region     = "us-east-1"
+}
+resource "aws_vpc" "b" {
+  cidr_block = "10.1.0.0/16"
+  region     = "us-east-1"
+}
+|}
+
+let one_vpc =
+  {|
+resource "aws_vpc" "a" {
+  cidr_block = "10.0.0.0/16"
+  region     = "us-east-1"
+}
+|}
+
+let temp_tf contents =
+  let path = Filename.temp_file "cloudless_crash" ".tf" in
+  Io_util.write_file path contents;
+  path
+
+let test_cli_apply_clears_journal () =
+  let io, _ = quiet_io () in
+  let state_path = temp_path ".cls" in
+  let code = Cli.apply ~io ~file:(temp_tf two_vpcs) ~state_path () in
+  check int_ "apply ok" 0 code;
+  check bool_ "journal removed after a clean apply" false
+    (Sys.file_exists (state_path ^ ".journal"))
+
+let test_cli_resume_merges_journal () =
+  let io, _ = quiet_io () in
+  let state_path = temp_path ".cls" in
+  (* a previous run applied vpc a only... *)
+  check int_ "seed apply ok" 0
+    (Cli.apply ~io ~file:(temp_tf one_vpc) ~state_path ());
+  (* ...then a run creating vpc b crashed after journaling its outcome
+     but before the end-of-run state write: fabricate that journal *)
+  let attrs = Smap.singleton "cidr_block" (Value.Vstring "10.1.0.0/16") in
+  let j = Journal.create ~path:(state_path ^ ".journal") () in
+  Journal.append j
+    (Journal.Run_started { engine = "cloudless"; changes = 1; time = 0. });
+  Journal.append j
+    (Journal.Intent
+       {
+         Journal.op = 1;
+         iaddr = addr "aws_vpc" "b";
+         kind = Journal.Op_create;
+         rtype = "aws_vpc";
+         region = "us-east-1";
+         payload = attrs;
+         prior_cloud_id = None;
+         deps = [];
+         log_cursor = 0;
+         itime = 0.5;
+       });
+  Journal.append j
+    (Journal.Outcome
+       {
+         Journal.oop = 1;
+         oaddr = addr "aws_vpc" "b";
+         okind = Journal.Op_create;
+         ok = true;
+         cloud_id = Some "vpc-9999";
+         attrs = Smap.add "region" (Value.Vstring "us-east-1") attrs;
+         retried = false;
+         reason = None;
+         otime = 2.;
+       });
+  Journal.close j;
+  let io, dump = quiet_io () in
+  let code =
+    Cli.apply ~io ~resume:true ~file:(temp_tf two_vpcs) ~state_path ()
+  in
+  let out, _ = dump () in
+  check int_ "resume exits 0" 0 code;
+  check bool_ "reports the recovery" true
+    (contains ~sub:"Resumed from journal: 1 completed operation(s)" out);
+  (* the journaled create was trusted: nothing left to change *)
+  check bool_ "no duplicate create" true (contains ~sub:"No changes" out);
+  check bool_ "journal cleared" false
+    (Sys.file_exists (state_path ^ ".journal"));
+  let final = State.of_string ~file:state_path (Io_util.read_file state_path) in
+  check int_ "both vpcs tracked" 2 (State.size final)
+
+let test_cli_resume_without_journal () =
+  let io, dump = quiet_io () in
+  let state_path = temp_path ".cls" in
+  let code =
+    Cli.apply ~io ~resume:true ~file:(temp_tf one_vpc) ~state_path ()
+  in
+  let out, _ = dump () in
+  check int_ "plain apply semantics" 0 code;
+  check bool_ "says nothing to resume" true
+    (contains ~sub:"No deployment journal found" out)
+
+let suites =
+  [
+    ( "crash",
+      [
+        Alcotest.test_case "io_util: write_file is atomic" `Quick
+          test_write_file_atomic;
+        Alcotest.test_case "journal: entry round-trip" `Quick
+          test_journal_round_trip;
+        Alcotest.test_case "journal: torn tail tolerated" `Quick
+          test_journal_torn_tail;
+        Alcotest.test_case "journal: file append/load" `Quick
+          test_journal_file_load;
+        Alcotest.test_case "journal: replay is idempotent" `Quick
+          test_replay_idempotent;
+        Alcotest.test_case "lifecycle: crash+resume converges at every k"
+          `Quick test_crash_resume_every_k;
+        Alcotest.test_case "lifecycle: Crashed error shape" `Quick
+          test_crashed_error_shape;
+        Alcotest.test_case "recovery: adoption accounting" `Quick
+          test_adoption_accounting;
+        Alcotest.test_case "golden crash->resume->converge trace" `Quick
+          test_determinism_and_golden;
+        Alcotest.test_case "executor: retry exhaustion diagnostics" `Quick
+          test_retry_exhaustion;
+        Alcotest.test_case "cli: clean apply clears the journal" `Quick
+          test_cli_apply_clears_journal;
+        Alcotest.test_case "cli: --resume merges the journal" `Quick
+          test_cli_resume_merges_journal;
+        Alcotest.test_case "cli: --resume without a journal" `Quick
+          test_cli_resume_without_journal;
+      ] );
+  ]
