@@ -74,6 +74,30 @@ let deploy ?(seed = 42) ?(engine = Executor.cloudless_config) src =
   in
   (cloud, report)
 
+(* Replace every occurrence of [sub] in [s] — workload-editing helper
+   shared by the incremental-update experiments (the examples' copy
+   lives in [Ex_common]). *)
+let replace s ~sub ~by =
+  let slen = String.length sub in
+  if slen = 0 then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let rec go i =
+      if i > String.length s - slen then
+        Buffer.add_string buf (String.sub s i (String.length s - i))
+      else if String.sub s i slen = sub then begin
+        Buffer.add_string buf by;
+        go (i + slen)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+    in
+    go 0;
+    Buffer.contents buf
+  end
+
 let pct a b = if b = 0. then 0. else 100. *. (1. -. (a /. b))
 
 let fmt_s v = Printf.sprintf "%.0fs" v

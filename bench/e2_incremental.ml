@@ -25,7 +25,7 @@ let edit_services src k =
     else
       let sub = Printf.sprintf "ami           = \"ami-0svc%04d\"" i in
       let by = Printf.sprintf "ami           = \"ami-1svc%04d\"" i in
-      go (Test_fixtures_replace.replace src ~sub ~by) (i + 1)
+      go (Bench_util.replace src ~sub ~by) (i + 1)
   in
   go src 0
 

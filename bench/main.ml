@@ -24,6 +24,7 @@ let experiments =
     ("e11", E11_scale.run);
     ("e12", E12_pipeline.run);
     ("e13", E13_crash.run);
+    ("e14", E14_service.run);
     ("ablation", Ablation.run);
   ]
 

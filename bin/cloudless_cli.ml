@@ -12,7 +12,8 @@
      cloudless apply main.tf --state state.cls [--engine cloudless] [--trace t.jsonl]
      cloudless destroy --state state.cls
      cloudless policy-check main.tf --policies policies.hcl
-     cloudless example web-tier     # emit a generated workload *)
+     cloudless example web-tier     # emit a generated workload
+     cloudless serve scenario.txt --ticks 20 [--engine baseline]  *)
 
 open Cmdliner
 module Cli = Cloudless.Cli
@@ -171,6 +172,46 @@ let example_cmd =
     (Cmd.info "example" ~doc:"Emit a generated example configuration")
     Term.(const run $ name_arg)
 
+let serve_cmd =
+  let scenario_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Scenario file (key = value lines: tenants, resources, \
+             requests_per_tenant, request_interval, drift_events, \
+             drift_period, policy_period, duration)")
+  in
+  let ticks_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ticks" ] ~docv:"N"
+          ~doc:
+            "Run for $(docv) drift periods of simulated time instead of the \
+             scenario's duration")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Write the metrics snapshot (JSON) to $(docv) instead of stdout")
+  in
+  let run scenario_path seed engine trace_path ticks metrics_path =
+    Cli.serve ?trace_path ~seed ~engine ?ticks ?metrics_path ~scenario_path ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant reconciliation control plane against a \
+          scenario for a bounded stretch of simulated time")
+    Term.(
+      const run $ scenario_arg $ seed_arg $ engine_arg $ trace_arg $ ticks_arg
+      $ metrics_arg)
+
 let main_cmd =
   let doc = "a principled IaC framework (HotNets '23 'Cloudless Computing')" in
   Cmd.group
@@ -185,6 +226,7 @@ let main_cmd =
       import_cmd;
       policy_check_cmd;
       example_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

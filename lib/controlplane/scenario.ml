@@ -1,0 +1,242 @@
+(** Service-load scenarios for the control plane.
+
+    A scenario is a small [key = value] text file describing a
+    multi-tenant workload: how many tenants and deployments, how big
+    each fleet is, how many configuration revisions each tenant pushes
+    and at what cadence, and how much out-of-band drift the world
+    injects while the service runs.  {!install} compiles it into
+    simulated-clock callbacks against a {!Control_plane.t} — requests
+    submitted at their scheduled instants, OOB mutations/deletions
+    against live resources — and returns the injection log the E14
+    bench joins with the control plane's detection log to measure
+    drift-detection latency.
+
+    [install] takes the control plane by [ref] so that a crash-resume
+    mid-scenario ({!Control_plane.resume} builds a {e new} service
+    instance on the same cloud) does not strand the not-yet-fired
+    request callbacks: they dereference at fire time and land on the
+    successor. *)
+
+module Cloud = Cloudless_sim.Cloud
+module State = Cloudless_state.State
+module Workload = Cloudless_workload.Workload
+module Err = Cloudless_error
+
+type t = {
+  tenants : int;
+  deployments_per_tenant : int;
+  resources : int;  (** fleet size per deployment *)
+  requests_per_tenant : int;
+      (** config revisions pushed per deployment, including the initial
+          apply at t=0 (all tenants submit simultaneously) *)
+  request_interval : float;  (** sim seconds between revision waves *)
+  drift_events : int;  (** OOB injections spread over the drift window *)
+  drift_period : float;  (** service tailer-poll / scan-sweep period *)
+  policy_period : float;  (** 0 = no policy controller *)
+  duration : float;  (** scenario horizon, sim seconds *)
+}
+
+let default =
+  {
+    tenants = 4;
+    deployments_per_tenant = 1;
+    resources = 8;
+    requests_per_tenant = 3;
+    request_interval = 600.;
+    drift_events = 8;
+    drift_period = 60.;
+    policy_period = 300.;
+    duration = 3600.;
+  }
+
+let parse ?(file = "<scenario>") src =
+  let scn = ref default in
+  String.split_on_char '\n' src
+  |> List.iteri (fun lineno line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         let line = String.trim line in
+         if line <> "" then
+           match String.index_opt line '=' with
+           | None ->
+               Err.fail ~stage:Err.Diagnostic.Syntax ~code:"scenario-syntax"
+                 "%s:%d: expected 'key = value', got %S" file (lineno + 1) line
+           | Some i ->
+               let key = String.trim (String.sub line 0 i) in
+               let v =
+                 String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               let int_v () =
+                 match int_of_string_opt v with
+                 | Some n -> n
+                 | None ->
+                     Err.fail ~stage:Err.Diagnostic.Syntax
+                       ~code:"scenario-syntax" "%s:%d: %s expects an integer, got %S"
+                       file (lineno + 1) key v
+               in
+               let float_v () =
+                 match float_of_string_opt v with
+                 | Some f -> f
+                 | None ->
+                     Err.fail ~stage:Err.Diagnostic.Syntax
+                       ~code:"scenario-syntax" "%s:%d: %s expects a number, got %S"
+                       file (lineno + 1) key v
+               in
+               scn :=
+                 match key with
+                 | "tenants" -> { !scn with tenants = int_v () }
+                 | "deployments_per_tenant" ->
+                     { !scn with deployments_per_tenant = int_v () }
+                 | "resources" -> { !scn with resources = int_v () }
+                 | "requests_per_tenant" ->
+                     { !scn with requests_per_tenant = int_v () }
+                 | "request_interval" ->
+                     { !scn with request_interval = float_v () }
+                 | "drift_events" -> { !scn with drift_events = int_v () }
+                 | "drift_period" -> { !scn with drift_period = float_v () }
+                 | "policy_period" -> { !scn with policy_period = float_v () }
+                 | "duration" -> { !scn with duration = float_v () }
+                 | _ ->
+                     Err.fail ~stage:Err.Diagnostic.Syntax
+                       ~code:"scenario-syntax" "%s:%d: unknown scenario key %S"
+                       file (lineno + 1) key);
+  !scn
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse ~file:path src
+
+(* ------------------------------------------------------------------ *)
+(* Workload generation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One instance group sized so the fleet is exactly [resources] rows
+   with at least one aws_instance to drift: vpc + subnet + sg + tg +
+   (resources - 4) instances. *)
+let fleet_src scn ~wave =
+  let types = [| "t3.small"; "t3.medium"; "t3.large"; "t3.xlarge" |] in
+  Workload.fleet
+    ~instances_per_group:(max 1 (scn.resources - 4))
+    ~instance_type:types.(wave mod Array.length types)
+    ~resources:scn.resources ()
+
+(* Embedded service policy: flag any accumulated drift at each tick. *)
+let policy_src =
+  {|
+policy "drift_watch" {
+  on   = "telemetry"
+  when = obs.drift_events > 0
+
+  action "note_drift" {
+    kind    = "notify"
+    message = "service observed ${obs.drift_events} drift event(s) across ${obs.tenants} tenant(s)"
+  }
+}
+|}
+
+(** Specialize a service preset (timing knobs + policy) to a scenario. *)
+let service_config scn (base : Control_plane.service_config) =
+  {
+    base with
+    Control_plane.drift_period = scn.drift_period;
+    policy_period = scn.policy_period;
+    policy_src = (if scn.policy_period > 0. then Some policy_src else None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Installation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type injection = {
+  icloud_id : string;
+  injected_at : float;
+  deleted : bool;  (** true: delete_oob; false: attr mutation *)
+}
+
+(** Register all deployments on [!cp_ref] and schedule the request
+    waves and drift injections on its cloud.  Returns the injection
+    log (filled as injections actually fire). *)
+let install scn cp_ref =
+  let cp = !cp_ref in
+  let cloud = Control_plane.cloud cp in
+  let injections = ref [] in
+  let deps = ref [] in
+  for ti = 0 to scn.tenants - 1 do
+    let tenant = Printf.sprintf "tenant%d" ti in
+    for di = 0 to scn.deployments_per_tenant - 1 do
+      let dname = Printf.sprintf "d%d" di in
+      ignore
+        (Control_plane.add_deployment cp ~tenant ~dname
+           ~src:(fleet_src scn ~wave:0));
+      deps := (tenant, dname) :: !deps;
+      for w = 0 to scn.requests_per_tenant - 1 do
+        Cloud.schedule cloud
+          ~delay:(float_of_int w *. scn.request_interval)
+          (fun () ->
+            let cp = !cp_ref in
+            match Control_plane.find_deployment cp ~tenant ~dname with
+            | Some dep ->
+                ignore
+                  (Control_plane.submit_request cp dep
+                     ~src:(fleet_src scn ~wave:w))
+            | None -> ())
+      done
+    done
+  done;
+  let deps = Array.of_list (List.rev !deps) in
+  let ndeps = Array.length deps in
+  (* Drift window: after the revision waves settle, ending early enough
+     that the last detection and reconcile fit inside [duration]. *)
+  if scn.drift_events > 0 && ndeps > 0 then begin
+    let base =
+      (float_of_int (scn.requests_per_tenant - 1) *. scn.request_interval)
+      +. (2. *. scn.drift_period)
+    in
+    let window =
+      Float.max scn.drift_period
+        (scn.duration -. base -. (3. *. scn.drift_period))
+    in
+    let gap = window /. float_of_int scn.drift_events in
+    for i = 0 to scn.drift_events - 1 do
+      let tenant, dname = deps.(i mod ndeps) in
+      Cloud.schedule cloud
+        ~delay:(base +. (float_of_int i *. gap))
+        (fun () ->
+          let cp = !cp_ref in
+          match Control_plane.find_deployment cp ~tenant ~dname with
+          | None -> ()
+          | Some dep ->
+              let instances =
+                List.filter
+                  (fun (r : State.resource_state) ->
+                    r.State.rtype = "aws_instance")
+                  (State.resources dep.Control_plane.state)
+              in
+              let n = List.length instances in
+              if n > 0 then begin
+                let row = List.nth instances (i / ndeps mod n) in
+                let cid = row.State.cloud_id in
+                let deleted = i mod 4 = 3 in
+                let r =
+                  if deleted then
+                    Cloud.delete_oob cloud ~script:"ops" ~cloud_id:cid
+                  else
+                    Cloud.mutate_oob cloud ~script:"ops" ~cloud_id:cid
+                      ~attr:"instance_type"
+                      ~value:(Cloudless_hcl.Value.Vstring "t2.nano")
+                in
+                ignore (r : (unit, Cloud.error) result);
+                injections :=
+                  { icloud_id = cid; injected_at = Cloud.now cloud; deleted }
+                  :: !injections
+              end)
+    done
+  end;
+  injections

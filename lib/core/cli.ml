@@ -249,6 +249,83 @@ let import ?(io = default_io) ?(no_optimize = false) ~state_path () =
   errf io "-- %s\n" (Fmt.str "%a" Cloudless_synth.Quality.pp metrics);
   0
 
+(* `cloudless serve`: run the multi-tenant control plane against a
+   scenario file for a bounded stretch of simulated time, then print
+   the service summary and (optionally) the metrics snapshot. *)
+let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
+    ?ticks ?metrics_path ~scenario_path () =
+  protected io @@ fun () ->
+  with_trace trace_path @@ fun trace ->
+  let module Cloud = Cloudless_sim.Cloud in
+  let module Control_plane = Cloudless_controlplane.Control_plane in
+  let module Scenario = Cloudless_controlplane.Scenario in
+  let module Metrics = Cloudless_obs.Metrics in
+  let scn = Scenario.load scenario_path in
+  let preset =
+    match engine with
+    | Cloudless -> Control_plane.cloudless_service
+    | Baseline -> Control_plane.baseline_service
+  in
+  (* --ticks rewrites the horizon before installation so the whole
+     scenario (request waves, drift injections) compresses into it *)
+  let scn =
+    match ticks with
+    | Some n ->
+        {
+          scn with
+          Scenario.duration = float_of_int n *. scn.Scenario.drift_period;
+        }
+    | None -> scn
+  in
+  let config = Scenario.service_config scn preset in
+  let duration = scn.Scenario.duration in
+  let cloud =
+    Cloud.create
+      ~config:(Cloudless_schema.Cloud_rules.config_with_checks ())
+      ~seed ()
+  in
+  Trace.set_sim_clock trace (fun () -> Cloud.now cloud);
+  let cp = ref (Control_plane.create ~cloud ~trace config) in
+  let injections = Scenario.install scn cp in
+  Control_plane.run !cp ~until:duration;
+  let cp = !cp in
+  let m = Control_plane.metrics cp in
+  let grants, waits = Cloudless_lock.Lock_manager.stats (Control_plane.lock cp) in
+  outf io
+    "Service %s: %d tenant(s), %d deployment(s), %d resource(s) under \
+     management after %.0f simulated seconds.\n"
+    config.Control_plane.sname scn.Scenario.tenants
+    (List.length (Control_plane.deployments cp))
+    (Control_plane.managed_resource_count cp)
+    (Cloud.now cloud);
+  let pct name p =
+    match Metrics.percentile m name p with Some v -> v | None -> 0.
+  in
+  outf io
+    "Requests: %d done (p50 %.1fs, p99 %.1fs); reconciles: %d; drift \
+     events: %d (%d injected); policy ticks: %d.\n"
+    (Metrics.counter m "requests_done")
+    (pct "request_latency" 50.) (pct "request_latency" 99.)
+    (Metrics.counter m "reconciles")
+    (Metrics.counter m "drift_events")
+    (List.length !injections)
+    (Metrics.counter m "policy_ticks");
+  outf io "API calls: %d (%d reads, %d writes); locks: %d grant(s), %d wait(s).\n"
+    (Metrics.counter m "api_calls")
+    (Metrics.counter m "api_reads")
+    (Metrics.counter m "api_writes")
+    grants waits;
+  (match Control_plane.orphans cp with
+  | [] -> ()
+  | os -> outf io "WARNING: %d orphaned resource(s): %s\n" (List.length os)
+            (String.concat ", " os));
+  (match metrics_path with
+  | Some path ->
+      Metrics.write_json m ~path;
+      outf io "Metrics snapshot written to %s.\n" path
+  | None -> io.out (Metrics.to_json m));
+  0
+
 let examples =
   [
     ("web-tier", fun () -> Cloudless_workload.Workload.web_tier ());

@@ -131,6 +131,41 @@ let with_span t ?(meta = []) name f =
           finish ();
           raise e)
 
+(** Emit a span for {e asynchronous} work that began at simulated time
+    [sim_start] and is finishing now.  {!with_span} models a call
+    stack, which event-loop work (many interleaved units of work in
+    flight at once) cannot use; the control plane records each
+    completed unit of work through this instead.  The span is emitted
+    at depth 0 with the given counters and meta; wall times both read
+    the wall clock at emission (async work has no meaningful exclusive
+    wall interval). *)
+let emit_span t ?(meta = []) ?(counters = []) ~sim_start name =
+  match t.sink with
+  | None -> ()
+  | Some emit ->
+      let tbl = Hashtbl.create (max 8 (List.length counters)) in
+      List.iter
+        (fun (k, n) ->
+          Hashtbl.replace tbl k
+            (n + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+        counters;
+      let wall = t.wall_clock () in
+      let span =
+        {
+          name;
+          seq = t.next_seq;
+          depth = 0;
+          sim_start;
+          sim_end = t.sim_clock ();
+          wall_start = wall;
+          wall_end = wall;
+          counters = tbl;
+          meta;
+        }
+      in
+      t.next_seq <- t.next_seq + 1;
+      emit span
+
 let counter span key =
   Option.value ~default:0 (Hashtbl.find_opt span.counters key)
 

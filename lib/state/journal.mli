@@ -1,0 +1,132 @@
+(** The write-ahead deployment journal (crash-safe applies).
+
+    The state file ({!State}) is rewritten only after a whole apply —
+    an engine that dies mid-deployment would lose every resource it
+    created so far (the classic orphan problem).  The journal closes
+    that window: the executor appends one {!Intent} entry *before*
+    each cloud write and one {!Outcome} entry as soon as the cloud
+    answers, flushing each line to disk immediately, so the on-disk
+    record is never behind the cloud by more than the set of calls
+    actually in flight at the instant of death.
+
+    Recovery replays the journal over the last persisted state
+    ({!replay}) and hands the still-unresolved intents ({!unresolved})
+    to the adoption pass (see [Cloudless_deploy.Recovery]), which
+    checks the cloud's own activity log to decide adopt-vs-replan.
+
+    Format: JSONL, one self-contained entry per line, written through
+    a flushed append so a crash can only ever truncate the *last*
+    line; {!of_string} tolerates a torn tail.  Times are simulated
+    seconds rendered with ["%.17g"] so a journal is byte-reproducible
+    for a fixed seed and crash point.  Attribute maps and dependency
+    lists are embedded as canonical HCL expression text — the same
+    codec the state file uses, so the two records cannot disagree on
+    value syntax. *)
+
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Smap = Value.Smap
+
+type op_kind = Op_create | Op_update | Op_delete
+
+val op_kind_to_string : op_kind -> string
+val op_kind_of_string : string -> op_kind option
+
+type intent = {
+  op : int;  (** monotone per-run operation index (= crash index) *)
+  iaddr : Addr.t;
+  kind : op_kind;
+  rtype : string;
+  region : string;
+  payload : Value.t Smap.t;
+      (** what was (about to be) sent: full resolved attributes for a
+          create, the attribute delta for an update, empty for a
+          delete *)
+  prior_cloud_id : string option;  (** update/delete target *)
+  deps : Addr.t list;  (** recorded so adoption can rebuild the state row *)
+  log_cursor : int;
+      (** activity-log length when the intent was recorded; adoption
+          only considers cloud events at or after this cursor *)
+  itime : float;  (** simulated seconds *)
+}
+
+type outcome = {
+  oop : int;  (** the {!intent.op} this resolves *)
+  oaddr : Addr.t;
+  okind : op_kind;
+  ok : bool;
+  cloud_id : string option;  (** created/updated/deleted cloud identity *)
+  attrs : Value.t Smap.t;  (** cloud-returned attributes on success *)
+  retried : bool;  (** failed, but the engine scheduled another attempt *)
+  reason : string option;  (** failure detail *)
+  otime : float;
+}
+
+type entry =
+  | Run_started of { engine : string; changes : int; time : float }
+  | Intent of intent
+  | Outcome of outcome
+  | Run_finished of { time : float }
+
+(** Render entries as JSONL (inverse of {!of_string}). *)
+val to_string : entry list -> string
+
+(** Parse a journal, dropping a torn tail: a crash mid-append can only
+    truncate the final line, so parsing stops (without error) at the
+    first line that does not decode. *)
+val of_string : string -> entry list
+
+(* ------------------------------------------------------------------ *)
+(* The appender                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t
+
+(** A live journal.  With [path] every appended entry is written and
+    flushed immediately (the write-ahead property); without, the
+    journal is memory-only (tests, benchmarks measuring pure engine
+    behaviour). *)
+val create : ?path:string -> unit -> t
+
+(** Append one entry, flushing it to the sink before returning. *)
+val append : t -> entry -> unit
+
+(** All entries appended so far, in order. *)
+val entries : t -> entry list
+
+(** Close the file sink (idempotent; memory-only journals no-op). *)
+val close : t -> unit
+
+(** Read a journal file from disk ({!of_string} semantics). *)
+val load : string -> entry list
+
+(* ------------------------------------------------------------------ *)
+(* Replay & analysis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type op_status = { intent : intent; resolution : outcome option }
+
+(** Highest op index recorded.  A resumed run seeds its op counter from
+    here so ids stay unique across the segments of one journal (each
+    engine incarnation appends its own [Run_started] … sequence). *)
+val max_op : entry list -> int
+
+(** Every intent in op order, paired with its final outcome ([None] =
+    the crash window: intent durable, result unknown). *)
+val analyze : entry list -> op_status list
+
+(** Intents whose result never made it to the journal, in op order. *)
+val unresolved : entry list -> intent list
+
+(** [true] when the journal's last run ran to completion — nothing to
+    recover. *)
+val finished : entry list -> bool
+
+(** Fold the journal's *known* outcomes over [state]: successful
+    creates are added under their recorded cloud id, updates patch
+    attributes, deletes remove the row (only while it still points at
+    the deleted cloud id — a create-before-destroy replace deletes the
+    *old* identity after the new one was recorded).  Replay is
+    idempotent: re-applying an already-merged journal reproduces the
+    same state, which makes crash-during-recovery safe. *)
+val replay : State.t -> entry list -> State.t

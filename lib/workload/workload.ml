@@ -378,8 +378,11 @@ resource "%s" "%s" {
     is three nodes per group wide, so 1k/5k/10k fleets stress the
     executor's ready set, not just the simulated cloud.  Subnet CIDRs
     are computed here (10.x.y.0/24 inside a 10.0.0.0/8 VPC) to stay
-    valid at any group count. *)
-let fleet ?(region = "us-east-1") ?(instances_per_group = 6) ~resources () =
+    valid at any group count.  [instance_type] parameterizes the
+    instance fleet so callers can generate update waves (same topology,
+    different type) without editing the source text. *)
+let fleet ?(region = "us-east-1") ?(instances_per_group = 6)
+    ?(instance_type = "t3.small") ~resources () =
   if resources < 1 then
     Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
       ~code:"invalid-argument" "Workload.fleet: resources < 1 (got %d)" resources;
@@ -422,7 +425,7 @@ resource "aws_lb_target_group" "g%d" {
 resource "aws_instance" "g%d" {
   count                  = %d
   ami                    = "ami-0fleet"
-  instance_type          = "t3.small"
+  instance_type          = "%s"
   subnet_id              = aws_subnet.g%d.id
   vpc_security_group_ids = [aws_security_group.g%d.id]
   region                 = "%s"
@@ -430,7 +433,7 @@ resource "aws_instance" "g%d" {
 |}
              g (g / 256) (g mod 256) region g g region g g
              (8000 + (g mod 1000))
-             region g instances_per_group g g region)
+             region g instances_per_group instance_type g g region)
       done;
       if pad > 0 then
         add b

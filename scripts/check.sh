@@ -38,6 +38,19 @@ fi
 # engine leaves any orphan/duplicate/divergence or loses determinism.
 dune exec bench/main.exe -- e13 --quick
 
+# Multi-tenant service load: the quick run self-asserts the control
+# plane's claims (per-deployment admission beats the global lock on
+# p99, flat tailer drift latency, crash-resume with zero orphans,
+# byte-deterministic metrics).  Budgeted: the whole sweep is simulated
+# time, so a wall-clock blowout means an event-loop regression.
+E14_BUDGET_S=60
+SECONDS=0
+dune exec bench/main.exe -- e14 --quick
+if (( SECONDS > E14_BUDGET_S )); then
+  echo "check.sh: e14 --quick took ${SECONDS}s (budget ${E14_BUDGET_S}s)" >&2
+  exit 1
+fi
+
 # -- example smokes --------------------------------------------------
 # Every example must run to completion: they are the executable
 # documentation for the lifecycle facade and the EDSL.
