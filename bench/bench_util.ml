@@ -14,6 +14,12 @@ module Workload = Cloudless_workload.Workload
    large inputs (E11) shrink to a ≤5s smoke run for tier-1 CI. *)
 let quick = ref false
 
+(* Set by [main.ml] when "--resources N" is passed: experiments whose
+   sweeps are parameterized by fleet size (E2, E11, E16) run that one
+   size instead of their built-in list, so a one-off measurement never
+   needs a code edit. *)
+let resources : int option ref = ref None
+
 let section title =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s\n" title;

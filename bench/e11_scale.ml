@@ -91,7 +91,12 @@ let run () =
   section
     (Printf.sprintf "E11: engine overhead at scale — heap vs list ready set%s"
        (if quick then " (quick)" else ""));
-  let sizes = if quick then [ 100; 250; 500 ] else [ 100; 500; 1000; 5000; 10000 ] in
+  let sizes =
+    match !Bench_util.resources with
+    | Some n -> [ n ]
+    | None ->
+        if quick then [ 100; 250; 500 ] else [ 100; 500; 1000; 5000; 10000 ]
+  in
   let list_cap = if quick then 500 else 5000 in
   let widths = [ 7; 5; 9; 9; 8; 10; 7; 9 ] in
   row widths

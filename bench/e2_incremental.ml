@@ -78,11 +78,14 @@ let run () =
   row [ 14; 8; 12; 12; 12; 12 ]
     [ "fleet"; "edited"; "full-rfsh"; "inc-rfsh"; "full-time"; "inc-time" ];
   hline [ 14; 8; 12; 12; 12; 12 ];
-  let results =
-    List.map
-      (fun (s, k) -> run_case s k)
-      [ (10, 1); (10, 3); (25, 1); (25, 5); (25, 10) ]
+  (* the (services, edited) sweep; `--resources N` replaces the
+     hardcoded fleet sizes with an N-service fleet at two edit widths *)
+  let cases =
+    match !Bench_util.resources with
+    | Some n -> [ (n, 1); (n, max 1 (n / 5)) ]
+    | None -> [ (10, 1); (10, 3); (25, 1); (25, 5); (25, 10) ]
   in
+  let results = List.map (fun (s, k) -> run_case s k) cases in
   let read_savings =
     List.map
       (fun ((full : Executor.report), (inc : Executor.report)) ->

@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- all     # experiments + microbenches
 
    Flags:
-     --quick   shrink large sweeps (E11) to a ≤5s smoke run *)
+     --quick         shrink large sweeps (E11, E16) to a ≤5s smoke run
+     --resources N   run size-swept experiments (E2, E11, E16) at one
+                     fleet size N instead of their built-in sweeps *)
 
 let experiments =
   [
@@ -25,6 +27,7 @@ let experiments =
     ("e12", E12_pipeline.run);
     ("e13", E13_crash.run);
     ("e14", E14_service.run);
+    ("e16", E16_raw_speed.run);
     ("ablation", Ablation.run);
   ]
 
@@ -42,6 +45,19 @@ let () =
         else true)
       args
   in
+  (* --resources N: consume the flag and its value *)
+  let rec eat_resources = function
+    | "--resources" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v > 0 -> Bench_util.resources := Some v
+        | _ ->
+            Printf.eprintf "--resources expects a positive integer, got %S\n" n;
+            exit 2);
+        eat_resources rest
+    | a :: rest -> a :: eat_resources rest
+    | [] -> []
+  in
+  let args = eat_resources args in
   let run_experiments names =
     List.iter
       (fun n ->

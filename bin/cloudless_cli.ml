@@ -103,8 +103,8 @@ let plan_cmd =
     Term.(const run $ file_arg $ state_arg $ trace_arg)
 
 let apply_cmd =
-  let run file state_path seed engine trace_path resume =
-    Cli.apply ?trace_path ~seed ~engine ~resume ~file ~state_path ()
+  let run file state_path seed engine trace_path resume domains =
+    Cli.apply ?trace_path ~seed ~engine ~resume ~domains ~file ~state_path ()
   in
   let resume_arg =
     Arg.(
@@ -115,11 +115,21 @@ let apply_cmd =
              left next to the state file into the state before planning, \
              then continue the remaining changes")
   in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Shard the plan by weakly-connected component and apply the \
+             shards on N OCaml domains. Output is byte-identical for any N; \
+             the sharded path skips the deployment journal (crash resume is \
+             a --domains 1 feature)")
+  in
   Cmd.v
     (Cmd.info "apply" ~doc:"Apply the configuration against the simulated cloud")
     Term.(
       const run $ file_arg $ state_arg $ seed_arg $ engine_arg $ trace_arg
-      $ resume_arg)
+      $ resume_arg $ domains_arg)
 
 let destroy_cmd =
   let run state_path seed trace_path =

@@ -21,6 +21,7 @@ module State = Cloudless_state.State
 module Journal = Cloudless_state.Journal
 module Plan = Cloudless_plan.Plan
 module Executor = Cloudless_deploy.Executor
+module Shard = Cloudless_deploy.Shard
 module Dag = Cloudless_graph.Dag
 module Trace = Cloudless_obs.Trace
 
@@ -113,7 +114,7 @@ let plan ?(io = default_io) ?trace_path ~file ~state_path () =
    The merged state is persisted immediately, so a crash during
    recovery re-runs the same (idempotent) replay. *)
 let apply ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
-    ?cloud_config ?(resume = false) ~file ~state_path () =
+    ?cloud_config ?(resume = false) ?(domains = 1) ~file ~state_path () =
   protected io @@ fun () ->
   with_trace trace_path @@ fun trace ->
   Trace.with_span trace "apply-cmd" @@ fun () ->
@@ -152,6 +153,46 @@ let apply ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
     Session.clear_journal state_path;
     io.out "No changes. Infrastructure up to date.\n";
     0
+  end
+  else if domains > 1 then begin
+    (* `--domains N`: shard the plan by weakly-connected component and
+       run disjoint shards on OCaml domains.  The sharded path is
+       journal-free (see {!Shard}) — crash resume is a single-domain
+       feature — so no journal file is created or cleared here. *)
+    io.out (Plan.to_string plan);
+    let make_cloud _c =
+      (* each shard gets its own hermetic cloud restored from the same
+         recorded state; the restore order is deterministic, so cloud
+         ids match [state] in every shard *)
+      fst (Session.cloud_from_state ?config:cloud_config recorded ~seed)
+    in
+    let report =
+      Shard.apply ~make_cloud ~domains ~config:(engine_config engine) ~state
+        ~plan ()
+    in
+    outf io
+      "\n\
+       Applied %d change(s) in %.0f simulated seconds (%d API calls, %d \
+       retries; %d shard(s) on %d domain(s)).\n"
+      (List.length report.Shard.applied)
+      report.Shard.makespan report.Shard.api_calls report.Shard.retries
+      (List.length report.Shard.shards)
+      domains;
+    List.iter
+      (fun (f : Executor.failure) ->
+        outf io "FAILED %s: %s\n"
+          (Hcl.Addr.to_string f.Executor.faddr)
+          f.Executor.reason)
+      report.Shard.failed;
+    List.iter
+      (fun d -> errf io "%s\n" (Cloudless_error.Diagnostic.to_string d))
+      (List.concat_map
+         (fun (s : Shard.shard) -> s.Shard.report.Executor.diagnostics)
+         report.Shard.shards);
+    Session.save_state state_path report.Shard.state;
+    outf io "State written to %s (%d resources).\n" state_path
+      (State.size report.Shard.state);
+    if report.Shard.failed <> [] then 2 else 0
   end
   else begin
     io.out (Plan.to_string plan);

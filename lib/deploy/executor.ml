@@ -284,34 +284,40 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
   let crashed = ref false in
   let diagnostics = ref [] in
 
-  (* phase 2: apply *)
-  let dag = Plan.execution_graph plan in
-  let nodes = Dag.nodes dag in
-  let node_count = Dag.size dag in
+  (* phase 2: apply — everything below runs on the flat interned
+     execution graph ([Plan.exec_graph]): node ids are plan-order ints,
+     adjacency is rank-sorted int arrays, per-node bookkeeping is flat
+     arrays.  Pick orders are byte-identical to the historical
+     [Addr]-keyed walk (see the exec_graph doc). *)
+  let xg = Plan.exec_graph plan in
+  let node_count = Plan.exec_size xg in
+  let change_of id = xg.Plan.xchanges.(id) in
+  let addr_of id = (change_of id).Plan.addr in
   journal_append
     (Journal.Run_started
        { engine = config.name; changes = node_count; time = started_at });
-  let duration_of addr = change_duration (Dag.payload dag addr) in
   (* Materialize the remaining-longest-path priority of every node once,
-     up front, instead of consulting the [Dag] closure (and its
+     up front, instead of consulting a [Dag] closure (and its
      hashtables) on every admission. *)
   let priority =
     match config.policy with
     | Fifo -> fun _ -> 0.
     | Critical_path ->
-        let f = Dag.priorities dag ~duration:duration_of in
-        let tbl : (Addr.t, float) Hashtbl.t = Hashtbl.create node_count in
-        List.iter (fun a -> Hashtbl.replace tbl a (f a)) nodes;
-        fun a -> (
-          match Hashtbl.find_opt tbl a with Some p -> p | None -> 0.)
+        let prio = Array.make node_count 0. in
+        let order = List.rev (List.concat (Plan.exec_rounds xg)) in
+        List.iter
+          (fun id ->
+            let tail =
+              Array.fold_left
+                (fun acc r -> Float.max acc prio.(r))
+                0. xg.Plan.xrdeps.(id)
+            in
+            prio.(id) <- tail +. change_duration (change_of id))
+          order;
+        fun id -> prio.(id)
   in
-  let status : (Addr.t, node_status) Hashtbl.t = Hashtbl.create 64 in
-  List.iter (fun a -> Hashtbl.replace status a Pending) nodes;
-  let remaining_deps : (Addr.t, int) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun a ->
-      Hashtbl.replace remaining_deps a (Addr.Set.cardinal (Dag.deps_of dag a)))
-    nodes;
+  let status = Array.make node_count Pending in
+  let remaining_deps = Array.map Array.length xg.Plan.xdeps in
   let in_flight = ref 0 in
   let retries = ref 0 in
   let applied = ref [] in
@@ -349,25 +355,25 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
           | Fifo -> Pq.Min_first
           | Critical_path -> Pq.Max_first
         in
-        let q : (Addr.t, Addr.t) Pq.t =
+        let q : (int, int) Pq.t =
           Pq.create ~initial_capacity:node_count order
         in
-        let add addr = Pq.push q ~prio:(priority addr) ~key:addr addr in
+        let add id = Pq.push q ~prio:(priority id) ~key:id id in
         let take () =
           match Pq.pop q with
           | None -> None
-          | Some (_, _, addr) ->
+          | Some (_, _, id) ->
               incr picks;
-              Some addr
+              Some id
         in
-        let remove addr = ignore (Pq.remove q addr) in
+        let remove id = ignore (Pq.remove q id) in
         (add, take, remove, fun () -> Pq.peak_length q)
     | Sched_list ->
-        let ready : Addr.t list ref = ref [] in
+        let ready : int list ref = ref [] in
         let count = ref 0 in
         let peak = ref 0 in
-        let add addr =
-          ready := addr :: !ready;
+        let add id =
+          ready := id :: !ready;
           incr count;
           if !count > !peak then peak := !count
         in
@@ -382,22 +388,22 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                     List.nth !ready (List.length !ready - 1)
                 | Critical_path ->
                     List.fold_left
-                      (fun best a ->
+                      (fun best id ->
                         match best with
-                        | None -> Some a
+                        | None -> Some id
                         | Some b ->
-                            if priority a > priority b then Some a else Some b)
+                            if priority id > priority b then Some id else Some b)
                       None !ready
                     |> Option.get
               in
-              ready := List.filter (fun a -> not (Addr.equal a pick)) !ready;
+              ready := List.filter (fun id -> id <> pick) !ready;
               decr count;
               incr picks;
               Some pick
         in
-        let remove addr =
+        let remove id =
           let n = List.length !ready in
-          ready := List.filter (fun a -> not (Addr.equal a addr)) !ready;
+          ready := List.filter (fun i -> i <> id) !ready;
           count := !count - (n - List.length !ready)
         in
         (add, take, remove, fun () -> !peak)
@@ -409,37 +415,36 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     r
   in
 
-  let rec mark_skipped addr =
-    match Hashtbl.find_opt status addr with
-    | Some (Pending | Running) ->
-        Hashtbl.replace status addr Skipped;
+  let rec mark_skipped id =
+    match status.(id) with
+    | Pending | Running ->
+        status.(id) <- Skipped;
         let t0 = now_mono () in
-        remove_ready addr;
+        remove_ready id;
         sched_time := !sched_time +. (now_mono () -. t0);
-        Addr.Set.iter mark_skipped (Dag.rdeps_of dag addr)
+        Array.iter mark_skipped xg.Plan.xrdeps.(id)
     | _ -> ()
   in
 
   (* [complete] and [pump] are mutually recursive across the callback
      boundary; tie the knot with a forward reference. *)
   let pump_ref = ref (fun () -> ()) in
-  let complete addr ok =
+  let complete id ok =
     decr in_flight;
     (match ok with
     | Ok () ->
-        Hashtbl.replace status addr Done;
-        applied := addr :: !applied;
-        Addr.Set.iter
+        status.(id) <- Done;
+        applied := addr_of id :: !applied;
+        Array.iter
           (fun d ->
-            let n = Hashtbl.find remaining_deps d - 1 in
-            Hashtbl.replace remaining_deps d n;
-            if n = 0 && Hashtbl.find_opt status d = Some Pending then
-              add_ready d)
-          (Dag.rdeps_of dag addr)
+            let n = remaining_deps.(d) - 1 in
+            remaining_deps.(d) <- n;
+            if n = 0 && status.(d) = Pending then add_ready d)
+          xg.Plan.xrdeps.(id)
     | Error reason ->
-        Hashtbl.replace status addr (Failed reason);
-        failed := { faddr = addr; reason } :: !failed;
-        Addr.Set.iter mark_skipped (Dag.rdeps_of dag addr));
+        status.(id) <- Failed reason;
+        failed := { faddr = addr_of id; reason } :: !failed;
+        Array.iter mark_skipped xg.Plan.xrdeps.(id));
     !pump_ref ()
   in
 
@@ -451,7 +456,8 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
      callback.  Outcomes are journaled at the top of each callback,
      before any state mutation, so the journal is never behind the
      in-memory record either. *)
-  let rec perform addr (c : Plan.change) attempt =
+  let rec perform id (c : Plan.change) attempt =
+    let addr = c.Plan.addr in
     let submit_logged kind ~payload ~prior op handler =
       incr ops_started;
       incr run_ops;
@@ -517,11 +523,11 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
           record true;
           incr retries;
           let delay = Float.max after (backoff attempt) in
-          schedule_retry addr c (attempt + 1) delay
+          schedule_retry id c (attempt + 1) delay
       | Cloud.Transient _ when attempt < config.max_retries ->
           record true;
           incr retries;
-          schedule_retry addr c (attempt + 1) (backoff attempt)
+          schedule_retry id c (attempt + 1) (backoff attempt)
       | err ->
           record false;
           (match err with
@@ -537,13 +543,13 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                      (Cloud.error_to_string err))
                 :: !diagnostics
           | _ -> ());
-          complete addr (Error (Cloud.error_to_string err))
+          complete id (Error (Cloud.error_to_string err))
     in
     match c.Plan.action with
-    | Plan.Noop -> complete addr (Ok ())
+    | Plan.Noop -> complete id (Ok ())
     | Plan.Create -> (
         match c.Plan.desired with
-        | None -> complete addr (Error "create without desired attributes")
+        | None -> complete id (Error "create without desired attributes")
         | Some desired ->
             let attrs = resolve_attrs !state_ref desired in
             submit_logged Journal.Op_create ~payload:attrs ~prior:None
@@ -568,7 +574,7 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                           attrs = cloud_attrs;
                           deps = c.Plan.deps;
                         };
-                    complete addr (Ok ())
+                    complete id (Ok ())
                 | Error err -> on_error ~op ~kind:Journal.Op_create err))
     | Plan.Update changes -> (
         match (c.Plan.prior, c.Plan.desired) with
@@ -590,9 +596,9 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                     ok_outcome ~op ~kind:Journal.Op_update
                       ~cloud_id:(Some prior.State.cloud_id) cloud_attrs;
                     state_ref := State.update_attrs !state_ref addr cloud_attrs;
-                    complete addr (Ok ())
+                    complete id (Ok ())
                 | Error err -> on_error ~op ~kind:Journal.Op_update err)
-        | _ -> complete addr (Error "update without prior state"))
+        | _ -> complete id (Error "update without prior state"))
     | Plan.Delete -> (
         match c.Plan.prior with
         | Some prior ->
@@ -606,9 +612,9 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                     ok_outcome ~op ~kind:Journal.Op_delete
                       ~cloud_id:(Some prior.State.cloud_id) Smap.empty;
                     state_ref := State.remove !state_ref addr;
-                    complete addr (Ok ())
+                    complete id (Ok ())
                 | Error err -> on_error ~op ~kind:Journal.Op_delete err)
-        | None -> complete addr (Error "delete without prior state"))
+        | None -> complete id (Error "delete without prior state"))
     | Plan.Replace _ -> (
         match (c.Plan.prior, c.Plan.desired) with
         | Some prior, Some desired ->
@@ -653,7 +659,7 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                                   ok_outcome ~op ~kind:Journal.Op_delete
                                     ~cloud_id:(Some prior.State.cloud_id)
                                     Smap.empty;
-                                  complete addr (Ok ())
+                                  complete id (Ok ())
                               | Error err ->
                                   on_error ~op ~kind:Journal.Op_delete err))
                   | Error err -> on_error ~op ~kind:Journal.Op_create err)
@@ -675,17 +681,17 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                           match result with
                           | Ok cloud_attrs ->
                               record_new op cloud_attrs (fun () ->
-                                  complete addr (Ok ()))
+                                  complete id (Ok ()))
                           | Error err ->
                               on_error ~op ~kind:Journal.Op_create err)
                   | Error err -> on_error ~op ~kind:Journal.Op_delete err)
-        | _ -> complete addr (Error "replace without prior state"))
+        | _ -> complete id (Error "replace without prior state"))
 
-  and schedule_retry addr c attempt delay =
+  and schedule_retry id c attempt delay =
     (* keep the op slot while backing off (like real engines do); the
        wake-up is inert if the engine died in the meantime *)
     Cloud.schedule cloud ~delay (fun () ->
-        if not !crashed then perform addr c attempt)
+        if not !crashed then perform id c attempt)
 
   and pump () =
     let can_start () =
@@ -696,8 +702,8 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     if can_start () then
       match take_ready () with
       | None -> ()
-      | Some addr ->
-          let c = Dag.payload dag addr in
+      | Some id ->
+          let c = change_of id in
           incr in_flight;
           if config.client_pacing then begin
             (* §3.3: do not fire writes the provider would throttle.
@@ -724,26 +730,26 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                  boundary (float-exact arrivals would race the bucket) *)
               Cloud.schedule cloud ~delay:(wait +. 0.05) (fun () ->
                   if not !crashed then begin
-                    perform addr c 0;
+                    perform id c 0;
                     pump ()
                   end)
             else begin
-              perform addr c 0;
+              perform id c 0;
               pump ()
             end
           end
           else begin
-            perform addr c 0;
+            perform id c 0;
             pump ()
           end
   in
 
   pump_ref := pump;
 
-  (* seed the ready set *)
-  List.iter
-    (fun a -> if Hashtbl.find remaining_deps a = 0 then add_ready a)
-    nodes;
+  (* seed the ready set, in plan (insertion) order *)
+  for id = 0 to node_count - 1 do
+    if remaining_deps.(id) = 0 then add_ready id
+  done;
   pump ();
   (* drive the simulation, pumping after every event *)
   let rec drive () =
@@ -756,11 +762,11 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
 
   let finished_at = Cloud.now cloud in
   journal_append (Journal.Run_finished { time = finished_at });
-  let skipped =
-    Hashtbl.fold
-      (fun a s acc -> match s with Skipped -> a :: acc | _ -> acc)
-      status []
-  in
+  let skipped = ref [] in
+  for id = node_count - 1 downto 0 do
+    if status.(id) = Skipped then skipped := addr_of id :: !skipped
+  done;
+  let skipped = !skipped in
   let throttled =
     snd (Cloud.write_throttle_stats cloud)
     - base_write_throttles

@@ -9,6 +9,20 @@
 
 module Addr = Cloudless_hcl.Addr
 
+(** The compiled (interned) form of a graph's topology: node ids are
+    insertion indices minted by one {!Intern} table, adjacency is flat
+    int arrays in ascending-address order (the order [Addr.Set.iter]
+    walks), so every traversal below runs on array reads instead of
+    polymorphic-compare tree walks.  Built lazily, cached per value;
+    the functional constructors hand out fresh records so a stale
+    cache can never be observed. *)
+type flat = {
+  f_intern : Intern.t;  (** id = insertion index of the node *)
+  f_deps : int array array;  (** ascending-address order per node *)
+  f_rdeps : int array array;
+  mutable f_rounds : int list list option;  (** cached Kahn rounds *)
+}
+
 type 'a t = {
   payloads : 'a Addr.Map.t;
   deps : Addr.Set.t Addr.Map.t;  (** node -> nodes it depends on *)
@@ -18,6 +32,8 @@ type 'a t = {
       (** cached Kahn rounds (= parallel levels); reset by any
           topology-changing constructor so [topo_sort], [levels],
           [depth] and [max_width] share one traversal *)
+  mutable flat_memo : flat option;
+      (** cached compiled topology; same invalidation discipline *)
 }
 
 exception Cycle of Addr.t list
@@ -29,6 +45,7 @@ let empty =
     rdeps = Addr.Map.empty;
     order = [];
     rounds_memo = None;
+    flat_memo = None;
   }
 
 let mem t addr = Addr.Map.mem addr t.payloads
@@ -55,6 +72,7 @@ let add_node t addr payload =
       rdeps = Addr.Map.add addr Addr.Set.empty t.rdeps;
       order = addr :: t.order;
       rounds_memo = None;
+      flat_memo = None;
     }
 
 (** Add a dependency edge: [dependent] needs [dependency] first.  Both
@@ -81,6 +99,7 @@ let add_edge t ~dependent ~dependency =
           (fun s -> Some (Addr.Set.add dependent (Option.value ~default:Addr.Set.empty s)))
           t.rdeps;
       rounds_memo = None;
+      flat_memo = None;
     }
 
 let deps_of t addr =
@@ -93,61 +112,101 @@ let edge_count t =
   Addr.Map.fold (fun _ s acc -> acc + Addr.Set.cardinal s) t.deps 0
 
 (* ------------------------------------------------------------------ *)
+(* Compilation to the flat (interned) form                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One pass over the maps: mint ids in insertion order, then freeze
+   each adjacency set into an int array.  [Addr.Set.iter] walks sets in
+   ascending address order, so the arrays inherit that order — the
+   traversals below rely on it wherever the seed code's iteration
+   order was observable (critical-path predecessor choice). *)
+let compile t =
+  let n = Addr.Map.cardinal t.payloads in
+  let intern = Intern.create ~capacity:(max 1 n) () in
+  List.iter (fun a -> ignore (Intern.intern intern a)) (nodes t);
+  let to_ids s =
+    let arr = Array.make (Addr.Set.cardinal s) 0 in
+    let i = ref 0 in
+    Addr.Set.iter
+      (fun d ->
+        (match Intern.find_opt intern d with
+        | Some id -> arr.(!i) <- id
+        | None -> assert false (* edges only connect existing nodes *));
+        incr i)
+      s;
+    arr
+  in
+  let f_deps = Array.make n [||] and f_rdeps = Array.make n [||] in
+  Intern.iter
+    (fun id a ->
+      f_deps.(id) <- to_ids (deps_of t a);
+      f_rdeps.(id) <- to_ids (rdeps_of t a))
+    intern;
+  { f_intern = intern; f_deps; f_rdeps; f_rounds = None }
+
+let compiled t =
+  match t.flat_memo with
+  | Some fl -> fl
+  | None ->
+      let fl = compile t in
+      t.flat_memo <- Some fl;
+      fl
+
+(* ------------------------------------------------------------------ *)
 (* Topological order                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Kahn's algorithm by rounds.  Round k holds exactly the nodes of
-   level k (all dependencies in rounds < k), each round in insertion
-   order — the same order the seed's per-round [List.partition] scan
-   produced, but in O(V log V + E) instead of O(depth * V): only the
-   nodes whose in-degree just reached zero are touched between rounds,
-   and each round is sorted by insertion index.  Raises {!Cycle} with
-   the blocked nodes (insertion order) when the graph has one. *)
-let kahn_rounds t =
-  let n = Addr.Map.cardinal t.payloads in
-  let idx = Hashtbl.create (2 * n) in
-  let in_degree = Hashtbl.create (2 * n) in
-  let first = ref [] in
-  List.iteri
-    (fun i a ->
-      Hashtbl.replace idx a i;
-      let d = Addr.Set.cardinal (deps_of t a) in
-      Hashtbl.replace in_degree a d;
-      if d = 0 then first := a :: !first)
-    (nodes t);
-  let by_insertion l =
-    List.sort (fun a b -> compare (Hashtbl.find idx a) (Hashtbl.find idx b)) l
-  in
-  let processed = ref 0 in
-  let rec go ready acc =
-    match ready with
-    | [] -> List.rev acc
-    | _ ->
-        let round = by_insertion ready in
-        processed := !processed + List.length round;
-        let next =
-          List.fold_left
-            (fun next a ->
-              Addr.Set.fold
-                (fun d next ->
-                  let deg = Hashtbl.find in_degree d - 1 in
-                  Hashtbl.replace in_degree d deg;
-                  if deg = 0 then d :: next else next)
-                (rdeps_of t a) next)
-            [] round
-        in
-        go next (round :: acc)
-  in
-  let rounds = go !first [] in
-  if !processed < n then
-    raise (Cycle (List.filter (fun a -> Hashtbl.find in_degree a > 0) (nodes t)));
-  rounds
+(* Kahn's algorithm by rounds over a flat in-degree array.  Round k
+   holds exactly the nodes of level k (all dependencies in rounds
+   < k), each round in insertion order — ids ARE insertion indices, so
+   sorting a round is an int sort and the output matches the seed's
+   per-round [List.partition] scan byte for byte.  Raises {!Cycle}
+   with the blocked nodes (insertion order) when the graph has one. *)
+let flat_rounds fl =
+  match fl.f_rounds with
+  | Some r -> r
+  | None ->
+      let n = Array.length fl.f_deps in
+      let indeg = Array.map Array.length fl.f_deps in
+      let first = ref [] in
+      for id = n - 1 downto 0 do
+        if indeg.(id) = 0 then first := id :: !first
+      done;
+      let processed = ref 0 in
+      let rec go ready acc =
+        match ready with
+        | [] -> List.rev acc
+        | _ ->
+            processed := !processed + List.length ready;
+            let next = ref [] in
+            List.iter
+              (fun id ->
+                Array.iter
+                  (fun d ->
+                    indeg.(d) <- indeg.(d) - 1;
+                    if indeg.(d) = 0 then next := d :: !next)
+                  fl.f_rdeps.(id))
+              ready;
+            go (List.sort Int.compare !next) (ready :: acc)
+      in
+      let rounds = go !first [] in
+      if !processed < n then begin
+        let blocked = ref [] in
+        for id = n - 1 downto 0 do
+          if indeg.(id) > 0 then
+            blocked := Intern.addr fl.f_intern id :: !blocked
+        done;
+        raise (Cycle !blocked)
+      end;
+      fl.f_rounds <- Some rounds;
+      rounds
 
 let rounds t =
   match t.rounds_memo with
   | Some r -> r
   | None ->
-      let r = kahn_rounds t in
+      let fl = compiled t in
+      let r = List.map (List.map (Intern.addr fl.f_intern)) (flat_rounds fl) in
       t.rounds_memo <- Some r;
       r
 
@@ -180,81 +239,115 @@ let max_width t = List.fold_left (fun acc l -> max acc (List.length l)) 0 (level
     ({!priorities}), which the cloudless scheduler uses to order work:
     zero-slack nodes are on the critical path and must never wait. *)
 let critical_path t ~duration =
-  let finish = Hashtbl.create 64 in
-  let order = topo_sort t in
-  List.iter
-    (fun a ->
-      let start =
-        Addr.Set.fold (fun d acc -> Float.max acc (Hashtbl.find finish d)) (deps_of t a) 0.
-      in
-      Hashtbl.replace finish a (start +. duration a))
-    order;
+  let fl = compiled t in
+  let order = List.concat (flat_rounds fl) in
   match order with
   | [] -> (0., [])
   | _ ->
+      let n = Array.length fl.f_deps in
+      let finish = Array.make n 0. in
+      let dur = Array.make n 0. in
+      List.iter
+        (fun id ->
+          let start =
+            Array.fold_left
+              (fun acc d -> Float.max acc finish.(d))
+              0. fl.f_deps.(id)
+          in
+          dur.(id) <- duration (Intern.addr fl.f_intern id);
+          finish.(id) <- start +. dur.(id))
+        order;
       let last =
         List.fold_left
-          (fun acc a ->
+          (fun acc id ->
             match acc with
-            | None -> Some a
-            | Some b -> if Hashtbl.find finish a > Hashtbl.find finish b then Some a else Some b)
+            | None -> Some id
+            | Some b -> if finish.(id) > finish.(b) then Some id else Some b)
           None order
       in
       let last = Option.get last in
-      (* Walk backwards along the tight predecessors. *)
-      let rec back a acc =
-        let start = Hashtbl.find finish a -. duration a in
-        let pred =
-          Addr.Set.fold
-            (fun d found ->
-              match found with
-              | Some _ -> found
-              | None ->
-                  if Float.abs (Hashtbl.find finish d -. start) < 1e-9 then Some d
-                  else None)
-            (deps_of t a) None
-        in
-        match pred with None -> a :: acc | Some p -> back p (a :: acc)
+      (* Walk backwards along the tight predecessors; the arrays are in
+         ascending-address order, so the first tight hit matches the
+         seed's [Addr.Set.fold] choice. *)
+      let rec back id acc =
+        let start = finish.(id) -. dur.(id) in
+        let pred = ref None in
+        (try
+           Array.iter
+             (fun d ->
+               if Float.abs (finish.(d) -. start) < 1e-9 then begin
+                 pred := Some d;
+                 raise Exit
+               end)
+             fl.f_deps.(id)
+         with Exit -> ());
+        match !pred with None -> id :: acc | Some p -> back p (id :: acc)
       in
-      (Hashtbl.find finish last, back last [])
+      ( finish.(last),
+        List.map (Intern.addr fl.f_intern) (back last []) )
 
 (** Remaining-longest-path priority for every node: the length of the
     longest duration chain from the node (inclusive) to any sink.
     Higher priority = more critical. *)
 let priorities t ~duration =
-  let prio = Hashtbl.create 64 in
-  let order = List.rev (topo_sort t) in
+  let fl = compiled t in
+  let n = Array.length fl.f_deps in
+  let prio = Array.make n 0. in
+  let order = List.rev (List.concat (flat_rounds fl)) in
   List.iter
-    (fun a ->
+    (fun id ->
       let tail =
-        Addr.Set.fold (fun d acc -> Float.max acc (Hashtbl.find prio d)) (rdeps_of t a) 0.
+        Array.fold_left (fun acc r -> Float.max acc prio.(r)) 0. fl.f_rdeps.(id)
       in
-      Hashtbl.replace prio a (tail +. duration a))
+      prio.(id) <- tail +. duration (Intern.addr fl.f_intern id))
     order;
   fun addr ->
-    match Hashtbl.find_opt prio addr with Some p -> p | None -> 0.
+    match Intern.find_opt fl.f_intern addr with
+    | Some id -> prio.(id)
+    | None -> 0.
 
 (* ------------------------------------------------------------------ *)
 (* Reachability and impact scope                                       *)
 (* ------------------------------------------------------------------ *)
 
-let closure next seeds =
-  let rec go visited frontier =
-    match frontier with
-    | [] -> visited
-    | a :: rest ->
-        if Addr.Set.mem a visited then go visited rest
-        else
-          let visited = Addr.Set.add a visited in
-          go visited (Addr.Set.elements (next a) @ rest)
+(* Reachability over the flat adjacency with a byte visited-array;
+   seeds outside the graph stay in the closure (no out-edges), exactly
+   like the seed's set-based walk. *)
+let closure t dir seeds =
+  let fl = compiled t in
+  let n = Array.length fl.f_deps in
+  let adj = match dir with `Deps -> fl.f_deps | `Rdeps -> fl.f_rdeps in
+  let visited = Bytes.make n '\000' in
+  let out = ref Addr.Set.empty in
+  let stack = ref [] in
+  Addr.Set.iter
+    (fun a ->
+      match Intern.find_opt fl.f_intern a with
+      | Some id -> stack := id :: !stack
+      | None -> out := Addr.Set.add a !out)
+    seeds;
+  let rec go () =
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+        stack := rest;
+        if Bytes.get visited id = '\000' then begin
+          Bytes.set visited id '\001';
+          out := Addr.Set.add (Intern.addr fl.f_intern id) !out;
+          Array.iter
+            (fun d -> if Bytes.get visited d = '\000' then stack := d :: !stack)
+            adj.(id)
+        end;
+        go ()
   in
-  go Addr.Set.empty (Addr.Set.elements seeds)
+  go ();
+  !out
 
 (** Transitive dependencies of [seeds], including the seeds. *)
-let ancestors t seeds = closure (deps_of t) seeds
+let ancestors t seeds = closure t `Deps seeds
 
 (** Transitive dependents of [seeds], including the seeds. *)
-let descendants t seeds = closure (rdeps_of t) seeds
+let descendants t seeds = closure t `Rdeps seeds
 
 (** §3.3 impact scope: the nodes whose plan can be affected by a change
     to [seeds] — the seeds, everything that (transitively) consumes

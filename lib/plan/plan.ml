@@ -303,6 +303,184 @@ let execution_graph (t : t) : change Dag.t =
   graph_of_changes changes ~resolve
 
 (* ------------------------------------------------------------------ *)
+(* Flat execution graph (interned hot path)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Growable int vector for edge collection — the edge count is unknown
+   up front and a pair list would cost ~6 words per edge at 1M scale. *)
+module Ivec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create capacity = { a = Array.make (max 1 capacity) 0; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let a = Array.make (2 * Array.length v.a) 0 in
+      Array.blit v.a 0 a 0 v.n;
+      v.a <- a
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+end
+
+type exec_graph = {
+  xintern : Cloudless_graph.Intern.t;
+      (** id = index of the change in [xchanges] *)
+  xchanges : change array;  (** actionable changes, plan order *)
+  xdeps : int array array;
+      (** per node: dependency ids, ascending-address order, dedup'd —
+          the exact order/multiplicity {!execution_graph}'s
+          [Addr.Set]s expose *)
+  xrdeps : int array array;  (** reverse adjacency, same discipline *)
+}
+
+let exec_size xg = Array.length xg.xchanges
+
+(** Flat-array equivalent of {!execution_graph}: same nodes (actionable
+    changes, plan order), same edge set, adjacency frozen into int
+    arrays sorted in ascending-address order so scans over it visit
+    neighbours exactly as [Addr.Set.iter] would — the executor's
+    ready-set push order (and therefore scheduling tie-breaks) must
+    not change.  The executor and the domain sharder run on this; the
+    [Dag]-returning {!execution_graph} stays for analyses and as the
+    equivalence oracle. *)
+let exec_graph (t : t) : exec_graph =
+  let changes = Array.of_list (actionable t) in
+  let n = Array.length changes in
+  let intern = Cloudless_graph.Intern.create ~capacity:(max 1 n) () in
+  Array.iter (fun c -> ignore (Cloudless_graph.Intern.intern intern c.addr)) changes;
+  (* duplicate plan addresses would desynchronize ids from array
+     indices; [make] never produces them (orphans are disjoint from
+     desired addresses) *)
+  if Cloudless_graph.Intern.length intern <> n then
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+      ~code:"duplicate-change" "Plan.exec_graph: duplicate change addresses";
+  let by_base = Hashtbl.create (2 * n) in
+  for id = n - 1 downto 0 do
+    (* downward so each bucket ends up in ascending plan order *)
+    let b = Addr.base changes.(id).addr in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt by_base b) in
+    Hashtbl.replace by_base b (id :: prev)
+  done;
+  let resolve dep =
+    match Cloudless_graph.Intern.find_opt intern dep with
+    | Some id -> [ id ]
+    | None ->
+        Option.value ~default:[] (Hashtbl.find_opt by_base (Addr.base dep))
+  in
+  let e_dependent = Ivec.create (2 * n) and e_dependency = Ivec.create (2 * n) in
+  let add_edge ~dependent ~dependency =
+    if dependent <> dependency then begin
+      Ivec.push e_dependent dependent;
+      Ivec.push e_dependency dependency
+    end
+  in
+  Array.iteri
+    (fun id c ->
+      match c.action with
+      | Delete ->
+          (* reverse edges among deletes: dependency d is deleted after
+             dependent c *)
+          List.iter
+            (fun dep ->
+              List.iter
+                (fun d ->
+                  if changes.(d).action = Delete then
+                    add_edge ~dependent:d ~dependency:id)
+                (resolve dep))
+            c.deps
+      | Create | Update _ | Replace _ | Noop ->
+          List.iter
+            (fun dep ->
+              List.iter
+                (fun d ->
+                  (* only depend on other non-delete changes *)
+                  if changes.(d).action <> Delete then
+                    add_edge ~dependent:id ~dependency:d)
+                (resolve dep))
+            c.deps)
+    changes;
+  (* rank: position of each id's address in ascending-address order,
+     so sorting an adjacency row by rank reproduces [Addr.Set.iter] *)
+  let rank = Array.make n 0 in
+  let by_addr = Array.init n (fun id -> id) in
+  Array.sort
+    (fun a b -> Addr.compare changes.(a).addr changes.(b).addr)
+    by_addr;
+  Array.iteri (fun pos id -> rank.(id) <- pos) by_addr;
+  let freeze ~src ~dst =
+    let cnt = Array.make n 0 in
+    for k = 0 to src.Ivec.n - 1 do
+      let s = src.Ivec.a.(k) in
+      cnt.(s) <- cnt.(s) + 1
+    done;
+    let rows = Array.init n (fun id -> Array.make cnt.(id) 0) in
+    let fill = Array.make n 0 in
+    for k = 0 to src.Ivec.n - 1 do
+      let s = src.Ivec.a.(k) in
+      rows.(s).(fill.(s)) <- dst.Ivec.a.(k);
+      fill.(s) <- fill.(s) + 1
+    done;
+    Array.map
+      (fun row ->
+        Array.sort (fun a b -> Int.compare rank.(a) rank.(b)) row;
+        (* dedup (sorted, so duplicates are adjacent) *)
+        let m = Array.length row in
+        if m <= 1 then row
+        else begin
+          let w = ref 1 in
+          for r = 1 to m - 1 do
+            if row.(r) <> row.(!w - 1) then begin
+              row.(!w) <- row.(r);
+              incr w
+            end
+          done;
+          if !w = m then row else Array.sub row 0 !w
+        end)
+      rows
+  in
+  let xdeps = freeze ~src:e_dependent ~dst:e_dependency in
+  let xrdeps = freeze ~src:e_dependency ~dst:e_dependent in
+  { xintern = intern; xchanges = changes; xdeps; xrdeps }
+
+(** Kahn rounds over the flat graph (ids ascending inside each round =
+    plan order, matching [Dag.levels] on {!execution_graph}); raises
+    [Dag.Cycle] with the blocked addresses. *)
+let exec_rounds (xg : exec_graph) : int list list =
+  let n = exec_size xg in
+  let indeg = Array.map Array.length xg.xdeps in
+  let first = ref [] in
+  for id = n - 1 downto 0 do
+    if indeg.(id) = 0 then first := id :: !first
+  done;
+  let processed = ref 0 in
+  let rec go ready acc =
+    match ready with
+    | [] -> List.rev acc
+    | _ ->
+        processed := !processed + List.length ready;
+        let next = ref [] in
+        List.iter
+          (fun id ->
+            Array.iter
+              (fun d ->
+                indeg.(d) <- indeg.(d) - 1;
+                if indeg.(d) = 0 then next := d :: !next)
+              xg.xrdeps.(id))
+          ready;
+        go (List.sort Int.compare !next) (ready :: acc)
+  in
+  let rounds = go !first [] in
+  if !processed < n then begin
+    let blocked = ref [] in
+    for id = n - 1 downto 0 do
+      if indeg.(id) > 0 then blocked := xg.xchanges.(id).addr :: !blocked
+    done;
+    raise (Dag.Cycle !blocked)
+  end;
+  rounds
+
+(* ------------------------------------------------------------------ *)
 (* Incremental planning (§3.3)                                         *)
 (* ------------------------------------------------------------------ *)
 

@@ -110,52 +110,341 @@ let deps_of_hcl s =
         vs
   | _ -> raise (Trace.Parse_error "journal: deps is not a list literal")
 
-let kv_str k v = Printf.sprintf "\"%s\":\"%s\"" k (Trace.json_escape v)
-let kv_int k v = Printf.sprintf "\"%s\":%d" k v
-let kv_float k v = Printf.sprintf "\"%s\":%s" k (Trace.float_lit v)
-let kv_bool k v = kv_int k (if v then 1 else 0)
+(* Direct-to-buffer encoder: each entry is rendered straight into the
+   caller's [Buffer] — no per-field [Printf.sprintf], no field list, no
+   [String.concat] — so a journaled apply allocates almost nothing per
+   line beyond the HCL attribute text.  Byte-identical to the seed's
+   string-building encoder, kept below as {!Reference.entry_to_line}
+   and asserted equal by the test suite. *)
 
-let kv_opt k = function None -> Printf.sprintf "\"%s\":null" k | Some s -> kv_str k s
+let add_escaped buf s =
+  (* Trace.json_escape, written into the caller's buffer.  Clean runs
+     (the overwhelmingly common case: identifiers, cloud ids, region
+     names) are copied with one [add_substring] instead of a per-char
+     push — at a million journal lines the difference is the bench. *)
+  let n = String.length s in
+  let run = ref 0 in
+  for i = 0 to n - 1 do
+    let c = String.unsafe_get s i in
+    if
+      match c with
+      | '"' | '\\' -> true
+      | c -> Char.code c < 0x20
+    then begin
+      if i > !run then Buffer.add_substring buf s !run (i - !run);
+      (match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c)));
+      run := i + 1
+    end
+  done;
+  if n > !run then Buffer.add_substring buf s !run (n - !run)
 
-let obj fields = "{" ^ String.concat "," fields ^ "}"
+let add_key buf k =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf k;
+  Buffer.add_string buf "\":"
 
-let entry_to_line = function
+let add_str buf k v =
+  add_key buf k;
+  Buffer.add_char buf '"';
+  add_escaped buf v;
+  Buffer.add_char buf '"'
+
+let add_int buf k v =
+  add_key buf k;
+  Buffer.add_string buf (string_of_int v)
+
+(* [Trace.float_lit] is a ["%.17g"] sprintf — ~400ns, the single most
+   expensive token on a journal line.  Simulated timestamps repeat
+   heavily (every op submitted in one ready burst shares the clock),
+   so a one-slot memo absorbs most of them.  The slot is domain-local:
+   the sharded apply path is journal-free today, but nothing should
+   quietly break if two domains ever journal concurrently.  Bitwise
+   comparison keeps the memo exact (nan, -0.); the initial slot pairs
+   nan's bits with the "null" that [float_lit] renders nan as. *)
+let float_memo =
+  Domain.DLS.new_key (fun () ->
+      (ref (Int64.bits_of_float Float.nan), ref "null"))
+
+let add_float buf k v =
+  add_key buf k;
+  let bits, lit = Domain.DLS.get float_memo in
+  let b = Int64.bits_of_float v in
+  if b <> !bits then begin
+    bits := b;
+    lit := Trace.float_lit v
+  end;
+  Buffer.add_string buf !lit
+
+let add_bool buf k v = add_int buf k (if v then 1 else 0)
+
+let add_opt buf k = function
+  | None ->
+      add_key buf k;
+      Buffer.add_string buf "null"
+  | Some s -> add_str buf k s
+
+let sep buf = Buffer.add_char buf ','
+
+(* Fused attribute/deps emitters: the composition of {!hcl_of_map} /
+   {!hcl_of_deps} (sanitize -> Codec AST -> Printer text) with
+   {!add_escaped}, performed in a single pass with no map copy, no AST
+   and no intermediate strings — at fleet scale the three-stage
+   pipeline above is the whole cost of a journaled apply.  Byte
+   equality with the composed pipeline (and hence with
+   {!Reference.entry_to_line}) is asserted by the test suite over
+   arbitrary values. *)
+
+(* One character of a rendered HCL string literal, JSON-escaped:
+   [Printer.escape_template_lit] then [Trace.json_escape], composed.
+   E.g. a literal quote becomes backslash-quote in HCL, and each of
+   those two bytes is then escaped again for JSON (four bytes out). *)
+let add_hcl_str_body buf s =
+  let n = String.length s in
+  let run = ref 0 in
+  for i = 0 to n - 1 do
+    let c = String.unsafe_get s i in
+    if
+      match c with
+      | '"' | '\\' -> true
+      | '$' -> i + 1 < n && s.[i + 1] = '{'
+      | c -> Char.code c < 0x20
+    then begin
+      if i > !run then Buffer.add_substring buf s !run (i - !run);
+      (match c with
+      | '"' -> Buffer.add_string buf "\\\\\\\""
+      | '\\' -> Buffer.add_string buf "\\\\\\\\"
+      | '\n' -> Buffer.add_string buf "\\\\n"
+      | '\t' -> Buffer.add_string buf "\\\\t"
+      | '$' -> Buffer.add_string buf "\\\\$"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c)));
+      run := i + 1
+    end
+  done;
+  if n > !run then Buffer.add_substring buf s !run (n - !run)
+
+(* An HCL string literal (quotes included) as it appears inside a JSON
+   string field. *)
+let add_hcl_string buf s =
+  Buffer.add_string buf "\\\"";
+  add_hcl_str_body buf s;
+  Buffer.add_string buf "\\\""
+
+(* Canonical HCL for a sanitized value ([Vunknown] renders as the
+   [null] {!State.sanitize} would have substituted), JSON-escaped. *)
+let rec add_hcl_value buf (v : Value.t) =
+  match v with
+  | Value.Vunknown _ | Value.Vnull -> Buffer.add_string buf "null"
+  | Value.Vbool b -> Buffer.add_string buf (string_of_bool b)
+  | Value.Vint n -> Buffer.add_string buf (string_of_int n)
+  | Value.Vfloat f -> Buffer.add_string buf (Value.float_to_string f)
+  | Value.Vstring s -> add_hcl_string buf s
+  | Value.Vlist vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          add_hcl_value buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | Value.Vmap m -> add_hcl_map_value buf m
+
+and add_hcl_map_value buf m =
+  Buffer.add_string buf "{ ";
+  let first = ref true in
+  Smap.iter
+    (fun k v ->
+      if !first then first := false else Buffer.add_string buf ", ";
+      if Printer.ident_like k then Buffer.add_string buf k
+      else add_hcl_string buf k;
+      Buffer.add_string buf " = ";
+      add_hcl_value buf v)
+    m;
+  Buffer.add_string buf " }"
+
+let add_attrs buf k m =
+  add_key buf k;
+  Buffer.add_char buf '"';
+  add_hcl_map_value buf m;
+  Buffer.add_char buf '"'
+
+(* Address fast path: almost every address is [rtype.rname] or
+   [rtype.rname[i]] out of plain identifiers — no module path, no data
+   mode, nothing to escape in either the JSON or the HCL-string
+   context — so it can be emitted directly, skipping the
+   [Addr.to_string] sprintf.  Anything unusual falls back to the
+   rendered string. *)
+let ident_clean s =
+  String.for_all
+    (fun c -> Char.code c >= 0x20 && c <> '"' && c <> '\\' && c <> '$')
+    s
+
+let addr_plain (a : Addr.t) =
+  a.Addr.module_path = []
+  && a.Addr.mode = Addr.Managed
+  && (match a.Addr.key with Addr.Kstr _ -> false | _ -> true)
+  && ident_clean a.Addr.rtype && ident_clean a.Addr.rname
+
+let add_addr_body buf (a : Addr.t) =
+  Buffer.add_string buf a.Addr.rtype;
+  Buffer.add_char buf '.';
+  Buffer.add_string buf a.Addr.rname;
+  match a.Addr.key with
+  | Addr.Knone -> ()
+  | Addr.Kint i ->
+      Buffer.add_char buf '[';
+      Buffer.add_string buf (string_of_int i);
+      Buffer.add_char buf ']'
+  | Addr.Kstr _ -> assert false (* excluded by [addr_plain] *)
+
+let add_addr buf k a =
+  add_key buf k;
+  Buffer.add_char buf '"';
+  if addr_plain a then add_addr_body buf a
+  else add_escaped buf (Addr.to_string a);
+  Buffer.add_char buf '"'
+
+let add_deps buf k deps =
+  add_key buf k;
+  Buffer.add_string buf "\"[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_string buf ", ";
+      if addr_plain d then begin
+        Buffer.add_string buf "\\\"";
+        add_addr_body buf d;
+        Buffer.add_string buf "\\\""
+      end
+      else add_hcl_string buf (Addr.to_string d))
+    deps;
+  Buffer.add_string buf "]\""
+
+let add_entry buf entry =
+  Buffer.add_char buf '{';
+  (match entry with
   | Run_started { engine; changes; time } ->
-      obj
-        [
-          kv_str "e" "start"; kv_str "engine" engine; kv_int "changes" changes;
-          kv_float "time" time;
-        ]
+      add_str buf "e" "start";
+      sep buf;
+      add_str buf "engine" engine;
+      sep buf;
+      add_int buf "changes" changes;
+      sep buf;
+      add_float buf "time" time
   | Intent i ->
-      obj
-        [
-          kv_str "e" "intent";
-          kv_int "op" i.op;
-          kv_str "addr" (Addr.to_string i.iaddr);
-          kv_str "kind" (op_kind_to_string i.kind);
-          kv_str "rtype" i.rtype;
-          kv_str "region" i.region;
-          kv_opt "prior" i.prior_cloud_id;
-          kv_int "cursor" i.log_cursor;
-          kv_str "deps" (hcl_of_deps i.deps);
-          kv_str "attrs" (hcl_of_map i.payload);
-          kv_float "time" i.itime;
-        ]
+      add_str buf "e" "intent";
+      sep buf;
+      add_int buf "op" i.op;
+      sep buf;
+      add_addr buf "addr" i.iaddr;
+      sep buf;
+      add_str buf "kind" (op_kind_to_string i.kind);
+      sep buf;
+      add_str buf "rtype" i.rtype;
+      sep buf;
+      add_str buf "region" i.region;
+      sep buf;
+      add_opt buf "prior" i.prior_cloud_id;
+      sep buf;
+      add_int buf "cursor" i.log_cursor;
+      sep buf;
+      add_deps buf "deps" i.deps;
+      sep buf;
+      add_attrs buf "attrs" i.payload;
+      sep buf;
+      add_float buf "time" i.itime
   | Outcome o ->
-      obj
-        [
-          kv_str "e" "outcome";
-          kv_int "op" o.oop;
-          kv_str "addr" (Addr.to_string o.oaddr);
-          kv_str "kind" (op_kind_to_string o.okind);
-          kv_bool "ok" o.ok;
-          kv_opt "cloud_id" o.cloud_id;
-          kv_bool "retried" o.retried;
-          kv_opt "reason" o.reason;
-          kv_str "attrs" (hcl_of_map o.attrs);
-          kv_float "time" o.otime;
-        ]
-  | Run_finished { time } -> obj [ kv_str "e" "finish"; kv_float "time" time ]
+      add_str buf "e" "outcome";
+      sep buf;
+      add_int buf "op" o.oop;
+      sep buf;
+      add_addr buf "addr" o.oaddr;
+      sep buf;
+      add_str buf "kind" (op_kind_to_string o.okind);
+      sep buf;
+      add_bool buf "ok" o.ok;
+      sep buf;
+      add_opt buf "cloud_id" o.cloud_id;
+      sep buf;
+      add_bool buf "retried" o.retried;
+      sep buf;
+      add_opt buf "reason" o.reason;
+      sep buf;
+      add_attrs buf "attrs" o.attrs;
+      sep buf;
+      add_float buf "time" o.otime
+  | Run_finished { time } ->
+      add_str buf "e" "finish";
+      sep buf;
+      add_float buf "time" time);
+  Buffer.add_char buf '}'
+
+let entry_to_line entry =
+  let buf = Buffer.create 256 in
+  add_entry buf entry;
+  Buffer.contents buf
+
+(** The seed's string-building encoder, kept (like [Dag.Reference] and
+    the executor's [Sched_list]) as the oracle the buffer encoder is
+    asserted byte-identical against. *)
+module Reference = struct
+  let kv_str k v = Printf.sprintf "\"%s\":\"%s\"" k (Trace.json_escape v)
+  let kv_int k v = Printf.sprintf "\"%s\":%d" k v
+  let kv_float k v = Printf.sprintf "\"%s\":%s" k (Trace.float_lit v)
+  let kv_bool k v = kv_int k (if v then 1 else 0)
+
+  let kv_opt k = function
+    | None -> Printf.sprintf "\"%s\":null" k
+    | Some s -> kv_str k s
+
+  let obj fields = "{" ^ String.concat "," fields ^ "}"
+
+  let entry_to_line = function
+    | Run_started { engine; changes; time } ->
+        obj
+          [
+            kv_str "e" "start"; kv_str "engine" engine; kv_int "changes" changes;
+            kv_float "time" time;
+          ]
+    | Intent i ->
+        obj
+          [
+            kv_str "e" "intent";
+            kv_int "op" i.op;
+            kv_str "addr" (Addr.to_string i.iaddr);
+            kv_str "kind" (op_kind_to_string i.kind);
+            kv_str "rtype" i.rtype;
+            kv_str "region" i.region;
+            kv_opt "prior" i.prior_cloud_id;
+            kv_int "cursor" i.log_cursor;
+            kv_str "deps" (hcl_of_deps i.deps);
+            kv_str "attrs" (hcl_of_map i.payload);
+            kv_float "time" i.itime;
+          ]
+    | Outcome o ->
+        obj
+          [
+            kv_str "e" "outcome";
+            kv_int "op" o.oop;
+            kv_str "addr" (Addr.to_string o.oaddr);
+            kv_str "kind" (op_kind_to_string o.okind);
+            kv_bool "ok" o.ok;
+            kv_opt "cloud_id" o.cloud_id;
+            kv_bool "retried" o.retried;
+            kv_opt "reason" o.reason;
+            kv_str "attrs" (hcl_of_map o.attrs);
+            kv_float "time" o.otime;
+          ]
+    | Run_finished { time } -> obj [ kv_str "e" "finish"; kv_float "time" time ]
+
+  let to_string entries =
+    String.concat "" (List.map (fun e -> entry_to_line e ^ "\n") entries)
+end
 
 let field fields k =
   match List.assoc_opt k fields with
@@ -236,7 +525,13 @@ let entry_of_line line =
   | e -> raise (Trace.Parse_error ("journal: unknown entry kind " ^ e))
 
 let to_string entries =
-  String.concat "" (List.map (fun e -> entry_to_line e ^ "\n") entries)
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      add_entry buf e;
+      Buffer.add_char buf '\n')
+    entries;
+  Buffer.contents buf
 
 (** Parse a journal, dropping a torn tail: a crash mid-append can only
     truncate the final line, so parsing stops (without error) at the
@@ -258,6 +553,8 @@ let of_string src =
 
 type t = {
   mutable entries_rev : entry list;
+  retain : bool;
+  scratch : Buffer.t;  (** reused per append; one live buffer, no churn *)
   sink : out_channel option;
   mutable closed : bool;
 }
@@ -265,21 +562,35 @@ type t = {
 (** A live journal.  With [path] every appended entry is written and
     flushed immediately (the write-ahead property); without, the
     journal is memory-only (tests, benchmarks measuring pure engine
-    behaviour). *)
-let create ?path () =
+    behaviour).  [retain:false] drops the in-memory copy as lines are
+    flushed — {!entries} then answers [[]] — for million-op benchmark
+    runs where keeping every entry alive would dominate the heap. *)
+let create ?path ?(retain = true) () =
   {
     entries_rev = [];
+    retain;
+    scratch = Buffer.create 512;
     sink = Option.map (fun p -> open_out_bin p) path;
     closed = false;
   }
 
 let append t entry =
-  t.entries_rev <- entry :: t.entries_rev;
+  if t.retain then t.entries_rev <- entry :: t.entries_rev;
   match t.sink with
   | Some oc when not t.closed ->
-      output_string oc (entry_to_line entry);
-      output_char oc '\n';
-      flush oc
+      Buffer.clear t.scratch;
+      add_entry t.scratch entry;
+      Buffer.add_char t.scratch '\n';
+      Buffer.output_buffer oc t.scratch;
+      (* Write-ahead means an *intent* must be durable before its
+         cloud call is issued, so intents (and run markers) flush.  An
+         outcome may ride in the channel buffer until the next
+         intent's flush (or {!close}): losing one to a crash merely
+         re-creates the unresolved-intent window the adoption pass
+         ([Cloudless_deploy.Recovery]) resolves from the cloud's own
+         activity log.  This halves the syscalls of a journaled
+         apply. *)
+      (match entry with Outcome _ -> () | _ -> flush oc)
   | _ -> ()
 
 let entries t = List.rev t.entries_rev

@@ -5,9 +5,13 @@
     created so far (the classic orphan problem).  The journal closes
     that window: the executor appends one {!Intent} entry *before*
     each cloud write and one {!Outcome} entry as soon as the cloud
-    answers, flushing each line to disk immediately, so the on-disk
-    record is never behind the cloud by more than the set of calls
-    actually in flight at the instant of death.
+    answers.  Every intent is flushed to disk before the call leaves
+    the engine; outcomes ride the channel buffer until the next
+    intent's flush (or close), so the on-disk record is never behind
+    the cloud by more than the calls in flight plus at most the
+    already-resolved outcomes since the last flush — all of which
+    recovery treats as unresolved intents and hands to the adoption
+    pass.
 
     Recovery replays the journal over the last persisted state
     ({!replay}) and hands the still-unresolved intents ({!unresolved})
@@ -68,8 +72,23 @@ type entry =
   | Outcome of outcome
   | Run_finished of { time : float }
 
+(** Render one entry (no trailing newline) straight into [buf] — the
+    hot-path encoder: no per-field [sprintf], no intermediate string
+    list.  Byte-identical to {!Reference.entry_to_line}. *)
+val add_entry : Buffer.t -> entry -> unit
+
+(** {!add_entry} into a fresh buffer. *)
+val entry_to_line : entry -> string
+
 (** Render entries as JSONL (inverse of {!of_string}). *)
 val to_string : entry list -> string
+
+(** The seed's string-building encoder, kept as the oracle the buffer
+    encoder is asserted byte-identical against (tests, E16). *)
+module Reference : sig
+  val entry_to_line : entry -> string
+  val to_string : entry list -> string
+end
 
 (** Parse a journal, dropping a torn tail: a crash mid-append can only
     truncate the final line, so parsing stops (without error) at the
@@ -85,8 +104,11 @@ type t
 (** A live journal.  With [path] every appended entry is written and
     flushed immediately (the write-ahead property); without, the
     journal is memory-only (tests, benchmarks measuring pure engine
-    behaviour). *)
-val create : ?path:string -> unit -> t
+    behaviour).  [retain] (default [true]) keeps the in-memory entry
+    list {!entries} serves; pass [false] for huge benchmark runs —
+    {!entries} then answers [[]], so resume-from-journal flows must
+    not use it. *)
+val create : ?path:string -> ?retain:bool -> unit -> t
 
 (** Append one entry, flushing it to the sink before returning. *)
 val append : t -> entry -> unit

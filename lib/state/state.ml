@@ -100,11 +100,18 @@ let find_by_cloud_id t cloud_id =
 (** Addresses tracked in state but not in [addrs] — candidates for
     deletion in a plan. *)
 let orphans t addrs =
-  let keep = Addr.Set.of_list addrs in
+  (* hashed membership, not [Addr.Set.of_list]: [addrs] is every
+     desired address (possibly millions) while the recorded resources
+     may be few — don't pay a balanced-tree build on the big side *)
+  if Addr.Map.is_empty t.resources then []
+  else begin
+  let keep = Hashtbl.create (2 * Addr.Map.cardinal t.resources) in
+  List.iter (fun a -> Hashtbl.replace keep a ()) addrs;
   Addr.Map.fold
-    (fun addr _ acc -> if Addr.Set.mem addr keep then acc else addr :: acc)
+    (fun addr _ acc -> if Hashtbl.mem keep addr then acc else addr :: acc)
     t.resources []
   |> List.rev
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Serialization (HCL blocks)                                          *)

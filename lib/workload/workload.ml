@@ -377,8 +377,9 @@ resource "%s" "%s" {
     standalone EIPs to hit the exact count.  The frontier after the VPC
     is three nodes per group wide, so 1k/5k/10k fleets stress the
     executor's ready set, not just the simulated cloud.  Subnet CIDRs
-    are computed here (10.x.y.0/24 inside a 10.0.0.0/8 VPC) to stay
-    valid at any group count.  [instance_type] parameterizes the
+    are computed here (disjoint /26 blocks inside a 10.0.0.0/8 VPC —
+    2^18 of them, enough for multi-million-resource fleets) to stay
+    valid at any realistic group count.  [instance_type] parameterizes the
     instance fleet so callers can generate update waves (same topology,
     different type) without editing the source text. *)
 let fleet ?(region = "us-east-1") ?(instances_per_group = 6)
@@ -404,7 +405,7 @@ let fleet ?(region = "us-east-1") ?(instances_per_group = 6)
              {|
 resource "aws_subnet" "g%d" {
   vpc_id     = aws_vpc.fleet.id
-  cidr_block = "10.%d.%d.0/24"
+  cidr_block = "10.%d.%d.%d/26"
   region     = "%s"
 }
 
@@ -431,7 +432,7 @@ resource "aws_instance" "g%d" {
   region                 = "%s"
 }
 |}
-             g (g / 256) (g mod 256) region g g region g g
+             g (g / 1024) (g / 4 mod 256) (g mod 4 * 64) region g g region g g
              (8000 + (g mod 1000))
              region g instances_per_group instance_type g g region)
       done;
@@ -474,6 +475,170 @@ resource "aws_eip" "link%d" {
 |}
              i region (i - 1))
       done)
+
+(* ------------------------------------------------------------------ *)
+(* Instance-level fast paths (E16)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Million-resource benchmarks can't afford to lex/parse/eval megabytes
+   of generated HCL just to obtain the expansion the text denotes, and
+   the text generators above rebuild identical attribute maps once per
+   resource.  These fast paths emit the evaluator's [Eval.instance]
+   records directly — the same addresses, attributes (shared
+   structurally across a group's count-expanded copies), reference
+   provenance ([Vunknown "addr.attr"]) and dependency lists the parsed
+   path yields, minus source spans.  [test_raw_speed] asserts the
+   fleet/chain fast paths match the parsed+evaluated text
+   field-for-field at small sizes. *)
+
+module Eval = Cloudless_hcl.Eval
+module Config = Cloudless_hcl.Config
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Smap = Value.Smap
+module Loc = Cloudless_hcl.Loc
+
+let mk_instance ~rtype ~rname ?(key = Addr.Knone) ~attrs ~ref_deps
+    ~explicit_deps () : Eval.instance =
+  {
+    Eval.addr = Addr.make ~rtype ~rname ~key ();
+    provider = "aws";
+    attrs;
+    explicit_deps;
+    ref_deps;
+    lifecycle = Config.default_lifecycle;
+    ispan = Loc.dummy;
+  }
+
+(* [Vunknown "aws_vpc.fleet.id"]: how the evaluator records a reference
+   to a not-yet-created resource's computed attribute *)
+let unknown_attr rtype rname attr =
+  Value.Vunknown (rtype ^ "." ^ rname ^ "." ^ attr)
+
+(** {!fleet}, skipping the text round-trip: the same instances
+    [expand (parse (fleet ~resources))] produces (modulo source
+    spans).  [fleets] > 1 lays down that many disjoint copies (resource
+    names prefixed [f<k>_], resources split evenly) — the
+    weakly-connected-component shape the domain sharder wants. *)
+let fleet_instances ?(region = "us-east-1") ?(instances_per_group = 6)
+    ?(instance_type = "t3.small") ?(fleets = 1) ~resources () :
+    Eval.instance list =
+  if resources < 1 then
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+      ~code:"invalid-argument"
+      "Workload.fleet_instances: resources < 1 (got %d)" resources;
+  if fleets < 1 || fleets > resources then
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+      ~code:"invalid-argument"
+      "Workload.fleet_instances: fleets out of range (got %d for %d \
+       resources)"
+      fleets resources;
+  let vregion = Value.Vstring region in
+  let acc = ref [] in
+  let emit i = acc := i :: !acc in
+  for k = 0 to fleets - 1 do
+    let name s = if fleets = 1 then s else Printf.sprintf "f%d_%s" k s in
+    (* split [resources] across fleets, remainder to the first *)
+    let per = (resources / fleets) + (if k < resources mod fleets then 1 else 0) in
+    let vpc_name = name "fleet" in
+    let vpc_dep = Addr.make ~rtype:"aws_vpc" ~rname:vpc_name () in
+    let vpc_id = unknown_attr "aws_vpc" vpc_name "id" in
+    emit
+      (mk_instance ~rtype:"aws_vpc" ~rname:vpc_name
+         ~attrs:
+           (Smap.add "cidr_block" (Value.Vstring "10.0.0.0/8")
+              (Smap.singleton "region" vregion))
+         ~ref_deps:[] ~explicit_deps:[] ());
+    let group_size = 3 + instances_per_group in
+    let groups = (per - 1) / group_size in
+    let pad = per - 1 - (groups * group_size) in
+    for g = 0 to groups - 1 do
+      let gname = name (Printf.sprintf "g%d" g) in
+      let subnet_dep = Addr.make ~rtype:"aws_subnet" ~rname:gname () in
+      let sg_dep = Addr.make ~rtype:"aws_security_group" ~rname:gname () in
+      emit
+        (mk_instance ~rtype:"aws_subnet" ~rname:gname
+           ~attrs:
+             (Smap.add "vpc_id" vpc_id
+                (Smap.add "cidr_block"
+                   (Value.Vstring
+                      (Printf.sprintf "10.%d.%d.%d/26" (g / 1024)
+                         (g / 4 mod 256) (g mod 4 * 64)))
+                   (Smap.singleton "region" vregion)))
+           ~ref_deps:[ vpc_dep ] ~explicit_deps:[] ());
+      emit
+        (mk_instance ~rtype:"aws_security_group" ~rname:gname
+           ~attrs:
+             (Smap.add "name"
+                (Value.Vstring (gname ^ "-sg"))
+                (Smap.add "vpc_id" vpc_id (Smap.singleton "region" vregion)))
+           ~ref_deps:[ vpc_dep ] ~explicit_deps:[] ());
+      emit
+        (mk_instance ~rtype:"aws_lb_target_group" ~rname:gname
+           ~attrs:
+             (Smap.add "name"
+                (Value.Vstring (gname ^ "-tg"))
+                (Smap.add "port"
+                   (Value.Vint (8000 + (g mod 1000)))
+                   (Smap.add "protocol" (Value.Vstring "tcp")
+                      (Smap.add "vpc_id" vpc_id
+                         (Smap.singleton "region" vregion)))))
+           ~ref_deps:[ vpc_dep ] ~explicit_deps:[] ());
+      (* the count-expanded copies share one attrs map and one deps
+         list — the pre-sizing the satellite task asks for: no
+         per-resource map rebuild *)
+      let inst_attrs =
+        Smap.add "ami" (Value.Vstring "ami-0fleet")
+          (Smap.add "instance_type" (Value.Vstring instance_type)
+             (Smap.add "subnet_id"
+                (unknown_attr "aws_subnet" gname "id")
+                (Smap.add "vpc_security_group_ids"
+                   (Value.Vlist [ unknown_attr "aws_security_group" gname "id" ])
+                   (Smap.singleton "region" vregion))))
+      in
+      let inst_refs = [ subnet_dep; sg_dep ] in
+      for i = 0 to instances_per_group - 1 do
+        emit
+          (mk_instance ~rtype:"aws_instance" ~rname:gname ~key:(Addr.Kint i)
+             ~attrs:inst_attrs ~ref_deps:inst_refs ~explicit_deps:[] ())
+      done
+    done;
+    if pad > 0 then begin
+      let pad_name = name "pad" in
+      let pad_attrs = Smap.singleton "region" vregion in
+      for i = 0 to pad - 1 do
+        emit
+          (mk_instance ~rtype:"aws_eip" ~rname:pad_name ~key:(Addr.Kint i)
+             ~attrs:pad_attrs ~ref_deps:[ vpc_dep ] ~explicit_deps:[ vpc_dep ]
+             ())
+      done
+    end
+  done;
+  List.rev !acc
+
+(** {!chain}, skipping the text round-trip: one maximally deep
+    [depends_on] chain of EIPs. *)
+let chain_instances ?(region = "us-east-1") ~resources () :
+    Eval.instance list =
+  if resources < 1 then
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
+      ~code:"invalid-argument"
+      "Workload.chain_instances: resources < 1 (got %d)" resources;
+  let attrs = Smap.singleton "region" (Value.Vstring region) in
+  let acc = ref [] in
+  for i = resources - 1 downto 0 do
+    let deps =
+      if i = 0 then []
+      else
+        [ Addr.make ~rtype:"aws_eip" ~rname:(Printf.sprintf "link%d" (i - 1)) () ]
+    in
+    acc :=
+      mk_instance ~rtype:"aws_eip"
+        ~rname:(Printf.sprintf "link%d" i)
+        ~attrs ~ref_deps:deps ~explicit_deps:deps ()
+      :: !acc
+  done;
+  !acc
 
 (* ------------------------------------------------------------------ *)
 (* Misconfiguration injection (E6)                                     *)

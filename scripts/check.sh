@@ -51,6 +51,32 @@ if (( SECONDS > E14_BUDGET_S )); then
   exit 1
 fi
 
+# Raw-speed core: per-stage pipeline timings, journal overhead, and
+# the byte-identical --domains {1,2,4} digest assertion (the bench
+# itself asserts; a digest mismatch or failed apply exits non-zero).
+# Budgeted like E12: the quick sweep is small, so a blowout means a
+# hot-path regression in eval/intern/plan/dag/execute.
+E16_BUDGET_S=60
+SECONDS=0
+dune exec bench/main.exe -- e16 --quick
+if (( SECONDS > E16_BUDGET_S )); then
+  echo "check.sh: e16 --quick took ${SECONDS}s (budget ${E16_BUDGET_S}s)" >&2
+  exit 1
+fi
+
+# -- hot-path Addr.Map gate ------------------------------------------
+# The plan/apply hot path runs on interned int ids (Plan.exec_graph);
+# Addr.Map belongs only to the Dag-returning analysis/oracle side
+# (Plan.execution_graph, the Reference modules).  New Addr.Map uses in
+# lib/plan or lib/deploy mean someone re-introduced address-keyed maps
+# into the apply path — argue it here before raising the baseline.
+ADDR_MAP_BASELINE=9
+addr_map_count=$(grep -o 'Addr\.Map' lib/plan/*.ml lib/deploy/*.ml | wc -l)
+if (( addr_map_count > ADDR_MAP_BASELINE )); then
+  echo "check.sh: ${addr_map_count} Addr.Map uses in lib/plan+lib/deploy (baseline ${ADDR_MAP_BASELINE}) — keep the hot path on interned ids" >&2
+  exit 1
+fi
+
 # -- example smokes --------------------------------------------------
 # Every example must run to completion: they are the executable
 # documentation for the lifecycle facade and the EDSL.
