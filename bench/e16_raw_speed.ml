@@ -64,6 +64,10 @@ type sample = {
   stages : stage list;
   journal_overhead_pct : float;  (** vs the pure-engine apply wall *)
   journal_us_per_change : float;  (** absolute added cost per change *)
+  group_us_per_change : float;
+      (** same, for group commit (K=64): one flush barrier per batch
+          instead of one per intent *)
+  exec_words_per_change : float;  (** minor words the bare apply costs *)
   ok : bool;
 }
 
@@ -103,37 +107,47 @@ let run_size n =
   in
   Gc.compact ();
   let bare, s_execute = timed "execute" (apply_leg ~journal:None) in
-  Gc.compact ();
-  let journaled, s_journal =
-    timed "journal" (fun () ->
-        let journal =
-          Journal.create ~path:journal_scratch ~retain:false ()
-        in
-        let r = apply_leg ~journal:(Some journal) () in
-        Journal.close journal;
-        r)
+  let journal_leg name mode =
+    Gc.compact ();
+    let r, st =
+      timed name (fun () ->
+          let journal =
+            Journal.create ~path:journal_scratch ~retain:false ~mode ()
+          in
+          let r = apply_leg ~journal:(Some journal) () in
+          Journal.close journal;
+          r)
+    in
+    if Sys.file_exists journal_scratch then Sys.remove journal_scratch;
+    (* journaling must not change the deployment, only its wall cost *)
+    let bare_makespan, bare_applied, bare_ok = bare in
+    let j_makespan, j_applied, j_ok = r in
+    assert (bare_makespan = j_makespan);
+    assert (bare_applied = j_applied);
+    (* the fleet workload is valid at every size here; a failed apply
+       is an engine regression, not a measurement *)
+    assert (bare_ok && j_ok);
+    st
   in
-  if Sys.file_exists journal_scratch then Sys.remove journal_scratch;
-  (* journaling must not change the deployment, only its wall cost *)
-  let bare_makespan, bare_applied, bare_ok = bare in
-  let j_makespan, j_applied, j_ok = journaled in
-  assert (bare_makespan = j_makespan);
-  assert (bare_applied = j_applied);
-  (* the fleet workload is valid at every size here; a failed apply is
-     an engine regression, not a measurement *)
-  assert (bare_ok && j_ok);
+  let s_journal = journal_leg "journal" Journal.Wal in
+  let s_group = journal_leg "group" (Journal.Group 64) in
+  let _, _, bare_ok = bare in
   let overhead =
     if s_execute.wall_s > 0. then
       100. *. ((s_journal.wall_s /. s_execute.wall_s) -. 1.)
     else 0.
   in
+  let us_per_change st =
+    (st.wall_s -. s_execute.wall_s) /. float_of_int n *. 1e6
+  in
   {
     n;
-    stages = [ s_eval; s_intern; s_plan; s_dag; s_execute; s_journal ];
+    stages = [ s_eval; s_intern; s_plan; s_dag; s_execute; s_journal; s_group ];
     journal_overhead_pct = overhead;
-    journal_us_per_change =
-      (s_journal.wall_s -. s_execute.wall_s) /. float_of_int n *. 1e6;
-    ok = bare_ok && j_ok;
+    journal_us_per_change = us_per_change s_journal;
+    group_us_per_change = us_per_change s_group;
+    exec_words_per_change = s_execute.minor_mwords *. 1e6 /. float_of_int n;
+    ok = bare_ok;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -141,7 +155,9 @@ let run_size n =
 (* ------------------------------------------------------------------ *)
 
 type domain_sample = {
-  domains : int;
+  domains : int;  (** requested width (0 = size to the machine) *)
+  effective : int;  (** what the pool actually ran: capped at
+                        [min components cores] (see {!Shard.report}) *)
   dwall_s : float;
   speedup : float;  (** vs the domains=1 run of the same plan *)
   digest : string;
@@ -185,17 +201,18 @@ let run_domains ~n ~fleets =
       (fun d ->
         let r, digest = run d in
         (* the tentpole's hard invariant: output is byte-identical at
-           any domain count *)
+           any domain count — including 0, the auto-detected width *)
         assert (digest = base_digest);
         {
           domains = d;
+          effective = r.Shard.domains;
           dwall_s = r.Shard.wall_s;
           speedup =
             (if r.Shard.wall_s > 0. then base.Shard.wall_s /. r.Shard.wall_s
              else 0.);
           digest;
         })
-      [ 1; 2; 4 ]
+      [ 1; 2; 4; 0 ]
   in
   (samples, List.length base.Shard.shards)
 
@@ -216,14 +233,16 @@ let json_of_sample s =
   in
   Printf.sprintf
     "    {\"n\": %d, %s, \"journal_overhead_pct\": %.2f, \
-     \"journal_us_per_change\": %.2f, \"succeeded\": %b}"
-    s.n stage_fields s.journal_overhead_pct s.journal_us_per_change s.ok
+     \"journal_us_per_change\": %.2f, \"group_us_per_change\": %.2f, \
+     \"exec_words_per_change\": %.1f, \"succeeded\": %b}"
+    s.n stage_fields s.journal_overhead_pct s.journal_us_per_change
+    s.group_us_per_change s.exec_words_per_change s.ok
 
 let json_of_domain_sample d =
   Printf.sprintf
-    "    {\"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.2f, \"digest\": \
-     \"%s\"}"
-    d.domains d.dwall_s d.speedup d.digest
+    "    {\"domains\": %d, \"effective_domains\": %d, \"wall_s\": %.6f, \
+     \"speedup\": %.2f, \"digest\": \"%s\"}"
+    d.domains d.effective d.dwall_s d.speedup d.digest
 
 let write_json ~quick ~samples ~domain_samples ~dom_n ~dom_fleets ~shards =
   let oc = open_out (json_file ~quick) in
@@ -258,34 +277,49 @@ let run () =
     | Some n -> [ n ]
     | None -> if quick then [ 1_000; 5_000 ] else [ 10_000; 100_000; 1_000_000 ]
   in
-  let widths = [ 9; 8; 8; 8; 8; 9; 9; 8; 9; 5 ] in
+  let widths = [ 9; 8; 8; 8; 9; 9; 8; 8; 8; 5 ] in
   row widths
-    [ "n"; "eval"; "intern"; "plan"; "dag"; "execute"; "journal"; "jrnl-ovh";
-      "jrnl-us"; "ok" ];
+    [ "n"; "eval"; "plan"; "dag"; "execute"; "exec-w/c"; "exec-MW";
+      "wal-us"; "grp-us"; "ok" ];
   hline widths;
   let samples =
     List.map
       (fun n ->
         let s = run_size n in
         let stage name =
-          (List.find (fun st -> st.name = name) s.stages).wall_s
+          List.find (fun st -> st.name = name) s.stages
         in
         row widths
           [
             string_of_int s.n;
-            Printf.sprintf "%.3fs" (stage "eval");
-            Printf.sprintf "%.3fs" (stage "intern");
-            Printf.sprintf "%.3fs" (stage "plan");
-            Printf.sprintf "%.3fs" (stage "dag");
-            Printf.sprintf "%.3fs" (stage "execute");
-            Printf.sprintf "%.3fs" (stage "journal");
-            Printf.sprintf "%.1f%%" s.journal_overhead_pct;
+            Printf.sprintf "%.3fs" (stage "eval").wall_s;
+            Printf.sprintf "%.3fs" (stage "plan").wall_s;
+            Printf.sprintf "%.3fs" (stage "dag").wall_s;
+            Printf.sprintf "%.3fs" (stage "execute").wall_s;
+            Printf.sprintf "%.0fw" s.exec_words_per_change;
+            Printf.sprintf "%.0fMW" (stage "execute").minor_mwords;
             Printf.sprintf "%.1fus" s.journal_us_per_change;
+            Printf.sprintf "%.1fus" s.group_us_per_change;
             (if s.ok then "yes" else "NO");
           ];
         s)
       sizes
   in
+  (* Allocation regression gate (scripts/check.sh runs the quick
+     sweep): the bare apply must stay within budget per change.  The
+     budget carries ~35% headroom over the measured ~430 w/change so
+     timing noise never trips it while a reintroduced per-change
+     tree-path copy (~+100 w) or closure pileup still does. *)
+  let alloc_budget = 600. in
+  List.iter
+    (fun s ->
+      if s.exec_words_per_change > alloc_budget then begin
+        Printf.printf
+          "  ALLOC REGRESSION: %.0f minor words/change at n=%d (budget %.0f)\n"
+          s.exec_words_per_change s.n alloc_budget;
+        exit 1
+      end)
+    samples;
   let dom_n, dom_fleets =
     match !Bench_util.resources with
     | Some n -> (n, 8)
@@ -304,10 +338,14 @@ let run () =
   let top = List.nth samples (List.length samples - 1) in
   Printf.printf
     "\n\
-    \  shape check: identical digests at --domains {1,2,4} (asserted);\n\
-    \  journal adds %.1f us/change (%.1f%% of the pure-engine apply wall;\n\
-    \  the WAL flush-per-intent contract floors that ratio — against the\n\
-    \  0.15 s simulated API round-trip the added cost is <0.01%%).\n\
+    \  shape check: identical digests at --domains {1,2,4,0} (asserted);\n\
+    \  WAL journal adds %.1f us/change (%.1f%% of the pure-engine apply\n\
+    \  wall; the flush-per-intent contract floors that ratio), group\n\
+    \  commit (K=64) %.1f us/change — against the 0.15 s simulated API\n\
+    \  round-trip either is <0.01%%.  Bare apply allocates %.0f minor\n\
+    \  words/change (budget %.0f).\n\
     \  wrote %s\n"
-    top.journal_us_per_change top.journal_overhead_pct (json_file ~quick);
+    top.journal_us_per_change top.journal_overhead_pct
+    top.group_us_per_change top.exec_words_per_change alloc_budget
+    (json_file ~quick);
   write_json ~quick ~samples ~domain_samples ~dom_n ~dom_fleets ~shards

@@ -103,8 +103,9 @@ let plan_cmd =
     Term.(const run $ file_arg $ state_arg $ trace_arg)
 
 let apply_cmd =
-  let run file state_path seed engine trace_path resume domains =
-    Cli.apply ?trace_path ~seed ~engine ~resume ~domains ~file ~state_path ()
+  let run file state_path seed engine trace_path resume domains journal_mode =
+    Cli.apply ?trace_path ~seed ~engine ~resume ~domains ~journal_mode ~file
+      ~state_path ()
   in
   let resume_arg =
     Arg.(
@@ -121,15 +122,34 @@ let apply_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:
             "Shard the plan by weakly-connected component and apply the \
-             shards on N OCaml domains. Output is byte-identical for any N; \
-             the sharded path skips the deployment journal (crash resume is \
-             a --domains 1 feature)")
+             shards on N OCaml domains; 0 sizes the pool to the machine. \
+             Output is byte-identical for any N; the sharded path skips the \
+             deployment journal (crash resume is a --domains 1 feature)")
+  in
+  let journal_mode_arg =
+    let modes =
+      [
+        ("wal", Cloudless_state.Journal.Wal);
+        ("group", Cloudless_state.Journal.Group 64);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum modes) Cloudless_state.Journal.Wal
+      & info [ "journal-mode" ] ~docv:"MODE"
+          ~doc:
+            "Deployment-journal durability: $(b,wal) flushes every intent \
+             before its cloud call is issued; $(b,group) batches up to 64 \
+             intents behind one flush barrier, deferring their cloud calls \
+             until the barrier — an order of magnitude fewer syscalls for a \
+             wider crash window (lost batched intents are ops that were \
+             never issued, so resume simply replans them)")
   in
   Cmd.v
     (Cmd.info "apply" ~doc:"Apply the configuration against the simulated cloud")
     Term.(
       const run $ file_arg $ state_arg $ seed_arg $ engine_arg $ trace_arg
-      $ resume_arg $ domains_arg)
+      $ resume_arg $ domains_arg $ journal_mode_arg)
 
 let destroy_cmd =
   let run state_path seed trace_path =

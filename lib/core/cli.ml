@@ -114,10 +114,20 @@ let plan ?(io = default_io) ?trace_path ~file ~state_path () =
    The merged state is persisted immediately, so a crash during
    recovery re-runs the same (idempotent) replay. *)
 let apply ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
-    ?cloud_config ?(resume = false) ?(domains = 1) ~file ~state_path () =
+    ?cloud_config ?(resume = false) ?(domains = 1)
+    ?(journal_mode = Journal.Wal) ~file ~state_path () =
   protected io @@ fun () ->
   with_trace trace_path @@ fun trace ->
   Trace.with_span trace "apply-cmd" @@ fun () ->
+  (* --domains 0: size the domain pool to the machine ([Shard.apply]
+     further caps it at the component count).  Auto mode always takes
+     the sharded path, even when the pool resolves to one domain —
+     shard output is independent of the domain count, so the state
+     file stays machine-independent. *)
+  let auto_domains = domains = 0 in
+  let domains =
+    if auto_domains then Domain.recommended_domain_count () else domains
+  in
   let recorded = Session.load_state state_path in
   let recorded =
     if not resume then recorded
@@ -154,7 +164,7 @@ let apply ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
     io.out "No changes. Infrastructure up to date.\n";
     0
   end
-  else if domains > 1 then begin
+  else if auto_domains || domains > 1 then begin
     (* `--domains N`: shard the plan by weakly-connected component and
        run disjoint shards on OCaml domains.  The sharded path is
        journal-free (see {!Shard}) — crash resume is a single-domain
@@ -177,7 +187,7 @@ let apply ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
       (List.length report.Shard.applied)
       report.Shard.makespan report.Shard.api_calls report.Shard.retries
       (List.length report.Shard.shards)
-      domains;
+      report.Shard.domains;
     List.iter
       (fun (f : Executor.failure) ->
         outf io "FAILED %s: %s\n"
@@ -196,7 +206,10 @@ let apply ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
   end
   else begin
     io.out (Plan.to_string plan);
-    let journal = Journal.create ~path:(Session.journal_path state_path) () in
+    let journal =
+      Journal.create ~path:(Session.journal_path state_path) ~mode:journal_mode
+        ()
+    in
     let report =
       Executor.apply cloud ~config:(engine_config engine) ~state ~plan ~trace
         ~journal ()

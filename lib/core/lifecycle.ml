@@ -148,8 +148,11 @@ let journal t = t.journal
 
 (** Turn on write-ahead journaling for subsequent applies.  With
     [path] every entry is flushed to disk as it is written; without,
-    the journal is in-memory (crash-injection experiments). *)
-let enable_journal ?path t = t.journal <- Some (Journal.create ?path ())
+    the journal is in-memory (crash-injection experiments).  [mode]
+    (default {!Journal.Wal}) selects per-intent flushing or group
+    commit — see {!Journal.mode} for the crash-window contract. *)
+let enable_journal ?path ?mode t =
+  t.journal <- Some (Journal.create ?path ?mode ())
 
 (** Inject engine process death into the next apply (see
     {!Sim_failure.crash_policy}). *)

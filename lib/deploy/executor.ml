@@ -119,28 +119,65 @@ let succeeded r = r.failed = [] && r.skipped = []
 (* A desired attribute that referenced another resource's computed
    attribute was planned as [Vunknown "addr.attr"]; once the dependency
    is applied its real value is in state. *)
-let rec resolve_value state (v : Value.t) : Value.t =
+(* Split an unknown's "addr.attr" payload.  Separated out so the
+   executor can memoize it: every instance of a fleet carries the same
+   handful of references, and re-parsing the address per change was a
+   measurable slice of apply-time allocation. *)
+let split_unknown p : (Addr.t * string) option =
+  match String.rindex_opt p '.' with
+  | None -> None
+  | Some i -> (
+      let addr_part = String.sub p 0 i in
+      let attr = String.sub p (i + 1) (String.length p - i - 1) in
+      match Addr.of_string addr_part with
+      | Some addr -> Some (addr, attr)
+      | None -> None)
+
+(* The worker is parameterized by the splitter and the lookup so the
+   executor can route it through its split memo and apply-time write
+   overlay (state-to-be, not yet folded into a [State.t]); the public
+   entry points close over a plain state. *)
+let rec resolve_value_gen split find (v : Value.t) : Value.t =
   match v with
   | Value.Vunknown p -> (
-      match String.rindex_opt p '.' with
+      match split p with
       | None -> Value.Vnull
-      | Some i -> (
-          let addr_part = String.sub p 0 i in
-          let attr = String.sub p (i + 1) (String.length p - i - 1) in
-          match Addr.of_string addr_part with
-          | Some addr -> (
-              match State.find_opt state addr with
-              | Some rs -> (
-                  match Smap.find_opt attr rs.State.attrs with
-                  | Some v -> v
-                  | None -> Value.Vnull)
+      | Some (addr, attr) -> (
+          match find addr with
+          | Some rs -> (
+              match Smap.find_opt attr rs.State.attrs with
+              | Some v -> v
               | None -> Value.Vnull)
           | None -> Value.Vnull))
-  | Value.Vlist vs -> Value.Vlist (List.map (resolve_value state) vs)
-  | Value.Vmap m -> Value.Vmap (Smap.map (resolve_value state) m)
+  | Value.Vlist vs ->
+      (* Preserve sharing: almost no attribute holds an unknown at apply
+         time, and rebuilding every list/map on the hot path costs real
+         minor-heap words at the million-resource scale. *)
+      let vs' = List.map (resolve_value_gen split find) vs in
+      if List.for_all2 (fun a b -> a == b) vs vs' then v else Value.Vlist vs'
+  | Value.Vmap m ->
+      let m' =
+        Smap.fold
+          (fun k sub acc ->
+            let sub' = resolve_value_gen split find sub in
+            if sub' == sub then acc else Smap.add k sub' acc)
+          m m
+      in
+      if m' == m then v else Value.Vmap m'
   | v -> v
 
-let resolve_attrs state attrs = Smap.map (resolve_value state) attrs
+let resolve_attrs_gen split find attrs =
+  Smap.fold
+    (fun k sub acc ->
+      let sub' = resolve_value_gen split find sub in
+      if sub' == sub then acc else Smap.add k sub' acc)
+    attrs attrs
+
+let resolve_value state v =
+  resolve_value_gen split_unknown (fun a -> State.find_opt state a) v
+
+let resolve_attrs state attrs =
+  resolve_attrs_gen split_unknown (fun a -> State.find_opt state a) attrs
 
 (* ------------------------------------------------------------------ *)
 (* Refresh phase                                                       *)
@@ -264,7 +301,83 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     | Refresh_scoped addrs ->
         refresh cloud ~engine:config.name ~state ~addrs ()
   in
-  let state_ref = ref refresh_result.rstate in
+  (* Apply-time writes land in a hash overlay over the (immutable)
+     post-refresh base; the final [State.t] is materialized exactly
+     once after the run.  Folding [State.add] per change costs a
+     O(log n) tree-path copy each — the single largest minor-heap
+     producer on the million-create leg — where the overlay pays a few
+     words per write and one O(n) bulk tree build (see
+     {!Amap.of_sorted_array}).  [state_muts] counts every write the
+     per-change sequence would have made, so the final serial is
+     byte-identical to the historical fold. *)
+  let base_state = refresh_result.rstate in
+  let overlay : (Addr.t, State.resource_state option) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let state_muts = ref 0 in
+  let live_find addr =
+    match Hashtbl.find_opt overlay addr with
+    | Some entry -> entry
+    | None -> State.find_opt base_state addr
+  in
+  let state_add (row : State.resource_state) =
+    Hashtbl.replace overlay row.State.addr (Some row);
+    incr state_muts
+  in
+  let state_update_attrs addr attrs =
+    match live_find addr with
+    | None -> ()
+    | Some r ->
+        Hashtbl.replace overlay addr (Some { r with State.attrs });
+        incr state_muts
+  in
+  let state_remove addr =
+    Hashtbl.replace overlay addr None;
+    incr state_muts
+  in
+  (* Unknown references repeat heavily (a fleet's instances all point
+     at the same few subnets); split each distinct payload once. *)
+  let split_cache : (string, (Addr.t * string) option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let split_memo p =
+    match Hashtbl.find_opt split_cache p with
+    | Some r -> r
+    | None ->
+        let r = split_unknown p in
+        Hashtbl.add split_cache p r;
+        r
+  in
+  let resolve_live attrs = resolve_attrs_gen split_memo live_find attrs in
+  let resolve_live_value v = resolve_value_gen split_memo live_find v in
+  let final_state () =
+    if Hashtbl.length overlay = 0 then base_state
+    else if State.size base_state = 0 then begin
+      (* green-field apply (the 1M-create leg): one O(n) balanced build *)
+      let rows =
+        Hashtbl.fold
+          (fun addr entry acc ->
+            match entry with Some r -> (addr, r) :: acc | None -> acc)
+          overlay []
+        |> Array.of_list
+      in
+      Array.sort (fun (a, _) (b, _) -> Addr.compare a b) rows;
+      State.of_sorted_rows
+        ~outputs:(State.outputs base_state)
+        ~serial:(State.serial base_state + !state_muts)
+        rows
+    end
+    else
+      let st =
+        Hashtbl.fold
+          (fun addr entry acc ->
+            match entry with
+            | Some r -> State.add acc r
+            | None -> State.remove acc addr)
+          overlay base_state
+      in
+      State.with_serial st (State.serial base_state + !state_muts)
+  in
   let started_at = Cloud.now cloud in
 
   (* crash-safety machinery: write-ahead journaling + injected death *)
@@ -283,6 +396,32 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
   let run_ops = ref 0 in
   let crashed = ref false in
   let diagnostics = ref [] in
+  (* group commit ([Journal.Group k]): cloud calls are withheld in a
+     FIFO while their intents accumulate in the journal's batch, then
+     released together right after one {!Journal.barrier} — the
+     write-ahead invariant (no call issued whose intent is not
+     durable) holds batch-wise.  Release fires at K withheld calls and
+     before every simulator step, so no op is ever withheld across a
+     time advance: completion events are scheduled at the same
+     simulated instant the WAL path would have used. *)
+  let deferred : (unit -> unit) Queue.t = Queue.create () in
+  let group =
+    match journal with
+    | Some j -> (
+        match Journal.mode j with
+        | Journal.Group k -> Some (j, k)
+        | Journal.Wal -> None)
+    | None -> None
+  in
+  let release_deferred () =
+    match group with
+    | Some (j, _) when not (Queue.is_empty deferred) ->
+        Journal.barrier j;
+        while not (Queue.is_empty deferred) do
+          (Queue.pop deferred) ()
+        done
+    | _ -> ()
+  in
 
   (* phase 2: apply — everything below runs on the flat interned
      execution graph ([Plan.exec_graph]): node ids are plan-order ints,
@@ -304,16 +443,18 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     | Fifo -> fun _ -> 0.
     | Critical_path ->
         let prio = Array.make node_count 0. in
-        let order = List.rev (List.concat (Plan.exec_rounds xg)) in
-        List.iter
-          (fun id ->
-            let tail =
-              Array.fold_left
-                (fun acc r -> Float.max acc prio.(r))
-                0. xg.Plan.xrdeps.(id)
-            in
-            prio.(id) <- tail +. change_duration (change_of id))
-          order;
+        let order = Array.make (max 1 node_count) 0 in
+        let offsets = Array.make (node_count + 1) 0 in
+        let rounds = Plan.exec_rounds_into xg ~order ~offsets in
+        for i = offsets.(rounds) - 1 downto 0 do
+          let id = order.(i) in
+          let tail =
+            Array.fold_left
+              (fun acc r -> Float.max acc prio.(r))
+              0. xg.Plan.xrdeps.(id)
+          in
+          prio.(id) <- tail +. change_duration (change_of id)
+        done;
         fun id -> prio.(id)
   in
   let status = Array.make node_count Pending in
@@ -323,7 +464,9 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
   let applied = ref [] in
   let failed = ref [] in
   let picks = ref 0 in
-  let sched_time = ref 0. in
+  (* float-array cell, not a [float ref]: the accumulator is bumped
+     twice per pick and a ref store would box each sum *)
+  let sched_time = [| 0. |] in
   (* client-side pacing: mirror the provider's documented write budget *)
   let client_limiter =
     let capacity, refill_rate = config.pacing_budget in
@@ -411,7 +554,7 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
   let take_ready () =
     let t0 = now_mono () in
     let r = take_ready () in
-    sched_time := !sched_time +. (now_mono () -. t0);
+    sched_time.(0) <- sched_time.(0) +. (now_mono () -. t0);
     r
   in
 
@@ -421,7 +564,7 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
         status.(id) <- Skipped;
         let t0 = now_mono () in
         remove_ready id;
-        sched_time := !sched_time +. (now_mono () -. t0);
+        sched_time.(0) <- sched_time.(0) +. (now_mono () -. t0);
         Array.iter mark_skipped xg.Plan.xrdeps.(id)
     | _ -> ()
   in
@@ -456,67 +599,93 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
      callback.  Outcomes are journaled at the top of each callback,
      before any state mutation, so the journal is never behind the
      in-memory record either. *)
-  let rec perform id (c : Plan.change) attempt =
+  (* [submit_logged]/[ok_outcome]/[on_error] used to be let-bound
+     inside [perform]; hoisting them into the recursive block saves
+     three closure allocations per change on the hot path. *)
+  let rec submit_logged (c : Plan.change) kind ~payload ~prior op handler =
     let addr = c.Plan.addr in
-    let submit_logged kind ~payload ~prior op handler =
       incr ops_started;
       incr run_ops;
       let op_id = !ops_started in
-      journal_append
-        (Journal.Intent
-           {
-             Journal.op = op_id;
-             iaddr = addr;
-             kind;
-             rtype = c.Plan.rtype;
-             region = c.Plan.region;
-             payload;
-             prior_cloud_id = prior;
-             deps = c.Plan.deps;
-             log_cursor =
-               Cloudless_sim.Activity_log.length (Cloud.log cloud);
-             itime = Cloud.now cloud;
-           });
+      (* build the intent record only when a journal is attached — the
+         bare-engine hot path must not pay for crash safety it never
+         asked for *)
+      (match journal with
+      | None -> ()
+      | Some j ->
+          Journal.append j
+            (Journal.Intent
+               {
+                 Journal.op = op_id;
+                 iaddr = addr;
+                 kind;
+                 rtype = c.Plan.rtype;
+                 region = c.Plan.region;
+                 payload;
+                 prior_cloud_id = prior;
+                 deps = c.Plan.deps;
+                 log_cursor =
+                   Cloudless_sim.Activity_log.length (Cloud.log cloud);
+                 itime = Cloud.now cloud;
+               }));
       (match crash with
       | Failure.Crash_after k when !run_ops > k ->
-          (* the intent is durable; the cloud call never leaves the
-             engine, and in-flight callbacks are disarmed *)
+          (* WAL: the intent is durable, the cloud call never leaves
+             the engine.  Group: the intent may still sit in the
+             unflushed batch — then it dies with the process
+             ([Journal.abandon]) and so does its withheld call, which
+             recovery simply replans.  Either way in-flight callbacks
+             are disarmed. *)
           crashed := true;
           raise (Failure.Engine_crashed k)
       | _ -> ());
-      Cloud.submit cloud ~actor op (fun result ->
-          if not !crashed then handler op_id result)
-    in
-    let ok_outcome ~op ~kind ~cloud_id attrs =
-      journal_append
-        (Journal.Outcome
-           {
-             Journal.oop = op;
-             oaddr = addr;
-             okind = kind;
-             ok = true;
-             cloud_id;
-             attrs;
-             retried = false;
-             reason = None;
-             otime = Cloud.now cloud;
-           })
-    in
-    let on_error ~op ~kind err =
-      let record retried =
-        journal_append
-          (Journal.Outcome
-             {
-               Journal.oop = op;
-               oaddr = addr;
-               okind = kind;
-               ok = false;
-               cloud_id = None;
-               attrs = Smap.empty;
-               retried;
-               reason = Some (Cloud.error_to_string err);
-               otime = Cloud.now cloud;
-             })
+      match group with
+      | None ->
+          Cloud.submit cloud ~actor op (fun result ->
+              if not !crashed then handler op_id result)
+      | Some (_, k) ->
+          Queue.add
+            (fun () ->
+              Cloud.submit cloud ~actor op (fun result ->
+                  if not !crashed then handler op_id result))
+            deferred;
+          if Queue.length deferred >= k then release_deferred ()
+  and ok_outcome ~addr ~op ~kind ~cloud_id attrs =
+      match journal with
+      | None -> ()
+      | Some j ->
+          Journal.append j
+            (Journal.Outcome
+               {
+                 Journal.oop = op;
+                 oaddr = addr;
+                 okind = kind;
+                 ok = true;
+                 cloud_id;
+                 attrs;
+                 retried = false;
+                 reason = None;
+                 otime = Cloud.now cloud;
+               })
+  and on_error ~id ~c ~attempt ~op ~kind err =
+    let addr = c.Plan.addr in
+    let record retried =
+        match journal with
+        | None -> ()
+        | Some j ->
+            Journal.append j
+              (Journal.Outcome
+                 {
+                   Journal.oop = op;
+                   oaddr = addr;
+                   okind = kind;
+                   ok = false;
+                   cloud_id = None;
+                   attrs = Smap.empty;
+                   retried;
+                   reason = Some (Cloud.error_to_string err);
+                   otime = Cloud.now cloud;
+                 })
       in
       match err with
       | Cloud.Throttled after when attempt < config.max_retries ->
@@ -544,15 +713,16 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                 :: !diagnostics
           | _ -> ());
           complete id (Error (Cloud.error_to_string err))
-    in
+  and perform id (c : Plan.change) attempt =
+    let addr = c.Plan.addr in
     match c.Plan.action with
     | Plan.Noop -> complete id (Ok ())
     | Plan.Create -> (
         match c.Plan.desired with
         | None -> complete id (Error "create without desired attributes")
         | Some desired ->
-            let attrs = resolve_attrs !state_ref desired in
-            submit_logged Journal.Op_create ~payload:attrs ~prior:None
+            let attrs = resolve_live desired in
+            submit_logged c Journal.Op_create ~payload:attrs ~prior:None
               (Cloud.Create { rtype = c.Plan.rtype; region = c.Plan.region; attrs })
               (fun op result ->
                 match result with
@@ -562,20 +732,19 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                       | Some (Value.Vstring s) -> s
                       | _ -> "?"
                     in
-                    ok_outcome ~op ~kind:Journal.Op_create
+                    ok_outcome ~addr ~op ~kind:Journal.Op_create
                       ~cloud_id:(Some cloud_id) cloud_attrs;
-                    state_ref :=
-                      State.add !state_ref
-                        {
-                          State.addr = addr;
-                          cloud_id;
-                          rtype = c.Plan.rtype;
-                          region = c.Plan.region;
-                          attrs = cloud_attrs;
-                          deps = c.Plan.deps;
-                        };
+                    state_add
+                      {
+                        State.addr = addr;
+                        cloud_id;
+                        rtype = c.Plan.rtype;
+                        region = c.Plan.region;
+                        attrs = cloud_attrs;
+                        deps = c.Plan.deps;
+                      };
                     complete id (Ok ())
-                | Error err -> on_error ~op ~kind:Journal.Op_create err))
+                | Error err -> on_error ~id ~c ~attempt ~op ~kind:Journal.Op_create err))
     | Plan.Update changes -> (
         match (c.Plan.prior, c.Plan.desired) with
         | Some prior, Some _ ->
@@ -583,37 +752,38 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
               List.fold_left
                 (fun acc (ch : Plan.attr_change) ->
                   match ch.Plan.after with
-                  | Some v -> Smap.add ch.Plan.attr (resolve_value !state_ref v) acc
+                  | Some v ->
+                      Smap.add ch.Plan.attr (resolve_live_value v) acc
                   | None -> acc)
                 Smap.empty changes
             in
-            submit_logged Journal.Op_update ~payload:delta
+            submit_logged c Journal.Op_update ~payload:delta
               ~prior:(Some prior.State.cloud_id)
               (Cloud.Update { cloud_id = prior.State.cloud_id; attrs = delta })
               (fun op result ->
                 match result with
                 | Ok cloud_attrs ->
-                    ok_outcome ~op ~kind:Journal.Op_update
+                    ok_outcome ~addr ~op ~kind:Journal.Op_update
                       ~cloud_id:(Some prior.State.cloud_id) cloud_attrs;
-                    state_ref := State.update_attrs !state_ref addr cloud_attrs;
+                    state_update_attrs addr cloud_attrs;
                     complete id (Ok ())
-                | Error err -> on_error ~op ~kind:Journal.Op_update err)
+                | Error err -> on_error ~id ~c ~attempt ~op ~kind:Journal.Op_update err)
         | _ -> complete id (Error "update without prior state"))
     | Plan.Delete -> (
         match c.Plan.prior with
         | Some prior ->
-            submit_logged Journal.Op_delete ~payload:Smap.empty
+            submit_logged c Journal.Op_delete ~payload:Smap.empty
               ~prior:(Some prior.State.cloud_id)
               (Cloud.Delete { cloud_id = prior.State.cloud_id })
               (fun op result ->
                 match result with
                 | Ok _ | Error (Cloud.Not_found _) ->
                     (* already gone = success for a delete *)
-                    ok_outcome ~op ~kind:Journal.Op_delete
+                    ok_outcome ~addr ~op ~kind:Journal.Op_delete
                       ~cloud_id:(Some prior.State.cloud_id) Smap.empty;
-                    state_ref := State.remove !state_ref addr;
+                    state_remove addr;
                     complete id (Ok ())
-                | Error err -> on_error ~op ~kind:Journal.Op_delete err)
+                | Error err -> on_error ~id ~c ~attempt ~op ~kind:Journal.Op_delete err)
         | None -> complete id (Error "delete without prior state"))
     | Plan.Replace _ -> (
         match (c.Plan.prior, c.Plan.desired) with
@@ -624,57 +794,56 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                 | Some (Value.Vstring s) -> s
                 | _ -> "?"
               in
-              ok_outcome ~op ~kind:Journal.Op_create ~cloud_id:(Some cloud_id)
+              ok_outcome ~addr ~op ~kind:Journal.Op_create ~cloud_id:(Some cloud_id)
                 cloud_attrs;
-              state_ref :=
-                State.add !state_ref
-                  {
-                    State.addr = addr;
-                    cloud_id;
-                    rtype = c.Plan.rtype;
-                    region = c.Plan.region;
-                    attrs = cloud_attrs;
-                    deps = c.Plan.deps;
-                  };
+              state_add
+                {
+                  State.addr = addr;
+                  cloud_id;
+                  rtype = c.Plan.rtype;
+                  region = c.Plan.region;
+                  attrs = cloud_attrs;
+                  deps = c.Plan.deps;
+                };
               k ()
             in
             if c.Plan.cbd then
               (* lifecycle create_before_destroy: the replacement comes
                  up first, then the old resource is destroyed — no
                  availability gap *)
-              let attrs = resolve_attrs !state_ref desired in
-              submit_logged Journal.Op_create ~payload:attrs ~prior:None
+              let attrs = resolve_live desired in
+              submit_logged c Journal.Op_create ~payload:attrs ~prior:None
                 (Cloud.Create
                    { rtype = c.Plan.rtype; region = c.Plan.region; attrs })
                 (fun op result ->
                   match result with
                   | Ok cloud_attrs ->
                       record_new op cloud_attrs (fun () ->
-                          submit_logged Journal.Op_delete ~payload:Smap.empty
+                          submit_logged c Journal.Op_delete ~payload:Smap.empty
                             ~prior:(Some prior.State.cloud_id)
                             (Cloud.Delete { cloud_id = prior.State.cloud_id })
                             (fun op result ->
                               match result with
                               | Ok _ | Error (Cloud.Not_found _) ->
-                                  ok_outcome ~op ~kind:Journal.Op_delete
+                                  ok_outcome ~addr ~op ~kind:Journal.Op_delete
                                     ~cloud_id:(Some prior.State.cloud_id)
                                     Smap.empty;
                                   complete id (Ok ())
                               | Error err ->
-                                  on_error ~op ~kind:Journal.Op_delete err))
-                  | Error err -> on_error ~op ~kind:Journal.Op_create err)
+                                  on_error ~id ~c ~attempt ~op ~kind:Journal.Op_delete err))
+                  | Error err -> on_error ~id ~c ~attempt ~op ~kind:Journal.Op_create err)
             else
-              submit_logged Journal.Op_delete ~payload:Smap.empty
+              submit_logged c Journal.Op_delete ~payload:Smap.empty
                 ~prior:(Some prior.State.cloud_id)
                 (Cloud.Delete { cloud_id = prior.State.cloud_id })
                 (fun op result ->
                   match result with
                   | Ok _ | Error (Cloud.Not_found _) ->
-                      ok_outcome ~op ~kind:Journal.Op_delete
+                      ok_outcome ~addr ~op ~kind:Journal.Op_delete
                         ~cloud_id:(Some prior.State.cloud_id) Smap.empty;
-                      state_ref := State.remove !state_ref addr;
-                      let attrs = resolve_attrs !state_ref desired in
-                      submit_logged Journal.Op_create ~payload:attrs ~prior:None
+                      state_remove addr;
+                      let attrs = resolve_live desired in
+                      submit_logged c Journal.Op_create ~payload:attrs ~prior:None
                         (Cloud.Create
                            { rtype = c.Plan.rtype; region = c.Plan.region; attrs })
                         (fun op result ->
@@ -683,8 +852,8 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                               record_new op cloud_attrs (fun () ->
                                   complete id (Ok ()))
                           | Error err ->
-                              on_error ~op ~kind:Journal.Op_create err)
-                  | Error err -> on_error ~op ~kind:Journal.Op_delete err)
+                              on_error ~id ~c ~attempt ~op ~kind:Journal.Op_create err)
+                  | Error err -> on_error ~id ~c ~attempt ~op ~kind:Journal.Op_delete err)
         | _ -> complete id (Error "replace without prior state"))
 
   and schedule_retry id c attempt delay =
@@ -693,13 +862,23 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     Cloud.schedule cloud ~delay (fun () ->
         if not !crashed then perform id c attempt)
 
+  and book acc k =
+    (* reserve [k] write slots, returning the longest wait booked;
+       recursive sibling of [pump] rather than a per-admission inner
+       closure (the hot path allocates nothing here) *)
+    if k = 0 then acc
+    else
+      book
+        (Float.max acc (Rate_limiter.reserve client_limiter ~now:(Cloud.now cloud)))
+        (k - 1)
+
   and pump () =
-    let can_start () =
+    let can_start =
       match config.parallelism with
       | Some cap -> !in_flight < cap
       | None -> true
     in
-    if can_start () then
+    if can_start then
       match take_ready () with
       | None -> ()
       | Some id ->
@@ -715,14 +894,6 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
               | Plan.Noop -> 0
               | Plan.Replace _ -> 2  (* delete + create *)
               | Plan.Create | Plan.Update _ | Plan.Delete -> 1
-            in
-            let rec book acc k =
-              if k = 0 then acc
-              else
-                book
-                  (Float.max acc
-                     (Rate_limiter.reserve client_limiter ~now:(Cloud.now cloud)))
-                  (k - 1)
             in
             let wait = book 0. writes_needed in
             if wait > 0. then
@@ -751,8 +922,11 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     if remaining_deps.(id) = 0 then add_ready id
   done;
   pump ();
-  (* drive the simulation, pumping after every event *)
+  (* drive the simulation, pumping after every event; withheld
+     group-commit calls release (behind their barrier) before each
+     step so the event clock never advances past them *)
   let rec drive () =
+    release_deferred ();
     if Cloud.step cloud then begin
       pump ();
       drive ()
@@ -794,9 +968,9 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     applied = List.rev !applied;
     failed = List.rev !failed;
     skipped;
-    state = !state_ref;
+    state = final_state ();
     sched_picks = !picks;
-    sched_time = !sched_time;
+    sched_time = sched_time.(0);
     peak_ready = peak_ready ();
     diagnostics = List.rev !diagnostics;
   }

@@ -1,0 +1,140 @@
+(** The deployment executor: one event-driven engine parameterized by
+    policy knobs.  Two presets reproduce the paper's comparison —
+    {!baseline_config} (Terraform-like: bounded parallelism, FIFO
+    walk, full refresh) and {!cloudless_config} (§3.3: unbounded
+    admission under client pacing, critical-path scheduling, scoped
+    refresh).
+
+    The executor drives the discrete-event {!Cloudless_sim.Cloud};
+    all times in the report are simulated seconds except
+    [sched_time], which is real wall-clock overhead of the engine's
+    own ready-set bookkeeping. *)
+
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Smap = Value.Smap
+module Cloud = Cloudless_sim.Cloud
+module State = Cloudless_state.State
+module Journal = Cloudless_state.Journal
+module Failure = Cloudless_sim.Failure
+module Diagnostic = Cloudless_error.Diagnostic
+module Plan = Cloudless_plan.Plan
+
+type schedule_policy = Fifo | Critical_path
+
+(** Ready-set implementation.  [Sched_heap] is the default: a shared
+    {!Cloudless_sim.Pqueue} binary heap giving O(log n) admissions.
+    [Sched_list] is the historical O(n)-per-pick list scan, kept as a
+    reference implementation for scheduler-overhead benchmarks (E11)
+    and for equivalence tests — both produce identical pick orders. *)
+type scheduler = Sched_heap | Sched_list
+
+type refresh_mode = Refresh_none | Refresh_full | Refresh_scoped of Addr.Set.t
+
+type config = {
+  name : string;
+  parallelism : int option;  (** concurrent in-flight ops; None = unbounded *)
+  policy : schedule_policy;
+  client_pacing : bool;  (** §3.3: admission control against API limits *)
+  max_retries : int;
+  backoff_base : float;
+  backoff_exponential : bool;
+  refresh : refresh_mode;
+  pacing_budget : float * float;
+      (** (burst capacity, refill/s) the pacer assumes the provider
+          grants — the documented API budget *)
+}
+
+val baseline_config : config
+val cloudless_config : config
+
+type failure = { faddr : Addr.t; reason : string }
+
+type report = {
+  engine : string;
+  started_at : float;
+  finished_at : float;
+  makespan : float;
+  refresh_reads : int;
+  refresh_duration : float;
+  api_calls : int;  (** calls issued by this run (including retries) *)
+  throttled : int;  (** 429 responses observed *)
+  retries : int;
+  applied : Addr.t list;
+  failed : failure list;
+  skipped : Addr.t list;  (** skipped because a dependency failed *)
+  state : State.t;  (** state after the run *)
+  sched_picks : int;  (** ready-set admissions performed *)
+  sched_time : float;
+      (** real (wall-clock) seconds spent inside ready-set operations —
+          the engine's own scheduling overhead, as opposed to simulated
+          cloud time *)
+  peak_ready : int;  (** high-water mark of the ready set *)
+  diagnostics : Diagnostic.t list;
+      (** structured errors raised during execution (currently: retry
+          exhaustion), in occurrence order *)
+}
+
+val succeeded : report -> bool
+
+(** Substitute [Vunknown "addr.attr"] placeholders (planned references
+    to not-yet-applied resources) with the real values now in state. *)
+val resolve_value : State.t -> Value.t -> Value.t
+
+val resolve_attrs : State.t -> Value.t Smap.t -> Value.t Smap.t
+
+type refresh_result = {
+  rstate : State.t;
+  reads : int;
+  missing : Addr.t list;  (** in state but gone from the cloud (drift) *)
+  rduration : float;
+}
+
+(** Re-read cloud attributes for tracked resources.  [addrs] limits the
+    scope (None = all of state, Terraform's default full refresh). *)
+val refresh :
+  Cloud.t ->
+  engine:string ->
+  state:State.t ->
+  ?addrs:Addr.Set.t ->
+  ?parallelism:int ->
+  unit ->
+  refresh_result
+
+(** Per-node lifecycle, exposed for consumers that mirror the
+    executor's bookkeeping (the control plane's applier). *)
+type node_status = Pending | Running | Done | Failed of string | Skipped
+
+(** Expected simulated duration of a change under the service model. *)
+val change_duration : Plan.change -> float
+
+(** Apply a plan.  Returns the report; the returned state reflects all
+    successful operations.
+
+    [journal] (optional) receives a write-ahead record of every cloud
+    write: a {!Journal.Intent} made durable *before* the call leaves
+    the engine, the matching {!Journal.Outcome} as soon as the cloud
+    answers — the crash-safety substrate (see {!Recovery}).  In
+    [Journal.Group k] mode cloud calls are withheld behind the batch's
+    flush barrier (released at [k] pending calls and before every
+    simulator step), so the write-ahead invariant holds batch-wise;
+    see {!Journal.mode} for the crash-window contract.
+
+    [crash] injects engine process death: with [Crash_after k] the
+    apply raises {!Failure.Engine_crashed} at the (k+1)-th write — the
+    cloud call never issued — and every callback belonging to the dead
+    engine is disarmed, so operations already in flight complete on
+    the cloud side with nobody listening, exactly like a killed
+    process. *)
+val apply :
+  Cloud.t ->
+  config:config ->
+  state:State.t ->
+  plan:Plan.t ->
+  ?seed:int ->
+  ?sched:scheduler ->
+  ?trace:Cloudless_obs.Trace.t ->
+  ?journal:Journal.t ->
+  ?crash:Failure.crash_policy ->
+  unit ->
+  report

@@ -47,6 +47,10 @@ type shard = {
 
 type report = {
   domains : int;
+      (** effective worker-pool width: the requested count (0 = size to
+          the machine) capped at [min components cores] — extra domains
+          past either bound could never hold work *)
+  cores : int;  (** [Domain.recommended_domain_count] at run time *)
   shards : shard list;  (** component order *)
   makespan : float;  (** max over shards (each starts at sim time 0) *)
   applied : Addr.t list;  (** concatenated in component order *)
@@ -139,12 +143,15 @@ let run_jobs ~domains (jobs : (unit -> 'a) array) : 'a array =
       | None -> assert false)
     results
 
-(** Apply [plan] sharded by weakly-connected component, [domains]-wide.
-    [make_cloud c] must build a fresh, independent cloud for component
-    [c] — shards never share a simulation.  [config.refresh] is forced
-    to [Refresh_none] and journaling/crash injection are unavailable
-    (see the module doc).  The result is byte-identical for any
-    [domains] >= 1. *)
+(** Apply [plan] sharded by weakly-connected component, [domains]-wide
+    ([0] = size the pool to the machine).  The pool is capped at
+    [min components cores]: a domain per component is the most
+    parallelism the decomposition exposes, and domains beyond the core
+    count only add scheduler pressure.  [make_cloud c] must build a
+    fresh, independent cloud for component [c] — shards never share a
+    simulation.  [config.refresh] is forced to [Refresh_none] and
+    journaling/crash injection are unavailable (see the module doc).
+    The result is byte-identical for any [domains] value. *)
 let apply ~(make_cloud : int -> Cloud.t) ?(domains = 1)
     ~(config : Executor.config) ~(state : State.t) ~(plan : Plan.t)
     ?(seed = 7) ?(sched = Executor.Sched_heap) () : report =
@@ -157,6 +164,11 @@ let apply ~(make_cloud : int -> Cloud.t) ?(domains = 1)
   let xg = Plan.exec_graph plan in
   let n = Plan.exec_size xg in
   let comp, ncomp = components xg in
+  let cores = Domain.recommended_domain_count () in
+  let domains =
+    let requested = if domains <= 0 then cores else domains in
+    max 1 (min requested (min (max 1 ncomp) cores))
+  in
   (* cut the actionable changes into per-component sub-plans, keeping
      plan order inside each *)
   let buckets = Array.make ncomp [] in
@@ -194,6 +206,7 @@ let apply ~(make_cloud : int -> Cloud.t) ?(domains = 1)
   let maxf f = Array.fold_left (fun acc r -> Float.max acc (f r)) 0. reports in
   {
     domains;
+    cores;
     shards;
     makespan = maxf (fun r -> r.Executor.makespan);
     applied =

@@ -15,12 +15,20 @@ module Addr = Cloudless_hcl.Addr
     walks), so every traversal below runs on array reads instead of
     polymorphic-compare tree walks.  Built lazily, cached per value;
     the functional constructors hand out fresh records so a stale
-    cache can never be observed. *)
+    cache can never be observed.
+
+    [sched] is the Kahn rounds in flat form: [s_order] is the full
+    topological order, [s_order.(s_offsets.(k)) ..
+    s_order.(s_offsets.(k+1)-1)] is round k (ascending ids = insertion
+    order within the round), and [s_offsets.(s_rounds)] is the number
+    of nodes processed. *)
+type sched = { s_order : int array; s_offsets : int array; s_rounds : int }
+
 type flat = {
   f_intern : Intern.t;  (** id = insertion index of the node *)
   f_deps : int array array;  (** ascending-address order per node *)
   f_rdeps : int array array;
-  mutable f_rounds : int list list option;  (** cached Kahn rounds *)
+  mutable f_sched : sched option;  (** cached Kahn rounds *)
 }
 
 type 'a t = {
@@ -142,7 +150,7 @@ let compile t =
       f_deps.(id) <- to_ids (deps_of t a);
       f_rdeps.(id) <- to_ids (rdeps_of t a))
     intern;
-  { f_intern = intern; f_deps; f_rdeps; f_rounds = None }
+  { f_intern = intern; f_deps; f_rdeps; f_sched = None }
 
 let compiled t =
   match t.flat_memo with
@@ -156,41 +164,101 @@ let compiled t =
 (* Topological order                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Kahn's algorithm by rounds over a flat in-degree array.  Round k
-   holds exactly the nodes of level k (all dependencies in rounds
-   < k), each round in insertion order — ids ARE insertion indices, so
-   sorting a round is an int sort and the output matches the seed's
-   per-round [List.partition] scan byte for byte.  Raises {!Cycle}
-   with the blocked nodes (insertion order) when the graph has one. *)
-let flat_rounds fl =
-  match fl.f_rounds with
-  | Some r -> r
+(* In-place ascending heapsort of [a.(lo) .. a.(lo+len-1)].  Ids within
+   a round are distinct, so an unstable sort is fine; heapsort keeps
+   the kernel allocation-free at any round width (a 1M-wide fleet round
+   would make insertion sort quadratic and [List.sort] cons a copy). *)
+let sort_slice a lo len =
+  if len > 1 then begin
+    (* max-heap sift-down of [root] within the first [len'] slots *)
+    let sift root len' =
+      let r = ref root in
+      let live = ref true in
+      while !live do
+        let l = (2 * !r) + 1 in
+        if l >= len' then live := false
+        else begin
+          let c =
+            if l + 1 < len' && a.(lo + l + 1) > a.(lo + l) then l + 1 else l
+          in
+          if a.(lo + c) > a.(lo + !r) then begin
+            let tmp = a.(lo + c) in
+            a.(lo + c) <- a.(lo + !r);
+            a.(lo + !r) <- tmp;
+            r := c
+          end
+          else live := false
+        end
+      done
+    in
+    for i = (len / 2) - 1 downto 0 do
+      sift i len
+    done;
+    for last = len - 1 downto 1 do
+      let tmp = a.(lo) in
+      a.(lo) <- a.(lo + last);
+      a.(lo + last) <- tmp;
+      sift 0 last
+    done
+  end
+
+(* Kahn's algorithm by rounds, allocation-free: [order] doubles as the
+   work queue (the write cursor only ever runs ahead of the read
+   cursor), [offsets.(k)] is where round k starts, and each new round's
+   slice is heapsorted in place — ids ARE insertion indices, so an
+   ascending int sort makes round k match the seed's per-round
+   [List.partition] scan byte for byte.  [indeg] is caller-supplied
+   scratch (consumed; holds residual in-degrees on return, which is how
+   cycles are diagnosed: processed < n and the blocked nodes are those
+   with indeg > 0).  Requires [Array.length order >= n] and
+   [Array.length offsets >= n + 1]; returns the round count, with
+   [offsets.(rounds)] = number of nodes processed. *)
+let rounds_kernel ~rdeps ~indeg ~order ~offsets =
+  let n = Array.length indeg in
+  let w = ref 0 in
+  for id = 0 to n - 1 do
+    if indeg.(id) = 0 then begin
+      order.(!w) <- id;
+      incr w
+    end
+  done;
+  offsets.(0) <- 0;
+  let rounds = ref 0 in
+  let r_start = ref 0 in
+  while !r_start < !w do
+    let r_end = !w in
+    for i = !r_start to r_end - 1 do
+      let rd = rdeps.(order.(i)) in
+      for j = 0 to Array.length rd - 1 do
+        let d = rd.(j) in
+        let c = indeg.(d) - 1 in
+        indeg.(d) <- c;
+        if c = 0 then begin
+          order.(!w) <- d;
+          incr w
+        end
+      done
+    done;
+    incr rounds;
+    offsets.(!rounds) <- r_end;
+    sort_slice order r_end (!w - r_end);
+    r_start := r_end
+  done;
+  !rounds
+
+(* Run the kernel over a compiled topology, memoizing the result.
+   Raises {!Cycle} with the blocked nodes (insertion order) when the
+   graph has one. *)
+let flat_sched fl =
+  match fl.f_sched with
+  | Some s -> s
   | None ->
       let n = Array.length fl.f_deps in
       let indeg = Array.map Array.length fl.f_deps in
-      let first = ref [] in
-      for id = n - 1 downto 0 do
-        if indeg.(id) = 0 then first := id :: !first
-      done;
-      let processed = ref 0 in
-      let rec go ready acc =
-        match ready with
-        | [] -> List.rev acc
-        | _ ->
-            processed := !processed + List.length ready;
-            let next = ref [] in
-            List.iter
-              (fun id ->
-                Array.iter
-                  (fun d ->
-                    indeg.(d) <- indeg.(d) - 1;
-                    if indeg.(d) = 0 then next := d :: !next)
-                  fl.f_rdeps.(id))
-              ready;
-            go (List.sort Int.compare !next) (ready :: acc)
-      in
-      let rounds = go !first [] in
-      if !processed < n then begin
+      let order = Array.make (max 1 n) 0 in
+      let offsets = Array.make (n + 1) 0 in
+      let rounds = rounds_kernel ~rdeps:fl.f_rdeps ~indeg ~order ~offsets in
+      if offsets.(rounds) < n then begin
         let blocked = ref [] in
         for id = n - 1 downto 0 do
           if indeg.(id) > 0 then
@@ -198,22 +266,52 @@ let flat_rounds fl =
         done;
         raise (Cycle !blocked)
       end;
-      fl.f_rounds <- Some rounds;
-      rounds
+      let s = { s_order = order; s_offsets = offsets; s_rounds = rounds } in
+      fl.f_sched <- Some s;
+      s
+
+(** Fill caller-supplied arrays with the Kahn rounds of [t]:
+    [order.(offsets.(k)) .. order.(offsets.(k+1)-1)] is round k of
+    interned ids (= insertion indices), returns the round count.
+    Requires [Array.length order >= size t] and [Array.length offsets
+    >= size t + 1]; allocation-free past the compiled-topology cache.
+    Raises {!Cycle} when the graph has one. *)
+let rounds_into t ~order ~offsets =
+  let fl = compiled t in
+  let s = flat_sched fl in
+  let n = s.s_offsets.(s.s_rounds) in
+  Array.blit s.s_order 0 order 0 n;
+  Array.blit s.s_offsets 0 offsets 0 (s.s_rounds + 1);
+  s.s_rounds
 
 let rounds t =
   match t.rounds_memo with
   | Some r -> r
   | None ->
       let fl = compiled t in
-      let r = List.map (List.map (Intern.addr fl.f_intern)) (flat_rounds fl) in
-      t.rounds_memo <- Some r;
-      r
+      let s = flat_sched fl in
+      let r = ref [] in
+      for k = s.s_rounds - 1 downto 0 do
+        let round = ref [] in
+        for i = s.s_offsets.(k + 1) - 1 downto s.s_offsets.(k) do
+          round := Intern.addr fl.f_intern s.s_order.(i) :: !round
+        done;
+        r := !round :: !r
+      done;
+      t.rounds_memo <- Some !r;
+      !r
 
 (** Stable topological sort: among nodes whose dependencies are
     satisfied, insertion order wins.  Raises {!Cycle} with the offending
     nodes when the graph has one. *)
-let topo_sort t = List.concat (rounds t)
+let topo_sort t =
+  let fl = compiled t in
+  let s = flat_sched fl in
+  let acc = ref [] in
+  for i = s.s_offsets.(s.s_rounds) - 1 downto 0 do
+    acc := Intern.addr fl.f_intern s.s_order.(i) :: !acc
+  done;
+  !acc
 
 let has_cycle t =
   match topo_sort t with _ -> false | exception Cycle _ -> true
@@ -240,32 +338,29 @@ let max_width t = List.fold_left (fun acc l -> max acc (List.length l)) 0 (level
     zero-slack nodes are on the critical path and must never wait. *)
 let critical_path t ~duration =
   let fl = compiled t in
-  let order = List.concat (flat_rounds fl) in
-  match order with
-  | [] -> (0., [])
-  | _ ->
+  let s = flat_sched fl in
+  let total = s.s_offsets.(s.s_rounds) in
+  if total = 0 then (0., [])
+  else begin
       let n = Array.length fl.f_deps in
       let finish = Array.make n 0. in
       let dur = Array.make n 0. in
-      List.iter
-        (fun id ->
-          let start =
-            Array.fold_left
-              (fun acc d -> Float.max acc finish.(d))
-              0. fl.f_deps.(id)
-          in
-          dur.(id) <- duration (Intern.addr fl.f_intern id);
-          finish.(id) <- start +. dur.(id))
-        order;
-      let last =
-        List.fold_left
-          (fun acc id ->
-            match acc with
-            | None -> Some id
-            | Some b -> if finish.(id) > finish.(b) then Some id else Some b)
-          None order
-      in
-      let last = Option.get last in
+      for i = 0 to total - 1 do
+        let id = s.s_order.(i) in
+        let start =
+          Array.fold_left
+            (fun acc d -> Float.max acc finish.(d))
+            0. fl.f_deps.(id)
+        in
+        dur.(id) <- duration (Intern.addr fl.f_intern id);
+        finish.(id) <- start +. dur.(id)
+      done;
+      let last = ref s.s_order.(0) in
+      for i = 1 to total - 1 do
+        let id = s.s_order.(i) in
+        if finish.(id) > finish.(!last) then last := id
+      done;
+      let last = !last in
       (* Walk backwards along the tight predecessors; the arrays are in
          ascending-address order, so the first tight hit matches the
          seed's [Addr.Set.fold] choice. *)
@@ -285,22 +380,23 @@ let critical_path t ~duration =
       in
       ( finish.(last),
         List.map (Intern.addr fl.f_intern) (back last []) )
+    end
 
 (** Remaining-longest-path priority for every node: the length of the
     longest duration chain from the node (inclusive) to any sink.
     Higher priority = more critical. *)
 let priorities t ~duration =
   let fl = compiled t in
+  let s = flat_sched fl in
   let n = Array.length fl.f_deps in
   let prio = Array.make n 0. in
-  let order = List.rev (List.concat (flat_rounds fl)) in
-  List.iter
-    (fun id ->
-      let tail =
-        Array.fold_left (fun acc r -> Float.max acc prio.(r)) 0. fl.f_rdeps.(id)
-      in
-      prio.(id) <- tail +. duration (Intern.addr fl.f_intern id))
-    order;
+  for i = s.s_offsets.(s.s_rounds) - 1 downto 0 do
+    let id = s.s_order.(i) in
+    let tail =
+      Array.fold_left (fun acc r -> Float.max acc prio.(r)) 0. fl.f_rdeps.(id)
+    in
+    prio.(id) <- tail +. duration (Intern.addr fl.f_intern id)
+  done;
   fun addr ->
     match Intern.find_opt fl.f_intern addr with
     | Some id -> prio.(id)
@@ -435,6 +531,45 @@ let of_instances (instances : Cloudless_hcl.Eval.instance list) :
     [Sched_list]) so tests and the E12 bench can assert that the Kahn
     implementations above produce byte-identical orders and levels. *)
 module Reference = struct
+  (* The cons-cell Kahn loop the zero-alloc kernel replaced: per-round
+     int lists with a [List.sort] per round.  Kept as the oracle for
+     the kernel's round structure (QCheck equivalence in
+     test_raw_speed). *)
+  let rounds t =
+    let fl = compiled t in
+    let n = Array.length fl.f_deps in
+    let indeg = Array.map Array.length fl.f_deps in
+    let first = ref [] in
+    for id = n - 1 downto 0 do
+      if indeg.(id) = 0 then first := id :: !first
+    done;
+    let processed = ref 0 in
+    let rec go ready acc =
+      match ready with
+      | [] -> List.rev acc
+      | _ ->
+          processed := !processed + List.length ready;
+          let next = ref [] in
+          List.iter
+            (fun id ->
+              Array.iter
+                (fun d ->
+                  indeg.(d) <- indeg.(d) - 1;
+                  if indeg.(d) = 0 then next := d :: !next)
+                fl.f_rdeps.(id))
+            ready;
+          go (List.sort Int.compare !next) (ready :: acc)
+    in
+    let rounds = go !first [] in
+    if !processed < n then begin
+      let blocked = ref [] in
+      for id = n - 1 downto 0 do
+        if indeg.(id) > 0 then blocked := Intern.addr fl.f_intern id :: !blocked
+      done;
+      raise (Cycle !blocked)
+    end;
+    List.map (List.map (Intern.addr fl.f_intern)) rounds
+
   (* per-round List.partition over the remaining nodes: O(depth * V) *)
   let topo_sort t =
     let in_degree = Hashtbl.create 64 in

@@ -39,6 +39,32 @@ val topo_sort : 'a t -> Addr.t list
 
 val has_cycle : 'a t -> bool
 
+(** Zero-alloc Kahn rounds into caller-supplied scratch:
+    [order.(offsets.(k)) .. order.(offsets.(k+1)-1)] is round k of
+    interned ids (insertion indices, ascending within a round); returns
+    the round count, with [offsets.(rounds)] = nodes processed.
+    Requires [Array.length order >= size t] and
+    [Array.length offsets >= size t + 1].  Raises {!Cycle}. *)
+val rounds_into : 'a t -> order:int array -> offsets:int array -> int
+
+(** The raw kernel behind {!rounds_into}, for callers that already hold
+    flat adjacency (see {!Plan.exec_rounds_into}): [indeg] is consumed
+    scratch (residual in-degrees on return — nonzero entries are the
+    blocked nodes of a cycle, signalled by [offsets.(rounds) <
+    Array.length indeg]).  Allocation-free. *)
+val rounds_kernel :
+  rdeps:int array array ->
+  indeg:int array ->
+  order:int array ->
+  offsets:int array ->
+  int
+
+(** In-place ascending heapsort of [a.(lo) .. a.(lo+len-1)] — the
+    closure-free int sort the kernel uses on each round slice, exposed
+    for other hot paths (e.g. {!Plan.exec_graph}'s adjacency freeze)
+    that would otherwise pay [Array.sort]'s comparator closure. *)
+val sort_slice : int array -> int -> int -> unit
+
 (** Parallel levels: level 0 has no dependencies, level k depends only
     on earlier levels. *)
 val levels : 'a t -> Addr.t list list
@@ -72,6 +98,11 @@ val restrict : 'a t -> Addr.Set.t -> 'a t
     [Sched_list]) so tests and benches can assert the Kahn
     implementations produce byte-identical orders and levels. *)
 module Reference : sig
+  (** The cons-cell Kahn rounds the zero-alloc kernel replaced
+      (per-round int lists + [List.sort]); oracle for
+      {!rounds_into}'s round structure. *)
+  val rounds : 'a t -> Addr.t list list
+
   (** Per-round [List.partition] scan: O(depth * V). *)
   val topo_sort : 'a t -> Addr.t list
 

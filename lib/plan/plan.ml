@@ -355,18 +355,26 @@ let exec_graph (t : t) : exec_graph =
   if Cloudless_graph.Intern.length intern <> n then
     Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Internal
       ~code:"duplicate-change" "Plan.exec_graph: duplicate change addresses";
-  let by_base = Hashtbl.create (2 * n) in
-  for id = n - 1 downto 0 do
-    (* downward so each bucket ends up in ascending plan order *)
-    let b = Addr.base changes.(id).addr in
-    let prev = Option.value ~default:[] (Hashtbl.find_opt by_base b) in
-    Hashtbl.replace by_base b (id :: prev)
-  done;
+  (* lazy: deps recorded at instance granularity (the common case —
+     references bind to concrete instances) resolve through the intern
+     table alone, so most plans never pay for the base index *)
+  let by_base =
+    lazy
+      (let tbl = Hashtbl.create (2 * n) in
+       for id = n - 1 downto 0 do
+         (* downward so each bucket ends up in ascending plan order *)
+         let b = Addr.base changes.(id).addr in
+         let prev = Option.value ~default:[] (Hashtbl.find_opt tbl b) in
+         Hashtbl.replace tbl b (id :: prev)
+       done;
+       tbl)
+  in
   let resolve dep =
     match Cloudless_graph.Intern.find_opt intern dep with
     | Some id -> [ id ]
     | None ->
-        Option.value ~default:[] (Hashtbl.find_opt by_base (Addr.base dep))
+        Option.value ~default:[]
+          (Hashtbl.find_opt (Lazy.force by_base) (Addr.base dep))
   in
   let e_dependent = Ivec.create (2 * n) and e_dependency = Ivec.create (2 * n) in
   let add_edge ~dependent ~dependency =
@@ -401,10 +409,15 @@ let exec_graph (t : t) : exec_graph =
             c.deps)
     changes;
   (* rank: position of each id's address in ascending-address order,
-     so sorting an adjacency row by rank reproduces [Addr.Set.iter] *)
+     so sorting an adjacency row by rank reproduces [Addr.Set.iter];
+     [by_addr] is the inverse permutation (rank -> id) *)
   let rank = Array.make n 0 in
   let by_addr = Array.init n (fun id -> id) in
-  Array.sort
+  (* stable_sort (mergesort, ~n log n comparisons) over sort (heapsort,
+     ~2n log n): the [Addr.compare] calls are the whole cost of this
+     pass at 1M nodes, so halving them matters; stability is moot
+     (addresses are distinct) *)
+  Array.stable_sort
     (fun a b -> Addr.compare changes.(a).addr changes.(b).addr)
     by_addr;
   Array.iteri (fun pos id -> rank.(id) <- pos) by_addr;
@@ -421,57 +434,53 @@ let exec_graph (t : t) : exec_graph =
       rows.(s).(fill.(s)) <- dst.Ivec.a.(k);
       fill.(s) <- fill.(s) + 1
     done;
+    (* sort each row by address via rank space: map ids to their ranks,
+       heapsort the plain ints (no comparator closure, no [rank]
+       indirection per comparison), dedup (ranks are unique per id so
+       duplicates are adjacent and exact), then map back through the
+       inverse permutation *)
     Array.map
       (fun row ->
-        Array.sort (fun a b -> Int.compare rank.(a) rank.(b)) row;
-        (* dedup (sorted, so duplicates are adjacent) *)
         let m = Array.length row in
-        if m <= 1 then row
-        else begin
-          let w = ref 1 in
-          for r = 1 to m - 1 do
-            if row.(r) <> row.(!w - 1) then begin
-              row.(!w) <- row.(r);
-              incr w
-            end
-          done;
-          if !w = m then row else Array.sub row 0 !w
-        end)
+        for r = 0 to m - 1 do
+          row.(r) <- rank.(row.(r))
+        done;
+        Dag.sort_slice row 0 m;
+        let row =
+          if m <= 1 then row
+          else begin
+            let w = ref 1 in
+            for r = 1 to m - 1 do
+              if row.(r) <> row.(!w - 1) then begin
+                row.(!w) <- row.(r);
+                incr w
+              end
+            done;
+            if !w = m then row else Array.sub row 0 !w
+          end
+        in
+        for r = 0 to Array.length row - 1 do
+          row.(r) <- by_addr.(row.(r))
+        done;
+        row)
       rows
   in
   let xdeps = freeze ~src:e_dependent ~dst:e_dependency in
   let xrdeps = freeze ~src:e_dependency ~dst:e_dependent in
   { xintern = intern; xchanges = changes; xdeps; xrdeps }
 
-(** Kahn rounds over the flat graph (ids ascending inside each round =
-    plan order, matching [Dag.levels] on {!execution_graph}); raises
+(** Kahn rounds over the flat graph into caller-supplied scratch via
+    {!Dag.rounds_kernel}: [order.(offsets.(k)) ..
+    order.(offsets.(k+1)-1)] is round k (ids ascending inside each
+    round = plan order, matching [Dag.levels] on {!execution_graph});
+    returns the round count.  Requires [Array.length order >= exec_size
+    xg] and [Array.length offsets >= exec_size xg + 1].  Raises
     [Dag.Cycle] with the blocked addresses. *)
-let exec_rounds (xg : exec_graph) : int list list =
+let exec_rounds_into (xg : exec_graph) ~order ~offsets =
   let n = exec_size xg in
   let indeg = Array.map Array.length xg.xdeps in
-  let first = ref [] in
-  for id = n - 1 downto 0 do
-    if indeg.(id) = 0 then first := id :: !first
-  done;
-  let processed = ref 0 in
-  let rec go ready acc =
-    match ready with
-    | [] -> List.rev acc
-    | _ ->
-        processed := !processed + List.length ready;
-        let next = ref [] in
-        List.iter
-          (fun id ->
-            Array.iter
-              (fun d ->
-                indeg.(d) <- indeg.(d) - 1;
-                if indeg.(d) = 0 then next := d :: !next)
-              xg.xrdeps.(id))
-          ready;
-        go (List.sort Int.compare !next) (ready :: acc)
-  in
-  let rounds = go !first [] in
-  if !processed < n then begin
+  let rounds = Dag.rounds_kernel ~rdeps:xg.xrdeps ~indeg ~order ~offsets in
+  if offsets.(rounds) < n then begin
     let blocked = ref [] in
     for id = n - 1 downto 0 do
       if indeg.(id) > 0 then blocked := xg.xchanges.(id).addr :: !blocked
@@ -479,6 +488,15 @@ let exec_rounds (xg : exec_graph) : int list list =
     raise (Dag.Cycle !blocked)
   end;
   rounds
+
+(** List view of {!exec_rounds_into} (allocates its own scratch). *)
+let exec_rounds (xg : exec_graph) : int list list =
+  let n = exec_size xg in
+  let order = Array.make (max 1 n) 0 in
+  let offsets = Array.make (n + 1) 0 in
+  let rounds = exec_rounds_into xg ~order ~offsets in
+  List.init rounds (fun k ->
+      Array.to_list (Array.sub order offsets.(k) (offsets.(k + 1) - offsets.(k))))
 
 (* ------------------------------------------------------------------ *)
 (* Incremental planning (§3.3)                                         *)

@@ -6,7 +6,9 @@
 
 type 'a t = (unit, 'a) Pqueue.t
 
-let create () = Pqueue.create Pqueue.Min_first
+(* untracked: the event loop never removes by key, so skip the per-push
+   live-counter hashtable churn *)
+let create () = Pqueue.create ~track:false Pqueue.Min_first
 
 let is_empty = Pqueue.is_empty
 let length = Pqueue.length

@@ -1,29 +1,41 @@
 (** Generic keyed priority queue (binary heap); see the interface for
-    the ordering and lazy-deletion contract. *)
+    the ordering and lazy-deletion contract.
+
+    Stored structure-of-arrays: priorities live in a bare [float
+    array] (unboxed by the runtime), so a push allocates nothing
+    beyond amortized growth — the previous per-entry record boxed the
+    float and cost ~6 words on every event and every ready-set
+    admission. *)
 
 type order = Min_first | Max_first
 
-type ('k, 'a) entry = { prio : float; seq : int; key : 'k; payload : 'a }
-
 type ('k, 'a) t = {
   order : order;
-  mutable heap : ('k, 'a) entry array;  (** heap.(0) orders first *)
+  mutable prios : float array;
+  mutable seqs : int array;
+  mutable keys : 'k array;
+  mutable payloads : 'a array;
   mutable size : int;  (** slots in use, tombstoned entries included *)
   mutable next_seq : int;
+  tracked : bool;  (** key accounting enabled ({!mem}/{!remove}) *)
   live : ('k, int) Hashtbl.t;  (** key -> live entries in the heap *)
   tombs : ('k, int) Hashtbl.t;  (** key -> entries pending lazy deletion *)
   mutable tomb_count : int;
   mutable peak : int;
 }
 
-let create ?(initial_capacity = 0) order =
+let create ?(initial_capacity = 0) ?(track = true) order =
   {
     order;
-    heap = [||];
+    prios = [||];
+    seqs = [||];
+    keys = [||];
+    payloads = [||];
     size = 0;
     next_seq = 0;
-    live = Hashtbl.create (max 16 initial_capacity);
-    tombs = Hashtbl.create 16;
+    tracked = track;
+    live = Hashtbl.create (if track then max 16 initial_capacity else 1);
+    tombs = Hashtbl.create (if track then 16 else 1);
     tomb_count = 0;
     peak = 0;
   }
@@ -34,10 +46,25 @@ let peak_length t = t.peak
 
 (* The (prio, seq) comparison is strict and total (seq is unique), so
    pops are deterministic regardless of heap shape. *)
-let before t a b =
+let before t i j =
+  let pi = t.prios.(i) and pj = t.prios.(j) in
   match t.order with
-  | Min_first -> a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
-  | Max_first -> a.prio > b.prio || (a.prio = b.prio && a.seq > b.seq)
+  | Min_first -> pi < pj || (pi = pj && t.seqs.(i) < t.seqs.(j))
+  | Max_first -> pi > pj || (pi = pj && t.seqs.(i) > t.seqs.(j))
+
+let swap t i j =
+  let p = t.prios.(i) in
+  t.prios.(i) <- t.prios.(j);
+  t.prios.(j) <- p;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let a = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- a
 
 let counter_get tbl k = match Hashtbl.find_opt tbl k with Some n -> n | None -> 0
 
@@ -48,23 +75,31 @@ let counter_decr tbl k =
   | 0 -> Hashtbl.remove tbl k
   | n -> Hashtbl.replace tbl k n
 
-(* Grow by doubling, filling fresh slots with the entry about to be
-   pushed — a live value, so no [Obj.magic] dummy is ever stored. *)
-let ensure_capacity t fill =
-  if t.size = Array.length t.heap then begin
-    let ncap = max 16 (2 * Array.length t.heap) in
-    let nh = Array.make ncap fill in
-    Array.blit t.heap 0 nh 0 t.size;
-    t.heap <- nh
+(* Grow by doubling, filling fresh key/payload slots with the values
+   about to be pushed — live values, so no [Obj.magic] dummy is ever
+   stored. *)
+let ensure_capacity t key payload =
+  if t.size = Array.length t.prios then begin
+    let ncap = max 16 (2 * Array.length t.prios) in
+    let np = Array.make ncap 0. in
+    Array.blit t.prios 0 np 0 t.size;
+    t.prios <- np;
+    let ns = Array.make ncap 0 in
+    Array.blit t.seqs 0 ns 0 t.size;
+    t.seqs <- ns;
+    let nk = Array.make ncap key in
+    Array.blit t.keys 0 nk 0 t.size;
+    t.keys <- nk;
+    let na = Array.make ncap payload in
+    Array.blit t.payloads 0 na 0 t.size;
+    t.payloads <- na
   end
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t t.heap.(i) t.heap.(parent) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(parent);
-      t.heap.(parent) <- tmp;
+    if before t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -72,42 +107,44 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let first = ref i in
-  if l < t.size && before t t.heap.(l) t.heap.(!first) then first := l;
-  if r < t.size && before t t.heap.(r) t.heap.(!first) then first := r;
+  if l < t.size && before t l !first then first := l;
+  if r < t.size && before t r !first then first := r;
   if !first <> i then begin
-    let tmp = t.heap.(i) in
-    t.heap.(i) <- t.heap.(!first);
-    t.heap.(!first) <- tmp;
+    swap t i !first;
     sift_down t !first
   end
 
 let push t ~prio ~key payload =
-  let e = { prio; seq = t.next_seq; key; payload } in
-  ensure_capacity t e;
-  t.heap.(t.size) <- e;
+  ensure_capacity t key payload;
+  let i = t.size in
+  t.prios.(i) <- prio;
+  t.seqs.(i) <- t.next_seq;
+  t.keys.(i) <- key;
+  t.payloads.(i) <- payload;
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1);
-  counter_incr t.live key;
+  sift_up t i;
+  if t.tracked then counter_incr t.live key;
   let live_now = length t in
   if live_now > t.peak then t.peak <- live_now
 
-let pop_root t =
-  let top = t.heap.(0) in
+(* Drop the root: move the last element into its place and restore the
+   heap property.  (The vacated tail slot keeps its old value, exactly
+   like the record-array implementation did.) *)
+let drop_root t =
   t.size <- t.size - 1;
   if t.size > 0 then begin
-    t.heap.(0) <- t.heap.(t.size);
+    swap t 0 t.size;
     sift_down t 0
-  end;
-  top
+  end
 
 (* Discard tombstoned entries sitting at the root. *)
 let rec settle t =
   if t.size > 0 && t.tomb_count > 0 then begin
-    let root = t.heap.(0) in
-    if counter_get t.tombs root.key > 0 then begin
-      ignore (pop_root t);
-      counter_decr t.tombs root.key;
+    let k = t.keys.(0) in
+    if counter_get t.tombs k > 0 then begin
+      drop_root t;
+      counter_decr t.tombs k;
       t.tomb_count <- t.tomb_count - 1;
       settle t
     end
@@ -117,23 +154,24 @@ let pop t =
   settle t;
   if t.size = 0 then None
   else begin
-    let top = pop_root t in
-    counter_decr t.live top.key;
-    Some (top.prio, top.key, top.payload)
+    let prio = t.prios.(0) and key = t.keys.(0) and payload = t.payloads.(0) in
+    drop_root t;
+    if t.tracked then counter_decr t.live key;
+    Some (prio, key, payload)
   end
 
 let peek t =
   settle t;
   if t.size = 0 then None
-  else
-    let top = t.heap.(0) in
-    Some (top.prio, top.key, top.payload)
+  else Some (t.prios.(0), t.keys.(0), t.payloads.(0))
 
 let peek_prio t = Option.map (fun (p, _, _) -> p) (peek t)
 
-let mem t key = counter_get t.live key > 0
+let mem t key = t.tracked && counter_get t.live key > 0
 
 let remove t key =
+  if not t.tracked then
+    invalid_arg "Pqueue.remove: queue created with ~track:false";
   if counter_get t.live key > 0 then begin
     counter_decr t.live key;
     counter_incr t.tombs key;

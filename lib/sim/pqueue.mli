@@ -17,14 +17,21 @@
     Deletion by key is lazy: {!remove} tombstones the key in O(1) and
     {!pop}/{!peek} discard tombstoned entries on the way out, keeping
     every operation O(log n) amortized with no [decrease_key] plumbing.
-    The backing array grows by doubling and is seeded from the entry
-    being pushed — no [Obj.magic] placeholder slots. *)
+    Storage is structure-of-arrays (priorities in an unboxed [float
+    array]), growing by doubling with fresh slots seeded from the entry
+    being pushed — no [Obj.magic] placeholder slots, and a push
+    allocates nothing beyond amortized growth. *)
 
 type order = Min_first | Max_first
 
 type ('k, 'a) t
 
-val create : ?initial_capacity:int -> order -> ('k, 'a) t
+(** [track] (default [true]) maintains the per-key live/tombstone
+    counters behind {!mem} and {!remove}.  Pass [~track:false] when
+    neither is needed (the event queue): push/pop then touch no
+    hashtable at all.  On an untracked queue {!mem} is always [false]
+    and {!remove} raises [Invalid_argument]. *)
+val create : ?initial_capacity:int -> ?track:bool -> order -> ('k, 'a) t
 
 (** Number of live entries (pushed, not yet popped or removed). *)
 val length : ('k, 'a) t -> int

@@ -7,11 +7,15 @@
     must respect it, and scan-based drift detection is expensive
     because of it. *)
 
+(* The two hot cells live in a float array, not mutable float fields:
+   the record also carries int counters, so it is not a flat float
+   record and every [t.tokens <- ...] would box a fresh float.  Stores
+   into a [float array] stay unboxed — the pacer runs per admitted
+   change and showed up in apply-leg allocation profiles. *)
 type t = {
   capacity : float;  (** bucket size (burst) *)
   refill_rate : float;  (** tokens per second *)
-  mutable tokens : float;
-  mutable last_refill : float;  (** sim time of last refill *)
+  cells : float array;  (** [|tokens; last_refill (sim time)|] *)
   mutable total_admitted : int;
   mutable total_throttled : int;
 }
@@ -20,8 +24,7 @@ let create ~capacity ~refill_rate =
   {
     capacity;
     refill_rate;
-    tokens = capacity;
-    last_refill = 0.;
+    cells = [| capacity; 0. |];
     total_admitted = 0;
     total_throttled = 0;
   }
@@ -39,10 +42,11 @@ let azure_write () = create ~capacity:40. ~refill_rate:(1200. /. 3600.)
 let azure_read () = create ~capacity:100. ~refill_rate:(12000. /. 3600.)
 
 let refill t ~now =
-  if now > t.last_refill then begin
-    t.tokens <-
-      Float.min t.capacity (t.tokens +. ((now -. t.last_refill) *. t.refill_rate));
-    t.last_refill <- now
+  if now > t.cells.(1) then begin
+    t.cells.(0) <-
+      Float.min t.capacity
+        (t.cells.(0) +. ((now -. t.cells.(1)) *. t.refill_rate));
+    t.cells.(1) <- now
   end
 
 (** Try to admit one call at simulation time [now].  On throttle,
@@ -50,14 +54,14 @@ let refill t ~now =
     available). *)
 let try_acquire t ~now =
   refill t ~now;
-  if t.tokens >= 1. then begin
-    t.tokens <- t.tokens -. 1.;
+  if t.cells.(0) >= 1. then begin
+    t.cells.(0) <- t.cells.(0) -. 1.;
     t.total_admitted <- t.total_admitted + 1;
     Ok ()
   end
   else begin
     t.total_throttled <- t.total_throttled + 1;
-    let deficit = 1. -. t.tokens in
+    let deficit = 1. -. t.cells.(0) in
     Error (deficit /. t.refill_rate)
   end
 
@@ -67,19 +71,19 @@ let try_acquire t ~now =
     capacity space themselves K/rate apart instead of colliding. *)
 let reserve t ~now =
   refill t ~now;
-  t.tokens <- t.tokens -. 1.;
+  t.cells.(0) <- t.cells.(0) -. 1.;
   t.total_admitted <- t.total_admitted + 1;
-  if t.tokens >= 0. then 0. else -.t.tokens /. t.refill_rate
+  if t.cells.(0) >= 0. then 0. else -.t.cells.(0) /. t.refill_rate
 
 (** Tokens currently available (after refill at [now]). *)
 let available t ~now =
   refill t ~now;
-  t.tokens
+  t.cells.(0)
 
 (** Seconds until [n] tokens would be available. *)
 let time_until t ~now n =
   refill t ~now;
-  if t.tokens >= n then 0. else (n -. t.tokens) /. t.refill_rate
+  if t.cells.(0) >= n then 0. else (n -. t.cells.(0)) /. t.refill_rate
 
 let stats t = (t.total_admitted, t.total_throttled)
 

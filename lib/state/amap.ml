@@ -1,0 +1,124 @@
+(** Address-keyed balanced map, specialized for {!State}.
+
+    Same AVL shape and operation costs as [Map.Make (Addr)], with one
+    addition the stdlib cannot offer: {!of_sorted_array} builds the
+    tree bottom-up in O(n) — n nodes allocated total, against the
+    n·log n a fold of [add]s pays in path copies.  The apply hot path
+    installs every created resource through that constructor (the
+    executor batches its writes in a hash overlay and materializes the
+    tree once), which is most of the difference between a GC-quiet
+    1M-resource apply and one that spends its time copying spines. *)
+
+module Addr = Cloudless_hcl.Addr
+
+type 'a t =
+  | Empty
+  | Node of { l : 'a t; k : Addr.t; v : 'a; r : 'a t; h : int }
+
+let empty = Empty
+let is_empty = function Empty -> true | Node _ -> false
+let height = function Empty -> 0 | Node { h; _ } -> h
+
+let mk l k v r =
+  let hl = height l and hr = height r in
+  Node { l; k; v; r; h = (if hl >= hr then hl + 1 else hr + 1) }
+
+(* Rebalance after one insertion/removal on either side; children are
+   valid AVL trees whose heights differ by at most 3 (stdlib Map's
+   invariant under single-op updates). *)
+let bal l k v r =
+  let hl = height l and hr = height r in
+  if hl > hr + 2 then
+    match l with
+    | Empty -> invalid_arg "Amap.bal"
+    | Node { l = ll; k = lk; v = lv; r = lr; _ } ->
+        if height ll >= height lr then mk ll lk lv (mk lr k v r)
+        else (
+          match lr with
+          | Empty -> invalid_arg "Amap.bal"
+          | Node { l = lrl; k = lrk; v = lrv; r = lrr; _ } ->
+              mk (mk ll lk lv lrl) lrk lrv (mk lrr k v r))
+  else if hr > hl + 2 then
+    match r with
+    | Empty -> invalid_arg "Amap.bal"
+    | Node { l = rl; k = rk; v = rv; r = rr; _ } ->
+        if height rr >= height rl then mk (mk l k v rl) rk rv rr
+        else (
+          match rl with
+          | Empty -> invalid_arg "Amap.bal"
+          | Node { l = rll; k = rlk; v = rlv; r = rlr; _ } ->
+              mk (mk l k v rll) rlk rlv (mk rlr rk rv rr))
+  else mk l k v r
+
+let rec add k v = function
+  | Empty -> Node { l = Empty; k; v; r = Empty; h = 1 }
+  | Node { l; k = k'; v = v'; r; _ } ->
+      let c = Addr.compare k k' in
+      if c = 0 then mk l k v r
+      else if c < 0 then bal (add k v l) k' v' r
+      else bal l k' v' (add k v r)
+
+let rec find_opt k = function
+  | Empty -> None
+  | Node { l; k = k'; v; r; _ } ->
+      let c = Addr.compare k k' in
+      if c = 0 then Some v else find_opt k (if c < 0 then l else r)
+
+let rec mem k = function
+  | Empty -> false
+  | Node { l; k = k'; r; _ } ->
+      let c = Addr.compare k k' in
+      c = 0 || mem k (if c < 0 then l else r)
+
+let rec min_binding = function
+  | Empty -> invalid_arg "Amap.min_binding"
+  | Node { l = Empty; k; v; _ } -> (k, v)
+  | Node { l; _ } -> min_binding l
+
+let rec remove_min = function
+  | Empty -> invalid_arg "Amap.remove_min"
+  | Node { l = Empty; r; _ } -> r
+  | Node { l; k; v; r; _ } -> bal (remove_min l) k v r
+
+let glue l r =
+  match (l, r) with
+  | Empty, t | t, Empty -> t
+  | _, _ ->
+      let k, v = min_binding r in
+      bal l k v (remove_min r)
+
+let rec remove k = function
+  | Empty -> Empty
+  | Node { l; k = k'; v; r; _ } ->
+      let c = Addr.compare k k' in
+      if c = 0 then glue l r
+      else if c < 0 then bal (remove k l) k' v r
+      else bal l k' v (remove k r)
+
+let rec fold f t acc =
+  match t with
+  | Empty -> acc
+  | Node { l; k; v; r; _ } -> fold f r (f k v (fold f l acc))
+
+let rec bindings_aux acc = function
+  | Empty -> acc
+  | Node { l; k; v; r; _ } -> bindings_aux ((k, v) :: bindings_aux acc r) l
+
+let bindings t = bindings_aux [] t
+
+let rec cardinal = function
+  | Empty -> 0
+  | Node { l; r; _ } -> cardinal l + 1 + cardinal r
+
+(** O(n) balanced build from a strictly-ascending (by address) array.
+    The midpoint split keeps sibling heights within one of each other,
+    so the result satisfies the AVL invariant exactly. *)
+let of_sorted_array (arr : (Addr.t * 'a) array) =
+  let rec build lo hi =
+    if lo >= hi then Empty
+    else
+      let mid = (lo + hi) / 2 in
+      let k, v = arr.(mid) in
+      mk (build lo mid) k v (build (mid + 1) hi)
+  in
+  build 0 (Array.length arr)

@@ -551,52 +551,127 @@ let of_string src =
 (* The appender                                                        *)
 (* ------------------------------------------------------------------ *)
 
+type mode =
+  | Wal  (** flush every intent before its cloud call leaves the engine *)
+  | Group of int
+      (** group commit: buffer up to K intents behind one flush
+          barrier.  The executor defers the matching cloud calls until
+          {!barrier} runs, so the write-ahead invariant (no call
+          issued whose intent is not durable) still holds — the trade
+          is a wider crash window: up to K *not-yet-issued* ops can
+          vanish with the batch.  Recovery sees nothing of them (no
+          intent, no cloud activity) and simply replans them. *)
+
 type t = {
   mutable entries_rev : entry list;
+  mutable n_entries : int;  (** length of [entries_rev] *)
+  mutable n_durable : int;  (** entries up to the last barrier *)
   retain : bool;
-  scratch : Buffer.t;  (** reused per append; one live buffer, no churn *)
+  mode : mode;
+  batch : Buffer.t;
+      (** rendered lines since the last barrier.  Nothing reaches the
+          sink's own buffer until {!barrier} writes and flushes the
+          whole batch, so the durable prefix of the file is exactly
+          the barrier history — {!abandon} can model a crash
+          faithfully by dropping the batch. *)
+  mutable batched_intents : int;
   sink : out_channel option;
   mutable closed : bool;
 }
 
-(** A live journal.  With [path] every appended entry is written and
-    flushed immediately (the write-ahead property); without, the
-    journal is memory-only (tests, benchmarks measuring pure engine
-    behaviour).  [retain:false] drops the in-memory copy as lines are
-    flushed — {!entries} then answers [[]] — for million-op benchmark
-    runs where keeping every entry alive would dominate the heap. *)
-let create ?path ?(retain = true) () =
+let mode t = t.mode
+
+(** Write the pending batch through to the sink and flush it.  In
+    {!Wal} mode this runs implicitly on every intent/run-marker append;
+    in {!Group} mode the executor calls it before releasing deferred
+    cloud calls (and it self-triggers at the batch cap). *)
+let barrier t =
+  (match t.sink with
+  | Some oc when (not t.closed) && Buffer.length t.batch > 0 ->
+      Buffer.output_buffer oc t.batch;
+      flush oc
+  | _ -> ());
+  Buffer.clear t.batch;
+  t.batched_intents <- 0;
+  t.n_durable <- t.n_entries
+
+(** A live journal.  With [path] appended entries are written through
+    {!barrier} flushes (every intent in {!Wal} mode, batched in
+    {!Group} mode); without, the journal is memory-only (tests,
+    benchmarks measuring pure engine behaviour).  [retain:false] drops
+    the in-memory copy — {!entries} then answers [[]] — for million-op
+    benchmark runs where keeping every entry alive would dominate the
+    heap. *)
+let create ?path ?(retain = true) ?(mode = Wal) () =
+  (match mode with
+  | Group k when k < 1 -> invalid_arg "Journal.create: Group batch must be >= 1"
+  | _ -> ());
   {
     entries_rev = [];
+    n_entries = 0;
+    n_durable = 0;
     retain;
-    scratch = Buffer.create 512;
+    mode;
+    batch = Buffer.create 512;
+    batched_intents = 0;
     sink = Option.map (fun p -> open_out_bin p) path;
     closed = false;
   }
 
 let append t entry =
-  if t.retain then t.entries_rev <- entry :: t.entries_rev;
-  match t.sink with
-  | Some oc when not t.closed ->
-      Buffer.clear t.scratch;
-      add_entry t.scratch entry;
-      Buffer.add_char t.scratch '\n';
-      Buffer.output_buffer oc t.scratch;
-      (* Write-ahead means an *intent* must be durable before its
-         cloud call is issued, so intents (and run markers) flush.  An
-         outcome may ride in the channel buffer until the next
-         intent's flush (or {!close}): losing one to a crash merely
-         re-creates the unresolved-intent window the adoption pass
-         ([Cloudless_deploy.Recovery]) resolves from the cloud's own
-         activity log.  This halves the syscalls of a journaled
-         apply. *)
-      (match entry with Outcome _ -> () | _ -> flush oc)
-  | _ -> ()
+  if t.retain then begin
+    t.entries_rev <- entry :: t.entries_rev;
+    t.n_entries <- t.n_entries + 1
+  end;
+  if not t.closed then begin
+    (match t.sink with
+    | Some _ ->
+        add_entry t.batch entry;
+        Buffer.add_char t.batch '\n'
+    | None -> ());
+    match (t.mode, entry) with
+    | Wal, Outcome _ ->
+        (* an outcome may ride in the batch until the next intent's
+           barrier (or {!close}): losing one to a crash merely
+           re-creates the unresolved-intent window the adoption pass
+           ([Cloudless_deploy.Recovery]) resolves from the cloud's own
+           activity log.  This halves the syscalls of a journaled
+           apply. *)
+        ()
+    | Wal, (Run_started _ | Intent _ | Run_finished _) -> barrier t
+    | Group k, Intent _ ->
+        t.batched_intents <- t.batched_intents + 1;
+        if t.batched_intents >= k then barrier t
+    | Group _, (Run_started _ | Run_finished _) -> barrier t
+    | Group _, Outcome _ -> ()
+  end
 
 let entries t = List.rev t.entries_rev
 
 let close t =
   if not t.closed then begin
+    barrier t;
+    t.closed <- true;
+    match t.sink with Some oc -> close_out oc | None -> ()
+  end
+
+(** Model engine death: discard everything appended since the last
+    {!barrier} — on disk *and* in the retained entry list — then close
+    the sink.  The file is left exactly as a crash at this instant
+    would leave it (the durable barrier prefix; no torn tail, which
+    {!of_string} would also tolerate).  The disk-fidelity crash tests
+    use this instead of {!close}, whose final barrier would leak the
+    doomed batch into the journal. *)
+let abandon t =
+  if not t.closed then begin
+    Buffer.clear t.batch;
+    t.batched_intents <- 0;
+    if t.retain && t.n_entries > t.n_durable then begin
+      let drop = t.n_entries - t.n_durable in
+      let rec chop k l = if k = 0 then l else chop (k - 1) (List.tl l) in
+      t.entries_rev <- chop drop t.entries_rev;
+      t.n_entries <- t.n_durable
+    end;
     t.closed <- true;
     match t.sink with Some oc -> close_out oc | None -> ()
   end

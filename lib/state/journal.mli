@@ -101,17 +101,51 @@ val of_string : string -> entry list
 
 type t
 
-(** A live journal.  With [path] every appended entry is written and
-    flushed immediately (the write-ahead property); without, the
-    journal is memory-only (tests, benchmarks measuring pure engine
-    behaviour).  [retain] (default [true]) keeps the in-memory entry
-    list {!entries} serves; pass [false] for huge benchmark runs —
-    {!entries} then answers [[]], so resume-from-journal flows must
-    not use it. *)
-val create : ?path:string -> ?retain:bool -> unit -> t
+type mode =
+  | Wal  (** flush every intent before its cloud call leaves the engine *)
+  | Group of int
+      (** group commit: buffer up to K intents behind one flush
+          barrier.  The executor defers the matching cloud calls until
+          {!barrier} runs, preserving the write-ahead invariant (no
+          call issued whose intent is not durable) at a wider crash
+          window: a crash can lose up to K buffered intents, but every
+          one of them corresponds to a cloud call that was *never
+          issued* — recovery sees nothing of them (no journal line, no
+          cloud activity) and simply replans them.  Flushed intents
+          without outcomes are adopted exactly as in {!Wal} mode.
+          Batches also flush on run markers, at {!close}, and whenever
+          the executor forces a {!barrier}. *)
 
-(** Append one entry, flushing it to the sink before returning. *)
+(** A live journal.  With [path] appended entries are written through
+    {!barrier} flushes — every intent immediately in {!Wal} mode
+    (default), batched in {!Group} mode; without, the journal is
+    memory-only (tests, benchmarks measuring pure engine behaviour).
+    [retain] (default [true]) keeps the in-memory entry list
+    {!entries} serves; pass [false] for huge benchmark runs —
+    {!entries} then answers [[]], so resume-from-journal flows must
+    not use it.  Raises [Invalid_argument] for [Group k] with
+    [k < 1]. *)
+val create : ?path:string -> ?retain:bool -> ?mode:mode -> unit -> t
+
+val mode : t -> mode
+
+(** Append one entry.  {!Wal} mode flushes intents and run markers
+    before returning; {!Group} mode buffers until the batch cap, a run
+    marker, or an explicit {!barrier}. *)
 val append : t -> entry -> unit
+
+(** Write the pending batch to the sink and flush it.  The executor's
+    group-commit path calls this before releasing the deferred cloud
+    calls of the batch; no-op when nothing is pending. *)
+val barrier : t -> unit
+
+(** Model engine death at this instant: discard everything appended
+    since the last {!barrier} — on disk and in the retained entry
+    list — and close the sink.  The file is left exactly as a crash
+    would leave it (the durable barrier prefix).  Disk-fidelity crash
+    tests use this instead of {!close}, whose final barrier would
+    leak the doomed batch. *)
+val abandon : t -> unit
 
 (** All entries appended so far, in order. *)
 val entries : t -> entry list

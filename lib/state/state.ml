@@ -24,77 +24,102 @@ type resource_state = {
 
 type t = {
   serial : int;  (** bumped on every mutation; optimistic concurrency *)
-  resources : resource_state Addr.Map.t;
-  by_cloud_id : Addr.t Smap.t;
-      (** reverse index maintained by {!add}/{!remove}; cloud ids are
-          unique per deployment — on a duplicate the latest add wins *)
+  resources : resource_state Amap.t;
+  mutable cloud_index : Addr.t Smap.t option;
+      (** lazily-built reverse index (cloud id -> address), rebuilt on
+          first {!find_by_cloud_id} after a topology change — keeping
+          it incrementally would double the spine rebuilds on the
+          apply hot path.  Cloud ids are unique per deployment; were a
+          state ever to hold duplicates (e.g. a merge of independently
+          numbered shards), the highest address wins — previously it
+          was the latest add, equally arbitrary.  Updates that keep
+          [resources] unchanged (or change only attributes) share the
+          memo. *)
   outputs : (string * Value.t) list;
 }
 
 let empty =
   {
     serial = 0;
-    resources = Addr.Map.empty;
-    by_cloud_id = Smap.empty;
+    resources = Amap.empty;
+    cloud_index = None;
     outputs = [];
   }
 
 let serial t = t.serial
-let resources t = List.map snd (Addr.Map.bindings t.resources)
-let size t = Addr.Map.cardinal t.resources
-let find_opt t addr = Addr.Map.find_opt addr t.resources
-let mem t addr = Addr.Map.mem addr t.resources
+let resources t = List.map snd (Amap.bindings t.resources)
+let size t = Amap.cardinal t.resources
+let find_opt t addr = Amap.find_opt addr t.resources
+let mem t addr = Amap.mem addr t.resources
 let outputs t = t.outputs
-
-(* Drop [addr]'s index entry, but only when it still points at [addr]
-   (another address may legitimately own the cloud id by now). *)
-let unindex t addr =
-  match Addr.Map.find_opt addr t.resources with
-  | Some prev -> (
-      match Smap.find_opt prev.cloud_id t.by_cloud_id with
-      | Some a when Addr.equal a addr -> Smap.remove prev.cloud_id t.by_cloud_id
-      | _ -> t.by_cloud_id)
-  | None -> t.by_cloud_id
 
 let add t (r : resource_state) =
   {
     t with
     serial = t.serial + 1;
-    resources = Addr.Map.add r.addr r t.resources;
-    by_cloud_id = Smap.add r.cloud_id r.addr (unindex t r.addr);
+    resources = Amap.add r.addr r t.resources;
+    cloud_index = None;
   }
 
 let remove t addr =
   {
     t with
     serial = t.serial + 1;
-    resources = Addr.Map.remove addr t.resources;
-    by_cloud_id = unindex t addr;
+    resources = Amap.remove addr t.resources;
+    cloud_index = None;
   }
 
 let set_outputs t outputs = { t with serial = t.serial + 1; outputs }
 
+(** Override the serial — for callers that batch mutations (the
+    executor's apply overlay) and must account for every individual
+    write the batch replaced, matching what a per-write [add]/[remove]
+    sequence would have produced. *)
+let with_serial t serial = { t with serial }
+
+(** Build a state from rows sorted strictly ascending by address in
+    O(n) — the bulk counterpart of folding {!add}, which pays a path
+    copy per row.  The caller supplies the serial (see
+    {!with_serial}); [outputs] defaults to none. *)
+let of_sorted_rows ?(outputs = []) ~serial
+    (rows : (Addr.t * resource_state) array) =
+  { serial; resources = Amap.of_sorted_array rows; cloud_index = None; outputs }
+
 (** Update just the attributes of a tracked resource. *)
 let update_attrs t addr attrs =
-  match Addr.Map.find_opt addr t.resources with
+  match Amap.find_opt addr t.resources with
   | None -> t
   | Some r ->
       {
         t with
         serial = t.serial + 1;
-        resources = Addr.Map.add addr { r with attrs } t.resources;
+        resources = Amap.add addr { r with attrs } t.resources;
       }
 
 (** The lookup function expansion needs (see
     {!Cloudless_hcl.Eval.env.state_lookup}). *)
 let lookup t addr =
-  Option.map (fun r -> r.attrs) (Addr.Map.find_opt addr t.resources)
+  Option.map (fun r -> r.attrs) (Amap.find_opt addr t.resources)
 
-(** Find the state entry for a cloud id via the reverse index:
-    O(log n) instead of a fold over every tracked resource. *)
+(* Force (and memoize) the reverse index. *)
+let cloud_index t =
+  match t.cloud_index with
+  | Some ix -> ix
+  | None ->
+      let ix =
+        Amap.fold
+          (fun addr r acc -> Smap.add r.cloud_id addr acc)
+          t.resources Smap.empty
+      in
+      t.cloud_index <- Some ix;
+      ix
+
+(** Find the state entry for a cloud id via the (lazily-built) reverse
+    index: O(log n) per lookup instead of a fold over every tracked
+    resource. *)
 let find_by_cloud_id t cloud_id =
-  match Smap.find_opt cloud_id t.by_cloud_id with
-  | Some addr -> Addr.Map.find_opt addr t.resources
+  match Smap.find_opt cloud_id (cloud_index t) with
+  | Some addr -> Amap.find_opt addr t.resources
   | None -> None
 
 (** Addresses tracked in state but not in [addrs] — candidates for
@@ -103,11 +128,11 @@ let orphans t addrs =
   (* hashed membership, not [Addr.Set.of_list]: [addrs] is every
      desired address (possibly millions) while the recorded resources
      may be few — don't pay a balanced-tree build on the big side *)
-  if Addr.Map.is_empty t.resources then []
+  if Amap.is_empty t.resources then []
   else begin
-  let keep = Hashtbl.create (2 * Addr.Map.cardinal t.resources) in
+  let keep = Hashtbl.create (2 * Amap.cardinal t.resources) in
   List.iter (fun a -> Hashtbl.replace keep a ()) addrs;
-  Addr.Map.fold
+  Amap.fold
     (fun addr _ acc -> if Hashtbl.mem keep addr then acc else addr :: acc)
     t.resources []
   |> List.rev
@@ -266,8 +291,8 @@ let of_string ?(file = "<state>") src =
           in
           {
             acc with
-            resources = Addr.Map.add addr r acc.resources;
-            by_cloud_id = Smap.add r.cloud_id addr acc.by_cloud_id;
+            resources = Amap.add addr r acc.resources;
+            cloud_index = None;
           }
       | "output", [ name ] ->
           let v = literal ~span:b.Ast.bspan b.Ast.bbody "value" in
@@ -312,21 +337,21 @@ type state_diff = {
 
 let diff a b =
   let added =
-    Addr.Map.fold
-      (fun addr _ acc -> if Addr.Map.mem addr a.resources then acc else addr :: acc)
+    Amap.fold
+      (fun addr _ acc -> if Amap.mem addr a.resources then acc else addr :: acc)
       b.resources []
     |> List.rev
   in
   let removed =
-    Addr.Map.fold
-      (fun addr _ acc -> if Addr.Map.mem addr b.resources then acc else addr :: acc)
+    Amap.fold
+      (fun addr _ acc -> if Amap.mem addr b.resources then acc else addr :: acc)
       a.resources []
     |> List.rev
   in
   let modified =
-    Addr.Map.fold
+    Amap.fold
       (fun addr ra acc ->
-        match Addr.Map.find_opt addr b.resources with
+        match Amap.find_opt addr b.resources with
         | None -> acc
         | Some rb -> (
             match diff_entry ra rb with None -> acc | Some d -> d :: acc))

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Compare two E16 result files (BENCH_raw.json schema) stage by stage:
+#
+#   scripts/bench_diff.sh OLD.json NEW.json
+#
+# Prints wall-second and minor-word deltas per fleet size, plus the
+# journal and allocation headline numbers, so a perf PR can show its
+# before/after from the committed trajectory file vs a fresh run
+# without hand-diffing JSON.  Exits 0 always — it reports, the
+# check.sh gates decide.
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 OLD.json NEW.json" >&2
+  exit 2
+fi
+
+python3 - "$1" "$2" <<'PY'
+import json, sys
+
+old_path, new_path = sys.argv[1], sys.argv[2]
+old = json.load(open(old_path))
+new = json.load(open(new_path))
+
+stages = ["eval", "intern", "plan", "dag", "execute", "journal", "group"]
+
+def fmt_delta(o, n, unit=""):
+    if o is None or n is None:
+        return "      -"
+    d = n - o
+    pct = (100.0 * d / o) if o else 0.0
+    return f"{n:9.3f}{unit} ({pct:+6.1f}%)"
+
+old_by_n = {s["n"]: s for s in old.get("samples", [])}
+print(f"old: {old_path}\nnew: {new_path}\n")
+for s in new.get("samples", []):
+    n = s["n"]
+    o = old_by_n.get(n)
+    print(f"n={n}")
+    if o is None:
+        print("  (no matching size in old file)")
+        continue
+    for st in stages:
+        k = f"{st}_s"
+        if k not in s and k not in (o or {}):
+            continue
+        print(f"  {st:<8} wall {fmt_delta(o.get(k), s.get(k), 's')}"
+              f"   minor {fmt_delta(o.get(st + '_minor_mwords'), s.get(st + '_minor_mwords'), 'MW')}")
+    for k, unit in [("journal_us_per_change", "us"),
+                    ("group_us_per_change", "us"),
+                    ("exec_words_per_change", "w")]:
+        if k in s or k in o:
+            print(f"  {k:<22} {fmt_delta(o.get(k), s.get(k), unit)}")
+    print()
+
+def dom_wall(doc):
+    runs = doc.get("domain_leg", {}).get("runs", [])
+    return {r["domains"]: r["wall_s"] for r in runs}
+
+ow, nw = dom_wall(old), dom_wall(new)
+if ow or nw:
+    print("domain leg")
+    for d in sorted(set(ow) | set(nw)):
+        print(f"  domains={d:<3} wall {fmt_delta(ow.get(d), nw.get(d), 's')}")
+PY

@@ -51,11 +51,15 @@ if (( SECONDS > E14_BUDGET_S )); then
   exit 1
 fi
 
-# Raw-speed core: per-stage pipeline timings, journal overhead, and
-# the byte-identical --domains {1,2,4} digest assertion (the bench
-# itself asserts; a digest mismatch or failed apply exits non-zero).
-# Budgeted like E12: the quick sweep is small, so a blowout means a
-# hot-path regression in eval/intern/plan/dag/execute.
+# Raw-speed core: per-stage pipeline timings, WAL + group-commit
+# journal overhead, and the byte-identical --domains {1,2,4,0} digest
+# assertion (the bench itself asserts; a digest mismatch or failed
+# apply exits non-zero).  The bench also gates allocation: the bare
+# apply must stay under its minor-words-per-change budget, so a
+# reintroduced per-change tree-path copy or closure pileup fails here
+# even when wall time hides it.  Budgeted like E12: the quick sweep is
+# small, so a blowout means a hot-path regression in
+# eval/intern/plan/dag/execute.
 E16_BUDGET_S=60
 SECONDS=0
 dune exec bench/main.exe -- e16 --quick

@@ -170,9 +170,9 @@ let engine_creates cloud =
          | _ -> false)
        (Activity_log.all (Cloud.log cloud)))
 
-let crash_and_resume ~src ~k =
+let crash_and_resume ?mode ~src ~k () =
   let t = Lifecycle.create ~seed:42 ~engine:Executor.cloudless_config () in
-  Lifecycle.enable_journal t;
+  Lifecycle.enable_journal ?mode t;
   Lifecycle.set_crash t (Sim_failure.Crash_after k);
   match Lifecycle.deploy t src with
   | Ok _ -> (t, None) (* k past the last op *)
@@ -184,7 +184,7 @@ let crash_and_resume ~src ~k =
 
 let test_crash_resume_every_k () =
   for k = 0 to 10 do
-    let t, crashed = crash_and_resume ~src:fleet_src ~k in
+    let t, crashed = crash_and_resume ~src:fleet_src ~k () in
     let cloud = Lifecycle.cloud t in
     let state = Lifecycle.state t in
     check int_ (Printf.sprintf "k=%d: all 10 tracked" k) 10 (State.size state);
@@ -224,7 +224,7 @@ let test_crashed_error_shape () =
    complete on the cloud and every one of them is adopted (not
    re-created), keeping total creates at the fleet size. *)
 let test_adoption_accounting () =
-  let _, crashed = crash_and_resume ~src:fleet_src ~k:5 in
+  let _, crashed = crash_and_resume ~src:fleet_src ~k:5 () in
   match crashed with
   | Some (n, rr) ->
       check int_ "crash index honoured" 5 n;
@@ -233,6 +233,161 @@ let test_adoption_accounting () =
       (* the crash op's own intent never reached the cloud *)
       check int_ "crash op re-planned" 1 (List.length rr.Recovery.replanned)
   | None -> Alcotest.fail "expected a crash at k=5"
+
+(* ------------------------------------------------------------------ *)
+(* Group-commit journal mode                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The E13 kill-anywhere sweep under group commit: intents batch behind
+   one flush barrier and their cloud calls are withheld until it runs,
+   so the write-ahead invariant holds batch-wise.  A crash may eat up to
+   K not-yet-issued ops — recovery must replan those (no intent, no
+   cloud activity) and adopt the issued ones, converging with zero
+   orphans and zero duplicate creates at every kill point, for every
+   batch size. *)
+let test_group_crash_resume_every_k () =
+  List.iter
+    (fun batch ->
+      for k = 0 to 10 do
+        let t, _ =
+          crash_and_resume ~mode:(Journal.Group batch) ~src:fleet_src ~k ()
+        in
+        let cloud = Lifecycle.cloud t in
+        let state = Lifecycle.state t in
+        let tag = Printf.sprintf "group %d, k=%d" batch k in
+        check int_ (tag ^ ": all 10 tracked") 10 (State.size state);
+        check int_ (tag ^ ": no orphans") 0
+          (List.length (Recovery.orphans cloud ~state));
+        check int_ (tag ^ ": no duplicate creates") 10 (engine_creates cloud);
+        match Lifecycle.plan t with
+        | Ok (p, _) ->
+            check bool_ (tag ^ ": converged (empty plan)") true
+              (Plan.is_empty p)
+        | Error e ->
+            Alcotest.failf "%s: plan failed: %s" tag
+              (Lifecycle.error_to_string e)
+      done)
+    [ 1; 3; 64 ]
+
+(* Disk fidelity of the crash window: nothing reaches the file between
+   barriers, so abandoning a journal (= the process dying) leaves
+   exactly the barrier history on disk — batched intents vanish without
+   even a torn tail. *)
+let test_group_abandon_disk_fidelity () =
+  let intent op =
+    Journal.Intent
+      {
+        Journal.op;
+        iaddr = Addr.make ~rtype:"aws_eip" ~rname:"e" ~key:(Addr.Kint op) ();
+        kind = Journal.Op_create;
+        rtype = "aws_eip";
+        region = "us-east-1";
+        payload = Smap.empty;
+        prior_cloud_id = None;
+        deps = [];
+        log_cursor = 0;
+        itime = float_of_int op;
+      }
+  in
+  let tags entries = List.map (function
+    | Journal.Run_started _ -> "start"
+    | Journal.Intent i -> Printf.sprintf "intent%d" i.Journal.op
+    | Journal.Outcome _ -> "outcome"
+    | Journal.Run_finished _ -> "finish")
+    entries
+  in
+  (* two intents below the batch cap of 3: abandoned with the batch *)
+  let path = temp_path ".journal" in
+  let j = Journal.create ~path ~mode:(Journal.Group 3) () in
+  Journal.append j
+    (Journal.Run_started { engine = "cloudless"; changes = 5; time = 0. });
+  Journal.append j (intent 1);
+  Journal.append j (intent 2);
+  check
+    Alcotest.(list string)
+    "in-memory view still has the batch"
+    [ "start"; "intent1"; "intent2" ]
+    (tags (Journal.entries j));
+  Journal.abandon j;
+  check
+    Alcotest.(list string)
+    "disk = barrier history only" [ "start" ]
+    (tags (Journal.load path));
+  check
+    Alcotest.(list string)
+    "abandon trims the retained copy to the durable prefix" [ "start" ]
+    (tags (Journal.entries j));
+  Sys.remove path;
+  (* a full batch barriers itself: all three intents survive the crash *)
+  let path = temp_path ".journal" in
+  let j = Journal.create ~path ~mode:(Journal.Group 3) () in
+  Journal.append j
+    (Journal.Run_started { engine = "cloudless"; changes = 5; time = 0. });
+  List.iter (fun op -> Journal.append j (intent op)) [ 1; 2; 3; 4 ];
+  Journal.abandon j;
+  check
+    Alcotest.(list string)
+    "self-triggered barrier at the cap; the straggler dies"
+    [ "start"; "intent1"; "intent2"; "intent3" ]
+    (tags (Journal.load path));
+  Sys.remove path;
+  (* WAL mode: every intent is its own barrier — abandon loses nothing
+     but a trailing outcome *)
+  let path = temp_path ".journal" in
+  let j = Journal.create ~path () in
+  Journal.append j
+    (Journal.Run_started { engine = "cloudless"; changes = 5; time = 0. });
+  Journal.append j (intent 1);
+  Journal.append j
+    (Journal.Outcome
+       {
+         Journal.oop = 1;
+         oaddr = addr "aws_eip" "e";
+         okind = Journal.Op_create;
+         ok = true;
+         cloud_id = Some "eip-1";
+         attrs = Smap.empty;
+         retried = false;
+         reason = None;
+         otime = 2.;
+       });
+  Journal.abandon j;
+  check
+    Alcotest.(list string)
+    "wal: intents durable, trailing outcome in the crash window"
+    [ "start"; "intent1" ]
+    (tags (Journal.load path));
+  Sys.remove path
+
+(* A clean group-commit run must land the same resources and state as
+   WAL — the batching only moves flush boundaries, never the simulated
+   schedule's outcome. *)
+let test_group_clean_run_equals_wal () =
+  let run mode =
+    let t = Lifecycle.create ~seed:42 ~engine:Executor.cloudless_config () in
+    Lifecycle.enable_journal ~mode t;
+    match Lifecycle.deploy t fleet_src with
+    | Ok report -> (t, report)
+    | Error e -> Alcotest.failf "deploy failed: %s" (Lifecycle.error_to_string e)
+  in
+  let t_wal, r_wal = run Journal.Wal in
+  let t_grp, r_grp = run (Journal.Group 4) in
+  check
+    Alcotest.(list string)
+    "same applied set"
+    (List.map Addr.to_string r_wal.Executor.applied)
+    (List.map Addr.to_string r_grp.Executor.applied);
+  check string_ "same final state"
+    (State.to_string (Lifecycle.state t_wal))
+    (State.to_string (Lifecycle.state t_grp));
+  check (Alcotest.float 1e-9) "same makespan" r_wal.Executor.makespan
+    r_grp.Executor.makespan;
+  let unresolved t =
+    match Lifecycle.journal t with
+    | Some j -> List.length (Journal.unresolved (Journal.entries j))
+    | None -> -1
+  in
+  check int_ "group journal fully resolved" 0 (unresolved t_grp)
 
 (* ------------------------------------------------------------------ *)
 (* Determinism + golden trace                                          *)
@@ -276,8 +431,8 @@ let journal_of t =
   | None -> []
 
 let test_determinism_and_golden () =
-  let t1, _ = crash_and_resume ~src:chain3 ~k:2 in
-  let t2, _ = crash_and_resume ~src:chain3 ~k:2 in
+  let t1, _ = crash_and_resume ~src:chain3 ~k:2 () in
+  let t2, _ = crash_and_resume ~src:chain3 ~k:2 () in
   check string_ "journals byte-identical"
     (Journal.to_string (journal_of t1))
     (Journal.to_string (journal_of t2));
@@ -478,6 +633,12 @@ let suites =
           test_crashed_error_shape;
         Alcotest.test_case "recovery: adoption accounting" `Quick
           test_adoption_accounting;
+        Alcotest.test_case "group commit: crash+resume converges at every k"
+          `Quick test_group_crash_resume_every_k;
+        Alcotest.test_case "group commit: abandon leaves the barrier history"
+          `Quick test_group_abandon_disk_fidelity;
+        Alcotest.test_case "group commit: clean run = wal" `Quick
+          test_group_clean_run_equals_wal;
         Alcotest.test_case "golden crash->resume->converge trace" `Quick
           test_determinism_and_golden;
         Alcotest.test_case "executor: retry exhaustion diagnostics" `Quick

@@ -113,6 +113,145 @@ let prop_execution_graph_matches_reference =
            (Dag.nodes g))
 
 (* ------------------------------------------------------------------ *)
+(* Dag.rounds_into vs Dag.Reference.rounds on adversarial DAGs         *)
+(* ------------------------------------------------------------------ *)
+
+let node i = mk ~key:(Addr.Kint i) "node" "n"
+
+(* A dag over nodes [0 .. n-1] (insertion order = interned id) with the
+   given (dependent, dependency) edges. *)
+let dag_of ~n edges =
+  let g =
+    List.fold_left
+      (fun g i -> Dag.add_node g (node i) i)
+      Dag.empty
+      (List.init n Fun.id)
+  in
+  List.fold_left
+    (fun g (a, b) -> Dag.add_edge g ~dependent:(node a) ~dependency:(node b))
+    g edges
+
+(* Rounds through the zero-alloc kernel, mapped back to addresses so
+   they compare against the reference's [Addr.t list list]. *)
+let rounds_via_kernel g =
+  let n = Dag.size g in
+  let nodes = Array.of_list (Dag.nodes g) in
+  let order = Array.make (max 1 n) 0 in
+  let offsets = Array.make (n + 1) 0 in
+  let rounds = Dag.rounds_into g ~order ~offsets in
+  List.init rounds (fun k ->
+      List.init
+        (offsets.(k + 1) - offsets.(k))
+        (fun i -> nodes.(order.(offsets.(k) + i))))
+
+let check_rounds_match ~what g =
+  if rounds_via_kernel g <> Dag.Reference.rounds g then
+    Alcotest.failf "%s: rounds_into disagrees with Reference.rounds" what
+
+let test_rounds_into_adversarial () =
+  check_rounds_match ~what:"empty" (dag_of ~n:0 []);
+  check (Alcotest.list (Alcotest.list addr_ty)) "empty has no rounds" []
+    (rounds_via_kernel (dag_of ~n:0 []));
+  (* single round: no edges — one ascending slice *)
+  let flat = dag_of ~n:17 [] in
+  check_rounds_match ~what:"single round" flat;
+  check int_ "single round count" 1 (List.length (rounds_via_kernel flat));
+  (* diamond ladder: 0 -> (1,2) -> 3 -> (4,5) -> 6 -> ... each diamond
+     adds two rounds; tie-break order inside the wide rounds matters *)
+  let ladder depth =
+    let edges = ref [] in
+    for d = 0 to depth - 1 do
+      let top = 3 * d and bottom = (3 * d) + 3 in
+      edges :=
+        (top + 1, top) :: (top + 2, top)
+        :: (bottom, top + 1) :: (bottom, top + 2)
+        :: !edges
+    done;
+    dag_of ~n:((3 * depth) + 1) !edges
+  in
+  List.iter
+    (fun d ->
+      let g = ladder d in
+      check_rounds_match ~what:(Printf.sprintf "diamond ladder %d" d) g;
+      check int_
+        (Printf.sprintf "ladder %d depth" d)
+        ((2 * d) + 1)
+        (List.length (rounds_via_kernel g)))
+    [ 1; 2; 7 ];
+  (* a cycle raises in both implementations *)
+  let cyclic = dag_of ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  (match rounds_via_kernel cyclic with
+  | exception Dag.Cycle blocked ->
+      check int_ "cycle blocks all three" 3 (List.length blocked)
+  | _ -> Alcotest.fail "rounds_into must raise Cycle");
+  match Dag.Reference.rounds cyclic with
+  | exception Dag.Cycle _ -> ()
+  | _ -> Alcotest.fail "Reference.rounds must raise Cycle"
+
+(* Random forward-edge DAGs: any (dependent i, dependency j) with j < i
+   is acyclic by construction, so density can be cranked without care. *)
+let dag_gen =
+  QCheck.Gen.(
+    int_range 0 60 >>= fun n ->
+    if n < 2 then return (n, [])
+    else
+      let edge =
+        int_range 0 ((n * n) - 1) >|= fun e ->
+        let i = e / n and j = e mod n in
+        if i > j then (i, j) else (j, i)
+      in
+      list_size (int_range 0 (3 * n)) edge >|= fun edges ->
+      (n, List.filter (fun (a, b) -> a <> b) edges))
+
+let dag_arb =
+  QCheck.make dag_gen ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "%d<-%d" b a) edges)))
+
+let prop_rounds_into_matches_reference =
+  QCheck.Test.make ~count:200
+    ~name:"Dag.rounds_into = Reference.rounds on random forward-edge DAGs"
+    dag_arb
+    (fun (n, edges) ->
+      let g = dag_of ~n edges in
+      rounds_via_kernel g = Dag.Reference.rounds g)
+
+(* Scheduling order at 10k, pinned: the digest covers the round
+   structure and every address in kernel emission order, so any change
+   to tie-breaking, round boundaries, or the freeze's row order shows
+   up here as a byte diff.  (The qcheck property above proves the
+   kernel equals the seed's Dag oracle; this pins the concrete 10k
+   artifact across refactors.) *)
+let exec_order_digest xg =
+  let n = Plan.exec_size xg in
+  let order = Array.make (max 1 n) 0 in
+  let offsets = Array.make (n + 1) 0 in
+  let rounds = Plan.exec_rounds_into xg ~order ~offsets in
+  let buf = Buffer.create (16 * n) in
+  Buffer.add_string buf (string_of_int rounds);
+  for k = 0 to rounds do
+    Buffer.add_char buf '|';
+    Buffer.add_string buf (string_of_int offsets.(k))
+  done;
+  for i = 0 to n - 1 do
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Addr.to_string xg.Plan.xchanges.(order.(i)).Plan.addr)
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let test_exec_rounds_golden_10k () =
+  let digest_of instances =
+    exec_order_digest
+      (Plan.exec_graph (Plan.make ~state:State.empty instances))
+  in
+  check Alcotest.string "fleet 10k order digest" "a4b37ac064cf0b2f46649e77bb3f3d18"
+    (digest_of (Workload.fleet_instances ~resources:10_000 ()));
+  check Alcotest.string "chain 1k order digest" "1ac4385d07f2a32556004cfc26d54163"
+    (digest_of (Workload.chain_instances ~resources:1_000 ()))
+
+(* ------------------------------------------------------------------ *)
 (* Fast-path generators vs the parsed text                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -422,6 +561,14 @@ let suites =
         qtest prop_exec_rounds_match_oracle;
         qtest prop_execution_graph_matches_reference;
         qtest prop_orphans_match_set_oracle;
+        Alcotest.test_case "10k/1k scheduling order golden" `Quick
+          test_exec_rounds_golden_10k;
+      ] );
+    ( "raw_speed.dag",
+      [
+        Alcotest.test_case "adversarial shapes" `Quick
+          test_rounds_into_adversarial;
+        qtest prop_rounds_into_matches_reference;
       ] );
     ( "raw_speed.workload",
       [
