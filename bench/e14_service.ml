@@ -56,6 +56,7 @@ let service_cloud ~seed =
 
 let scenario tenants =
   {
+    Scenario.default with
     Scenario.tenants;
     deployments_per_tenant = 1;
     resources;

@@ -27,6 +27,7 @@ let experiments =
     ("e12", E12_pipeline.run);
     ("e13", E13_crash.run);
     ("e14", E14_service.run);
+    ("e15", E15_fleet.run);
     ("e16", E16_raw_speed.run);
     ("ablation", Ablation.run);
   ]

@@ -230,8 +230,40 @@ let serve_cmd =
           ~doc:
             "Write the metrics snapshot (JSON) to $(docv) instead of stdout")
   in
-  let run scenario_path seed engine trace_path ticks metrics_path =
-    Cli.serve ?trace_path ~seed ~engine ?ticks ?metrics_path ~scenario_path ()
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run the scenario on the E15 multi-shard fleet with $(docv) \
+             shards (consistent-hash tenant placement, push-based drift via \
+             activity-log subscriptions) instead of the single event loop")
+  in
+  let queue_bound_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-bound" ] ~docv:"K"
+          ~doc:
+            "Admission backpressure: defer or reject tenant requests while a \
+             shard's queue depth is at or above $(docv) (0 = unbounded; \
+             overrides the scenario's max_queue_depth)")
+  in
+  let admission_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("defer", `Defer); ("reject", `Reject) ])) None
+      & info [ "admission" ] ~docv:"POLICY"
+          ~doc:
+            "What to do with requests over the queue bound: $(b,defer) \
+             (re-admit later) or $(b,reject) (overrides the scenario's \
+             admission knob)")
+  in
+  let run scenario_path seed engine trace_path ticks metrics_path shards
+      queue_bound admission =
+    Cli.serve ?trace_path ~seed ~engine ?ticks ?metrics_path ?shards
+      ?queue_bound ?admission ~scenario_path ()
   in
   Cmd.v
     (Cmd.info "serve"
@@ -240,7 +272,7 @@ let serve_cmd =
           scenario for a bounded stretch of simulated time")
     Term.(
       const run $ scenario_arg $ seed_arg $ engine_arg $ trace_arg $ ticks_arg
-      $ metrics_arg)
+      $ metrics_arg $ shards_arg $ queue_bound_arg $ admission_arg)
 
 let main_cmd =
   let doc = "a principled IaC framework (HotNets '23 'Cloudless Computing')" in

@@ -1,27 +1,23 @@
-(** The multi-tenant reconciliation control plane (§3.4–§3.6).
+(** The single-loop multi-tenant reconciliation control plane
+    (§3.4–§3.6).
 
-    Every verb before this PR was a one-shot CLI invocation over one
-    deployment.  This module is the paper's endgame instead: cloud
-    management as a {e continuous service}.  One deterministic event
-    loop on the simulated clock owns N tenants × M deployments and
-    drains a prioritized work queue of
+    Since E15 this module is a thin host around exactly one {!Shard} —
+    the execution engine (work queue, lock-managed admission, journaled
+    execution, drift machinery) lives there, shared with the
+    multi-shard {!Fleet}.  What remains here is the service-process
+    identity the pre-fleet experiments (E14, `serve` without
+    [--shards]) depend on:
 
-    - {b tenant requests} (apply a new configuration revision),
-      admitted through a {!Lock_manager} so work on disjoint
-      deployments proceeds concurrently while work on the same
-      deployment serializes in queue order;
-    - {b drift reconciles}, triggered by per-deployment activity-log
-      tailer cursors ({!Cloudless_drift.Drift.Log_tailer}) and scoped
-      to the impacted subgraph via {!Dag.impact_scope};
-    - {b policy ticks}, periodic {!Cloudless_policy.Controller}
-      evaluations over service observations.
+    - the crash gate and liveness flag ([Crash_after k] counts
+      journaled writes across every tenant of this one process);
+    - the policy controller and its tick handler;
+    - crash {!resume} (per-deployment journal replay + orphan adoption)
+      and the cross-tenant {!orphans} audit.
 
-    Each unit of work runs with the write-ahead journal enabled and is
-    emitted as a traced span on completion, so a crash anywhere
-    mid-service resumes cleanly ({!resume}: journal replay + orphan
-    adoption per deployment) and the whole run is observable.  All
-    operational signals land in a {!Metrics} registry whose JSON
-    snapshot is byte-deterministic for a fixed seed.
+    Behavior is unchanged from the pre-shard monolith: same admission
+    order, same spans, same metric names (the shard records through an
+    {e unlabeled} metrics scope, which emits exactly the bare signal
+    names), so traces and metric snapshots stay byte-identical.
 
     Two canonical service configurations mirror the experiment axes:
 
@@ -32,18 +28,12 @@
       lock, a full state refresh before every apply, and periodic
       scan-based drift sweeps that read every tracked resource. *)
 
-module Hcl = Cloudless_hcl
-module Addr = Hcl.Addr
-module Value = Hcl.Value
-module Smap = Value.Smap
+module Value = Cloudless_hcl.Value
 module Cloud = Cloudless_sim.Cloud
 module Activity_log = Cloudless_sim.Activity_log
 module Failure = Cloudless_sim.Failure
-module Pq = Cloudless_sim.Pqueue
 module State = Cloudless_state.State
 module Journal = Cloudless_state.Journal
-module Plan = Cloudless_plan.Plan
-module Dag = Cloudless_graph.Dag
 module Lock_manager = Cloudless_lock.Lock_manager
 module Drift = Cloudless_drift.Drift
 module Recovery = Cloudless_deploy.Recovery
@@ -52,94 +42,71 @@ module Policy = Cloudless_policy.Policy
 module Trace = Cloudless_obs.Trace
 module Metrics = Cloudless_obs.Metrics
 
-type drift_mode = Tailer | Scan
+type drift_mode = Shard.drift_mode = Tailer | Scan | Subscribe
+type admission = Shard.admission = Defer | Reject
 
-type service_config = {
+type service_config = Shard.service_config = {
   sname : string;
   granularity : Lock_manager.granularity;
   drift_mode : drift_mode;
-  drift_period : float;  (** tailer poll / scan sweep period, sim s *)
-  scoped_reconcile : bool;  (** restrict reconcile applies to impact scope *)
-  refresh_before_apply : bool;  (** Terraform's full refresh on every apply *)
-  parallelism : int option;  (** per-work-unit in-flight op cap *)
-  policy_period : float;  (** 0 = no policy controller *)
+  drift_period : float;
+  scoped_reconcile : bool;
+  refresh_before_apply : bool;
+  parallelism : int option;
+  policy_period : float;
   policy_src : string option;
+  max_queue_depth : int;
+  admission : admission;
+  defer_delay : float;
+  rebalance_period : float;
 }
 
-let cloudless_service =
-  {
-    sname = "cloudless";
-    granularity = Lock_manager.Per_resource;
-    drift_mode = Tailer;
-    drift_period = 60.;
-    scoped_reconcile = true;
-    refresh_before_apply = false;
-    parallelism = None;
-    policy_period = 0.;
-    policy_src = None;
-  }
+let cloudless_service = Shard.cloudless_service
+let baseline_service = Shard.baseline_service
 
-let baseline_service =
-  {
-    sname = "baseline";
-    granularity = Lock_manager.Global;
-    drift_mode = Scan;
-    drift_period = 60.;
-    scoped_reconcile = false;
-    refresh_before_apply = true;
-    parallelism = Some 10;
-    policy_period = 0.;
-    policy_src = None;
-  }
-
-type deployment = {
+type deployment = Shard.deployment = {
   tenant : string;
   dname : string;
   engine : string;
-      (** activity-log actor, unique per deployment ("cp/<tenant>/<name>")
-          so crash-recovery orphan adoption cannot claim across tenants *)
-  root_key : Addr.t;
-      (** every unit of work on this deployment locks this key: work on
-          one deployment serializes, disjoint deployments don't conflict *)
-  mutable config_src : string;  (** desired configuration (latest revision) *)
-  mutable state : State.t;  (** live in-memory state *)
+  root_key : Cloudless_hcl.Addr.t;
+  mutable config_src : string;
+  mutable state : State.t;
   mutable persisted : State.t;
-      (** state as of the last *completed* unit of work — what survives
-          a crash (end-of-work persistence); resume replays the journal
-          over this *)
-  journal : Journal.t;  (** one write-ahead journal across all applies *)
+  journal : Journal.t;
   tailer : Drift.Log_tailer.t;
 }
-
-type work =
-  | Request of { dep : deployment; rid : int; src : string; submitted : float }
-  | Reconcile of {
-      dep : deployment;
-      seeds : Addr.t list;  (** drifted addresses (tailer mode) *)
-      detected : float;
-    }
-  | Scan_sweep of { dep : deployment; swept : float }
-  | Policy_tick of { at : float }
 
 type t = {
   cloud : Cloud.t;
   config : service_config;
-  lock : Lock_manager.t;
-  queue : (int, work) Pq.t;  (** prio = work class; FIFO within class *)
-  metrics : Metrics.t;
   trace : Trace.t;
-  controller : Controller.t option;
-  mutable deployments : deployment list;  (** registration order *)
-  mutable next_work : int;
-  mutable next_rid : int;
-  mutable completed : (int * float) list;  (** requests, completion order *)
-  mutable detections : (string * float) list;
-      (** (cloud_id, detected_at), first detection per drift event *)
-  mutable writes : int;  (** journaled write ops across all tenants *)
-  mutable crash : Failure.crash_policy;
-  mutable dead : bool;
-  mutable until : float;
+  shard : Shard.t;
+  crash : Failure.crash_policy ref;  (** read by the gate closure *)
+  dead : bool ref;
 }
+
+(* --- policy ticks --------------------------------------------------- *)
+
+let exec_policy ~shard ~controller ~trace at =
+  let m = Shard.metrics shard in
+  Metrics.inc m "policy_ticks";
+  let obs =
+    Controller.standard_obs
+      ~extra:
+        [
+          ("tenants", Value.Vint (List.length (Shard.deployments shard)));
+          ( "managed_resources",
+            Value.Vint (Shard.managed_resource_count shard) );
+          ("drift_events", Value.Vint (Metrics.counter m "drift_events"));
+          ("queue_depth", Value.Vint (Shard.queue_depth shard));
+        ]
+      ()
+  in
+  let r = Controller.tick controller ~phase:Policy.On_telemetry ~obs () in
+  Metrics.inc m ~by:(List.length r.Controller.decisions) "policy_decisions";
+  Trace.emit_span trace ~sim_start:at
+    ~counters:[ ("decisions", List.length r.Controller.decisions) ]
+    "policy_tick"
 
 let create ?cloud ?(trace = Trace.null) ?metrics (config : service_config) =
   let cloud =
@@ -156,444 +123,74 @@ let create ?cloud ?(trace = Trace.null) ?metrics (config : service_config) =
         Some (Controller.of_source ~file:"<service-policy>" src)
     | _ -> None
   in
-  {
-    cloud;
-    config;
-    lock = Lock_manager.create config.granularity;
-    queue = Pq.create ~initial_capacity:64 Pq.Min_first;
-    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
-    trace;
-    controller;
-    deployments = [];
-    next_work = 0;
-    next_rid = 0;
-    completed = [];
-    detections = [];
-    writes = 0;
-    crash = Failure.No_crash;
-    dead = false;
-    until = 0.;
-  }
+  let registry = match metrics with Some m -> m | None -> Metrics.create () in
+  let writes = ref 0 in
+  let crash = ref Failure.No_crash in
+  let dead = ref false in
+  (* Crash gate: called by the applier after each intent is journaled,
+     before the cloud call is issued.  One counter across every tenant:
+     the service is one process, and [Crash_after k] kills it at its
+     (k+1)-th write wherever that lands. *)
+  let gate () =
+    incr writes;
+    match !crash with
+    | Failure.Crash_after k when !writes > k ->
+        dead := true;
+        raise (Failure.Engine_crashed k)
+    | _ -> ()
+  in
+  (* the policy tick closes over the shard it runs against; tie the
+     knot through a cell rather than a mutually recursive record *)
+  let shard_cell = ref None in
+  let host =
+    {
+      Shard.gate;
+      alive = (fun () -> not !dead);
+      on_policy =
+        (match controller with
+        | None -> None
+        | Some c ->
+            Some
+              (fun at ->
+                match !shard_cell with
+                | Some shard -> exec_policy ~shard ~controller:c ~trace at
+                | None -> ()));
+    }
+  in
+  let shard =
+    Shard.create ~cloud ~config ~scope:(Metrics.unscoped registry) ~trace ~host
+      ()
+  in
+  shard_cell := Some shard;
+  { cloud; config; trace; shard; crash; dead }
 
-let metrics t = t.metrics
+let shard t = t.shard
+let metrics t = Shard.metrics t.shard
 let cloud t = t.cloud
-let lock t = t.lock
-let deployments t = List.rev t.deployments
-let completed_requests t = List.rev t.completed
-let drift_detections t = List.rev t.detections
-let set_crash t policy = t.crash <- policy
-let alive t () = not t.dead
-
-let find_deployment t ~tenant ~dname =
-  List.find_opt
-    (fun d -> d.tenant = tenant && d.dname = dname)
-    t.deployments
-
+let lock t = Shard.lock t.shard
+let deployments t = Shard.deployments t.shard
+let completed_requests t = Shard.completed_requests t.shard
+let drift_detections t = Shard.drift_detections t.shard
+let set_crash t policy = t.crash := policy
+let find_deployment t ~tenant ~dname = Shard.find_deployment t.shard ~tenant ~dname
 let add_deployment t ~tenant ~dname ~src =
-  let engine = Printf.sprintf "cp/%s/%s" tenant dname in
-  let dep =
-    {
-      tenant;
-      dname;
-      engine;
-      root_key =
-        Addr.make ~module_path:[ tenant; dname ] ~rtype:"deployment"
-          ~rname:dname ();
-      config_src = src;
-      state = State.empty;
-      persisted = State.empty;
-      journal = Journal.create ();
-      tailer = Drift.Log_tailer.create ();
-    }
-  in
-  t.deployments <- dep :: t.deployments;
-  dep
+  Shard.add_deployment t.shard ~tenant ~dname ~src
 
-(* ------------------------------------------------------------------ *)
-(* Config expansion (shared by requests and reconciles)                *)
-(* ------------------------------------------------------------------ *)
-
-let data_resolver ~rtype ~name:_ ~args:_ =
-  match rtype with
-  | "aws_region" -> Some (Smap.singleton "name" (Value.Vstring "us-east-1"))
-  | _ -> None
-
-let expand ~state src =
-  let cfg = Hcl.Config.parse ~file:"<service>" src in
-  let env =
-    {
-      Hcl.Eval.default_env with
-      Hcl.Eval.data_resolver;
-      state_lookup = (fun addr -> State.lookup state addr);
-    }
-  in
-  (Hcl.Eval.expand ~env cfg).Hcl.Eval.instances
-
-(* ------------------------------------------------------------------ *)
-(* Crash gate and journaled-write accounting                           *)
-(* ------------------------------------------------------------------ *)
-
-(* Called by the applier after each intent is journaled, before the
-   cloud call is issued.  One counter across every tenant: the service
-   is one process, and [Crash_after k] kills it at its (k+1)-th write
-   wherever that lands. *)
-let gate t () =
-  t.writes <- t.writes + 1;
-  match t.crash with
-  | Failure.Crash_after k when t.writes > k ->
-      t.dead <- true;
-      raise (Failure.Engine_crashed k)
-  | _ -> ()
-
-let applier_config t dep =
-  {
-    Applier.engine = dep.engine;
-    parallelism = t.config.parallelism;
-    max_retries = 12;
-    backoff_base = 2.;
-  }
-
-let count_api t dep ~read n =
-  Metrics.inc t.metrics ~by:n "api_calls";
-  Metrics.inc t.metrics ~by:n ("api_calls." ^ dep.tenant);
-  if read then Metrics.inc t.metrics ~by:n "api_reads"
-  else Metrics.inc t.metrics ~by:n "api_writes"
-
-(* ------------------------------------------------------------------ *)
-(* The work queue                                                      *)
-(* ------------------------------------------------------------------ *)
-
-(* Priority classes; FIFO within a class via the heap's insertion
-   sequence.  Tenant-facing requests outrank background repair, which
-   outranks policy bookkeeping. *)
-let work_class = function
-  | Request _ -> 0.
-  | Reconcile _ | Scan_sweep _ -> 1.
-  | Policy_tick _ -> 2.
-
-let owner_of dep ~wid = Printf.sprintf "%s#%d" dep.engine wid
-
-(* Forward declaration: executing work needs [drain] (to hand follow-up
-   work to the lock manager) and vice versa. *)
-let rec drain t =
-  if not t.dead then begin
-    Metrics.set t.metrics "queue_depth"
-      (float_of_int (Pq.length t.queue + Lock_manager.queue_length t.lock));
-    match Pq.pop t.queue with
-    | None -> ()
-    | Some (_, wid, work) ->
-        admit t wid work;
-        drain t
-    end
-
-(* Hand one unit of work to the lock manager.  The grant callback runs
-   the work; conflicting work queues FIFO inside the manager, which is
-   exactly the serialization order the QCheck property pins down. *)
-and admit t wid work =
-  match work with
-  | Policy_tick { at } ->
-      (* read-only bookkeeping: no locks *)
-      exec_policy t ~at
-  | Request { dep; rid; src; submitted } ->
-      Lock_manager.acquire t.lock ~owner:(owner_of dep ~wid)
-        ~keys:[ dep.root_key ] (fun () ->
-          if not t.dead then exec_request t dep ~wid ~rid ~src ~submitted)
-  | Reconcile { dep; seeds; detected } ->
-      Lock_manager.acquire t.lock ~owner:(owner_of dep ~wid)
-        ~keys:[ dep.root_key ] (fun () ->
-          if not t.dead then exec_reconcile t dep ~wid ~seeds ~detected)
-  | Scan_sweep { dep; swept } ->
-      Lock_manager.acquire t.lock ~owner:(owner_of dep ~wid)
-        ~keys:[ dep.root_key ] (fun () ->
-          if not t.dead then exec_scan t dep ~wid ~swept)
-
-and enqueue t work =
-  let wid = t.next_work in
-  t.next_work <- wid + 1;
-  Pq.push t.queue ~prio:(work_class work) ~key:wid work;
-  drain t
-
-(* Complete a unit of work: persist the deployment's state (end-of-work
-   persistence — the crash window the journal covers), release the
-   locks, and emit the span. *)
-and finish_work t dep ~wid ~span ~sim_start ~meta ~counters =
-  dep.persisted <- dep.state;
-  Lock_manager.release t.lock ~owner:(owner_of dep ~wid);
-  Trace.emit_span t.trace ~meta ~counters ~sim_start span;
-  drain t
-
-(* Catch per-work configuration/planning errors without killing the
-   service; a crash injection must still propagate. *)
-and protected t dep ~wid (f : unit -> unit) =
-  try f () with
-  | Failure.Engine_crashed _ as e -> raise e
-  | e ->
-      Metrics.inc t.metrics "work_failures";
-      Trace.meta t.trace "work_error" (Printexc.to_string e);
-      dep.state <- dep.persisted;
-      Lock_manager.release t.lock ~owner:(owner_of dep ~wid);
-      drain t
-
-(* --- tenant apply request ------------------------------------------ *)
-
-and exec_request t dep ~wid ~rid ~src ~submitted =
-  protected t dep ~wid @@ fun () ->
-  let granted = Cloud.now t.cloud in
-  Metrics.observe t.metrics "request_queue_wait" (granted -. submitted);
-  dep.config_src <- src;
-  let continue_with state0 reads =
-    let instances = expand ~state:state0 src in
-    let plan = Plan.make ~state:state0 instances in
-    Applier.apply t.cloud ~config:(applier_config t dep) ~state:state0 ~plan
-      ~journal:dep.journal ~gate:(gate t) ~alive:(alive t)
-      ~count_api:(count_api t dep ~read:false)
-      ~on_done:(fun (o : Applier.outcome) ->
-        dep.state <- o.Applier.astate;
-        let now = Cloud.now t.cloud in
-        Metrics.inc t.metrics "requests_done";
-        Metrics.observe t.metrics "request_latency" (now -. submitted);
-        Metrics.observe t.metrics
-          ("request_latency." ^ dep.tenant)
-          (now -. submitted);
-        if o.Applier.failed <> [] then Metrics.inc t.metrics "work_failures";
-        t.completed <- (rid, now) :: t.completed;
-        finish_work t dep ~wid ~span:"request" ~sim_start:submitted
-          ~meta:
-            [
-              ("tenant", dep.tenant);
-              ("deployment", dep.dname);
-              ("rid", string_of_int rid);
-            ]
-          ~counters:
-            [
-              ("applied", List.length o.Applier.applied);
-              ("failed", List.length o.Applier.failed);
-              ("writes", o.Applier.writes);
-              ("refresh_reads", reads);
-            ])
-      ()
-  in
-  if t.config.refresh_before_apply && State.size dep.state > 0 then
-    Applier.refresh t.cloud ~engine:dep.engine ~state:dep.state
-      ~alive:(alive t)
-      ~count_api:(count_api t dep ~read:true)
-      ~on_done:(fun (r : Applier.refresh_outcome) ->
-        protected t dep ~wid @@ fun () ->
-        (* rows the refresh proved gone are dropped so the re-plan
-           recreates them *)
-        let state0 =
-          List.fold_left State.remove r.Applier.rstate r.Applier.missing
-        in
-        dep.state <- state0;
-        continue_with state0 r.Applier.reads)
-      ()
-  else continue_with dep.state 0
-
-(* --- drift: log-tailer polling (cloudless)  ------------------------ *)
-
-and poll_tailer t dep =
-  let events = Drift.Log_tailer.poll dep.tailer t.cloud ~state:dep.state in
-  if events <> [] then begin
-    Metrics.inc t.metrics ~by:(List.length events) "drift_events";
-    let seeds =
-      List.filter_map (fun (e : Drift.event) -> e.Drift.addr) events
-    in
-    List.iter
-      (fun (e : Drift.event) ->
-        t.detections <- (e.Drift.cloud_id, e.Drift.detected_at) :: t.detections;
-        match e.Drift.occurred_at with
-        | Some at ->
-            Metrics.observe t.metrics "drift_detection_latency"
-              (e.Drift.detected_at -. at)
-        | None -> ())
-      events;
-    if seeds <> [] then
-      enqueue t
-        (Reconcile { dep; seeds; detected = Cloud.now t.cloud })
-  end
-
-(* --- drift: scoped reconcile apply --------------------------------- *)
-
-and exec_reconcile t dep ~wid ~seeds ~detected =
-  protected t dep ~wid @@ fun () ->
-  let instances = expand ~state:dep.state dep.config_src in
-  let scope =
-    if t.config.scoped_reconcile then
-      Some (Plan.impact_scope ~graph:(Dag.of_instances instances) ~edited:seeds)
-    else None
-  in
-  let finish_reconcile (o : Applier.outcome) reads =
-    dep.state <- o.Applier.astate;
-    Metrics.inc t.metrics "reconciles";
-    Metrics.observe t.metrics "reconcile_latency" (Cloud.now t.cloud -. detected);
-    finish_work t dep ~wid ~span:"reconcile" ~sim_start:detected
-      ~meta:
-        [
-          ("tenant", dep.tenant);
-          ("deployment", dep.dname);
-          ( "scope",
-            match scope with
-            | Some s -> string_of_int (Addr.Set.cardinal s)
-            | None -> "full" );
-        ]
-      ~counters:
-        [
-          ("applied", List.length o.Applier.applied);
-          ("writes", o.Applier.writes);
-          ("refresh_reads", reads);
-          ("seeds", List.length seeds);
-        ]
-  in
-  Applier.refresh t.cloud ~engine:dep.engine ~state:dep.state ?addrs:scope
-    ~alive:(alive t)
-    ~count_api:(count_api t dep ~read:true)
-    ~on_done:(fun (r : Applier.refresh_outcome) ->
-      protected t dep ~wid @@ fun () ->
-      let state0 =
-        List.fold_left State.remove r.Applier.rstate r.Applier.missing
-      in
-      dep.state <- state0;
-      let instances = expand ~state:state0 dep.config_src in
-      let plan = Plan.make ~state:state0 instances in
-      let plan =
-        match scope with Some s -> Plan.restrict plan s | None -> plan
-      in
-      Applier.apply t.cloud ~config:(applier_config t dep) ~state:state0 ~plan
-        ~journal:dep.journal ~gate:(gate t) ~alive:(alive t)
-        ~count_api:(count_api t dep ~read:false)
-        ~on_done:(fun o -> finish_reconcile o r.Applier.reads)
-        ())
-    ()
-
-(* --- drift: scan sweep (baseline) ---------------------------------- *)
-
-and exec_scan t dep ~wid ~swept =
-  protected t dep ~wid @@ fun () ->
-  Applier.scan t.cloud ~engine:dep.engine ~state:dep.state ~alive:(alive t)
-    ~count_api:(count_api t dep ~read:true)
-    ~on_done:(fun (events, reads) ->
-      protected t dep ~wid @@ fun () ->
-      Metrics.inc t.metrics ~by:reads "scan_reads";
-      if events = [] then
-        finish_work t dep ~wid ~span:"scan" ~sim_start:swept
-          ~meta:[ ("tenant", dep.tenant); ("deployment", dep.dname) ]
-          ~counters:[ ("scan_reads", reads); ("drift", 0) ]
-      else begin
-        Metrics.inc t.metrics ~by:(List.length events) "drift_events";
-        List.iter
-          (fun (e : Drift.event) ->
-            t.detections <-
-              (e.Drift.cloud_id, e.Drift.detected_at) :: t.detections)
-          events;
-        (* Terraform-style repair, still holding the global lock: fold
-           the observed live world into state first (deleted rows
-           dropped, drifted attrs overwritten with their live values —
-           [Plan.make] diffs desired against state, so without this the
-           repair plan is empty and the drift is re-flagged forever),
-           then full re-plan + apply. *)
-        let state0 =
-          List.fold_left
-            (fun st (e : Drift.event) ->
-              match (e.Drift.kind, e.Drift.addr) with
-              | Drift.Deleted_oob, Some addr -> State.remove st addr
-              | Drift.Attr_drift { attr; actual; _ }, Some addr -> (
-                  match State.find_opt st addr with
-                  | Some (r : State.resource_state) ->
-                      State.update_attrs st addr
-                        (Smap.add attr actual r.State.attrs)
-                  | None -> st)
-              | _ -> st)
-            dep.state events
-        in
-        dep.state <- state0;
-        let instances = expand ~state:state0 dep.config_src in
-        let plan = Plan.make ~state:state0 instances in
-        let detected = Cloud.now t.cloud in
-        Applier.apply t.cloud ~config:(applier_config t dep) ~state:state0
-          ~plan ~journal:dep.journal ~gate:(gate t) ~alive:(alive t)
-          ~count_api:(count_api t dep ~read:false)
-          ~on_done:(fun (o : Applier.outcome) ->
-            dep.state <- o.Applier.astate;
-            Metrics.inc t.metrics "reconciles";
-            Metrics.observe t.metrics "reconcile_latency"
-              (Cloud.now t.cloud -. detected);
-            finish_work t dep ~wid ~span:"scan" ~sim_start:swept
-              ~meta:[ ("tenant", dep.tenant); ("deployment", dep.dname) ]
-              ~counters:
-                [
-                  ("scan_reads", reads);
-                  ("drift", List.length events);
-                  ("writes", o.Applier.writes);
-                ])
-          ()
-      end)
-    ()
-
-(* --- policy ticks --------------------------------------------------- *)
-
-and exec_policy t ~at =
-  match t.controller with
-  | None -> ()
-  | Some c ->
-      Metrics.inc t.metrics "policy_ticks";
-      let combined_size =
-        List.fold_left (fun acc d -> acc + State.size d.state) 0 t.deployments
-      in
-      let obs =
-        Controller.standard_obs
-          ~extra:
-            [
-              ("tenants", Value.Vint (List.length t.deployments));
-              ("managed_resources", Value.Vint combined_size);
-              ("drift_events", Value.Vint (Metrics.counter t.metrics "drift_events"));
-              ( "queue_depth",
-                Value.Vint (Pq.length t.queue + Lock_manager.queue_length t.lock)
-              );
-            ]
-          ()
-      in
-      let r = Controller.tick c ~phase:Policy.On_telemetry ~obs () in
-      Metrics.inc t.metrics ~by:(List.length r.Controller.decisions)
-        "policy_decisions";
-      Trace.emit_span t.trace ~sim_start:at
-        ~counters:[ ("decisions", List.length r.Controller.decisions) ]
-        "policy_tick"
-
-(* ------------------------------------------------------------------ *)
-(* Requests                                                            *)
-(* ------------------------------------------------------------------ *)
+let expand = Shard.expand
 
 (** Submit an apply request for [dep] with configuration [src] at the
     current simulated time; returns the request id.  Latency metrics
-    measure from this instant (queueing + admission + execution). *)
+    measure from this instant (queueing + admission + execution).  The
+    single-loop service runs unbounded admission, so submission never
+    defers or rejects. *)
 let submit_request t dep ~src =
-  let rid = t.next_rid in
-  t.next_rid <- rid + 1;
-  Metrics.inc t.metrics "requests";
-  enqueue t (Request { dep; rid; src; submitted = Cloud.now t.cloud });
-  rid
-
-(* ------------------------------------------------------------------ *)
-(* Timers + the event loop                                             *)
-(* ------------------------------------------------------------------ *)
-
-let rec arm_drift_timer t dep =
-  Cloud.schedule t.cloud ~delay:t.config.drift_period (fun () ->
-      if not t.dead then begin
-        (match t.config.drift_mode with
-        | Tailer -> poll_tailer t dep
-        | Scan -> enqueue t (Scan_sweep { dep; swept = Cloud.now t.cloud }));
-        if Cloud.now t.cloud +. t.config.drift_period <= t.until then
-          arm_drift_timer t dep
-      end)
-
-let rec arm_policy_timer t =
-  Cloud.schedule t.cloud ~delay:t.config.policy_period (fun () ->
-      if not t.dead then begin
-        enqueue t (Policy_tick { at = Cloud.now t.cloud });
-        if Cloud.now t.cloud +. t.config.policy_period <= t.until then
-          arm_policy_timer t
-      end)
+  match Shard.submit_request t.shard dep ~src with
+  | `Accepted rid | `Deferred rid -> rid
+  | `Rejected ->
+      (* only reachable when a caller configures a bound + Reject on the
+         single-loop service; surface it as a work failure *)
+      Metrics.inc (metrics t) "work_failures";
+      -1
 
 (** Drive the service until the simulated event queue drains.  Periodic
     timers (drift pollers, policy ticks) re-arm themselves only up to
@@ -603,21 +200,16 @@ let rec arm_policy_timer t =
     the service process is then dead ({!resume} builds its successor).
     Call once per control-plane instance. *)
 let run t ~until =
-  t.until <- until;
-  List.iter (fun dep -> arm_drift_timer t dep) t.deployments;
-  if t.config.policy_period > 0. && t.controller <> None then
-    arm_policy_timer t;
-  drain t;
+  Shard.arm_timers t.shard ~until;
+  Shard.drain t.shard;
   let rec drive () =
-    if (not t.dead) && Cloud.step t.cloud then begin
-      drain t;
+    if (not !(t.dead)) && Cloud.step t.cloud then begin
+      Shard.drain t.shard;
       drive ()
     end
   in
   drive ();
-  let grants, waits = Lock_manager.stats t.lock in
-  Metrics.set t.metrics "lock_grants" (float_of_int grants);
-  Metrics.set t.metrics "lock_waits" (float_of_int waits)
+  Shard.finish_stats t.shard
 
 (* ------------------------------------------------------------------ *)
 (* Crash recovery and audits                                           *)
@@ -659,6 +251,7 @@ let resume (old : t) =
     single-state {!Recovery.orphans} can't see resources another
     deployment legitimately owns). *)
 let orphans t =
+  let deps = deployments t in
   List.filter_map
     (fun (e : Activity_log.entry) ->
       match (e.Activity_log.op, e.Activity_log.actor) with
@@ -668,7 +261,7 @@ let orphans t =
             Cloud.lookup t.cloud cid <> None
             && List.for_all
                  (fun d -> State.find_by_cloud_id d.state cid = None)
-                 t.deployments
+                 deps
           then Some cid
           else None
       | _ -> None)
@@ -676,5 +269,4 @@ let orphans t =
   |> List.sort_uniq compare
 
 (** Total resources across every deployment's state. *)
-let managed_resource_count t =
-  List.fold_left (fun acc d -> acc + State.size d.state) 0 t.deployments
+let managed_resource_count t = Shard.managed_resource_count t.shard

@@ -1,0 +1,115 @@
+(** The single-loop multi-tenant reconciliation control plane
+    (§3.4–§3.6).
+
+    Since E15 this is a thin host around exactly one {!Shard} — the
+    execution engine lives there, shared with the multi-shard {!Fleet}.
+    This module keeps the service-process identity the pre-fleet
+    experiments depend on: the cross-tenant crash gate, the policy
+    controller, crash {!resume} and the {!orphans} audit.  Behavior,
+    spans and metric names are unchanged from the pre-shard monolith. *)
+
+module Failure = Cloudless_sim.Failure
+module Lock_manager = Cloudless_lock.Lock_manager
+
+type drift_mode = Shard.drift_mode = Tailer | Scan | Subscribe
+type admission = Shard.admission = Defer | Reject
+
+type service_config = Shard.service_config = {
+  sname : string;
+  granularity : Lock_manager.granularity;
+  drift_mode : drift_mode;
+  drift_period : float;  (** tailer poll / scan sweep period, sim s *)
+  scoped_reconcile : bool;  (** restrict reconcile applies to impact scope *)
+  refresh_before_apply : bool;  (** Terraform's full refresh on every apply *)
+  parallelism : int option;  (** per-work-unit in-flight op cap *)
+  policy_period : float;  (** 0 = no policy controller *)
+  policy_src : string option;
+  max_queue_depth : int;  (** admission bound; 0 = unbounded *)
+  admission : admission;  (** what to do with requests over the bound *)
+  defer_delay : float;  (** re-admission delay for deferred requests *)
+  rebalance_period : float;  (** fleet rebalance check period; 0 = off *)
+}
+
+(** Per-resource locks, log-tailer drift detection, scoped reconciles,
+    no refresh before apply. *)
+val cloudless_service : service_config
+
+(** The Terraform-style operation: one global lock, a full state
+    refresh before every apply, periodic scan-based drift sweeps. *)
+val baseline_service : service_config
+
+type deployment = Shard.deployment = {
+  tenant : string;
+  dname : string;
+  engine : string;
+  root_key : Cloudless_hcl.Addr.t;
+  mutable config_src : string;
+  mutable state : Cloudless_state.State.t;
+  mutable persisted : Cloudless_state.State.t;
+  journal : Cloudless_state.Journal.t;
+  tailer : Cloudless_drift.Drift.Log_tailer.t;
+}
+
+type t
+
+val create :
+  ?cloud:Cloudless_sim.Cloud.t ->
+  ?trace:Cloudless_obs.Trace.t ->
+  ?metrics:Cloudless_obs.Metrics.t ->
+  service_config ->
+  t
+
+(** The single shard this service hosts. *)
+val shard : t -> Shard.t
+
+val metrics : t -> Cloudless_obs.Metrics.t
+val cloud : t -> Cloudless_sim.Cloud.t
+val lock : t -> Lock_manager.t
+
+(** Deployments in registration order. *)
+val deployments : t -> deployment list
+
+(** Completed request (rid, completion time) pairs, completion order. *)
+val completed_requests : t -> (int * float) list
+
+(** (cloud_id, detected_at) per drift event, oldest first. *)
+val drift_detections : t -> (string * float) list
+
+(** Install the crash-injection policy ([Crash_after k] counts
+    journaled writes across every tenant of this one process). *)
+val set_crash : t -> Failure.crash_policy -> unit
+
+val find_deployment : t -> tenant:string -> dname:string -> deployment option
+
+val add_deployment :
+  t -> tenant:string -> dname:string -> src:string -> deployment
+
+(** Expand a configuration source against a state (shared by requests,
+    reconciles, and post-hoc convergence audits). *)
+val expand :
+  state:Cloudless_state.State.t -> string -> Cloudless_hcl.Eval.instance list
+
+(** Submit an apply request for [dep] with configuration [src] at the
+    current simulated time; returns the request id.  Latency metrics
+    measure from this instant. *)
+val submit_request : t -> deployment -> src:string -> int
+
+(** Drive the service until the simulated event queue drains; periodic
+    timers re-arm only up to [until].  Raises
+    {!Failure.Engine_crashed} if a crash policy trips — {!resume}
+    builds the successor.  Call once per control-plane instance. *)
+val run : t -> until:float -> unit
+
+(** Build the dead service's successor on the same cloud: per
+    deployment, journal replay over the last persisted state plus
+    activity-log orphan adoption, then a converge request.  Returns
+    the new control plane and per-deployment recovery reports. *)
+val resume :
+  t -> t * ((string * string) * Cloudless_deploy.Recovery.resume_report) list
+
+(** IaC-engine-created resources alive in the cloud that no
+    deployment's state tracks — the cross-tenant orphan audit. *)
+val orphans : t -> string list
+
+(** Total resources across every deployment's state. *)
+val managed_resource_count : t -> int

@@ -34,6 +34,15 @@ type t = {
   drift_period : float;  (** service tailer-poll / scan-sweep period *)
   policy_period : float;  (** 0 = no policy controller *)
   duration : float;  (** scenario horizon, sim seconds *)
+  shards : int;  (** fleet shard count (E15) *)
+  hot_tenants : int;
+      (** tenants 0..n-1 burst-submit conflicting requests each wave,
+          holding their shard's queue deep enough for the rebalancer
+          and the admission bound to observe *)
+  hot_burst : int;  (** extra same-instant requests per hot tenant wave *)
+  max_queue_depth : int;  (** admission bound; 0 = unbounded *)
+  admission : Shard.admission;  (** over-bound policy: defer | reject *)
+  rebalance_period : float;  (** fleet rebalance check period; 0 = off *)
 }
 
 let default =
@@ -47,6 +56,12 @@ let default =
     drift_period = 60.;
     policy_period = 300.;
     duration = 3600.;
+    shards = 2;
+    hot_tenants = 0;
+    hot_burst = 6;
+    max_queue_depth = 0;
+    admission = Shard.Defer;
+    rebalance_period = 0.;
   }
 
 let parse ?(file = "<scenario>") src =
@@ -100,6 +115,22 @@ let parse ?(file = "<scenario>") src =
                  | "drift_period" -> { !scn with drift_period = float_v () }
                  | "policy_period" -> { !scn with policy_period = float_v () }
                  | "duration" -> { !scn with duration = float_v () }
+                 | "shards" -> { !scn with shards = int_v () }
+                 | "hot_tenants" -> { !scn with hot_tenants = int_v () }
+                 | "hot_burst" -> { !scn with hot_burst = int_v () }
+                 | "max_queue_depth" ->
+                     { !scn with max_queue_depth = int_v () }
+                 | "admission" -> (
+                     match v with
+                     | "defer" -> { !scn with admission = Shard.Defer }
+                     | "reject" -> { !scn with admission = Shard.Reject }
+                     | _ ->
+                         Err.fail ~stage:Err.Diagnostic.Syntax
+                           ~code:"scenario-syntax"
+                           "%s:%d: admission expects defer|reject, got %S"
+                           file (lineno + 1) v)
+                 | "rebalance_period" ->
+                     { !scn with rebalance_period = float_v () }
                  | _ ->
                      Err.fail ~stage:Err.Diagnostic.Syntax
                        ~code:"scenario-syntax" "%s:%d: unknown scenario key %S"
@@ -141,13 +172,17 @@ policy "drift_watch" {
 }
 |}
 
-(** Specialize a service preset (timing knobs + policy) to a scenario. *)
+(** Specialize a service preset (timing knobs + policy + admission) to
+    a scenario. *)
 let service_config scn (base : Control_plane.service_config) =
   {
     base with
     Control_plane.drift_period = scn.drift_period;
     policy_period = scn.policy_period;
     policy_src = (if scn.policy_period > 0. then Some policy_src else None);
+    max_queue_depth = scn.max_queue_depth;
+    admission = scn.admission;
+    rebalance_period = scn.rebalance_period;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -218,6 +253,98 @@ let install scn cp_ref =
                   (fun (r : State.resource_state) ->
                     r.State.rtype = "aws_instance")
                   (State.resources dep.Control_plane.state)
+              in
+              let n = List.length instances in
+              if n > 0 then begin
+                let row = List.nth instances (i / ndeps mod n) in
+                let cid = row.State.cloud_id in
+                let deleted = i mod 4 = 3 in
+                let r =
+                  if deleted then
+                    Cloud.delete_oob cloud ~script:"ops" ~cloud_id:cid
+                  else
+                    Cloud.mutate_oob cloud ~script:"ops" ~cloud_id:cid
+                      ~attr:"instance_type"
+                      ~value:(Cloudless_hcl.Value.Vstring "t2.nano")
+                in
+                ignore (r : (unit, Cloud.error) result);
+                injections :=
+                  { icloud_id = cid; injected_at = Cloud.now cloud; deleted }
+                  :: !injections
+              end)
+    done
+  end;
+  injections
+
+(** Register all deployments on [!fleet_ref] (tenants landing on their
+    router-assigned shards) and schedule the same request waves and
+    drift injections as {!install}, plus hot-tenant bursts: tenants
+    [0 .. hot_tenants-1] submit [hot_burst] extra same-instant
+    requests against the same deployment each wave.  The duplicates
+    conflict on the deployment's root lock and sit in the owning
+    shard's queue, which is exactly the depth signal the admission
+    bound and the fleet rebalancer react to.  Returns the injection
+    log. *)
+let install_fleet scn fleet_ref =
+  let fleet = !fleet_ref in
+  let cloud = Fleet.cloud fleet in
+  let injections = ref [] in
+  let deps = ref [] in
+  for ti = 0 to scn.tenants - 1 do
+    let tenant = Printf.sprintf "tenant%d" ti in
+    let hot = ti < scn.hot_tenants in
+    for di = 0 to scn.deployments_per_tenant - 1 do
+      let dname = Printf.sprintf "d%d" di in
+      ignore
+        (Fleet.add_deployment fleet ~tenant ~dname
+           ~src:(fleet_src scn ~wave:0));
+      deps := (tenant, dname) :: !deps;
+      for w = 0 to scn.requests_per_tenant - 1 do
+        let repeats = if hot && di = 0 then 1 + scn.hot_burst else 1 in
+        for _ = 1 to repeats do
+          Cloud.schedule cloud
+            ~delay:(float_of_int w *. scn.request_interval)
+            (fun () ->
+              let fleet = !fleet_ref in
+              match Fleet.find_deployment fleet ~tenant ~dname with
+              | Some dep ->
+                  ignore
+                    (Fleet.submit_request fleet dep
+                       ~src:(fleet_src scn ~wave:w)
+                      : [ `Accepted of int | `Deferred of int | `Rejected ])
+              | None -> ())
+        done
+      done
+    done
+  done;
+  let deps = Array.of_list (List.rev !deps) in
+  let ndeps = Array.length deps in
+  (* Drift window: after the revision waves settle, ending early enough
+     that the last detection and reconcile fit inside [duration]. *)
+  if scn.drift_events > 0 && ndeps > 0 then begin
+    let base =
+      (float_of_int (scn.requests_per_tenant - 1) *. scn.request_interval)
+      +. (2. *. scn.drift_period)
+    in
+    let window =
+      Float.max scn.drift_period
+        (scn.duration -. base -. (3. *. scn.drift_period))
+    in
+    let gap = window /. float_of_int scn.drift_events in
+    for i = 0 to scn.drift_events - 1 do
+      let tenant, dname = deps.(i mod ndeps) in
+      Cloud.schedule cloud
+        ~delay:(base +. (float_of_int i *. gap))
+        (fun () ->
+          let fleet = !fleet_ref in
+          match Fleet.find_deployment fleet ~tenant ~dname with
+          | None -> ()
+          | Some dep ->
+              let instances =
+                List.filter
+                  (fun (r : State.resource_state) ->
+                    r.State.rtype = "aws_instance")
+                  (State.resources dep.Shard.state)
               in
               let n = List.length instances in
               if n > 0 then begin

@@ -1,0 +1,73 @@
+(** Service-load scenarios for the control plane.
+
+    A scenario is a small [key = value] text file describing a
+    multi-tenant workload: tenant/deployment counts, fleet size,
+    revision cadence, out-of-band drift volume, and — since E15 —
+    fleet shape (shard count, hot tenants, admission bound,
+    rebalance period).  {!install} compiles it into simulated-clock
+    callbacks against a single-loop {!Control_plane.t};
+    {!install_fleet} does the same against a multi-shard {!Fleet.t}.
+
+    Both installers take the service by [ref] so that a crash-resume
+    mid-scenario (which builds a {e new} service instance on the same
+    cloud) does not strand the not-yet-fired request callbacks: they
+    dereference at fire time and land on the successor. *)
+
+type t = {
+  tenants : int;
+  deployments_per_tenant : int;
+  resources : int;  (** fleet size per deployment *)
+  requests_per_tenant : int;
+      (** config revisions pushed per deployment, including the initial
+          apply at t=0 (all tenants submit simultaneously) *)
+  request_interval : float;  (** sim seconds between revision waves *)
+  drift_events : int;  (** OOB injections spread over the drift window *)
+  drift_period : float;  (** service tailer-poll / scan-sweep period *)
+  policy_period : float;  (** 0 = no policy controller *)
+  duration : float;  (** scenario horizon, sim seconds *)
+  shards : int;  (** fleet shard count (E15) *)
+  hot_tenants : int;
+      (** tenants 0..n-1 burst-submit conflicting requests each wave,
+          holding their shard's queue deep enough for the rebalancer
+          and the admission bound to observe *)
+  hot_burst : int;  (** extra same-instant requests per hot tenant wave *)
+  max_queue_depth : int;  (** admission bound; 0 = unbounded *)
+  admission : Shard.admission;  (** over-bound policy: defer | reject *)
+  rebalance_period : float;  (** fleet rebalance check period; 0 = off *)
+}
+
+val default : t
+
+(** Parse [key = value] lines ([#] comments allowed); unknown keys and
+    malformed values fail with a scenario-syntax diagnostic. *)
+val parse : ?file:string -> string -> t
+
+val load : string -> t
+
+(** The per-deployment configuration source for revision [wave]
+    (instance type rotates per wave so every revision actually
+    changes the fleet). *)
+val fleet_src : t -> wave:int -> string
+
+(** The embedded telemetry policy installed when [policy_period > 0]. *)
+val policy_src : string
+
+(** Specialize a service preset (timing knobs + policy + admission) to
+    a scenario. *)
+val service_config :
+  t -> Control_plane.service_config -> Control_plane.service_config
+
+type injection = {
+  icloud_id : string;
+  injected_at : float;
+  deleted : bool;  (** true: delete_oob; false: attr mutation *)
+}
+
+(** Register all deployments on [!cp_ref] and schedule the request
+    waves and drift injections on its cloud.  Returns the injection
+    log (filled as injections actually fire). *)
+val install : t -> Control_plane.t ref -> injection list ref
+
+(** Same against a multi-shard fleet, plus hot-tenant request bursts
+    (see {!t.hot_tenants}). *)
+val install_fleet : t -> Fleet.t ref -> injection list ref

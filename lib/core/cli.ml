@@ -305,21 +305,24 @@ let import ?(io = default_io) ?(no_optimize = false) ~state_path () =
 
 (* `cloudless serve`: run the multi-tenant control plane against a
    scenario file for a bounded stretch of simulated time, then print
-   the service summary and (optionally) the metrics snapshot. *)
+   the service summary and (optionally) the metrics snapshot.
+
+   With [--shards N] the scenario runs on the E15 multi-shard fleet
+   instead of the single loop: consistent-hash tenant placement,
+   push-based drift via one activity-log subscription per shard, and
+   admission backpressure ([--queue-bound]/[--admission] override the
+   scenario's knobs). *)
 let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
-    ?ticks ?metrics_path ~scenario_path () =
+    ?ticks ?metrics_path ?shards ?queue_bound ?admission ~scenario_path () =
   protected io @@ fun () ->
   with_trace trace_path @@ fun trace ->
   let module Cloud = Cloudless_sim.Cloud in
   let module Control_plane = Cloudless_controlplane.Control_plane in
+  let module Shard = Cloudless_controlplane.Shard in
+  let module Fleet = Cloudless_controlplane.Fleet in
   let module Scenario = Cloudless_controlplane.Scenario in
   let module Metrics = Cloudless_obs.Metrics in
   let scn = Scenario.load scenario_path in
-  let preset =
-    match engine with
-    | Cloudless -> Control_plane.cloudless_service
-    | Baseline -> Control_plane.baseline_service
-  in
   (* --ticks rewrites the horizon before installation so the whole
      scenario (request waves, drift injections) compresses into it *)
   let scn =
@@ -331,7 +334,17 @@ let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
         }
     | None -> scn
   in
-  let config = Scenario.service_config scn preset in
+  let scn =
+    match queue_bound with
+    | Some k -> { scn with Scenario.max_queue_depth = k }
+    | None -> scn
+  in
+  let scn =
+    match admission with
+    | Some `Defer -> { scn with Scenario.admission = Shard.Defer }
+    | Some `Reject -> { scn with Scenario.admission = Shard.Reject }
+    | None -> scn
+  in
   let duration = scn.Scenario.duration in
   let cloud =
     Cloud.create
@@ -339,46 +352,103 @@ let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
       ~seed ()
   in
   Trace.set_sim_clock trace (fun () -> Cloud.now cloud);
-  let cp = ref (Control_plane.create ~cloud ~trace config) in
-  let injections = Scenario.install scn cp in
-  Control_plane.run !cp ~until:duration;
-  let cp = !cp in
-  let m = Control_plane.metrics cp in
-  let grants, waits = Cloudless_lock.Lock_manager.stats (Control_plane.lock cp) in
-  outf io
-    "Service %s: %d tenant(s), %d deployment(s), %d resource(s) under \
-     management after %.0f simulated seconds.\n"
-    config.Control_plane.sname scn.Scenario.tenants
-    (List.length (Control_plane.deployments cp))
-    (Control_plane.managed_resource_count cp)
-    (Cloud.now cloud);
-  let pct name p =
-    match Metrics.percentile m name p with Some v -> v | None -> 0.
+  let finish ~config ~m ~injections ~tenants ~ndeps ~managed ~grants ~waits
+      ~orphans ~extra =
+    outf io
+      "Service %s: %d tenant(s), %d deployment(s), %d resource(s) under \
+       management after %.0f simulated seconds.\n"
+      config.Control_plane.sname tenants ndeps managed (Cloud.now cloud);
+    let pct name p =
+      match Metrics.percentile m name p with Some v -> v | None -> 0.
+    in
+    outf io
+      "Requests: %d done (p50 %.1fs, p99 %.1fs); reconciles: %d; drift \
+       events: %d (%d injected); policy ticks: %d.\n"
+      (Metrics.counter m "requests_done")
+      (pct "request_latency" 50.) (pct "request_latency" 99.)
+      (Metrics.counter m "reconciles")
+      (Metrics.counter m "drift_events")
+      injections
+      (Metrics.counter m "policy_ticks");
+    outf io
+      "API calls: %d (%d reads, %d writes); locks: %d grant(s), %d wait(s).\n"
+      (Metrics.counter m "api_calls")
+      (Metrics.counter m "api_reads")
+      (Metrics.counter m "api_writes")
+      grants waits;
+    extra ();
+    (match orphans with
+    | [] -> ()
+    | os ->
+        outf io "WARNING: %d orphaned resource(s): %s\n" (List.length os)
+          (String.concat ", " os));
+    (match metrics_path with
+    | Some path ->
+        Metrics.write_json m ~path;
+        outf io "Metrics snapshot written to %s.\n" path
+    | None -> io.out (Metrics.to_json m));
+    0
   in
-  outf io
-    "Requests: %d done (p50 %.1fs, p99 %.1fs); reconciles: %d; drift \
-     events: %d (%d injected); policy ticks: %d.\n"
-    (Metrics.counter m "requests_done")
-    (pct "request_latency" 50.) (pct "request_latency" 99.)
-    (Metrics.counter m "reconciles")
-    (Metrics.counter m "drift_events")
-    (List.length !injections)
-    (Metrics.counter m "policy_ticks");
-  outf io "API calls: %d (%d reads, %d writes); locks: %d grant(s), %d wait(s).\n"
-    (Metrics.counter m "api_calls")
-    (Metrics.counter m "api_reads")
-    (Metrics.counter m "api_writes")
-    grants waits;
-  (match Control_plane.orphans cp with
-  | [] -> ()
-  | os -> outf io "WARNING: %d orphaned resource(s): %s\n" (List.length os)
-            (String.concat ", " os));
-  (match metrics_path with
-  | Some path ->
-      Metrics.write_json m ~path;
-      outf io "Metrics snapshot written to %s.\n" path
-  | None -> io.out (Metrics.to_json m));
-  0
+  match shards with
+  | None ->
+      let preset =
+        match engine with
+        | Cloudless -> Control_plane.cloudless_service
+        | Baseline -> Control_plane.baseline_service
+      in
+      let config = Scenario.service_config scn preset in
+      let cp = ref (Control_plane.create ~cloud ~trace config) in
+      let injections = Scenario.install scn cp in
+      Control_plane.run !cp ~until:duration;
+      let cp = !cp in
+      let m = Control_plane.metrics cp in
+      let grants, waits =
+        Cloudless_lock.Lock_manager.stats (Control_plane.lock cp)
+      in
+      finish ~config ~m ~injections:(List.length !injections)
+        ~tenants:scn.Scenario.tenants
+        ~ndeps:(List.length (Control_plane.deployments cp))
+        ~managed:(Control_plane.managed_resource_count cp)
+        ~grants ~waits ~orphans:(Control_plane.orphans cp)
+        ~extra:(fun () -> ())
+  | Some n ->
+      let preset =
+        match engine with
+        | Cloudless -> Shard.fleet_service
+        | Baseline -> Shard.baseline_service
+      in
+      let config = Scenario.service_config scn preset in
+      let fleet = ref (Fleet.create ~cloud ~trace ~shards:n config) in
+      let injections = Scenario.install_fleet scn fleet in
+      Fleet.run !fleet ~until:duration;
+      let fleet = !fleet in
+      let m = Fleet.metrics fleet in
+      let grants, waits =
+        List.fold_left
+          (fun (g, w) s ->
+            let g', w' =
+              Cloudless_lock.Lock_manager.stats (Shard.lock s)
+            in
+            (g + g', w + w'))
+          (0, 0) (Fleet.shards fleet)
+      in
+      finish ~config ~m ~injections:(List.length !injections)
+        ~tenants:scn.Scenario.tenants
+        ~ndeps:(List.length (Fleet.deployments fleet))
+        ~managed:(Fleet.managed_resource_count fleet)
+        ~grants ~waits ~orphans:(Fleet.orphans fleet)
+        ~extra:(fun () ->
+          outf io
+            "Fleet: %d shard(s); cross-shard drift routed: %d; rebalance \
+             moves: %d; deferred: %d; rejected: %d; log polls: %d; state \
+             digest %s.\n"
+            (Fleet.shard_count fleet)
+            (Metrics.counter m "cross_shard_routed")
+            (Metrics.counter m "rebalance_moves")
+            (Metrics.counter m "requests_deferred")
+            (Metrics.counter m "requests_rejected")
+            (Metrics.counter m "log_polls")
+            (Fleet.state_digest fleet))
 
 let examples =
   [

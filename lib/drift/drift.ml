@@ -168,6 +168,84 @@ end
 (* Log-based detection (cloudless-native)                              *)
 (* ------------------------------------------------------------------ *)
 
+(** Is this activity-log entry a write not attributable to an IaC
+    engine — i.e. a candidate drift signal? *)
+let oob_write (e : Activity_log.entry) =
+  let is_write =
+    match e.Activity_log.op with
+    | Activity_log.Log_create | Activity_log.Log_update
+    | Activity_log.Log_delete ->
+        true
+    | Activity_log.Log_read | Activity_log.Log_failure _ -> false
+  in
+  let is_iac =
+    match e.Activity_log.actor with
+    | Activity_log.Iac_engine _ -> true
+    | Activity_log.Oob_script _ | Activity_log.Cloud_internal -> false
+  in
+  is_write && not is_iac
+
+(** Classify one out-of-band activity-log entry against [state]:
+    [Some event] when it constitutes drift for this deployment (a
+    tracked resource deleted or actually diverged, or an unmanaged
+    create), [None] when it is benign.  Shared by the poll-based
+    {!Log_tailer} and the push-based subscription consumers — both
+    detectors must flag exactly the same entries. *)
+let event_of_entry (cloud : Cloud.t) ~(state : State.t)
+    (e : Activity_log.entry) : event option =
+  let tracked = State.find_by_cloud_id state e.Activity_log.cloud_id in
+  match (e.Activity_log.op, tracked) with
+  | Activity_log.Log_delete, Some r ->
+      Some
+        {
+          addr = Some r.State.addr;
+          cloud_id = e.Activity_log.cloud_id;
+          kind = Deleted_oob;
+          detected_at = Cloud.now cloud;
+          occurred_at = Some e.Activity_log.time;
+        }
+  | Activity_log.Log_update, Some r -> (
+      (* the log tells us *that* it changed; fetch the detail lazily
+         only for flagged resources *)
+      match Cloud.lookup cloud e.Activity_log.cloud_id with
+      | Some live ->
+          let diff =
+            Smap.fold
+              (fun attr expected acc ->
+                match Smap.find_opt attr live.Cloud.attrs with
+                | Some actual when not (Value.equal expected actual) ->
+                    (attr, expected, actual) :: acc
+                | _ -> acc)
+              (comparable r.State.attrs) []
+          in
+          (match diff with
+          | (attr, expected, actual) :: _ ->
+              Some
+                {
+                  addr = Some r.State.addr;
+                  cloud_id = e.Activity_log.cloud_id;
+                  kind = Attr_drift { attr; expected; actual };
+                  detected_at = Cloud.now cloud;
+                  occurred_at = Some e.Activity_log.time;
+                }
+          | [] -> None)
+      | None -> None)
+  | Activity_log.Log_create, None ->
+      Some
+        {
+          addr = None;
+          cloud_id = e.Activity_log.cloud_id;
+          kind =
+            Unmanaged
+              {
+                cloud_id = e.Activity_log.cloud_id;
+                rtype = e.Activity_log.rtype;
+              };
+          detected_at = Cloud.now cloud;
+          occurred_at = Some e.Activity_log.time;
+        }
+  | _ -> None
+
 module Log_tailer = struct
   type t = {
     mutable cursor : int;  (** next log sequence number to consume *)
@@ -178,81 +256,19 @@ module Log_tailer = struct
 
   (** Consume new activity-log entries and flag non-IaC writes that
       touch tracked resources (or create unmanaged ones).  Costs zero
-      management-API reads: activity logs are a separate, cheap
-      firehose (CloudTrail / Azure Activity Log). *)
+      per-resource management reads — but each poll is one
+      LookupEvents-style call against the log service, a cost the
+      event-driven subscription engine (E15) does not pay. *)
   let poll t (cloud : Cloud.t) ~(state : State.t) : event list =
     let log = Cloud.log cloud in
     let entries = Activity_log.since log t.cursor in
     t.cursor <- Activity_log.length log;
     List.filter_map
       (fun (e : Activity_log.entry) ->
-        let is_write =
-          match e.Activity_log.op with
-          | Activity_log.Log_create | Activity_log.Log_update
-          | Activity_log.Log_delete ->
-              true
-          | Activity_log.Log_read | Activity_log.Log_failure _ -> false
-        in
-        let is_iac =
-          match e.Activity_log.actor with
-          | Activity_log.Iac_engine _ -> true
-          | Activity_log.Oob_script _ | Activity_log.Cloud_internal -> false
-        in
-        if not (is_write && not is_iac) then None
+        if not (oob_write e) then None
         else begin
           t.events_flagged <- t.events_flagged + 1;
-          let tracked = State.find_by_cloud_id state e.Activity_log.cloud_id in
-          match (e.Activity_log.op, tracked) with
-          | Activity_log.Log_delete, Some r ->
-              Some
-                {
-                  addr = Some r.State.addr;
-                  cloud_id = e.Activity_log.cloud_id;
-                  kind = Deleted_oob;
-                  detected_at = Cloud.now cloud;
-                  occurred_at = Some e.Activity_log.time;
-                }
-          | Activity_log.Log_update, Some r -> (
-              (* the log tells us *that* it changed; fetch the detail
-                 lazily only for flagged resources *)
-              match Cloud.lookup cloud e.Activity_log.cloud_id with
-              | Some live ->
-                  let diff =
-                    Smap.fold
-                      (fun attr expected acc ->
-                        match Smap.find_opt attr live.Cloud.attrs with
-                        | Some actual when not (Value.equal expected actual) ->
-                            (attr, expected, actual) :: acc
-                        | _ -> acc)
-                      (comparable r.State.attrs) []
-                  in
-                  (match diff with
-                  | (attr, expected, actual) :: _ ->
-                      Some
-                        {
-                          addr = Some r.State.addr;
-                          cloud_id = e.Activity_log.cloud_id;
-                          kind = Attr_drift { attr; expected; actual };
-                          detected_at = Cloud.now cloud;
-                          occurred_at = Some e.Activity_log.time;
-                        }
-                  | [] -> None)
-              | None -> None)
-          | Activity_log.Log_create, None ->
-              Some
-                {
-                  addr = None;
-                  cloud_id = e.Activity_log.cloud_id;
-                  kind =
-                    Unmanaged
-                      {
-                        cloud_id = e.Activity_log.cloud_id;
-                        rtype = e.Activity_log.rtype;
-                      };
-                  detected_at = Cloud.now cloud;
-                  occurred_at = Some e.Activity_log.time;
-                }
-          | _ -> None
+          event_of_entry cloud ~state e
         end)
       entries
 end

@@ -107,6 +107,38 @@ let names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
+(* Label scopes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A scope is a recording handle that writes each signal twice: once
+   under the bare name (the fleet-wide series) and once under
+   "name.<label>" (the per-shard breakdown).  An unlabeled scope writes
+   the bare name only, so shared code records through a scope without
+   the single-loop callers paying for (or emitting) labels. *)
+type scope = { st : t; label : string option }
+
+let scoped t label = { st = t; label }
+let unscoped t = { st = t; label = None }
+
+let labelled s name =
+  match s.label with None -> None | Some l -> Some (name ^ "." ^ l)
+
+let scope_inc s ?(by = 1) name =
+  inc s.st ~by name;
+  match labelled s name with None -> () | Some n -> inc s.st ~by n
+
+let scope_set s name v =
+  set s.st name v;
+  match labelled s name with None -> () | Some n -> set s.st n v
+
+let scope_observe s name v =
+  observe s.st name v;
+  match labelled s name with None -> () | Some n -> observe s.st n v
+
+let scope_metrics s = s.st
+let scope_label s = s.label
+
+(* ------------------------------------------------------------------ *)
 (* JSON snapshot                                                       *)
 (* ------------------------------------------------------------------ *)
 

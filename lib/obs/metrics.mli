@@ -50,6 +50,27 @@ val histogram_count : t -> string -> int
 (** All metric names, sorted. *)
 val names : t -> string list
 
+(** A labeled recording handle.  Writing through a scope built with
+    [scoped t (Some "shard0")] records each signal twice: under the
+    bare name (the fleet-wide series) and under ["name.shard0"] (the
+    per-shard breakdown).  An unlabeled scope ({!unscoped}, or
+    [scoped t None]) records the bare name only, so shared code can
+    always go through a scope and single-instance callers emit exactly
+    what they did before labels existed. *)
+type scope
+
+val scoped : t -> string option -> scope
+val unscoped : t -> scope
+val scope_inc : scope -> ?by:int -> string -> unit
+val scope_set : scope -> string -> float -> unit
+val scope_observe : scope -> string -> float -> unit
+
+(** The registry behind the scope. *)
+val scope_metrics : scope -> t
+
+(** The scope's label, if any. *)
+val scope_label : scope -> string option
+
 (** The canonical snapshot: one JSON object, names sorted, counters as
     [{type,count}], gauges as [{type,last,max}], histograms as
     [{type,count,sum,min,max,p50,p90,p99}]. *)

@@ -28,9 +28,28 @@ type entry = {
   detail : string;
 }
 
-type t = { mutable entries : entry list;  (** newest first *) mutable next_seq : int }
+type subscription = { deliver : entry -> unit; mutable active : bool }
 
-let create () = { entries = []; next_seq = 0 }
+type t = {
+  mutable entries : entry list;  (** newest first *)
+  mutable next_seq : int;
+  mutable subs : subscription list;
+      (** oldest subscription first = delivery order *)
+  mutable deliveries : int;
+}
+
+let create () = { entries = []; next_seq = 0; subs = []; deliveries = 0 }
+
+(* Entries are newest-first with strictly decreasing [seq], so the tail
+   read stops at the first entry below the cursor instead of filtering
+   the whole history — per-deployment tailer polling at high tenant
+   counts lives on this being O(new entries). *)
+let since t cursor =
+  let rec take acc = function
+    | e :: rest when e.seq >= cursor -> take (e :: acc) rest
+    | _ -> acc
+  in
+  take [] t.entries
 
 let append t ~time ~actor ~op ~cloud_id ~rtype ~region ~detail =
   let e =
@@ -38,14 +57,45 @@ let append t ~time ~actor ~op ~cloud_id ~rtype ~region ~detail =
   in
   t.next_seq <- t.next_seq + 1;
   t.entries <- e :: t.entries;
+  List.iter
+    (fun s ->
+      if s.active then begin
+        t.deliveries <- t.deliveries + 1;
+        s.deliver e
+      end)
+    t.subs;
   e
 
 let length t = t.next_seq
 
-(** All entries with [seq >= cursor], oldest first — the "tail" read
-    used by incremental consumers. *)
-let since t cursor =
-  List.rev (List.filter (fun e -> e.seq >= cursor) t.entries)
+(** Register a push consumer: every entry appended from now on is
+    delivered synchronously, in subscription order (deterministic fan-
+    out).  [?from] replays the already-recorded entries with
+    [seq >= from] first, so a resumed consumer can carry its cursor
+    over a restart without losing events. *)
+let subscribe t ?from deliver =
+  let s = { deliver; active = true } in
+  t.subs <- t.subs @ [ s ];
+  (match from with
+  | Some cursor when cursor < t.next_seq ->
+      List.iter
+        (fun e ->
+          t.deliveries <- t.deliveries + 1;
+          deliver e)
+        (since t cursor)
+  | _ -> ());
+  s
+
+(** Stop delivering to [s] (idempotent). *)
+let unsubscribe t s =
+  s.active <- false;
+  t.subs <- List.filter (fun s' -> s'.active) t.subs
+
+let subscriber_count t = List.length t.subs
+
+(** Total entries pushed to subscribers (replays included) — the
+    fan-out bill a fleet's metrics surface. *)
+let deliveries t = t.deliveries
 
 (** All entries, oldest first. *)
 let all t = List.rev t.entries

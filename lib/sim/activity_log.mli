@@ -29,6 +29,9 @@ type entry = {
 
 type t
 
+(** A registered push consumer (see {!subscribe}). *)
+type subscription
+
 val create : unit -> t
 
 val append :
@@ -50,6 +53,24 @@ val since : t -> int -> entry list
 
 (** All entries, oldest first. *)
 val all : t -> entry list
+
+(** Register a push consumer: every subsequently appended entry is
+    delivered synchronously at append time, in subscription order —
+    the multiplexed, event-driven alternative to per-consumer polling
+    ({!since}).  [?from] first replays the recorded entries with
+    [seq >= from], so a restarted consumer carries its cursor across
+    the gap.  Delivery callbacks run inside {!append}; they must not
+    themselves append re-entrantly. *)
+val subscribe : t -> ?from:int -> (entry -> unit) -> subscription
+
+(** Stop delivering to the subscription (idempotent). *)
+val unsubscribe : t -> subscription -> unit
+
+(** Currently active subscriptions. *)
+val subscriber_count : t -> int
+
+(** Total entries pushed to subscribers, replays included. *)
+val deliveries : t -> int
 
 val actor_to_string : actor -> string
 val op_to_string : operation -> string

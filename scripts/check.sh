@@ -51,6 +51,21 @@ if (( SECONDS > E14_BUDGET_S )); then
   exit 1
 fi
 
+# Multi-shard fleet: the quick run self-asserts the E15 claims (p99
+# and drift p50 flat as shards scale, push-based drift with zero log
+# polls vs the tailer's poll bill, shard-count-invariant state digest,
+# crash-resume at shard granularity, defer/reject backpressure) and
+# checks metrics byte-determinism at --shards {1,2,4}.  Budgeted: the
+# sweep is simulated time, so a wall-clock blowout means a fleet
+# drive-loop regression.
+E15_BUDGET_S=60
+SECONDS=0
+dune exec bench/main.exe -- e15 --quick
+if (( SECONDS > E15_BUDGET_S )); then
+  echo "check.sh: e15 --quick took ${SECONDS}s (budget ${E15_BUDGET_S}s)" >&2
+  exit 1
+fi
+
 # Raw-speed core: per-stage pipeline timings, WAL + group-commit
 # journal overhead, and the byte-identical --domains {1,2,4,0} digest
 # assertion (the bench itself asserts; a digest mismatch or failed

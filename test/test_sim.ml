@@ -285,6 +285,60 @@ let test_cloud_determinism () =
   in
   check (Alcotest.float 1e-9) "identical end time" (run ()) (run ())
 
+(* ------------------------------------------------------------------ *)
+(* Activity-log subscriptions                                          *)
+(* ------------------------------------------------------------------ *)
+
+let log_append log ~seq:_ id =
+  ignore
+    (Activity_log.append log ~time:0. ~actor ~op:Activity_log.Log_create
+       ~cloud_id:id ~rtype:"aws_vpc" ~region:"us-east-1" ~detail:"")
+
+let test_log_subscribe_push () =
+  let log = Activity_log.create () in
+  let got = ref [] in
+  let sub =
+    Activity_log.subscribe log (fun e -> got := e.Activity_log.cloud_id :: !got)
+  in
+  log_append log ~seq:0 "a";
+  log_append log ~seq:1 "b";
+  check (Alcotest.list string_) "delivered in append order" [ "a"; "b" ]
+    (List.rev !got);
+  check int_ "one subscriber" 1 (Activity_log.subscriber_count log);
+  Activity_log.unsubscribe log sub;
+  log_append log ~seq:2 "c";
+  check (Alcotest.list string_) "nothing after unsubscribe" [ "a"; "b" ]
+    (List.rev !got);
+  check int_ "unsubscribe idempotent" 0
+    (Activity_log.unsubscribe log sub;
+     Activity_log.subscriber_count log)
+
+let test_log_subscribe_replay () =
+  let log = Activity_log.create () in
+  log_append log ~seq:0 "a";
+  log_append log ~seq:1 "b";
+  log_append log ~seq:2 "c";
+  let got = ref [] in
+  (* a restarted consumer carries its cursor: seq >= 1 replays b, c *)
+  ignore
+    (Activity_log.subscribe log ~from:1 (fun e ->
+         got := e.Activity_log.cloud_id :: !got));
+  check (Alcotest.list string_) "cursor replay" [ "b"; "c" ] (List.rev !got);
+  log_append log ~seq:3 "d";
+  check (Alcotest.list string_) "then live delivery" [ "b"; "c"; "d" ]
+    (List.rev !got);
+  (* replays and live pushes both count as deliveries *)
+  check int_ "deliveries counted" 3 (Activity_log.deliveries log)
+
+let test_log_subscribe_fanout_order () =
+  let log = Activity_log.create () in
+  let order = ref [] in
+  ignore (Activity_log.subscribe log (fun _ -> order := "first" :: !order));
+  ignore (Activity_log.subscribe log (fun _ -> order := "second" :: !order));
+  log_append log ~seq:0 "a";
+  check (Alcotest.list string_) "subscription order preserved"
+    [ "first"; "second" ] (List.rev !order)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suites =
@@ -321,5 +375,14 @@ let suites =
         Alcotest.test_case "oob mutation logged" `Quick test_cloud_oob_mutation_logged;
         Alcotest.test_case "list by type" `Quick test_cloud_list_type;
         Alcotest.test_case "determinism" `Quick test_cloud_determinism;
+      ] );
+    ( "sim.activity_log",
+      [
+        Alcotest.test_case "subscribe pushes appends" `Quick
+          test_log_subscribe_push;
+        Alcotest.test_case "cursor replay on subscribe" `Quick
+          test_log_subscribe_replay;
+        Alcotest.test_case "fan-out in subscription order" `Quick
+          test_log_subscribe_fanout_order;
       ] );
   ]
