@@ -29,6 +29,7 @@ let experiments =
     ("e14", E14_service.run);
     ("e15", E15_fleet.run);
     ("e16", E16_raw_speed.run);
+    ("e17", E17_soak.run);
     ("ablation", Ablation.run);
   ]
 

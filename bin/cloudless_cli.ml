@@ -260,10 +260,31 @@ let serve_cmd =
              (re-admit later) or $(b,reject) (overrides the scenario's \
              admission knob)")
   in
+  let episodes_arg =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "episodes" ] ~docv:"BOOL"
+          ~doc:
+            "Chaos episodes: $(b,false) strips the scenario's episode \
+             windows (outages, error/throttle storms, spot waves, quota \
+             cuts); $(b,true) keeps them (the default)")
+  in
+  let breaker_arg =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "breaker" ] ~docv:"BOOL"
+          ~doc:
+            "Circuit breakers: override the scenario's $(b,breaker) switch. \
+             With breakers on, applies fast-fail against open (API kind, \
+             resource type) cells and the affected work parks until the \
+             next half-open probe")
+  in
   let run scenario_path seed engine trace_path ticks metrics_path shards
-      queue_bound admission =
+      queue_bound admission episodes breaker =
     Cli.serve ?trace_path ~seed ~engine ?ticks ?metrics_path ?shards
-      ?queue_bound ?admission ~scenario_path ()
+      ?queue_bound ?admission ?episodes ?breaker ~scenario_path ()
   in
   Cmd.v
     (Cmd.info "serve"
@@ -272,7 +293,8 @@ let serve_cmd =
           scenario for a bounded stretch of simulated time")
     Term.(
       const run $ scenario_arg $ seed_arg $ engine_arg $ trace_arg $ ticks_arg
-      $ metrics_arg $ shards_arg $ queue_bound_arg $ admission_arg)
+      $ metrics_arg $ shards_arg $ queue_bound_arg $ admission_arg
+      $ episodes_arg $ breaker_arg)
 
 let main_cmd =
   let doc = "a principled IaC framework (HotNets '23 'Cloudless Computing')" in

@@ -20,9 +20,17 @@
     - FIFO admission with an optional parallelism cap (critical-path
       priority matters at 10k-resource scale, not at the per-request
       sizes a service multiplexes — and it keeps this module small);
-    - deterministic exponential backoff with {e no} jitter: the
-      control plane's metrics snapshots are asserted byte-identical
-      across runs, so no PRNG may be consumed outside the cloud;
+    - deterministic exponential backoff; optional jitter draws from a
+      private PRNG seeded from a hash of the engine name, never from
+      the cloud's PRNG — the control plane's metrics snapshots are
+      asserted byte-identical across runs, and stay so because the
+      jitter stream depends only on the tenant, not on timing;
+    - an optional circuit {!Cloudless_deploy.Breaker}: writes acquire
+      the (kind, rtype) cell before the intent is journaled, fast-fail
+      with {!Cloudless_deploy.Breaker.open_reason} while the cell is
+      Open, and stop burning retry budget the moment a failure trips
+      the cell — the owner parks the work and re-admits it around the
+      breaker's half-open probe;
     - the crash gate is injected ([gate]): the control plane counts
       journaled writes {e across all tenants} so a single
       [Crash_after k] kills the whole service process mid-work;
@@ -41,17 +49,29 @@ module Journal = Cloudless_state.Journal
 module Plan = Cloudless_plan.Plan
 module Dag = Cloudless_graph.Dag
 module Executor = Cloudless_deploy.Executor
+module Breaker = Cloudless_deploy.Breaker
 module Drift = Cloudless_drift.Drift
+module Prng = Cloudless_sim.Prng
 
 type config = {
   engine : string;  (** activity-log actor; also the journal's engine name *)
   parallelism : int option;
   max_retries : int;
   backoff_base : float;
+  jitter : bool;
+      (** multiply each backoff by 0.8–1.2 drawn from a private PRNG
+          seeded from the engine name (run-to-run deterministic) *)
 }
 
 let default_config engine =
-  { engine; parallelism = None; max_retries = 12; backoff_base = 2. }
+  { engine; parallelism = None; max_retries = 12; backoff_base = 2.;
+    jitter = false }
+
+(* Breaker cells are keyed by the management-API verb. *)
+let breaker_kind = function
+  | Journal.Op_create -> "create"
+  | Journal.Op_update -> "update"
+  | Journal.Op_delete -> "delete"
 
 (* ------------------------------------------------------------------ *)
 (* Asynchronous refresh                                                *)
@@ -141,7 +161,7 @@ type outcome = {
     death with the intent durable (the executor's crash semantics,
     supplied by the service so the write counter spans tenants). *)
 let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
-    ~(plan : Plan.t) ?journal ~gate ~alive ~count_api ~on_done () =
+    ~(plan : Plan.t) ?journal ?breaker ~gate ~alive ~count_api ~on_done () =
   let actor = Activity_log.Iac_engine config.engine in
   let journal_append entry =
     match journal with Some j -> Journal.append j entry | None -> ()
@@ -189,7 +209,19 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     let writes = ref 0 in
     let applied = ref [] in
     let failed = ref [] in
-    let backoff attempt = config.backoff_base *. Float.pow 2. (float_of_int attempt) in
+    let jitter_prng =
+      (* seeded from the engine name alone, so the stream is the same
+         on every run and every resume — timing never feeds it *)
+      if config.jitter then
+        Some (Prng.create (Hashtbl.hash config.engine land 0x3FFFFFFF))
+      else None
+    in
+    let backoff attempt =
+      let b = config.backoff_base *. Float.pow 2. (float_of_int attempt) in
+      match jitter_prng with
+      | Some p -> b *. Prng.float_range p 0.8 1.2
+      | None -> b
+    in
     let finish () =
       let skipped =
         Hashtbl.fold
@@ -230,27 +262,59 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     in
     let rec perform addr (c : Plan.change) attempt =
       let submit_logged kind ~payload ~prior op handler =
-        incr ops_started;
-        incr writes;
-        count_api 1;
-        let op_id = !ops_started in
-        journal_append
-          (Journal.Intent
-             {
-               Journal.op = op_id;
-               iaddr = addr;
-               kind;
-               rtype = c.Plan.rtype;
-               region = c.Plan.region;
-               payload;
-               prior_cloud_id = prior;
-               deps = c.Plan.deps;
-               log_cursor = Activity_log.length (Cloud.log cloud);
-               itime = Cloud.now cloud;
-             });
-        gate ();
-        Cloud.submit cloud ~actor op (fun result ->
-            if alive () then handler op_id result)
+        let bkind = breaker_kind kind in
+        let issue () =
+          incr ops_started;
+          incr writes;
+          count_api 1;
+          let op_id = !ops_started in
+          journal_append
+            (Journal.Intent
+               {
+                 Journal.op = op_id;
+                 iaddr = addr;
+                 kind;
+                 rtype = c.Plan.rtype;
+                 region = c.Plan.region;
+                 payload;
+                 prior_cloud_id = prior;
+                 deps = c.Plan.deps;
+                 log_cursor = Activity_log.length (Cloud.log cloud);
+                 itime = Cloud.now cloud;
+               });
+          gate ();
+          (match breaker with
+          | Some b -> Breaker.note_issue b ~kind:bkind ~rtype:c.Plan.rtype
+          | None -> ());
+          Cloud.submit cloud ~actor op (fun result ->
+              (match (breaker, result) with
+              | Some b, Ok _ ->
+                  Breaker.success b ~now:(Cloud.now cloud) ~kind:bkind
+                    ~rtype:c.Plan.rtype
+              | ( Some b,
+                  Error
+                    ( Cloud.Throttled _ | Cloud.Transient _
+                    | Cloud.Quota_exceeded _ ) ) ->
+                  Breaker.failure b ~now:(Cloud.now cloud) ~kind:bkind
+                    ~rtype:c.Plan.rtype
+              | _ -> ());
+              if alive () then handler op_id result)
+        in
+        match breaker with
+        | None -> issue ()
+        | Some b -> (
+            match
+              Breaker.acquire b ~now:(Cloud.now cloud) ~kind:bkind
+                ~rtype:c.Plan.rtype
+            with
+            | `Proceed -> issue ()
+            | `Reject remaining ->
+                (* fast-fail: no intent journaled, no cloud call, no
+                   retry budget burned — the owner parks this work *)
+                complete addr
+                  (Error
+                     (Breaker.open_reason ~kind:bkind ~rtype:c.Plan.rtype
+                        remaining)))
       in
       let ok_outcome ~op ~kind ~cloud_id attrs =
         journal_append
@@ -283,16 +347,41 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
                  otime = Cloud.now cloud;
                })
         in
+        let retry_or_park ~delay =
+          (* the failure just recorded may have tripped the breaker:
+             checking after [record] means we stop burning the retry
+             budget the moment the cell opens *)
+          let bkind = breaker_kind kind in
+          match breaker with
+          | Some b
+            when Breaker.state b ~kind:bkind ~rtype:c.Plan.rtype
+                 = Breaker.Open ->
+              let remaining =
+                match Breaker.next_probe_at b with
+                | Some at -> at -. Cloud.now cloud
+                | None -> 0.
+              in
+              complete addr
+                (Error
+                   (Breaker.open_reason ~kind:bkind ~rtype:c.Plan.rtype
+                      remaining))
+          | _ ->
+              Cloud.schedule cloud ~delay (fun () ->
+                  if alive () then perform addr c (attempt + 1))
+        in
         match err with
         | Cloud.Throttled after when attempt < config.max_retries ->
             record true;
-            let delay = Float.max (after +. 0.1) (backoff attempt) in
-            Cloud.schedule cloud ~delay (fun () ->
-                if alive () then perform addr c (attempt + 1))
+            retry_or_park ~delay:(Float.max (after +. 0.1) (backoff attempt))
         | Cloud.Transient _ when attempt < config.max_retries ->
             record true;
-            Cloud.schedule cloud ~delay:(backoff attempt) (fun () ->
-                if alive () then perform addr c (attempt + 1))
+            retry_or_park ~delay:(backoff attempt)
+        | Cloud.Quota_exceeded _
+          when breaker <> None && attempt < config.max_retries ->
+            (* under a breaker a quota rejection is a parkable fault
+               (quota-cut episodes lift), not a permanent failure *)
+            record true;
+            retry_or_park ~delay:(backoff attempt)
         | err ->
             record false;
             complete addr (Error (Cloud.error_to_string err))

@@ -8,12 +8,20 @@
     appliers (one per in-flight unit of work, across tenants and
     shards) interleave on one shared simulated timeline.
 
-    Determinism constraints: exponential backoff with {e no} jitter
-    (metrics snapshots are asserted byte-identical across runs, so no
-    PRNG may be consumed outside the cloud); the crash gate is injected
-    ([gate] runs after each intent is journaled, before the cloud call
-    is issued); every callback first checks [alive] so a crashed
-    service's in-flight operations complete with nobody listening. *)
+    Determinism constraints: exponential backoff whose optional jitter
+    draws from a private PRNG seeded from the engine name — never from
+    the cloud's PRNG and never from timing — so metrics snapshots stay
+    byte-identical across runs; the crash gate is injected ([gate]
+    runs after each intent is journaled, before the cloud call is
+    issued); every callback first checks [alive] so a crashed
+    service's in-flight operations complete with nobody listening.
+
+    When a {!Cloudless_deploy.Breaker} is supplied, every write
+    acquires its (kind, rtype) cell first: Open cells fast-fail the
+    change with {!Cloudless_deploy.Breaker.open_reason} (no intent
+    journaled, no cloud call), failures feed the cell, and a failure
+    that trips the cell aborts the remaining retry budget so the owner
+    can park the work until the breaker's half-open probe. *)
 
 module Addr = Cloudless_hcl.Addr
 module Cloud = Cloudless_sim.Cloud
@@ -21,12 +29,15 @@ module State = Cloudless_state.State
 module Journal = Cloudless_state.Journal
 module Plan = Cloudless_plan.Plan
 module Drift = Cloudless_drift.Drift
+module Breaker = Cloudless_deploy.Breaker
 
 type config = {
   engine : string;  (** activity-log actor; also the journal's engine name *)
   parallelism : int option;  (** in-flight op cap; [None] = unbounded *)
   max_retries : int;
   backoff_base : float;  (** deterministic exponential backoff base *)
+  jitter : bool;
+      (** multiply each backoff by 0.8–1.2 from the engine-seeded PRNG *)
 }
 
 val default_config : string -> config
@@ -70,6 +81,7 @@ val apply :
   state:State.t ->
   plan:Plan.t ->
   ?journal:Journal.t ->
+  ?breaker:Breaker.t ->
   gate:(unit -> unit) ->
   alive:(unit -> bool) ->
   count_api:(int -> unit) ->

@@ -59,6 +59,7 @@ type service_config = Shard.service_config = {
   admission : admission;
   defer_delay : float;
   rebalance_period : float;
+  breaker : Cloudless_deploy.Breaker.config option;
 }
 
 let cloudless_service = Shard.cloudless_service

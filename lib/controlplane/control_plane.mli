@@ -28,6 +28,8 @@ type service_config = Shard.service_config = {
   admission : admission;  (** what to do with requests over the bound *)
   defer_delay : float;  (** re-admission delay for deferred requests *)
   rebalance_period : float;  (** fleet rebalance check period; 0 = off *)
+  breaker : Cloudless_deploy.Breaker.config option;
+      (** circuit-breaker cells per (API kind, rtype); [None] = off *)
 }
 
 (** Per-resource locks, log-tailer drift detection, scoped reconciles,

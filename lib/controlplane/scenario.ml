@@ -18,8 +18,10 @@
     successor. *)
 
 module Cloud = Cloudless_sim.Cloud
+module Failure = Cloudless_sim.Failure
 module State = Cloudless_state.State
 module Workload = Cloudless_workload.Workload
+module Breaker = Cloudless_deploy.Breaker
 module Err = Cloudless_error
 
 type t = {
@@ -43,6 +45,12 @@ type t = {
   max_queue_depth : int;  (** admission bound; 0 = unbounded *)
   admission : Shard.admission;  (** over-bound policy: defer | reject *)
   rebalance_period : float;  (** fleet rebalance check period; 0 = off *)
+  episodes : Failure.episode list;
+      (** time-windowed fault regimes, in file order (E17) *)
+  breaker : bool;  (** arm per-shard circuit breakers (E17) *)
+  calm_tenants : int;
+      (** the last n tenants resubmit only the wave-0 revision — a
+          guaranteed-unaffected tenant class for degraded-mode claims *)
 }
 
 let default =
@@ -62,7 +70,96 @@ let default =
     max_queue_depth = 0;
     admission = Shard.Defer;
     rebalance_period = 0.;
+    episodes = [];
+    breaker = false;
+    calm_tenants = 0;
   }
+
+(* One [episode = k=v k=v ...] value.  The sub-grammar is as strict as
+   the top-level one: unknown sub-keys, malformed values, missing
+   required keys and kind-inapplicable magnitudes all fail with a
+   located scenario-syntax diagnostic. *)
+let episode_of_spec ~file ~line spec =
+  let failf fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Err.fail ~stage:Err.Diagnostic.Syntax ~code:"scenario-syntax"
+          "%s:%d: %s" file line msg)
+      fmt
+  in
+  let pairs =
+    String.split_on_char ' ' spec
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun tok ->
+           match String.index_opt tok '=' with
+           | None ->
+               failf "episode expects space-separated k=v pairs, got %S" tok
+           | Some i ->
+               ( String.sub tok 0 i,
+                 String.sub tok (i + 1) (String.length tok - i - 1) ))
+  in
+  let kind =
+    match List.assoc_opt "kind" pairs with
+    | None ->
+        failf
+          "episode requires kind=outage|error_storm|throttle_storm|spot|quota_cut"
+    | Some k -> (
+        match Failure.episode_kind_of_string k with
+        | Some k -> k
+        | None -> failf "unknown episode kind %S" k)
+  in
+  let fl key v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> failf "episode %s expects a number, got %S" key v
+  in
+  let rtype = ref None and region = ref None in
+  let start_ = ref None and finish = ref None and mag = ref None in
+  let mag_for want key v =
+    if kind <> want then
+      failf "episode key %s only applies to kind=%s" key
+        (Failure.episode_kind_to_string want)
+    else mag := Some (fl key v)
+  in
+  List.iter
+    (fun (k, v) ->
+      match k with
+      | "kind" -> ()
+      | "rtype" -> rtype := Some v
+      | "region" -> region := Some v
+      | "start" -> start_ := Some (fl k v)
+      | "end" -> finish := Some (fl k v)
+      | "p" -> mag_for Failure.Error_storm k v
+      | "retry_after" -> mag_for Failure.Throttle_storm k v
+      | "quota" -> mag_for Failure.Quota_cut k v
+      | "count" -> mag_for Failure.Spot_termination k v
+      | _ -> failf "unknown episode key %S" k)
+    pairs;
+  let start_ =
+    match !start_ with
+    | Some s -> s
+    | None -> failf "episode requires start=<sim seconds>"
+  in
+  let finish =
+    match (!finish, kind) with
+    | Some f, _ -> f
+    | None, Failure.Spot_termination -> start_ +. 1.
+    | None, _ -> failf "episode requires end=<sim seconds>"
+  in
+  if finish <= start_ then
+    failf "episode end %g must be after start %g" finish start_;
+  let magnitude =
+    match (!mag, kind) with
+    | Some m, _ -> m
+    | None, Failure.Outage -> 1.
+    | None, Failure.Error_storm -> failf "kind=error_storm requires p=<prob>"
+    | None, Failure.Throttle_storm ->
+        failf "kind=throttle_storm requires retry_after=<seconds>"
+    | None, Failure.Quota_cut -> failf "kind=quota_cut requires quota=<level>"
+    | None, Failure.Spot_termination ->
+        failf "kind=spot requires count=<instances>"
+  in
+  Failure.episode ?rtype:!rtype ?region:!region ~magnitude ~start_ ~finish kind
 
 let parse ?(file = "<scenario>") src =
   let scn = ref default in
@@ -131,6 +228,23 @@ let parse ?(file = "<scenario>") src =
                            file (lineno + 1) v)
                  | "rebalance_period" ->
                      { !scn with rebalance_period = float_v () }
+                 | "episode" ->
+                     {
+                       !scn with
+                       episodes =
+                         !scn.episodes
+                         @ [ episode_of_spec ~file ~line:(lineno + 1) v ];
+                     }
+                 | "breaker" -> (
+                     match v with
+                     | "on" -> { !scn with breaker = true }
+                     | "off" -> { !scn with breaker = false }
+                     | _ ->
+                         Err.fail ~stage:Err.Diagnostic.Syntax
+                           ~code:"scenario-syntax"
+                           "%s:%d: breaker expects on|off, got %S" file
+                           (lineno + 1) v)
+                 | "calm_tenants" -> { !scn with calm_tenants = int_v () }
                  | _ ->
                      Err.fail ~stage:Err.Diagnostic.Syntax
                        ~code:"scenario-syntax" "%s:%d: unknown scenario key %S"
@@ -183,6 +297,7 @@ let service_config scn (base : Control_plane.service_config) =
     max_queue_depth = scn.max_queue_depth;
     admission = scn.admission;
     rebalance_period = scn.rebalance_period;
+    breaker = (if scn.breaker then Some Breaker.default_config else None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -193,7 +308,53 @@ type injection = {
   icloud_id : string;
   injected_at : float;
   deleted : bool;  (** true: delete_oob; false: attr mutation *)
+  itenant : string;  (** owning tenant at injection time *)
 }
+
+(* Spot-termination waves.  The cloud only *judges* API calls against
+   episodes; actually killing instances is the installer's job.  At
+   each spot episode's start we stride-pick [count] running rows of
+   the episode's rtype (default aws_instance) across every tenant,
+   delete them out-of-band under the "spot" script, and record them in
+   the injection log so benches can attribute the loss per tenant. *)
+let schedule_spot_waves scn cloud injections ~live_rows =
+  List.iter
+    (fun (e : Failure.episode) ->
+      if e.Failure.ekind = Failure.Spot_termination then
+        Cloud.schedule cloud
+          ~delay:(Float.max 0. e.Failure.estart)
+          (fun () ->
+            let rt = Option.value e.Failure.ertype ~default:"aws_instance" in
+            let rows =
+              List.sort
+                (fun (_, a) (_, b) -> String.compare a b)
+                (live_rows rt)
+            in
+            let n = List.length rows in
+            let want = int_of_float e.Failure.emag in
+            if n > 0 && want > 0 then begin
+              let stride = max 1 (n / want) in
+              let killed = ref 0 in
+              List.iteri
+                (fun i (tenant, cid) ->
+                  if i mod stride = 0 && !killed < want then
+                    match
+                      Cloud.delete_oob cloud ~script:"spot" ~cloud_id:cid
+                    with
+                    | Ok () ->
+                        incr killed;
+                        injections :=
+                          {
+                            icloud_id = cid;
+                            injected_at = Cloud.now cloud;
+                            deleted = true;
+                            itenant = tenant;
+                          }
+                          :: !injections
+                    | Error _ -> ())
+                rows
+            end))
+    scn.episodes
 
 (** Register all deployments on [!cp_ref] and schedule the request
     waves and drift injections on its cloud.  Returns the injection
@@ -205,6 +366,7 @@ let install scn cp_ref =
   let deps = ref [] in
   for ti = 0 to scn.tenants - 1 do
     let tenant = Printf.sprintf "tenant%d" ti in
+    let calm = ti >= scn.tenants - scn.calm_tenants in
     for di = 0 to scn.deployments_per_tenant - 1 do
       let dname = Printf.sprintf "d%d" di in
       ignore
@@ -212,6 +374,7 @@ let install scn cp_ref =
            ~src:(fleet_src scn ~wave:0));
       deps := (tenant, dname) :: !deps;
       for w = 0 to scn.requests_per_tenant - 1 do
+        let wave = if calm then 0 else w in
         Cloud.schedule cloud
           ~delay:(float_of_int w *. scn.request_interval)
           (fun () ->
@@ -220,7 +383,7 @@ let install scn cp_ref =
             | Some dep ->
                 ignore
                   (Control_plane.submit_request cp dep
-                     ~src:(fleet_src scn ~wave:w))
+                     ~src:(fleet_src scn ~wave))
             | None -> ())
       done
     done
@@ -269,10 +432,28 @@ let install scn cp_ref =
                 in
                 ignore (r : (unit, Cloud.error) result);
                 injections :=
-                  { icloud_id = cid; injected_at = Cloud.now cloud; deleted }
+                  {
+                    icloud_id = cid;
+                    injected_at = Cloud.now cloud;
+                    deleted;
+                    itenant = tenant;
+                  }
                   :: !injections
               end)
     done
+  end;
+  if scn.episodes <> [] then begin
+    Cloud.set_episodes cloud scn.episodes;
+    schedule_spot_waves scn cloud injections ~live_rows:(fun rt ->
+        List.concat_map
+          (fun (dep : Control_plane.deployment) ->
+            List.filter_map
+              (fun (r : State.resource_state) ->
+                if r.State.rtype = rt then
+                  Some (dep.Control_plane.tenant, r.State.cloud_id)
+                else None)
+              (State.resources dep.Control_plane.state))
+          (Control_plane.deployments !cp_ref))
   end;
   injections
 
@@ -293,6 +474,7 @@ let install_fleet scn fleet_ref =
   for ti = 0 to scn.tenants - 1 do
     let tenant = Printf.sprintf "tenant%d" ti in
     let hot = ti < scn.hot_tenants in
+    let calm = ti >= scn.tenants - scn.calm_tenants in
     for di = 0 to scn.deployments_per_tenant - 1 do
       let dname = Printf.sprintf "d%d" di in
       ignore
@@ -300,6 +482,7 @@ let install_fleet scn fleet_ref =
            ~src:(fleet_src scn ~wave:0));
       deps := (tenant, dname) :: !deps;
       for w = 0 to scn.requests_per_tenant - 1 do
+        let wave = if calm then 0 else w in
         let repeats = if hot && di = 0 then 1 + scn.hot_burst else 1 in
         for _ = 1 to repeats do
           Cloud.schedule cloud
@@ -310,7 +493,7 @@ let install_fleet scn fleet_ref =
               | Some dep ->
                   ignore
                     (Fleet.submit_request fleet dep
-                       ~src:(fleet_src scn ~wave:w)
+                       ~src:(fleet_src scn ~wave)
                       : [ `Accepted of int | `Deferred of int | `Rejected ])
               | None -> ())
         done
@@ -361,9 +544,27 @@ let install_fleet scn fleet_ref =
                 in
                 ignore (r : (unit, Cloud.error) result);
                 injections :=
-                  { icloud_id = cid; injected_at = Cloud.now cloud; deleted }
+                  {
+                    icloud_id = cid;
+                    injected_at = Cloud.now cloud;
+                    deleted;
+                    itenant = tenant;
+                  }
                   :: !injections
               end)
     done
+  end;
+  if scn.episodes <> [] then begin
+    Cloud.set_episodes cloud scn.episodes;
+    schedule_spot_waves scn cloud injections ~live_rows:(fun rt ->
+        List.concat_map
+          (fun (dep : Shard.deployment) ->
+            List.filter_map
+              (fun (r : State.resource_state) ->
+                if r.State.rtype = rt then
+                  Some (dep.Shard.tenant, r.State.cloud_id)
+                else None)
+              (State.resources dep.Shard.state))
+          (Fleet.deployments !fleet_ref))
   end;
   injections

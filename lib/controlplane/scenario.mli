@@ -34,6 +34,18 @@ type t = {
   max_queue_depth : int;  (** admission bound; 0 = unbounded *)
   admission : Shard.admission;  (** over-bound policy: defer | reject *)
   rebalance_period : float;  (** fleet rebalance check period; 0 = off *)
+  episodes : Cloudless_sim.Failure.episode list;
+      (** time-windowed fault regimes, in file order (E17).  One per
+          [episode = kind=... start=... end=...] line; sub-keys are
+          [kind rtype region start end] plus the kind's magnitude
+          ([p] for error_storm, [retry_after] for throttle_storm,
+          [quota] for quota_cut, [count] for spot).  Unknown sub-keys
+          and kind-inapplicable magnitudes are syntax errors. *)
+  breaker : bool;
+      (** [breaker = on|off]: arm per-shard circuit breakers (E17) *)
+  calm_tenants : int;
+      (** the last n tenants resubmit only the wave-0 revision — a
+          guaranteed-unaffected tenant class for degraded-mode claims *)
 }
 
 val default : t
@@ -61,10 +73,14 @@ type injection = {
   icloud_id : string;
   injected_at : float;
   deleted : bool;  (** true: delete_oob; false: attr mutation *)
+  itenant : string;  (** owning tenant at injection time *)
 }
 
 (** Register all deployments on [!cp_ref] and schedule the request
-    waves and drift injections on its cloud.  Returns the injection
+    waves and drift injections on its cloud.  When the scenario has
+    episodes, also installs them on the cloud and schedules the
+    spot-termination waves (out-of-band deletes under the "spot"
+    script, recorded in the injection log).  Returns the injection
     log (filled as injections actually fire). *)
 val install : t -> Control_plane.t ref -> injection list ref
 

@@ -26,7 +26,19 @@
     time so the latency histograms show the cost) or rejected outright,
     per the configured {!admission} policy.  Internal work — drift
     reconciles, scan sweeps, policy ticks — always bypasses the bound:
-    repair must not be starved by the very backlog it repairs. *)
+    repair must not be starved by the very backlog it repairs.
+
+    Degraded mode (E17): with a circuit {!Cloudless_deploy.Breaker}
+    configured, work whose apply fast-fails against an Open (kind,
+    rtype) cell is {e parked} rather than failed — partial progress is
+    persisted, locks release so unaffected tenants keep flowing, the
+    original submit time is preserved (latency histograms carry the
+    full episode cost), and the unit is re-admitted around the
+    breaker's next half-open probe, re-reading the deployment's
+    {e latest} config revision so a parked request can never roll a
+    tenant back to a stale wave.  While any cell is Open the shard
+    also sheds baseline scan sweeps: a sweep would burn O(state) reads
+    only to fast-fail its repair. *)
 
 module Hcl = Cloudless_hcl
 module Addr = Hcl.Addr
@@ -41,6 +53,7 @@ module Plan = Cloudless_plan.Plan
 module Dag = Cloudless_graph.Dag
 module Lock_manager = Cloudless_lock.Lock_manager
 module Drift = Cloudless_drift.Drift
+module Breaker = Cloudless_deploy.Breaker
 module Trace = Cloudless_obs.Trace
 module Metrics = Cloudless_obs.Metrics
 
@@ -67,6 +80,8 @@ type service_config = {
   admission : admission;  (** what to do with requests over the bound *)
   defer_delay : float;  (** re-admission delay for deferred requests *)
   rebalance_period : float;  (** fleet rebalance check period; 0 = off *)
+  breaker : Breaker.config option;
+      (** circuit-breaker cells per (API kind, rtype); [None] = off *)
 }
 
 let cloudless_service =
@@ -84,6 +99,7 @@ let cloudless_service =
     admission = Defer;
     defer_delay = 5.;
     rebalance_period = 0.;
+    breaker = None;
   }
 
 let baseline_service =
@@ -101,6 +117,7 @@ let baseline_service =
     admission = Defer;
     defer_delay = 5.;
     rebalance_period = 0.;
+    breaker = None;
   }
 
 (** The event-driven fleet preset: per-resource locks, push-based drift
@@ -169,31 +186,76 @@ type t = {
       (** tenant -> queued+running work units; a tenant is movable in a
           rebalance only when this is 0 *)
   mutable until : float;
+  mutable breaker : Breaker.t option;  (** per-shard circuit breakers *)
+  mutable degraded_since : float option;
+      (** open while ≥1 breaker cell is Open; closes into the
+          ["degraded_time"] histogram *)
+  mutable parked : int;  (** work units waiting out an open breaker *)
 }
 
+(* Degraded-mode bookkeeping, hung off every breaker cell transition:
+   state-change counters, the open-cell gauge, and the time-in-degraded
+   histogram (a degraded window opens when the first cell trips and
+   closes when the last one does). *)
+let on_breaker_transition t ~after ~now =
+  (match after with
+  | Breaker.Open -> Metrics.scope_inc t.scope "breaker_opened"
+  | Breaker.Half_open -> Metrics.scope_inc t.scope "breaker_half_open"
+  | Breaker.Closed -> Metrics.scope_inc t.scope "breaker_closed");
+  match t.breaker with
+  | None -> ()
+  | Some b -> (
+      let cells = Breaker.open_cells b in
+      Metrics.scope_set t.scope "breaker_open_cells" (float_of_int cells);
+      match (t.degraded_since, cells) with
+      | None, n when n > 0 ->
+          t.degraded_since <- Some now;
+          Metrics.scope_inc t.scope "degraded_entries"
+      | Some s, 0 ->
+          Metrics.scope_observe t.scope "degraded_time" (now -. s);
+          t.degraded_since <- None
+      | _ -> ())
+
 let create ?(sid = 0) ~cloud ~config ~scope ~trace ~host () =
-  {
-    cloud;
-    sid;
-    config;
-    host;
-    lock = Lock_manager.create config.granularity;
-    queue = Pq.create ~initial_capacity:64 Pq.Min_first;
-    scope;
-    trace;
-    deployments = [];
-    next_work = 0;
-    next_rid = 0;
-    completed = [];
-    detections = [];
-    pending = Hashtbl.create 16;
-    until = 0.;
-  }
+  let t =
+    {
+      cloud;
+      sid;
+      config;
+      host;
+      lock = Lock_manager.create config.granularity;
+      queue = Pq.create ~initial_capacity:64 Pq.Min_first;
+      scope;
+      trace;
+      deployments = [];
+      next_work = 0;
+      next_rid = 0;
+      completed = [];
+      detections = [];
+      pending = Hashtbl.create 16;
+      until = 0.;
+      breaker = None;
+      degraded_since = None;
+      parked = 0;
+    }
+  in
+  (match config.breaker with
+  | Some bcfg ->
+      t.breaker <-
+        Some
+          (Breaker.create ~config:bcfg
+             ~on_transition:(fun ~kind:_ ~rtype:_ ~before:_ ~after ~now ->
+               on_breaker_transition t ~after ~now)
+             ())
+  | None -> ());
+  t
 
 let sid t = t.sid
 let config t = t.config
 let cloud t = t.cloud
 let lock t = t.lock
+let breaker t = t.breaker
+let parked_work t = t.parked
 let scope t = t.scope
 let metrics t = Metrics.scope_metrics t.scope
 let deployments t = List.rev t.deployments
@@ -273,6 +335,9 @@ let applier_config t dep =
     parallelism = t.config.parallelism;
     max_retries = 12;
     backoff_base = 2.;
+    (* jitter only rides with the breaker so pre-E17 presets stay
+       byte-identical to their committed metrics snapshots *)
+    jitter = t.config.breaker <> None;
   }
 
 let count_api t dep ~read n =
@@ -327,10 +392,18 @@ and admit t wid work =
       Lock_manager.acquire t.lock ~owner:(owner_of dep ~wid)
         ~keys:[ dep.root_key ] (fun () ->
           if t.host.alive () then exec_reconcile t dep ~wid ~seeds ~detected)
-  | Scan_sweep { dep; swept } ->
-      Lock_manager.acquire t.lock ~owner:(owner_of dep ~wid)
-        ~keys:[ dep.root_key ] (fun () ->
-          if t.host.alive () then exec_scan t dep ~wid ~swept)
+  | Scan_sweep { dep; swept } -> (
+      match t.breaker with
+      | Some b when Breaker.any_open b ->
+          (* degraded mode sheds baseline sweeps: the sweep would burn
+             O(state) management reads only to fast-fail its repair;
+             the next armed sweep runs once the breaker closes *)
+          Metrics.scope_inc t.scope "scans_shed";
+          pending_decr t dep.tenant
+      | _ ->
+          Lock_manager.acquire t.lock ~owner:(owner_of dep ~wid)
+            ~keys:[ dep.root_key ] (fun () ->
+              if t.host.alive () then exec_scan t dep ~wid ~swept))
 
 and enqueue t work =
   let wid = t.next_work in
@@ -351,6 +424,52 @@ and finish_work t dep ~wid ~span ~sim_start ~meta ~counters =
   Lock_manager.release t.lock ~owner:(owner_of dep ~wid);
   Trace.emit_span t.trace ~meta ~counters ~sim_start span;
   drain t
+
+(* Park one unit of work that fast-failed against an open breaker:
+   persist partial progress, release the locks so unaffected tenants
+   keep flowing, and schedule re-admission just after the breaker's
+   next half-open probe becomes available.  The unit stays logically
+   pending (the tenant is not movable, and the caller keeps the
+   original submit/detected instant so latency accounting spans the
+   whole episode).  [rebuild] re-creates the work at re-admission
+   time — a request re-reads [dep.config_src] there, so a parked
+   request converges to the latest revision, never a stale one. *)
+and park_work t dep ~wid ~rebuild =
+  dep.persisted <- dep.state;
+  Lock_manager.release t.lock ~owner:(owner_of dep ~wid);
+  t.parked <- t.parked + 1;
+  Metrics.scope_set t.scope "parked_work" (float_of_int t.parked);
+  let now = Cloud.now t.cloud in
+  let delay =
+    match t.breaker with
+    | Some b -> (
+        match Breaker.next_probe_at b with
+        | Some at -> Float.max t.config.defer_delay (at -. now +. 0.5)
+        | None ->
+            (* cell already probing or closed again: plain defer *)
+            t.config.defer_delay)
+    | None -> t.config.defer_delay
+  in
+  Cloud.schedule t.cloud ~delay (fun () ->
+      if t.host.alive () then begin
+        t.parked <- t.parked - 1;
+        Metrics.scope_set t.scope "parked_work" (float_of_int t.parked);
+        (* enqueue without pending_incr: the unit never stopped being
+           pending while parked *)
+        let work = rebuild () in
+        let wid = t.next_work in
+        t.next_work <- wid + 1;
+        Pq.push t.queue ~prio:(work_class work) ~key:wid work;
+        drain t
+      end);
+  drain t
+
+(* Did the apply leave changes fast-failed by an open breaker cell? *)
+and breaker_blocked t (o : Applier.outcome) =
+  t.breaker <> None
+  && List.exists
+       (fun (_, reason) -> Breaker.is_open_reason reason)
+       o.Applier.failed
 
 (* Catch per-work configuration/planning errors without killing the
    service; a crash injection must still propagate. *)
@@ -376,10 +495,18 @@ and exec_request t dep ~wid ~rid ~src ~submitted =
     let instances = expand ~state:state0 src in
     let plan = Plan.make ~state:state0 instances in
     Applier.apply t.cloud ~config:(applier_config t dep) ~state:state0 ~plan
-      ~journal:dep.journal ~gate:t.host.gate ~alive:t.host.alive
+      ~journal:dep.journal ?breaker:t.breaker ~gate:t.host.gate
+      ~alive:t.host.alive
       ~count_api:(count_api t dep ~read:false)
       ~on_done:(fun (o : Applier.outcome) ->
         dep.state <- o.Applier.astate;
+        if breaker_blocked t o then begin
+          Metrics.scope_inc t.scope "requests_parked";
+          Metrics.inc (metrics t) ("requests_parked." ^ dep.tenant);
+          park_work t dep ~wid ~rebuild:(fun () ->
+              Request { dep; rid; src = dep.config_src; submitted })
+        end
+        else begin
         let now = Cloud.now t.cloud in
         Metrics.scope_inc t.scope "requests_done";
         Metrics.scope_observe t.scope "request_latency" (now -. submitted);
@@ -402,7 +529,8 @@ and exec_request t dep ~wid ~rid ~src ~submitted =
               ("failed", List.length o.Applier.failed);
               ("writes", o.Applier.writes);
               ("refresh_reads", reads);
-            ])
+            ]
+        end)
       ()
   in
   if t.config.refresh_before_apply && State.size dep.state > 0 then
@@ -466,6 +594,12 @@ and exec_reconcile t dep ~wid ~seeds ~detected =
   in
   let finish_reconcile (o : Applier.outcome) reads =
     dep.state <- o.Applier.astate;
+    if breaker_blocked t o then begin
+      Metrics.scope_inc t.scope "reconciles_parked";
+      park_work t dep ~wid ~rebuild:(fun () ->
+          Reconcile { dep; seeds; detected })
+    end
+    else begin
     Metrics.scope_inc t.scope "reconciles";
     Metrics.scope_observe t.scope "reconcile_latency"
       (Cloud.now t.cloud -. detected);
@@ -486,6 +620,7 @@ and exec_reconcile t dep ~wid ~seeds ~detected =
           ("refresh_reads", reads);
           ("seeds", List.length seeds);
         ]
+    end
   in
   Applier.refresh t.cloud ~engine:dep.engine ~state:dep.state ?addrs:scope
     ~alive:t.host.alive
@@ -502,7 +637,8 @@ and exec_reconcile t dep ~wid ~seeds ~detected =
         match scope with Some s -> Plan.restrict plan s | None -> plan
       in
       Applier.apply t.cloud ~config:(applier_config t dep) ~state:state0 ~plan
-        ~journal:dep.journal ~gate:t.host.gate ~alive:t.host.alive
+        ~journal:dep.journal ?breaker:t.breaker ~gate:t.host.gate
+      ~alive:t.host.alive
         ~count_api:(count_api t dep ~read:false)
         ~on_done:(fun o -> finish_reconcile o r.Applier.reads)
         ())
@@ -553,7 +689,8 @@ and exec_scan t dep ~wid ~swept =
         let plan = Plan.make ~state:state0 instances in
         let detected = Cloud.now t.cloud in
         Applier.apply t.cloud ~config:(applier_config t dep) ~state:state0
-          ~plan ~journal:dep.journal ~gate:t.host.gate ~alive:t.host.alive
+          ~plan ~journal:dep.journal ?breaker:t.breaker ~gate:t.host.gate
+      ~alive:t.host.alive
           ~count_api:(count_api t dep ~read:false)
           ~on_done:(fun (o : Applier.outcome) ->
             dep.state <- o.Applier.astate;
@@ -651,4 +788,20 @@ let arm_timers t ~until =
 let finish_stats t =
   let grants, waits = Lock_manager.stats t.lock in
   Metrics.scope_set t.scope "lock_grants" (float_of_int grants);
-  Metrics.scope_set t.scope "lock_waits" (float_of_int waits)
+  Metrics.scope_set t.scope "lock_waits" (float_of_int waits);
+  match t.breaker with
+  | None -> ()
+  | Some b ->
+      Metrics.scope_set t.scope "breaker_fast_fails"
+        (float_of_int (Breaker.rejections b));
+      Metrics.scope_set t.scope "breaker_violations"
+        (float_of_int (Breaker.violations b));
+      Metrics.scope_set t.scope "breaker_open_cells"
+        (float_of_int (Breaker.open_cells b));
+      (* close a still-open degraded window at end of run *)
+      (match t.degraded_since with
+      | Some s ->
+          Metrics.scope_observe t.scope "degraded_time"
+            (Cloud.now t.cloud -. s);
+          t.degraded_since <- None
+      | None -> ())

@@ -16,6 +16,7 @@ module State = Cloudless_state.State
 module Journal = Cloudless_state.Journal
 module Lock_manager = Cloudless_lock.Lock_manager
 module Drift = Cloudless_drift.Drift
+module Breaker = Cloudless_deploy.Breaker
 module Trace = Cloudless_obs.Trace
 module Metrics = Cloudless_obs.Metrics
 
@@ -42,6 +43,12 @@ type service_config = {
   admission : admission;  (** what to do with requests over the bound *)
   defer_delay : float;  (** re-admission delay for deferred requests *)
   rebalance_period : float;  (** fleet rebalance check period; 0 = off *)
+  breaker : Breaker.config option;
+      (** circuit-breaker cells per (API kind, rtype); [None] = off.
+          With a breaker, applies fast-fail against Open cells, the
+          affected work parks until the next half-open probe (degraded
+          mode), baseline scan sweeps are shed while any cell is Open,
+          and retry backoff gains engine-seeded jitter. *)
 }
 
 val cloudless_service : service_config
@@ -97,6 +104,12 @@ val cloud : t -> Cloud.t
 val lock : t -> Lock_manager.t
 val scope : t -> Metrics.scope
 val metrics : t -> Metrics.t
+
+(** This shard's circuit breakers, when configured. *)
+val breaker : t -> Breaker.t option
+
+(** Work units currently parked behind an open breaker cell. *)
+val parked_work : t -> int
 
 (** Deployments in registration order. *)
 val deployments : t -> deployment list

@@ -313,7 +313,8 @@ let import ?(io = default_io) ?(no_optimize = false) ~state_path () =
    admission backpressure ([--queue-bound]/[--admission] override the
    scenario's knobs). *)
 let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
-    ?ticks ?metrics_path ?shards ?queue_bound ?admission ~scenario_path () =
+    ?ticks ?metrics_path ?shards ?queue_bound ?admission ?episodes ?breaker
+    ~scenario_path () =
   protected io @@ fun () ->
   with_trace trace_path @@ fun trace ->
   let module Cloud = Cloudless_sim.Cloud in
@@ -343,6 +344,18 @@ let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
     match admission with
     | Some `Defer -> { scn with Scenario.admission = Shard.Defer }
     | Some `Reject -> { scn with Scenario.admission = Shard.Reject }
+    | None -> scn
+  in
+  (* --episodes false strips the scenario's chaos windows; --breaker
+     overrides the scenario's breaker switch *)
+  let scn =
+    match episodes with
+    | Some false -> { scn with Scenario.episodes = [] }
+    | Some true | None -> scn
+  in
+  let scn =
+    match breaker with
+    | Some b -> { scn with Scenario.breaker = b }
     | None -> scn
   in
   let duration = scn.Scenario.duration in
@@ -376,6 +389,22 @@ let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
       (Metrics.counter m "api_reads")
       (Metrics.counter m "api_writes")
       grants waits;
+    if scn.Scenario.episodes <> [] || scn.Scenario.breaker then begin
+      let g name =
+        match Metrics.gauge m name with Some v -> int_of_float v | None -> 0
+      in
+      outf io
+        "Chaos: %d episode(s), %d episode fault(s); breaker: %d opened, %d \
+         fast-fail(s), %d violation(s); parked: %d request(s), %d \
+         reconcile(s); scans shed: %d.\n"
+        (List.length scn.Scenario.episodes)
+        (Cloud.episode_fault_count cloud)
+        (Metrics.counter m "breaker_opened")
+        (g "breaker_fast_fails") (g "breaker_violations")
+        (Metrics.counter m "requests_parked")
+        (Metrics.counter m "reconciles_parked")
+        (Metrics.counter m "scans_shed")
+    end;
     extra ();
     (match orphans with
     | [] -> ()

@@ -281,7 +281,7 @@ let now_mono () = Unix.gettimeofday ()
     listening, exactly like a killed process. *)
 let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
     ~(plan : Plan.t) ?(seed = 7) ?(sched = Sched_heap)
-    ?(trace = Cloudless_obs.Trace.null) ?journal
+    ?(trace = Cloudless_obs.Trace.null) ?journal ?breaker
     ?(crash = Failure.No_crash) () : report =
   let module Trace = Cloudless_obs.Trace in
   Trace.with_span trace "execute" @@ fun () ->
@@ -602,6 +602,40 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
   (* [submit_logged]/[ok_outcome]/[on_error] used to be let-bound
      inside [perform]; hoisting them into the recursive block saves
      three closure allocations per change on the hot path. *)
+  (* The run-to-completion executor carries an optional breaker in
+     observer mode: every write outcome feeds the (kind, rtype) cell,
+     so retry exhaustion can be classified as outage (cell Open — the
+     provider is down for this API) vs flake.  Unlike the control
+     plane's applier it never fast-fails or parks: a one-shot CLI
+     apply has nowhere to park work, it can only keep retrying. *)
+  let breaker_kind = function
+    | Journal.Op_create -> "create"
+    | Journal.Op_update -> "update"
+    | Journal.Op_delete -> "delete"
+  in
+  let record_breaker (c : Plan.change) kind result =
+    match breaker with
+    | None -> ()
+    | Some b -> (
+        let bkind = breaker_kind kind in
+        match result with
+        | Ok _ ->
+            Breaker.success b ~now:(Cloud.now cloud) ~kind:bkind
+              ~rtype:c.Plan.rtype
+        | Error
+            (Cloud.Throttled _ | Cloud.Transient _ | Cloud.Quota_exceeded _)
+          ->
+            Breaker.failure b ~now:(Cloud.now cloud) ~kind:bkind
+              ~rtype:c.Plan.rtype
+        | Error _ -> ())
+  in
+  let breaker_open (c : Plan.change) kind =
+    match breaker with
+    | None -> false
+    | Some b ->
+        Breaker.state b ~kind:(breaker_kind kind) ~rtype:c.Plan.rtype
+        = Breaker.Open
+  in
   let rec submit_logged (c : Plan.change) kind ~payload ~prior op handler =
     let addr = c.Plan.addr in
       incr ops_started;
@@ -642,11 +676,13 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
       match group with
       | None ->
           Cloud.submit cloud ~actor op (fun result ->
+              record_breaker c kind result;
               if not !crashed then handler op_id result)
       | Some (_, k) ->
           Queue.add
             (fun () ->
               Cloud.submit cloud ~actor op (fun result ->
+                  record_breaker c kind result;
                   if not !crashed then handler op_id result))
             deferred;
           if Queue.length deferred >= k then release_deferred ()
@@ -702,15 +738,32 @@ let apply (cloud : Cloud.t) ~(config : config) ~(state : State.t)
           (match err with
           | Cloud.Throttled _ | Cloud.Transient _ ->
               (* a retryable error out of retry budget: surface a
-                 structured diagnostic, not just a failed report row *)
-              Trace.count trace "retries_exhausted" 1;
-              diagnostics :=
-                Diagnostic.make ~stage:Diagnostic.Deploy
-                  ~code:"retries-exhausted" ~addr
-                  (Printf.sprintf "gave up after %d attempts: %s"
-                     (attempt + 1)
-                     (Cloud.error_to_string err))
-                :: !diagnostics
+                 structured diagnostic, not just a failed report row.
+                 With the circuit breaker Open for this (kind, rtype)
+                 the exhaustion is an outage, not a flake — distinct
+                 code so operators can tell them apart. *)
+              if breaker_open c kind then begin
+                Trace.count trace "retries_exhausted_outage" 1;
+                diagnostics :=
+                  Diagnostic.make ~stage:Diagnostic.Deploy
+                    ~code:"retries-exhausted-outage" ~addr
+                    (Printf.sprintf
+                       "gave up after %d attempts with the %s/%s circuit \
+                        breaker open — provider outage, not flake: %s"
+                       (attempt + 1) (breaker_kind kind) c.Plan.rtype
+                       (Cloud.error_to_string err))
+                  :: !diagnostics
+              end
+              else begin
+                Trace.count trace "retries_exhausted" 1;
+                diagnostics :=
+                  Diagnostic.make ~stage:Diagnostic.Deploy
+                    ~code:"retries-exhausted" ~addr
+                    (Printf.sprintf "gave up after %d attempts: %s"
+                       (attempt + 1)
+                       (Cloud.error_to_string err))
+                  :: !diagnostics
+              end
           | _ -> ());
           complete id (Error (Cloud.error_to_string err))
   and perform id (c : Plan.change) attempt =

@@ -125,7 +125,14 @@ val change_duration : Plan.change -> float
     cloud call never issued — and every callback belonging to the dead
     engine is disarmed, so operations already in flight complete on
     the cloud side with nobody listening, exactly like a killed
-    process. *)
+    process.
+
+    [breaker] (optional) attaches a circuit {!Breaker} in observer
+    mode: every write outcome feeds its (kind, rtype) cell, and retry
+    exhaustion while the cell is Open is reported with the distinct
+    diagnostic code ["retries-exhausted-outage"] (vs the generic
+    ["retries-exhausted"]) so operators can tell a provider outage
+    from a flake. *)
 val apply :
   Cloud.t ->
   config:config ->
@@ -135,6 +142,7 @@ val apply :
   ?sched:scheduler ->
   ?trace:Cloudless_obs.Trace.t ->
   ?journal:Journal.t ->
+  ?breaker:Breaker.t ->
   ?crash:Failure.crash_policy ->
   unit ->
   report

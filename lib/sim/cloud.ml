@@ -118,6 +118,11 @@ type t = {
   mutable prefix_key : string;  (** {!fresh_id}'s one-entry prefix cache *)
   mutable prefix_val : string;
   mutable api_calls : int;
+  mutable episodes : Failure.episode list;
+      (** time-windowed fault episodes, consulted before the static
+          failure draw on every write *)
+  mutable episode_faults : int;
+      (** writes rejected (failed or throttled) by an active episode *)
   mutable trace : Trace.t;
       (** stage tracer; API-call and throttle counters land on whatever
           span is active when the call is submitted *)
@@ -143,6 +148,8 @@ let create ?(config = default_config) ?write_limiter ?read_limiter ~seed () =
     prefix_key = "";
     prefix_val = "";
     api_calls = 0;
+    episodes = [];
+    episode_faults = 0;
     trace = Trace.null;
   }
 
@@ -281,6 +288,76 @@ let log_append t ~actor ~op ~cloud_id ~rtype ~region ~detail =
     (Activity_log.append t.log ~time:t.clock ~actor ~op ~cloud_id ~rtype
        ~region ~detail)
 
+(* ------------------------------------------------------------------ *)
+(* Fault episodes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Install the episode schedule.  Window boundaries are appended to
+    the activity log as [Log_failure "episode-start:…"/"episode-end:…"]
+    markers under the internal actor, so log subscribers (and humans
+    reading the log) can see the regime changes; the markers are not
+    write ops and never trigger drift. *)
+let set_episodes t eps =
+  t.episodes <-
+    List.sort (fun a b -> compare a.Failure.estart b.Failure.estart) eps;
+  List.iter
+    (fun (e : Failure.episode) ->
+      let name = Failure.episode_kind_to_string e.Failure.ekind in
+      let rtype = Option.value e.Failure.ertype ~default:"*" in
+      let region = Option.value e.Failure.eregion ~default:"*" in
+      let mark tag at =
+        let delay = at -. t.clock in
+        if delay >= 0. then
+          schedule t ~delay (fun () ->
+              log_append t ~actor:Activity_log.Cloud_internal
+                ~op:(Activity_log.Log_failure (tag ^ ":" ^ name))
+                ~cloud_id:"-" ~rtype ~region
+                ~detail:(tag ^ " " ^ name))
+      in
+      mark "episode-start" e.Failure.estart;
+      if e.Failure.ekind <> Failure.Spot_termination then
+        mark "episode-end" e.Failure.efinish)
+    eps
+
+let episodes t = t.episodes
+let episode_fault_count t = t.episode_faults
+
+(* Verdict of the active episodes for one write, [None] = fall through
+   to the static draw.  The [[] -> None] fast path keeps episode-free
+   clouds allocation- and PRNG-identical to before. *)
+let episode_reject t ~rtype ~region =
+  match t.episodes with
+  | [] -> None
+  | eps -> Failure.episode_verdict eps t.prng ~now:t.clock ~rtype ~region
+
+(* Static quota lowered by any active quota-cut episode. *)
+let effective_quota t ~rtype ~region =
+  let floor_ =
+    match t.episodes with
+    | [] -> None
+    | eps -> Failure.quota_floor eps ~now:t.clock ~rtype ~region
+  in
+  match (quota_of t rtype, floor_) with
+  | Some a, Some b -> Some (min a b)
+  | (Some _ as q), None -> q
+  | None, f -> f
+
+(* Fail one write per an episode verdict: fast rejection at API
+   latency, like a real provider's 5xx/429 front door. *)
+let episode_fail t ~actor ~rtype ~region verdict k =
+  t.episode_faults <- t.episode_faults + 1;
+  match verdict with
+  | Failure.Ep_error msg ->
+      schedule t ~delay:t.config.api_latency (fun () ->
+          log_append t ~actor
+            ~op:(Activity_log.Log_failure msg)
+            ~cloud_id:"-" ~rtype ~region ~detail:msg;
+          k (Error (Transient msg)))
+  | Failure.Ep_throttle after ->
+      Trace.count t.trace "throttled" 1;
+      schedule t ~delay:t.config.api_latency (fun () ->
+          k (Error (Throttled after)))
+
 (* Computed attributes the cloud adds to every resource.  The arn is
    hand-concatenated ([= sprintf "arn:sim:%s:%s:%s"] byte for byte);
    the format interpreter allocated measurably at 1M creates. *)
@@ -329,7 +406,10 @@ let submit t ~actor op (k : op_result -> unit) =
             schedule t ~delay:t.config.api_latency (fun () ->
                 k (Error (Invalid (Printf.sprintf "unknown region %S" region))))
           else begin
-            (match quota_of t rtype with
+            match episode_reject t ~rtype ~region with
+            | Some verdict -> episode_fail t ~actor ~rtype ~region verdict k
+            | None -> (
+            match effective_quota t ~rtype ~region with
             | Some q when count_in_region t rtype region >= q ->
                 schedule t ~delay:t.config.api_latency (fun () ->
                     log_append t ~actor
@@ -405,6 +485,11 @@ let submit t ~actor op (k : op_result -> unit) =
               schedule t ~delay:t.config.api_latency (fun () ->
                   k (Error (Not_found cloud_id)))
           | Some r -> (
+              match episode_reject t ~rtype:r.rtype ~region:r.region with
+              | Some verdict ->
+                  episode_fail t ~actor ~rtype:r.rtype ~region:r.region verdict
+                    k
+              | None -> (
               match Failure.draw t.config.failure t.prng ~rtype:r.rtype with
               | Failure.Fail_transient msg ->
                   schedule t ~delay:(t.config.api_latency *. 2.) (fun () ->
@@ -440,20 +525,25 @@ let submit t ~actor op (k : op_result -> unit) =
                           log_append t ~actor ~op:Activity_log.Log_update
                             ~cloud_id ~rtype:r.rtype ~region:r.region
                             ~detail:"updated";
-                          k (Ok r.attrs))))
+                          k (Ok r.attrs)))))
       | Delete { cloud_id } -> (
           match lookup t cloud_id with
           | None ->
               schedule t ~delay:t.config.api_latency (fun () ->
                   k (Error (Not_found cloud_id)))
-          | Some r ->
-              let d = sample_duration t r.rtype Service_model.Op_delete in
-              r.status <- Deleting;
-              schedule t ~delay:(t.config.api_latency +. d) (fun () ->
-                  Hashtbl.remove t.resources cloud_id;
-                  log_append t ~actor ~op:Activity_log.Log_delete ~cloud_id
-                    ~rtype:r.rtype ~region:r.region ~detail:"deleted";
-                  k (Ok r.attrs)))
+          | Some r -> (
+              match episode_reject t ~rtype:r.rtype ~region:r.region with
+              | Some verdict ->
+                  episode_fail t ~actor ~rtype:r.rtype ~region:r.region verdict
+                    k
+              | None ->
+                  let d = sample_duration t r.rtype Service_model.Op_delete in
+                  r.status <- Deleting;
+                  schedule t ~delay:(t.config.api_latency +. d) (fun () ->
+                      Hashtbl.remove t.resources cloud_id;
+                      log_append t ~actor ~op:Activity_log.Log_delete ~cloud_id
+                        ~rtype:r.rtype ~region:r.region ~detail:"deleted";
+                      k (Ok r.attrs))))
       | Read { cloud_id } -> (
           match lookup t cloud_id with
           | None ->

@@ -49,6 +49,96 @@ let draw t prng ~rtype =
           else Proceed)
 
 (* ------------------------------------------------------------------ *)
+(* Time-windowed fault episodes                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Where the static policy above draws per call, an episode is a fault
+   regime bound to a window of simulated time: between [estart] and
+   [efinish] every matching write is subject to the episode's verdict.
+   The cloud consults the episode list before the static draw, so a
+   scenario can mix calm baseline noise with scheduled storms. *)
+
+type episode_kind =
+  | Outage  (** provider outage: every matching write fails *)
+  | Error_storm  (** writes fail transiently with probability [emag] *)
+  | Throttle_storm  (** writes are throttled with retry-after [emag] *)
+  | Spot_termination
+      (** out-of-band deletion wave of [emag] running instances;
+          scheduled by the scenario installer, not by the cloud *)
+  | Quota_cut  (** region quota floor drops to [emag] for the window *)
+
+let episode_kind_to_string = function
+  | Outage -> "outage"
+  | Error_storm -> "error_storm"
+  | Throttle_storm -> "throttle_storm"
+  | Spot_termination -> "spot"
+  | Quota_cut -> "quota_cut"
+
+let episode_kind_of_string = function
+  | "outage" -> Some Outage
+  | "error_storm" -> Some Error_storm
+  | "throttle_storm" -> Some Throttle_storm
+  | "spot" | "spot_termination" -> Some Spot_termination
+  | "quota_cut" -> Some Quota_cut
+  | _ -> None
+
+type episode = {
+  ekind : episode_kind;
+  ertype : string option;  (** [None] = every resource type *)
+  eregion : string option;  (** [None] = every region *)
+  estart : float;
+  efinish : float;
+  emag : float;
+      (** kind-specific magnitude: error probability, throttle
+          retry-after seconds, quota level, or spot-kill count *)
+}
+
+let episode ?rtype ?region ?(magnitude = 1.) ~start_ ~finish kind =
+  {
+    ekind = kind;
+    ertype = rtype;
+    eregion = region;
+    estart = start_;
+    efinish = finish;
+    emag = magnitude;
+  }
+
+let episode_active e ~now ~rtype ~region =
+  now >= e.estart && now < e.efinish
+  && (match e.ertype with None -> true | Some t -> String.equal t rtype)
+  && match e.eregion with None -> true | Some r -> String.equal r region
+
+type episode_verdict =
+  | Ep_error of string  (** fail the call transiently *)
+  | Ep_throttle of float  (** throttle the call with this retry-after *)
+
+let episode_verdict eps prng ~now ~rtype ~region =
+  let rec go = function
+    | [] -> None
+    | e :: rest ->
+        if not (episode_active e ~now ~rtype ~region) then go rest
+        else (
+          match e.ekind with
+          | Outage -> Some (Ep_error "provider outage (episode)")
+          | Error_storm ->
+              if Prng.bernoulli prng e.emag then
+                Some (Ep_error "error storm (episode)")
+              else go rest
+          | Throttle_storm -> Some (Ep_throttle e.emag)
+          | Spot_termination | Quota_cut -> go rest)
+  in
+  go eps
+
+let quota_floor eps ~now ~rtype ~region =
+  List.fold_left
+    (fun acc e ->
+      if e.ekind = Quota_cut && episode_active e ~now ~rtype ~region then
+        let q = int_of_float e.emag in
+        match acc with None -> Some q | Some a -> Some (min a q)
+      else acc)
+    None eps
+
+(* ------------------------------------------------------------------ *)
 (* Engine (process) death                                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -32,6 +32,72 @@ type outcome =
 (** Draw the outcome for one write operation. *)
 val draw : t -> Prng.t -> rtype:string -> outcome
 
+(** {1 Time-windowed fault episodes}
+
+    An episode is a fault regime bound to a window of simulated time:
+    between [estart] and [efinish] every matching write is subject to
+    the episode's verdict.  The cloud consults its installed episode
+    list before the static per-call draw. *)
+
+type episode_kind =
+  | Outage  (** provider outage: every matching write fails *)
+  | Error_storm  (** writes fail transiently with probability [emag] *)
+  | Throttle_storm  (** writes are throttled with retry-after [emag] *)
+  | Spot_termination
+      (** out-of-band deletion wave of [emag] running instances;
+          scheduled by the scenario installer, not by the cloud *)
+  | Quota_cut  (** region quota floor drops to [emag] for the window *)
+
+val episode_kind_to_string : episode_kind -> string
+
+(** Inverse of {!episode_kind_to_string}; also accepts
+    ["spot_termination"]. *)
+val episode_kind_of_string : string -> episode_kind option
+
+type episode = {
+  ekind : episode_kind;
+  ertype : string option;  (** [None] = every resource type *)
+  eregion : string option;  (** [None] = every region *)
+  estart : float;
+  efinish : float;
+  emag : float;
+      (** kind-specific magnitude: error probability, throttle
+          retry-after seconds, quota level, or spot-kill count *)
+}
+
+val episode :
+  ?rtype:string ->
+  ?region:string ->
+  ?magnitude:float ->
+  start_:float ->
+  finish:float ->
+  episode_kind ->
+  episode
+
+(** Is [e]'s window open at [now] for this (rtype, region)? *)
+val episode_active :
+  episode -> now:float -> rtype:string -> region:string -> bool
+
+type episode_verdict =
+  | Ep_error of string  (** fail the call transiently *)
+  | Ep_throttle of float  (** throttle the call with this retry-after *)
+
+(** First active episode's verdict for a write at [now], or [None] to
+    fall through to the static draw.  Consumes PRNG only for an active
+    [Error_storm] (one bernoulli per call), keeping calm-window replay
+    byte-identical. *)
+val episode_verdict :
+  episode list ->
+  Prng.t ->
+  now:float ->
+  rtype:string ->
+  region:string ->
+  episode_verdict option
+
+(** Lowest active [Quota_cut] level for this (rtype, region), if any. *)
+val quota_floor :
+  episode list -> now:float -> rtype:string -> region:string -> int option
+
 (** Crash injection for the engine *process* (as opposed to the cloud):
     [Crash_after k] kills the engine at the (k+1)-th cloud write
     operation, modelling process death at an arbitrary event boundary.

@@ -3,13 +3,15 @@
 #
 #   scripts/bench_diff.sh OLD.json NEW.json
 #
-# Understands three schemas, dispatched on the "experiment" field:
+# Understands four schemas, dispatched on the "experiment" field:
 #   - e16_raw_speed (BENCH_raw.json):     per-fleet-size pipeline stages,
 #     journal and allocation headlines, domain-sweep wall times
 #   - e14_service   (BENCH_service.json): per-tenant-count cloudless vs
 #     baseline legs and their p99/reads ratios
 #   - e15_fleet     (BENCH_fleet.json):   per-shard-count legs, the
 #     tailer-vs-subscription read bill, crash and backpressure headlines
+#   - e17_soak      (BENCH_soak.json):    per-episode convergence
+#     checkpoints, breaker/parking/fault headlines, crash leg
 #
 # Stages, samples, and keys present in only one file are reported as
 # one-sided rather than failing, so a trajectory file from before a
@@ -109,6 +111,25 @@ elif exp_new == "e15_fleet":
     diff_flat(old.get("backpressure", {}), new.get("backpressure", {}),
               [("deferred", ""), ("rejected", ""), ("rebalance_moves", "")],
               "backpressure leg")
+elif exp_new == "e17_soak":
+    diff_keyed(old.get("checkpoints", []), new.get("checkpoints", []),
+               "episode",
+               [("at", "s"), ("managed", ""), ("parked", ""),
+                ("open_cells", "")])
+    diff_flat(old, new,
+              [("episode_faults", ""), ("requests_done", ""),
+               ("requests_parked", ""), ("reconciles_parked", ""),
+               ("degraded_entries", "")],
+              "soak headlines")
+    diff_flat(old.get("breaker", {}), new.get("breaker", {}),
+              [("opened", ""), ("fast_fails", ""), ("violations", "")],
+              "breaker")
+    diff_flat(old.get("unaffected", {}), new.get("unaffected", {}),
+              [("calm_p99", "s"), ("worst_p99", "s")],
+              "unaffected tenants")
+    diff_flat(old.get("crash", {}), new.get("crash", {}),
+              [("orphans", ""), ("dup_creates", ""), ("managed", "")],
+              "crash leg")
 else:
     stages = ["eval", "intern", "plan", "dag", "execute", "journal", "group"]
     old_by_n = {s["n"]: s for s in old.get("samples", [])}

@@ -83,6 +83,22 @@ if (( SECONDS > E16_BUDGET_S )); then
   exit 1
 fi
 
+# Chaos soak: the quick run drives the full 2-simulated-hour episode
+# schedule (outage, error/throttle storms, spot waves, quota cut) on a
+# shrunk fleet and self-asserts the E17 claims (convergence after
+# every episode, zero calls through an open breaker, mid-outage
+# crash-resume with zero orphans/duplicates, unaffected-tenant p99
+# within 2x calm, chaos metrics determinism).  Budgeted: all simulated
+# time, so a wall-clock blowout means the degraded-mode machinery is
+# busy-spinning.
+E17_BUDGET_S=60
+SECONDS=0
+dune exec bench/main.exe -- e17 --quick
+if (( SECONDS > E17_BUDGET_S )); then
+  echo "check.sh: e17 --quick took ${SECONDS}s (budget ${E17_BUDGET_S}s)" >&2
+  exit 1
+fi
+
 # -- hot-path Addr.Map gate ------------------------------------------
 # The plan/apply hot path runs on interned int ids (Plan.exec_graph);
 # Addr.Map belongs only to the Dag-returning analysis/oracle side
