@@ -30,6 +30,7 @@ let experiments =
     ("e15", E15_fleet.run);
     ("e16", E16_raw_speed.run);
     ("e17", E17_soak.run);
+    ("e18", E18_wave.run);
     ("ablation", Ablation.run);
   ]
 

@@ -281,10 +281,20 @@ let serve_cmd =
              resource type) cells and the affected work parks until the \
              next half-open probe")
   in
+  let waves_arg =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "waves" ] ~docv:"BOOL"
+          ~doc:
+            "Bulk-change wave rollouts: $(b,false) strips the scenario's \
+             $(b,wave =) lines; $(b,true) keeps them (the default; they run \
+             only with --shards)")
+  in
   let run scenario_path seed engine trace_path ticks metrics_path shards
-      queue_bound admission episodes breaker =
+      queue_bound admission episodes breaker waves =
     Cli.serve ?trace_path ~seed ~engine ?ticks ?metrics_path ?shards
-      ?queue_bound ?admission ?episodes ?breaker ~scenario_path ()
+      ?queue_bound ?admission ?episodes ?breaker ?waves ~scenario_path ()
   in
   Cmd.v
     (Cmd.info "serve"
@@ -294,7 +304,52 @@ let serve_cmd =
     Term.(
       const run $ scenario_arg $ seed_arg $ engine_arg $ trace_arg $ ticks_arg
       $ metrics_arg $ shards_arg $ queue_bound_arg $ admission_arg
-      $ episodes_arg $ breaker_arg)
+      $ episodes_arg $ breaker_arg $ waves_arg)
+
+let rollout_cmd =
+  let change_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CHANGE"
+          ~doc:"Bulk-change file (HCL $(b,change) blocks: actions + gates)")
+  in
+  let scenario_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            "Scenario file providing the fleet shape (tenants, fleet size, \
+             shard count); its request/drift schedule is not installed")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Fleet shard count (default: the scenario's)")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "check-period" ] ~docv:"SECONDS"
+          ~doc:"Wave quiescence-poll cadence in simulated seconds (default 30)")
+  in
+  let run file scenario_path seed trace_path shards check_period =
+    Cli.rollout ?trace_path ~seed ?shards ?check_period ~file ~scenario_path ()
+  in
+  Cmd.v
+    (Cmd.info "rollout"
+       ~doc:
+         "Carry a bulk change across a tenant fleet in canary-first, \
+          geometrically growing waves, gating every wave boundary on policy \
+          and health and auto-rolling-back a failed wave (exit 2 when a gate \
+          halts the rollout)")
+    Term.(
+      const run $ change_arg $ scenario_arg $ seed_arg $ trace_arg
+      $ shards_arg $ check_arg)
 
 let main_cmd =
   let doc = "a principled IaC framework (HotNets '23 'Cloudless Computing')" in
@@ -311,6 +366,7 @@ let main_cmd =
       policy_check_cmd;
       example_cmd;
       serve_cmd;
+      rollout_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

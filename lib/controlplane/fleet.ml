@@ -143,6 +143,12 @@ let add_deployment t ~tenant ~dname ~src =
 let submit_request t (dep : Shard.deployment) ~src =
   Shard.submit_request (owner_shard t dep.Shard.tenant) dep ~src
 
+let submit_rollback t (dep : Shard.deployment) ~label ~plan_of ?restore_src
+    ~notify () =
+  Shard.submit_rollback
+    (owner_shard t dep.Shard.tenant)
+    dep ~label ~plan_of ?restore_src ~notify ()
+
 let deployments t =
   Array.to_list t.shards |> List.concat_map Shard.deployments
 

@@ -52,6 +52,21 @@ val submit_request :
   src:string ->
   [ `Accepted of int | `Deferred of int | `Rejected ]
 
+(** Admit a wave-scoped rollback on the owning shard (E18); see
+    {!Shard.submit_rollback}. *)
+val submit_rollback :
+  t ->
+  Shard.deployment ->
+  label:string ->
+  plan_of:(unit -> Cloudless_plan.Plan.t) ->
+  ?restore_src:string ->
+  notify:(float -> unit) ->
+  unit ->
+  unit
+
+(** The shard the router currently assigns [tenant] to. *)
+val owner_shard : t -> string -> Shard.t
+
 (** Every deployment across every shard. *)
 val deployments : t -> Shard.deployment list
 

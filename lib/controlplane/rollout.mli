@@ -1,0 +1,102 @@
+(** The fleet-wide bulk-change rollout driver (E18).
+
+    Carries a {!Cloudless_wave.Change.t} across a running {!Fleet} in
+    canary → geometrically growing waves: per-tenant config rewrites
+    submitted through the normal (journaled, locked) request path, a
+    polled quiescence check per wave, a policy/health gate at every
+    wave boundary ({!Cloudless_wave.Gate}), and wave-scoped
+    auto-rollback via {!Fleet.submit_rollback} when the gate trips —
+    halting every later wave.
+
+    Deployments are held by [(tenant, dname)] name and the fleet by
+    [ref], so scheduled callbacks survive a crash-resume (the successor
+    fleet rebuilds deployment records).  Wave transitions are journaled
+    as {!Cloudless_state.Journal.Wave_mark}s; {!resume} restores the
+    committed-wave boundary and re-submits from the first uncommitted
+    wave (idempotent: converged tenants' rewrites plan to nothing). *)
+
+module Cloud = Cloudless_sim.Cloud
+module Journal = Cloudless_state.Journal
+module Change = Cloudless_wave.Change
+module Wave = Cloudless_wave.Wave
+
+type outcome =
+  | Converged  (** every wave committed fleet-wide *)
+  | Rolled_back of string list
+      (** a gate tripped: the failing wave was rolled back, later waves
+          halted; the payload is the gate's failure reasons *)
+  | Halted of string list
+      (** terminal without a rollback of our own — e.g. resumed from a
+          journal whose durable record already ended the rollout *)
+
+val outcome_to_string : outcome -> string
+
+type t
+
+(** Build an idle driver.  [check_period] (default 30 sim-seconds) is
+    the quiescence-poll cadence; with [journal], wave transitions are
+    journaled.  Targets (every tenant with a deployment, lexicographic)
+    are captured lazily at first start so the driver can be created
+    before deployments register. *)
+val create :
+  ?journal:Journal.t ->
+  ?check_period:float ->
+  change:Change.t ->
+  Fleet.t ref ->
+  unit ->
+  t
+
+(** Submit the first (or next uncommitted) wave now. *)
+val start : t -> unit
+
+(** Schedule {!start} at absolute sim-instant [at]. *)
+val launch : t -> at:float -> unit
+
+(** Mark the driver dead: its scheduled callbacks become no-ops.  Call
+    before building a {!resume} successor so both never drive. *)
+val abandon : t -> unit
+
+(** Build a successor driver after a crash: restores wave statuses from
+    the journal's {!Journal.Wave_mark} record, then {!start} re-submits
+    from the first uncommitted wave. *)
+val resume :
+  ?journal:Journal.t ->
+  ?check_period:float ->
+  change:Change.t ->
+  Fleet.t ref ->
+  unit ->
+  t
+
+(** One driver per [wave =] line of the scenario, launched at its
+    [start=] instant.  Call after {!Scenario.install_fleet} has
+    registered the deployments. *)
+val install : Scenario.t -> Fleet.t ref -> t list
+
+val change : t -> Change.t
+
+(** [None] while the rollout is still running. *)
+val outcome : t -> outcome option
+
+val converged : t -> bool
+val wave_machine : t -> Wave.t
+
+(** Tenants a wave submission has ever reached — the blast radius. *)
+val touched_tenants : t -> string list
+
+val committed_tenants : t -> string list
+
+(** Management-plane reads spent on gating (quiescence polls, instance
+    expansions, live-attr lookups) — the overhead side of the
+    blast-radius trade. *)
+val mgmt_calls : t -> int
+
+val gate_checks : t -> int
+val submitted : t -> int
+val rollbacks : t -> int
+
+(** Gate-failure instant to last-rollback-completion instant, sim
+    seconds. *)
+val rollback_latency : t -> float option
+
+(** Progress log, oldest first. *)
+val events : t -> (float * string) list

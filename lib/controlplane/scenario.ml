@@ -22,7 +22,16 @@ module Failure = Cloudless_sim.Failure
 module State = Cloudless_state.State
 module Workload = Cloudless_workload.Workload
 module Breaker = Cloudless_deploy.Breaker
+module Hcl = Cloudless_hcl
+module Policy = Cloudless_policy.Policy
+module Rego_like = Cloudless_policy.Rego_like
+module Change = Cloudless_wave.Change
 module Err = Cloudless_error
+
+(** One scheduled bulk-change rollout (E18): at [wstart] the rollout
+    driver compiles [wchange] into canary → growing waves, gating every
+    wave boundary on a [wcheck]-period health check. *)
+type wave_spec = { wstart : float; wcheck : float; wchange : Change.t }
 
 type t = {
   tenants : int;
@@ -51,6 +60,8 @@ type t = {
   calm_tenants : int;
       (** the last n tenants resubmit only the wave-0 revision — a
           guaranteed-unaffected tenant class for degraded-mode claims *)
+  waves : wave_spec list;
+      (** scheduled bulk-change rollouts, in file order (E18) *)
 }
 
 let default =
@@ -73,6 +84,7 @@ let default =
     episodes = [];
     breaker = false;
     calm_tenants = 0;
+    waves = [];
   }
 
 (* One [episode = k=v k=v ...] value.  The sub-grammar is as strict as
@@ -161,6 +173,139 @@ let episode_of_spec ~file ~line spec =
   in
   Failure.episode ?rtype:!rtype ?region:!region ~magnitude ~start_ ~finish kind
 
+(* One [wave = k=v k=v ...] value — a bulk-change rollout compiled into
+   a {!Change.t} without a separate change file.  Same strictness as
+   [episode =]: unknown sub-keys, malformed values, missing required
+   keys and kind-inapplicable keys all fail with a located
+   scenario-syntax diagnostic. *)
+let wave_of_spec ~file ~line spec =
+  let failf fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Err.fail ~stage:Err.Diagnostic.Syntax ~code:"scenario-syntax"
+          "%s:%d: %s" file line msg)
+      fmt
+  in
+  let pairs =
+    String.split_on_char ' ' spec
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun tok ->
+           match String.index_opt tok '=' with
+           | None -> failf "wave expects space-separated k=v pairs, got %S" tok
+           | Some i ->
+               ( String.sub tok 0 i,
+                 String.sub tok (i + 1) (String.length tok - i - 1) ))
+  in
+  let fl key v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> failf "wave %s expects a number, got %S" key v
+  in
+  let it key v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> failf "wave %s expects an integer, got %S" key v
+  in
+  let kind = ref `Set_attr and rtype = ref "aws_instance" in
+  let attr = ref None and value = ref None and count = ref None in
+  let start_ = ref None and canary = ref 1 and growth = ref 2 in
+  let forbid = ref None and budget = ref None and check = ref 60. in
+  List.iter
+    (fun (k, v) ->
+      match k with
+      | "kind" -> (
+          match v with
+          | "set_attr" -> kind := `Set_attr
+          | "set_count" -> kind := `Set_count
+          | _ -> failf "unknown wave kind %S (expected set_attr|set_count)" v)
+      | "rtype" -> rtype := v
+      | "attr" -> attr := Some v
+      | "value" -> value := Some v
+      | "count" -> count := Some (it k v)
+      | "start" -> start_ := Some (fl k v)
+      | "canary" -> canary := it k v
+      | "growth" -> growth := it k v
+      | "forbid" -> forbid := Some v
+      | "budget" -> budget := Some (fl k v)
+      | "check" -> check := fl k v
+      | _ -> failf "unknown wave key %S" k)
+    pairs;
+  let wstart =
+    match !start_ with
+    | Some s -> s
+    | None -> failf "wave requires start=<sim seconds>"
+  in
+  if !canary < 1 then failf "wave canary must be >= 1, got %d" !canary;
+  if !growth < 1 then failf "wave growth must be >= 1, got %d" !growth;
+  let target = !rtype ^ ".*" in
+  let str s = Hcl.Ast.mk (Hcl.Ast.Template [ Hcl.Ast.Lit s ]) in
+  let action =
+    match !kind with
+    | `Set_attr ->
+        let attr =
+          match !attr with
+          | Some a -> a
+          | None -> failf "kind=set_attr requires attr=<name>"
+        in
+        let value =
+          match !value with
+          | Some v -> v
+          | None -> failf "kind=set_attr requires value=<string>"
+        in
+        if !count <> None then
+          failf "wave key count only applies to kind=set_count";
+        {
+          Policy.aname = "bulk";
+          kind = Policy.Set_attr { target; attr; value = str value };
+        }
+    | `Set_count ->
+        let n =
+          match !count with
+          | Some n -> n
+          | None -> failf "kind=set_count requires count=<int>"
+        in
+        if !attr <> None || !value <> None then
+          failf "wave keys attr/value only apply to kind=set_attr";
+        {
+          Policy.aname = "bulk";
+          kind = Policy.Set_count { target; value = Hcl.Ast.mk (Hcl.Ast.Int n) };
+        }
+  in
+  let gates =
+    match !forbid with
+    | None -> []
+    | Some fv ->
+        let attr =
+          match !attr with
+          | Some a -> a
+          | None -> failf "wave forbid= requires attr=<name>"
+        in
+        [
+          {
+            Rego_like.cname = "forbid";
+            predicate =
+              Rego_like.Attr_equals
+                { rtype = !rtype; attr; value = Hcl.Value.Vstring fv };
+            deny_message =
+              Printf.sprintf "%s.%s = %S is forbidden" !rtype attr fv;
+          };
+        ]
+  in
+  {
+    wstart;
+    wcheck = !check;
+    wchange =
+      {
+        Change.cname = Printf.sprintf "wave@%s:%d" file line;
+        actions = [ action ];
+        canary = !canary;
+        growth = !growth;
+        gates;
+        budget = !budget;
+        cspan = Hcl.Loc.dummy;
+      };
+  }
+
 let parse ?(file = "<scenario>") src =
   let scn = ref default in
   String.split_on_char '\n' src
@@ -245,6 +390,13 @@ let parse ?(file = "<scenario>") src =
                            "%s:%d: breaker expects on|off, got %S" file
                            (lineno + 1) v)
                  | "calm_tenants" -> { !scn with calm_tenants = int_v () }
+                 | "wave" ->
+                     {
+                       !scn with
+                       waves =
+                         !scn.waves
+                         @ [ wave_of_spec ~file ~line:(lineno + 1) v ];
+                     }
                  | _ ->
                      Err.fail ~stage:Err.Diagnostic.Syntax
                        ~code:"scenario-syntax" "%s:%d: unknown scenario key %S"

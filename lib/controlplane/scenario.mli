@@ -13,6 +13,18 @@
     cloud) does not strand the not-yet-fired request callbacks: they
     dereference at fire time and land on the successor. *)
 
+(** One scheduled bulk-change rollout (E18).  One per
+    [wave = start=... attr=... value=...] line; sub-keys are
+    [start canary growth check budget rtype kind] plus [attr value]
+    (kind=set_attr, the default) or [count] (kind=set_count), and an
+    optional [forbid=<value>] compiling to an attr-equals gate.
+    Unknown sub-keys and kind-inapplicable keys are syntax errors. *)
+type wave_spec = {
+  wstart : float;  (** rollout submit instant, sim seconds *)
+  wcheck : float;  (** gate-check poll period, sim seconds *)
+  wchange : Cloudless_wave.Change.t;
+}
+
 type t = {
   tenants : int;
   deployments_per_tenant : int;
@@ -46,6 +58,8 @@ type t = {
   calm_tenants : int;
       (** the last n tenants resubmit only the wave-0 revision — a
           guaranteed-unaffected tenant class for degraded-mode claims *)
+  waves : wave_spec list;
+      (** scheduled bulk-change rollouts, in file order (E18) *)
 }
 
 val default : t

@@ -158,6 +158,20 @@ type work =
     }
   | Scan_sweep of { dep : deployment; swept : float }
   | Policy_tick of { at : float }
+  | Rollback_op of {
+      dep : deployment;
+      label : string;  (** e.g. "wave:<change>:<k>" for trace joins *)
+      plan_of : unit -> Plan.t;
+          (** inverse plan, computed at grant time — under the
+              deployment lock, against the *latest* state — so a
+              rollback admitted behind in-flight work still reverses
+              exactly what that work left behind *)
+      restore_src : string option;
+          (** pre-wave config revision to restore, so later reconciles
+              do not re-apply the rolled-back change *)
+      submitted : float;
+      notify : float -> unit;  (** completion callback (sim time) *)
+    }
 
 type host = {
   gate : unit -> unit;
@@ -354,7 +368,9 @@ let count_api t dep ~read n =
    sequence.  Tenant-facing requests outrank background repair, which
    outranks policy bookkeeping. *)
 let work_class = function
-  | Request _ -> 0.
+  | Request _ | Rollback_op _ -> 0.
+      (* a rollback is the urgent tail of a tenant-facing change:
+         deprioritizing it would leave the bad revision live longer *)
   | Reconcile _ | Scan_sweep _ -> 1.
   | Policy_tick _ -> 2.
 
@@ -392,6 +408,12 @@ and admit t wid work =
       Lock_manager.acquire t.lock ~owner:(owner_of dep ~wid)
         ~keys:[ dep.root_key ] (fun () ->
           if t.host.alive () then exec_reconcile t dep ~wid ~seeds ~detected)
+  | Rollback_op { dep; label; plan_of; restore_src; submitted; notify } ->
+      Lock_manager.acquire t.lock ~owner:(owner_of dep ~wid)
+        ~keys:[ dep.root_key ] (fun () ->
+          if t.host.alive () then
+            exec_rollback t dep ~wid ~label ~plan_of ~restore_src ~submitted
+              ~notify)
   | Scan_sweep { dep; swept } -> (
       match t.breaker with
       | Some b when Breaker.any_open b ->
@@ -409,7 +431,10 @@ and enqueue t work =
   let wid = t.next_work in
   t.next_work <- wid + 1;
   (match work with
-  | Request { dep; _ } | Reconcile { dep; _ } | Scan_sweep { dep; _ } ->
+  | Request { dep; _ }
+  | Reconcile { dep; _ }
+  | Scan_sweep { dep; _ }
+  | Rollback_op { dep; _ } ->
       pending_incr t dep.tenant
   | Policy_tick _ -> ());
   Pq.push t.queue ~prio:(work_class work) ~key:wid work;
@@ -548,6 +573,53 @@ and exec_request t dep ~wid ~rid ~src ~submitted =
         continue_with state0 r.Applier.reads)
       ()
   else continue_with dep.state 0
+
+(* --- wave rollback (E18) ------------------------------------------- *)
+
+(* Execute a wave-scoped inverse plan.  The plan is computed here, at
+   grant time under the deployment lock, so it reverses the latest
+   state even when the rollback queued behind in-flight work.  The
+   config revision is restored *before* the apply: a crash between the
+   two leaves the restored src with an incomplete rollback, which the
+   ordinary journal-replay resume then converges — the same idempotent
+   window every request has. *)
+and exec_rollback t dep ~wid ~label ~plan_of ~restore_src ~submitted ~notify =
+  protected t dep ~wid @@ fun () ->
+  (match restore_src with Some src -> dep.config_src <- src | None -> ());
+  let plan = plan_of () in
+  Applier.apply t.cloud ~config:(applier_config t dep) ~state:dep.state ~plan
+    ~journal:dep.journal ?breaker:t.breaker ~gate:t.host.gate
+    ~alive:t.host.alive
+    ~count_api:(count_api t dep ~read:false)
+    ~on_done:(fun (o : Applier.outcome) ->
+      dep.state <- o.Applier.astate;
+      if breaker_blocked t o then begin
+        Metrics.scope_inc t.scope "rollbacks_parked";
+        park_work t dep ~wid ~rebuild:(fun () ->
+            Rollback_op { dep; label; plan_of; restore_src; submitted; notify })
+      end
+      else begin
+        let now = Cloud.now t.cloud in
+        Metrics.scope_inc t.scope "rollbacks_done";
+        Metrics.scope_observe t.scope "rollback_latency" (now -. submitted);
+        if o.Applier.failed <> [] then
+          Metrics.scope_inc t.scope "work_failures";
+        notify now;
+        finish_work t dep ~wid ~span:"rollback" ~sim_start:submitted
+          ~meta:
+            [
+              ("tenant", dep.tenant);
+              ("deployment", dep.dname);
+              ("label", label);
+            ]
+          ~counters:
+            [
+              ("applied", List.length o.Applier.applied);
+              ("failed", List.length o.Applier.failed);
+              ("writes", o.Applier.writes);
+            ]
+      end)
+    ()
 
 (* --- drift intake (shared by tailer polling and subscriptions) ------ *)
 
@@ -747,6 +819,15 @@ let submit_request t dep ~src =
     attempt ();
     if deferred then `Deferred rid else `Accepted rid
   end
+
+(** Admit a wave-scoped rollback for [dep].  Bypasses the admission
+    bound like reconciles do — repair must not be starved by the
+    backlog it repairs.  [plan_of] runs at lock-grant time; [notify]
+    fires with the completion instant. *)
+let submit_rollback t dep ~label ~plan_of ?restore_src ~notify () =
+  let submitted = Cloud.now t.cloud in
+  Metrics.scope_inc t.scope "rollbacks";
+  enqueue t (Rollback_op { dep; label; plan_of; restore_src; submitted; notify })
 
 (* ------------------------------------------------------------------ *)
 (* Timers                                                              *)

@@ -161,6 +161,23 @@ val submit_request :
   src:string ->
   [ `Accepted of int | `Deferred of int | `Rejected ]
 
+(** Admit a wave-scoped rollback for [dep] (E18).  Bypasses the
+    admission bound like reconciles — repair must not be starved by
+    the backlog it repairs.  [plan_of] computes the inverse plan at
+    lock-grant time, under the deployment lock, against the latest
+    state; [restore_src] is the pre-wave config revision to restore so
+    later reconciles do not re-apply the rolled-back change; [notify]
+    fires with the completion instant.  Runs at request priority. *)
+val submit_rollback :
+  t ->
+  deployment ->
+  label:string ->
+  plan_of:(unit -> Cloudless_plan.Plan.t) ->
+  ?restore_src:string ->
+  notify:(float -> unit) ->
+  unit ->
+  unit
+
 (** Record classified drift events against [dep] and enqueue the scoped
     repair — the push-mode entry point the fleet's activity-log
     subscriptions feed. *)

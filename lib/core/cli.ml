@@ -314,7 +314,7 @@ let import ?(io = default_io) ?(no_optimize = false) ~state_path () =
    scenario's knobs). *)
 let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
     ?ticks ?metrics_path ?shards ?queue_bound ?admission ?episodes ?breaker
-    ~scenario_path () =
+    ?waves ~scenario_path () =
   protected io @@ fun () ->
   with_trace trace_path @@ fun trace ->
   let module Cloud = Cloudless_sim.Cloud in
@@ -322,6 +322,7 @@ let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
   let module Shard = Cloudless_controlplane.Shard in
   let module Fleet = Cloudless_controlplane.Fleet in
   let module Scenario = Cloudless_controlplane.Scenario in
+  let module Rollout = Cloudless_controlplane.Rollout in
   let module Metrics = Cloudless_obs.Metrics in
   let scn = Scenario.load scenario_path in
   (* --ticks rewrites the horizon before installation so the whole
@@ -357,6 +358,12 @@ let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
     match breaker with
     | Some b -> { scn with Scenario.breaker = b }
     | None -> scn
+  in
+  (* --waves false strips the scenario's bulk-change rollouts (E18) *)
+  let scn =
+    match waves with
+    | Some false -> { scn with Scenario.waves = [] }
+    | Some true | None -> scn
   in
   let duration = scn.Scenario.duration in
   let cloud =
@@ -427,6 +434,11 @@ let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
       in
       let config = Scenario.service_config scn preset in
       let cp = ref (Control_plane.create ~cloud ~trace config) in
+      if scn.Scenario.waves <> [] then
+        outf io
+          "NOTE: %d wave rollout(s) in the scenario ignored — bulk-change \
+           waves need the multi-shard fleet (--shards N).\n"
+          (List.length scn.Scenario.waves);
       let injections = Scenario.install scn cp in
       Control_plane.run !cp ~until:duration;
       let cp = !cp in
@@ -449,6 +461,7 @@ let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
       let config = Scenario.service_config scn preset in
       let fleet = ref (Fleet.create ~cloud ~trace ~shards:n config) in
       let injections = Scenario.install_fleet scn fleet in
+      let rollouts = Rollout.install scn fleet in
       Fleet.run !fleet ~until:duration;
       let fleet = !fleet in
       let m = Fleet.metrics fleet in
@@ -477,7 +490,113 @@ let serve ?(io = default_io) ?trace_path ?(seed = 42) ?(engine = Cloudless)
             (Metrics.counter m "requests_deferred")
             (Metrics.counter m "requests_rejected")
             (Metrics.counter m "log_polls")
-            (Fleet.state_digest fleet))
+            (Fleet.state_digest fleet);
+          List.iter
+            (fun r ->
+              outf io
+                "Rollout %s: %s; touched %d/%d tenant(s), committed %d; %d \
+                 request(s), %d rollback(s), %d gate check(s), %d mgmt \
+                 call(s).\n"
+                (Rollout.change r).Cloudless_wave.Change.cname
+                (match Rollout.outcome r with
+                | Some o -> Rollout.outcome_to_string o
+                | None -> "still running")
+                (List.length (Rollout.touched_tenants r))
+                scn.Scenario.tenants
+                (List.length (Rollout.committed_tenants r))
+                (Rollout.submitted r) (Rollout.rollbacks r)
+                (Rollout.gate_checks r) (Rollout.mgmt_calls r))
+            rollouts)
+
+(* `cloudless rollout`: carry a bulk change (E18) across a scenario's
+   tenant fleet in canary -> growing waves with a policy/health gate at
+   every wave boundary.  The scenario provides the fleet shape (tenants,
+   fleet size, shard count); its request/drift schedule is not
+   installed — the run is: initial applies, then each change block of
+   [file] launched in sequence.  Exit 0 when every rollout converged
+   fleet-wide; exit 2 when a gate stopped one (the wave rolled back,
+   later waves halted). *)
+let rollout ?(io = default_io) ?trace_path ?(seed = 42) ?shards ?check_period
+    ~file ~scenario_path () =
+  protected io @@ fun () ->
+  with_trace trace_path @@ fun trace ->
+  let module Cloud = Cloudless_sim.Cloud in
+  let module CShard = Cloudless_controlplane.Shard in
+  let module Fleet = Cloudless_controlplane.Fleet in
+  let module Scenario = Cloudless_controlplane.Scenario in
+  let module Rollout = Cloudless_controlplane.Rollout in
+  let module Change = Cloudless_wave.Change in
+  let scn = Scenario.load scenario_path in
+  let changes = Change.parse ~file (Io_util.read_file file) in
+  if changes = [] then
+    Cloudless_error.fail ~stage:Cloudless_error.Diagnostic.Syntax
+      ~code:"empty-change" "%s contains no change blocks" file;
+  let cloud =
+    Cloud.create
+      ~config:(Cloudless_schema.Cloud_rules.config_with_checks ())
+      ~seed ()
+  in
+  Trace.set_sim_clock trace (fun () -> Cloud.now cloud);
+  let config = Scenario.service_config scn CShard.fleet_service in
+  let nshards = Option.value shards ~default:scn.Scenario.shards in
+  let fleet = ref (Fleet.create ~cloud ~trace ~shards:nshards config) in
+  for ti = 0 to scn.Scenario.tenants - 1 do
+    let tenant = Printf.sprintf "tenant%d" ti in
+    for di = 0 to scn.Scenario.deployments_per_tenant - 1 do
+      let dname = Printf.sprintf "d%d" di in
+      let dep =
+        Fleet.add_deployment !fleet ~tenant ~dname
+          ~src:(Scenario.fleet_src scn ~wave:0)
+      in
+      ignore
+        (Fleet.submit_request !fleet dep ~src:(Scenario.fleet_src scn ~wave:0)
+          : [ `Accepted of int | `Deferred of int | `Rejected ])
+    done
+  done;
+  (* Launch the changes spread over the horizon, after the initial
+     applies settle. *)
+  let duration = scn.Scenario.duration in
+  let settle = Float.min 600. (duration /. 4.) in
+  let stagger =
+    (duration -. settle) /. float_of_int (List.length changes)
+  in
+  let drivers =
+    List.mapi
+      (fun i change ->
+        let t = Rollout.create ?check_period ~change fleet () in
+        Rollout.launch t ~at:(settle +. (float_of_int i *. stagger));
+        t)
+      changes
+  in
+  Fleet.run !fleet ~until:duration;
+  let code = ref 0 in
+  List.iter
+    (fun r ->
+      let c = Rollout.change r in
+      outf io "change %S: canary %d, growth %d, %d gate(s)\n"
+        c.Cloudless_wave.Change.cname c.Cloudless_wave.Change.canary
+        c.Cloudless_wave.Change.growth
+        (List.length c.Cloudless_wave.Change.gates);
+      List.iter
+        (fun (at, msg) -> outf io "  [%8.1fs] %s\n" at msg)
+        (Rollout.events r);
+      (match Rollout.rollback_latency r with
+      | Some l -> outf io "  rollback latency: %.1fs\n" l
+      | None -> ());
+      outf io
+        "  %s: touched %d/%d tenant(s), committed %d; %d request(s), %d \
+         rollback(s), %d gate check(s), %d mgmt call(s)\n"
+        (match Rollout.outcome r with
+        | Some o -> Rollout.outcome_to_string o
+        | None -> "still running at horizon")
+        (List.length (Rollout.touched_tenants r))
+        scn.Scenario.tenants
+        (List.length (Rollout.committed_tenants r))
+        (Rollout.submitted r) (Rollout.rollbacks r) (Rollout.gate_checks r)
+        (Rollout.mgmt_calls r);
+      if not (Rollout.converged r) then code := 2)
+    drivers;
+  !code
 
 let examples =
   [

@@ -1,0 +1,30 @@
+(** A deliberately-restricted baseline policy engine modelling today's
+    assertion checkers (Terrascan/Checkov-style, §3.6): deny-only, no
+    runtime telemetry, fixed predicate vocabulary over resource
+    attributes.  The wave subsystem reuses the predicate vocabulary for
+    its between-wave policy gates. *)
+
+module Hcl = Cloudless_hcl
+module Value = Hcl.Value
+module Smap = Value.Smap
+module Eval = Hcl.Eval
+
+type predicate =
+  | Attr_equals of { rtype : string; attr : string; value : Value.t }
+  | Attr_present of { rtype : string; attr : string }
+  | Attr_absent of { rtype : string; attr : string }
+  | Type_forbidden of string
+  | Count_at_most of { rtype : string; limit : int }
+
+type check = { cname : string; predicate : predicate; deny_message : string }
+
+type violation = {
+  vcheck : string;
+  vaddr : Hcl.Addr.t option;
+  vmessage : string;
+}
+
+val eval_check : Eval.instance list -> check -> violation list
+
+(** Evaluate all checks; any violation denies the plan. *)
+val evaluate : check list -> Eval.instance list -> violation list

@@ -1,0 +1,69 @@
+(** Rollback planning (§3.4).
+
+    "Simply applying a previous configuration doesn't always roll back
+    the infrastructure to its intended previous state": some attribute
+    changes are not reversible in place (force-new attributes), and the
+    live resource may carry out-of-band modifications never captured in
+    any configuration.
+
+    - {!Naive_reapply} (the baseline) diffs the target state against
+      the *recorded* current state only — exactly what replaying the
+      old configuration does.  Misses out-of-band modifications.
+    - {!Reversibility_aware} consults the *live* cloud attributes,
+      classifies each divergence as reversible (plain update back),
+      irreversible (destroy + recreate), or unmanaged drift (reset),
+      and emits the minimal redeployment achieving the target. *)
+
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Smap = Value.Smap
+module State = Cloudless_state.State
+module Plan = Cloudless_plan.Plan
+
+type strategy = Naive_reapply | Reversibility_aware
+
+type classification =
+  | Unchanged
+  | Reversible of Plan.attr_change list
+  | Irreversible of { changes : Plan.attr_change list; reasons : string list }
+
+(** Strip cloud-computed attributes (fresh ids etc.) — they never count
+    as divergence. *)
+val managed_attrs : string -> Value.t Smap.t -> Value.t Smap.t
+
+val diff_managed :
+  string -> target:Value.t Smap.t -> actual:Value.t Smap.t ->
+  Plan.attr_change list
+
+val classify :
+  string -> target:Value.t Smap.t -> actual:Value.t Smap.t -> classification
+
+type rollback_plan = {
+  plan : Plan.t;
+  strategy : strategy;
+  redeployed : Addr.t list;  (** resources destroyed + recreated *)
+  updated : Addr.t list;
+  missed_divergences : Addr.t list;
+      (** resources whose live attrs diverge but the strategy didn't
+          notice (naive only) *)
+}
+
+(** Plan a rollback to [target].  [current] is the recorded state after
+    the failed/unwanted update; [live] reads the resource's *actual*
+    cloud attributes ([None] = no longer exists in the cloud). *)
+val plan_rollback :
+  strategy:strategy ->
+  target:State.t ->
+  current:State.t ->
+  live:(Addr.t -> Value.t Smap.t option) ->
+  unit ->
+  rollback_plan
+
+(** After executing a rollback, measure residual divergence: managed
+    attributes that still differ between the live cloud and the target
+    state.  The criterion for a *faithful* rollback is the empty
+    list. *)
+val residual_divergence :
+  target:State.t ->
+  live:(Addr.t -> Value.t Smap.t option) ->
+  (Addr.t * string) list

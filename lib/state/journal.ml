@@ -80,6 +80,13 @@ type entry =
   | Intent of intent
   | Outcome of outcome
   | Run_finished of { time : float }
+  | Wave_mark of { wave : int; wphase : string; tenants : string list; wtime : float }
+      (** E18 rollout boundary record: wave [wave] entered phase
+          [wphase] ("started" | "committed" | "rolled_back" |
+          "halted") over [tenants].  Written by the rollout driver's
+          own journal so a mid-wave crash resumes from the last
+          *committed* wave boundary.  Tenant names are identifiers
+          (no spaces), so the list is stored space-joined. *)
 
 (* ------------------------------------------------------------------ *)
 (* Serialization (JSONL; strings, ints, %.17g floats and nulls only)   *)
@@ -381,7 +388,17 @@ let add_entry buf entry =
   | Run_finished { time } ->
       add_str buf "e" "finish";
       sep buf;
-      add_float buf "time" time);
+      add_float buf "time" time
+  | Wave_mark { wave; wphase; tenants; wtime } ->
+      add_str buf "e" "wave";
+      sep buf;
+      add_int buf "wave" wave;
+      sep buf;
+      add_str buf "phase" wphase;
+      sep buf;
+      add_str buf "tenants" (String.concat " " tenants);
+      sep buf;
+      add_float buf "time" wtime);
   Buffer.add_char buf '}'
 
 let entry_to_line entry =
@@ -441,6 +458,15 @@ module Reference = struct
             kv_float "time" o.otime;
           ]
     | Run_finished { time } -> obj [ kv_str "e" "finish"; kv_float "time" time ]
+    | Wave_mark { wave; wphase; tenants; wtime } ->
+        obj
+          [
+            kv_str "e" "wave";
+            kv_int "wave" wave;
+            kv_str "phase" wphase;
+            kv_str "tenants" (String.concat " " tenants);
+            kv_float "time" wtime;
+          ]
 
   let to_string entries =
     String.concat "" (List.map (fun e -> entry_to_line e ^ "\n") entries)
@@ -522,6 +548,17 @@ let entry_of_line line =
           otime = num fields "time";
         }
   | "finish" -> Run_finished { time = num fields "time" }
+  | "wave" ->
+      Wave_mark
+        {
+          wave = int_field fields "wave";
+          wphase = str fields "phase";
+          tenants =
+            (match str fields "tenants" with
+            | "" -> []
+            | s -> String.split_on_char ' ' s);
+          wtime = num fields "time";
+        }
   | e -> raise (Trace.Parse_error ("journal: unknown entry kind " ^ e))
 
 let to_string entries =
@@ -638,11 +675,12 @@ let append t entry =
            activity log.  This halves the syscalls of a journaled
            apply. *)
         ()
-    | Wal, (Run_started _ | Intent _ | Run_finished _) -> barrier t
+    | Wal, (Run_started _ | Intent _ | Run_finished _ | Wave_mark _) ->
+        barrier t
     | Group k, Intent _ ->
         t.batched_intents <- t.batched_intents + 1;
         if t.batched_intents >= k then barrier t
-    | Group _, (Run_started _ | Run_finished _) -> barrier t
+    | Group _, (Run_started _ | Run_finished _ | Wave_mark _) -> barrier t
     | Group _, Outcome _ -> ()
   end
 
@@ -699,7 +737,7 @@ let max_op entries =
     (fun acc -> function
       | Intent i -> max acc i.op
       | Outcome o -> max acc o.oop
-      | Run_started _ | Run_finished _ -> acc)
+      | Run_started _ | Run_finished _ | Wave_mark _ -> acc)
     0 entries
 
 (** Every intent in op order, paired with its final outcome ([None] =
@@ -716,7 +754,7 @@ let analyze entries =
           match Hashtbl.find_opt tbl o.oop with
           | Some (i, _) -> Hashtbl.replace tbl o.oop (i, Some o)
           | None -> ())
-      | Run_started _ | Run_finished _ -> ())
+      | Run_started _ | Run_finished _ | Wave_mark _ -> ())
     entries;
   List.rev_map
     (fun op ->
@@ -747,7 +785,7 @@ let replay state entries =
   List.fold_left
     (fun st entry ->
       match entry with
-      | Run_started _ | Run_finished _ -> st
+      | Run_started _ | Run_finished _ | Wave_mark _ -> st
       | Intent i ->
           Hashtbl.replace intents i.op i;
           st

@@ -71,6 +71,15 @@ type entry =
   | Intent of intent
   | Outcome of outcome
   | Run_finished of { time : float }
+  | Wave_mark of { wave : int; wphase : string; tenants : string list; wtime : float }
+      (** E18 rollout boundary record: wave [wave] entered phase
+          [wphase] ("started" | "committed" | "rolled_back" |
+          "halted") over [tenants].  Written by the rollout driver's
+          own journal so a mid-wave crash resumes from the last
+          *committed* wave boundary.  Tenant names must not contain
+          spaces (stored space-joined).  Replay and op analysis
+          ignore it; appending one forces a {!barrier} in both
+          modes. *)
 
 (** Render one entry (no trailing newline) straight into [buf] — the
     hot-path encoder: no per-field [sprintf], no intermediate string

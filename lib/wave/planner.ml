@@ -1,0 +1,101 @@
+(** Wave planning: slice the target fleet into canary → geometrically
+    growing waves, and compile a {!Change.t} into per-tenant config
+    rewrites (whose plans the control plane then impact-scopes).
+
+    The schedule is the classic staged rollout: wave 0 is the canary
+    ([canary] tenants), wave k+1 is [growth] times the size of wave k,
+    so a fleet of n tenants needs O(log n) gate evaluations while the
+    blast radius of a bad change stays bounded by the canary. *)
+
+module Hcl = Cloudless_hcl
+module Value = Hcl.Value
+module Smap = Value.Smap
+module Policy = Cloudless_policy.Policy
+module Controller = Cloudless_policy.Controller
+
+(* ------------------------------------------------------------------ *)
+(* Wave schedule                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Slice [items] (tenant order preserved) into waves: the first of
+    size [canary], each subsequent [growth] x larger, the last taking
+    whatever remains.  Invariants (QCheck-tested): concatenating the
+    waves reproduces [items] exactly (every tenant in exactly one
+    wave); no wave is empty; sizes follow the schedule except the
+    final remainder wave. *)
+let waves ~canary ~growth items =
+  if canary < 1 then invalid_arg "Planner.waves: canary < 1";
+  if growth < 1 then invalid_arg "Planner.waves: growth < 1";
+  let rec go size = function
+    | [] -> []
+    | items ->
+        let rec take k acc = function
+          | rest when k = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: rest -> take (k - 1) (x :: acc) rest
+        in
+        let wave, rest = take size [] items in
+        (* saturating multiply: a 10-wave schedule at growth 8 would
+           otherwise overflow long before a realistic fleet runs out *)
+        let next =
+          if size > max_int / growth then max_int else size * growth
+        in
+        wave :: go next rest
+  in
+  go canary items
+
+(** Size each wave would have for a fleet of [n] tenants. *)
+let wave_sizes ~canary ~growth n =
+  List.map List.length (waves ~canary ~growth (List.init n Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Config rewriting                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A bulk change says "every aws_instance" where a policy says
+   "aws_instance.web": targets of the form ["rtype.*"] or bare
+   ["rtype"] fan the decision out to every resource of the type. *)
+let expand_target (cfg : Hcl.Config.t) target =
+  let rtype, rname = Controller.split_target target in
+  if rname = "*" || rname = "" then
+    List.filter_map
+      (fun (r : Hcl.Config.resource) ->
+        if r.Hcl.Config.rtype = rtype then
+          Some (rtype ^ "." ^ r.Hcl.Config.rname)
+        else None)
+      cfg.Hcl.Config.resources
+  else [ target ]
+
+let expand_decision cfg (d : Policy.decision) : Policy.decision list =
+  match d with
+  | Policy.D_set_count { target; count } ->
+      List.map
+        (fun target -> Policy.D_set_count { target; count })
+        (expand_target cfg target)
+  | Policy.D_set_attr { target; attr; value } ->
+      List.map
+        (fun target -> Policy.D_set_attr { target; attr; value })
+        (expand_target cfg target)
+  | Policy.D_deny _ | Policy.D_notify _ -> [ d ]
+
+(** Apply a change's decisions to one tenant's configuration.
+    Returns the rewritten config and whether anything changed. *)
+let rewrite_config (c : Change.t) ?(obs = Smap.empty) (cfg : Hcl.Config.t) :
+    Hcl.Config.t * bool =
+  List.fold_left
+    (fun (cfg, any) d ->
+      List.fold_left
+        (fun (cfg, any) d ->
+          let cfg', changed = Controller.apply_decision cfg d in
+          (cfg', any || changed))
+        (cfg, any) (expand_decision cfg d))
+    (cfg, false) (Change.decide ~obs c)
+
+(** Apply a change to one tenant's configuration *source*: parse,
+    rewrite, re-render canonically.  [None] when the change does not
+    touch this tenant (its plan would be empty anyway; skipping keeps
+    the management-call bill honest). *)
+let rewrite_src (c : Change.t) ?(obs = Smap.empty) ~file src : string option =
+  let cfg = Hcl.Config.parse ~file src in
+  let cfg', changed = rewrite_config c ~obs cfg in
+  if changed then Some (Hcl.Config.to_string cfg') else None

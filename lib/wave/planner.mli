@@ -1,0 +1,36 @@
+(** Wave planning: slice the target fleet into canary → geometrically
+    growing waves, and compile a {!Change.t} into per-tenant config
+    rewrites. *)
+
+module Hcl = Cloudless_hcl
+module Value = Hcl.Value
+module Smap = Value.Smap
+module Policy = Cloudless_policy.Policy
+
+(** Slice [items] (order preserved) into waves: the first of size
+    [canary], each subsequent [growth] x larger, the last taking
+    whatever remains.  Invariants: concatenating the waves reproduces
+    [items] exactly; no wave is empty; sizes follow the geometric
+    schedule except the final remainder wave.
+    @raise Invalid_argument when [canary < 1] or [growth < 1]. *)
+val waves : canary:int -> growth:int -> 'a list -> 'a list list
+
+(** Size each wave would have for a fleet of [n] tenants. *)
+val wave_sizes : canary:int -> growth:int -> int -> int list
+
+(** Fan a ["rtype.*"] (or bare ["rtype"]) target out to every resource
+    of the type in [cfg]; exact targets pass through. *)
+val expand_target : Hcl.Config.t -> string -> string list
+
+val expand_decision : Hcl.Config.t -> Policy.decision -> Policy.decision list
+
+(** Apply a change's decisions to one tenant's configuration.  Returns
+    the rewritten config and whether anything changed. *)
+val rewrite_config :
+  Change.t -> ?obs:Policy.obs -> Hcl.Config.t -> Hcl.Config.t * bool
+
+(** Apply a change to one tenant's configuration *source*: parse,
+    rewrite, re-render canonically.  [None] when the change does not
+    touch this tenant. *)
+val rewrite_src :
+  Change.t -> ?obs:Policy.obs -> file:string -> string -> string option

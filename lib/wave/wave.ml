@@ -1,0 +1,191 @@
+(** The rollout state machine (E18).
+
+    One {!t} tracks a {!Change.t} being carried across a fleet:
+    tenants sliced into waves ({!Planner.waves}), each wave moving
+    [Pending -> In_flight -> Committed] on a gate pass or
+    [-> Rolled_back] (with every later wave [Halted]) on a gate fail.
+
+    Every transition is journaled as a {!Journal.Wave_mark} in the
+    rollout's own journal, flushed at the mark (both journal modes
+    barrier on wave marks) — so a crash mid-wave leaves a durable
+    record of exactly which waves committed.  {!cursor} reads that
+    record back: resuming re-submits from the first uncommitted wave,
+    and re-submitting an already-committed wave is harmless because
+    its per-tenant plans are empty (the configs already converged).
+
+    The machine is deliberately event-agnostic: the control-plane
+    driver ([Cloudless_controlplane.Rollout]) owns submission, gate
+    health collection and timing; this module owns only the schedule,
+    the transitions and their durability. *)
+
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Smap = Value.Smap
+module State = Cloudless_state.State
+module Journal = Cloudless_state.Journal
+module Rollback = Cloudless_rollback.Rollback
+
+type status = Pending | In_flight | Committed | Rolled_back | Halted
+
+let status_to_string = function
+  | Pending -> "pending"
+  | In_flight -> "in_flight"
+  | Committed -> "committed"
+  | Rolled_back -> "rolled_back"
+  | Halted -> "halted"
+
+type wave = { index : int; tenants : string list; mutable status : status }
+
+type t = {
+  change : Change.t;
+  waves : wave array;
+  journal : Journal.t option;
+}
+
+let create ~(change : Change.t) ~tenants ?journal () =
+  let slices =
+    Planner.waves ~canary:change.Change.canary ~growth:change.Change.growth
+      tenants
+  in
+  let waves =
+    Array.of_list
+      (List.mapi (fun index tenants -> { index; tenants; status = Pending }) slices)
+  in
+  { change; waves; journal }
+
+let change t = t.change
+let waves t = Array.to_list t.waves
+
+let mark t ~wave ~phase ~tenants ~time =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      Journal.append j
+        (Journal.Wave_mark { wave; wphase = phase; tenants; wtime = time })
+
+let transition t i status ~phase ~time =
+  let w = t.waves.(i) in
+  w.status <- status;
+  mark t ~wave:i ~phase ~tenants:w.tenants ~time
+
+let start t i ~time = transition t i In_flight ~phase:"started" ~time
+let commit t i ~time = transition t i Committed ~phase:"committed" ~time
+let roll_back t i ~time = transition t i Rolled_back ~phase:"rolled_back" ~time
+
+(** Halt every still-pending wave (one journal mark carrying all the
+    never-touched tenants, recorded under the first halted index). *)
+let halt t ~time =
+  let halted =
+    Array.to_list t.waves
+    |> List.filter (fun w -> w.status = Pending || w.status = In_flight)
+  in
+  List.iter (fun w -> w.status <- Halted) halted;
+  match halted with
+  | [] -> ()
+  | first :: _ ->
+      mark t ~wave:first.index ~phase:"halted"
+        ~tenants:(List.concat_map (fun w -> w.tenants) halted)
+        ~time
+
+(** The next wave to submit, in schedule order; [None] once every wave
+    is committed, rolled back or halted. *)
+let next t =
+  let n = Array.length t.waves in
+  let rec go i =
+    if i >= n then None
+    else
+      match t.waves.(i).status with
+      | Pending | In_flight -> Some t.waves.(i)
+      | Committed -> go (i + 1)
+      | Rolled_back | Halted -> None
+  in
+  go 0
+
+let finished t = next t = None
+
+(** Did the rollout converge fleet-wide? *)
+let converged t = Array.for_all (fun w -> w.status = Committed) t.waves
+
+(** Tenants a wave submission has ever reached (committed, in flight
+    or rolled back) — the blast radius. *)
+let touched_tenants t =
+  Array.to_list t.waves
+  |> List.concat_map (fun w ->
+         match w.status with
+         | In_flight | Committed | Rolled_back -> w.tenants
+         | Pending | Halted -> [])
+
+let committed_tenants t =
+  Array.to_list t.waves
+  |> List.concat_map (fun w ->
+         if w.status = Committed then w.tenants else [])
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type cursor =
+  | Resume_at of int
+      (** first uncommitted wave (0 = nothing durable yet) *)
+  | Finished of string  (** terminal phase: "rolled_back" or "halted" *)
+
+(** Read the durable rollout record back.  Commits advance the cursor;
+    a rolled-back or halted mark is terminal (the rollout must not be
+    resumed past a tripped gate). *)
+let cursor entries =
+  List.fold_left
+    (fun acc e ->
+      match (acc, e) with
+      | Finished _, _ -> acc
+      | Resume_at k, Journal.Wave_mark { wave; wphase = "committed"; _ } ->
+          Resume_at (max k (wave + 1))
+      | ( Resume_at _,
+          Journal.Wave_mark { wphase = ("rolled_back" | "halted") as p; _ } ) ->
+          Finished p
+      | Resume_at _, _ -> acc)
+    (Resume_at 0) entries
+
+(** Restore wave statuses from a reloaded journal: waves below the
+    cursor are committed, and a terminal mark reproduces the
+    rolled-back/halted picture. *)
+let restore t entries =
+  (match cursor entries with
+  | Resume_at k ->
+      Array.iter (fun w -> if w.index < k then w.status <- Committed) t.waves
+  | Finished _ ->
+      List.iter
+        (function
+          | Journal.Wave_mark { wave; wphase; _ } ->
+              let status =
+                match wphase with
+                | "committed" -> Some Committed
+                | "rolled_back" -> Some Rolled_back
+                | "halted" -> Some Halted
+                | _ -> None
+              in
+              Option.iter
+                (fun s ->
+                  if wave < Array.length t.waves then
+                    (* a halted mark covers every later wave too *)
+                    if s = Halted then
+                      Array.iter
+                        (fun w -> if w.index >= wave then w.status <- Halted)
+                        t.waves
+                    else t.waves.(wave).status <- s)
+                status
+          | _ -> ())
+        entries);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Wave-scoped inverse plans                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The inverse plan for one tenant of a failed wave: reversibility-
+    aware rollback from [current] (the state after the bad change) to
+    [target] (the pre-wave snapshot), consulting [live] so out-of-band
+    divergence accumulated during the wave is reset too. *)
+let inverse_plan ~(target : State.t) ~(current : State.t)
+    ~(live : Addr.t -> Value.t Smap.t option) : Rollback.rollback_plan =
+  Rollback.plan_rollback ~strategy:Rollback.Reversibility_aware ~target
+    ~current ~live ()

@@ -1,0 +1,72 @@
+(** The rollout state machine (E18): a {!Change.t} carried across a
+    fleet in canary → growing waves, every transition journaled as a
+    {!Journal.Wave_mark} so a crash mid-wave resumes from the last
+    committed wave boundary.  Event-agnostic: the control-plane driver
+    owns submission, gate health and timing; this module owns the
+    schedule, the transitions and their durability. *)
+
+module Addr = Cloudless_hcl.Addr
+module Value = Cloudless_hcl.Value
+module Smap = Value.Smap
+module State = Cloudless_state.State
+module Journal = Cloudless_state.Journal
+module Rollback = Cloudless_rollback.Rollback
+
+type status = Pending | In_flight | Committed | Rolled_back | Halted
+
+val status_to_string : status -> string
+
+type wave = { index : int; tenants : string list; mutable status : status }
+type t
+
+(** Slice [tenants] into waves per the change's canary/growth schedule.
+    With [journal], transitions append {!Journal.Wave_mark} records. *)
+val create :
+  change:Change.t -> tenants:string list -> ?journal:Journal.t -> unit -> t
+
+val change : t -> Change.t
+val waves : t -> wave list
+
+val start : t -> int -> time:float -> unit
+val commit : t -> int -> time:float -> unit
+val roll_back : t -> int -> time:float -> unit
+
+(** Halt every still-pending wave (one journal mark carrying all the
+    never-touched tenants). *)
+val halt : t -> time:float -> unit
+
+(** The next wave to submit, in schedule order; [None] once every wave
+    is committed, rolled back or halted. *)
+val next : t -> wave option
+
+val finished : t -> bool
+
+(** Did the rollout converge fleet-wide? *)
+val converged : t -> bool
+
+(** Tenants a wave submission has ever reached — the blast radius. *)
+val touched_tenants : t -> string list
+
+val committed_tenants : t -> string list
+
+type cursor =
+  | Resume_at of int
+      (** first uncommitted wave (0 = nothing durable yet) *)
+  | Finished of string  (** terminal phase: "rolled_back" or "halted" *)
+
+(** Read the durable rollout record back.  Commits advance the cursor;
+    a rolled-back or halted mark is terminal. *)
+val cursor : Journal.entry list -> cursor
+
+(** Restore wave statuses from a reloaded journal. *)
+val restore : t -> Journal.entry list -> t
+
+(** The inverse plan for one tenant of a failed wave: reversibility-
+    aware rollback from [current] to the pre-wave [target], consulting
+    [live] so out-of-band divergence accumulated during the wave is
+    reset too. *)
+val inverse_plan :
+  target:State.t ->
+  current:State.t ->
+  live:(Addr.t -> Value.t Smap.t option) ->
+  Rollback.rollback_plan

@@ -12,6 +12,9 @@
 #     tailer-vs-subscription read bill, crash and backpressure headlines
 #   - e17_soak      (BENCH_soak.json):    per-episode convergence
 #     checkpoints, breaker/parking/fault headlines, crash leg
+#   - e18_wave      (BENCH_wave.json):    blast-radius and gating-cost
+#     headlines for the bad change, clean-rollout wave schedule,
+#     crash-mid-rollout resume leg
 #
 # Stages, samples, and keys present in only one file are reported as
 # one-sided rather than failing, so a trajectory file from before a
@@ -129,6 +132,25 @@ elif exp_new == "e17_soak":
               "unaffected tenants")
     diff_flat(old.get("crash", {}), new.get("crash", {}),
               [("orphans", ""), ("dup_creates", ""), ("managed", "")],
+              "crash leg")
+elif exp_new == "e18_wave":
+    diff_flat(old.get("bad_change", {}), new.get("bad_change", {}),
+              [("wave1_size", ""), ("tenants_reached_gated", ""),
+               ("tenants_reached_naive", ""),
+               ("residual_violating_gated", ""),
+               ("residual_violating_naive", ""),
+               ("rollback_latency_s", "s"), ("gated_mgmt_calls", ""),
+               ("gate_checks", ""), ("gated_api_calls", ""),
+               ("naive_api_calls", "")],
+              "bad change (blast radius)")
+    diff_flat(old.get("clean_change", {}), new.get("clean_change", {}),
+              [("committed_tenants", ""), ("waves", ""),
+               ("expected_waves", ""), ("rollbacks", ""),
+               ("violations", "")],
+              "clean change")
+    diff_flat(old.get("crash", {}), new.get("crash", {}),
+              [("crash_after", ""), ("resumed_from_wave", ""),
+               ("orphans", ""), ("dup_creates", "")],
               "crash leg")
 else:
     stages = ["eval", "intern", "plan", "dag", "execute", "journal", "group"]

@@ -99,6 +99,22 @@ if (( SECONDS > E17_BUDGET_S )); then
   exit 1
 fi
 
+# Bulk-change waves: the quick run self-asserts the E18 claims (a
+# policy-violating change stops at the canary wave and is rolled back
+# to zero residual violations while the naive baseline taints the
+# whole fleet, a clean change converges on the canary*growth^k
+# schedule, and a crash between wave commits resumes from the journal
+# to the committed-wave boundary with zero orphans/duplicates and an
+# unchanged state digest).  Budgeted: all simulated time, so a
+# wall-clock blowout means the rollout driver is busy-polling.
+E18_BUDGET_S=60
+SECONDS=0
+dune exec bench/main.exe -- e18 --quick
+if (( SECONDS > E18_BUDGET_S )); then
+  echo "check.sh: e18 --quick took ${SECONDS}s (budget ${E18_BUDGET_S}s)" >&2
+  exit 1
+fi
+
 # -- hot-path Addr.Map gate ------------------------------------------
 # The plan/apply hot path runs on interned int ids (Plan.exec_graph);
 # Addr.Map belongs only to the Dag-returning analysis/oracle side

@@ -293,7 +293,8 @@ let test_group_abandon_disk_fidelity () =
     | Journal.Run_started _ -> "start"
     | Journal.Intent i -> Printf.sprintf "intent%d" i.Journal.op
     | Journal.Outcome _ -> "outcome"
-    | Journal.Run_finished _ -> "finish")
+    | Journal.Run_finished _ -> "finish"
+    | Journal.Wave_mark _ -> "wave")
     entries
   in
   (* two intents below the batch cap of 3: abandoned with the batch *)
@@ -424,6 +425,8 @@ let entry_tag = function
         (Addr.to_string o.Journal.oaddr)
         (if o.Journal.ok then "ok" else "err")
   | Journal.Run_finished _ -> "finish"
+  | Journal.Wave_mark { wave; wphase; _ } ->
+      Printf.sprintf "wave:%d:%s" wave wphase
 
 let journal_of t =
   match Lifecycle.journal t with
